@@ -1,0 +1,67 @@
+// Ablation: split-error robustness of the base mixing algorithms. The ideal
+// mix model hides a practical difference between MM, RMA and MTCS: deeper /
+// wider graphs accumulate different worst-case concentration errors under
+// imbalanced splits. This harness reports the first-order bounds against the
+// ratio quantization error (deviations below it are invisible anyway).
+#include <iostream>
+
+#include "analysis/error_model.h"
+#include "mixgraph/builders.h"
+#include "protocols/protocols.h"
+#include "report/table.h"
+#include "workload/ratio_corpus.h"
+
+int main() {
+  using namespace dmf;
+  using mixgraph::Algorithm;
+
+  std::cout << "# Ablation — worst-case target CF error under imbalanced "
+               "splits\n\n";
+
+  std::cout << "## Published protocols (split imbalance 5%, perfect "
+               "dispensing)\n\n";
+  report::Table table({"ratio", "quantum", "MM", "RMA", "MTCS"});
+  for (const auto& protocol : protocols::publishedProtocols()) {
+    std::vector<std::string> row{protocol.id};
+    bool first = true;
+    for (Algorithm algo : {Algorithm::MM, Algorithm::RMA, Algorithm::MTCS}) {
+      const mixgraph::MixingGraph g =
+          mixgraph::buildGraph(protocol.ratio, algo);
+      if (first) {
+        row.push_back(report::fixed(analysis::quantizationError(g), 5));
+        first = false;
+      }
+      row.push_back(report::fixed(
+          analysis::targetError(g, {0.05, 0.0}).worstConcentration, 5));
+    }
+    table.addRow(std::move(row));
+  }
+  std::cout << table.render() << "\n";
+
+  std::cout << "## Corpus average (L = 32) vs split imbalance\n\n";
+  report::Table sweep({"imbalance", "MM", "RMA", "MTCS", "quantum"});
+  const auto& corpus = workload::evaluationCorpus();
+  for (double eps : {0.01, 0.02, 0.05, 0.10}) {
+    double avg[3] = {0, 0, 0};
+    std::size_t count = 0;
+    for (std::size_t i = 0; i < corpus.size(); i += 29) {
+      int a = 0;
+      for (Algorithm algo :
+           {Algorithm::MM, Algorithm::RMA, Algorithm::MTCS}) {
+        const mixgraph::MixingGraph g = mixgraph::buildGraph(corpus[i], algo);
+        avg[a++] += analysis::targetError(g, {eps, 0.0}).worstConcentration;
+      }
+      ++count;
+    }
+    sweep.addRow({report::fixed(eps, 2),
+                  report::fixed(avg[0] / static_cast<double>(count), 5),
+                  report::fixed(avg[1] / static_cast<double>(count), 5),
+                  report::fixed(avg[2] / static_cast<double>(count), 5),
+                  report::fixed(1.0 / 64.0, 5)});
+  }
+  std::cout << sweep.render()
+            << "\nReading: once the split imbalance pushes the bound past "
+               "the quantum, extra\naccuracy bits in the ratio stop paying "
+               "off — choose d accordingly.\n";
+  return 0;
+}

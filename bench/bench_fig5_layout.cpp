@@ -1,0 +1,69 @@
+// Reproduces Fig. 5: the PCR master-mix chip — layout, droplet-transport
+// cost matrix, and total electrode actuations of the streaming engine versus
+// repeated single-pass mixing (paper: 386 vs 980 for D = 20).
+#include <iostream>
+
+#include "chip/executor.h"
+#include "chip/pcr_layout.h"
+#include "chip/placer.h"
+#include "chip/router.h"
+#include "forest/task_forest.h"
+#include "mixgraph/builders.h"
+#include "protocols/protocols.h"
+#include "report/table.h"
+#include "sched/schedulers.h"
+
+int main() {
+  using namespace dmf;
+
+  const Ratio ratio = protocols::pcrMasterMixRatio();
+  const mixgraph::MixingGraph graph = mixgraph::buildMM(ratio);
+
+  chip::Layout layout = chip::makePcrLayout();
+  std::cout << "# Fig. 5 — PCR master-mix chip (7 reservoirs, 3 mixers, "
+               "5 storage, 2 waste)\n\n"
+            << layout.render() << "\n";
+
+  chip::Router router(layout);
+  std::cout << "Droplet-transportation cost matrix (electrodes):\n"
+            << router.renderCostMatrix() << "\n";
+
+  chip::ChipExecutor executor(layout, router);
+
+  const forest::TaskForest forest(graph, 20);
+  const sched::Schedule srs = sched::scheduleSRS(forest, 3);
+  const chip::ExecutionTrace ours = executor.run(forest, srs);
+
+  const forest::TaskForest pass(graph, 2);
+  const sched::Schedule oms = sched::scheduleOMS(pass, 3);
+  const chip::ExecutionTrace perPass = executor.run(pass, oms);
+
+  // Annealed placement driven by the forest's droplet traffic.
+  const chip::FlowMatrix flow =
+      chip::flowFromTrace(ours, layout.moduleCount());
+  chip::AnnealOptions options;
+  options.iterations = 30000;
+  const chip::Layout annealed = chip::annealPlacement(layout, flow, options);
+  chip::Router annealedRouter(annealed);
+  chip::ChipExecutor annealedExecutor(annealed, annealedRouter);
+  const chip::ExecutionTrace oursAnnealed = annealedExecutor.run(forest, srs);
+
+  report::Table table({"configuration", "electrode actuations",
+                       "peak per-electrode", "paper"});
+  table.addRow({"forest + SRS (D=20)", std::to_string(ours.totalCost),
+                std::to_string(ours.peakActuations), "386"});
+  table.addRow({"forest + SRS, annealed placement",
+                std::to_string(oursAnnealed.totalCost),
+                std::to_string(oursAnnealed.peakActuations), "-"});
+  table.addRow({"repeated MM x 10 passes",
+                std::to_string(perPass.totalCost * 10),
+                std::to_string(perPass.peakActuations * 10), "980"});
+  std::cout << table.render() << "\n";
+
+  const double factor = static_cast<double>(perPass.totalCost * 10) /
+                        static_cast<double>(ours.totalCost);
+  std::cout << "Streaming engine needs " << report::fixed(factor, 2)
+            << "x fewer actuations than the repeated baseline (paper: "
+            << report::fixed(980.0 / 386.0, 2) << "x).\n";
+  return 0;
+}

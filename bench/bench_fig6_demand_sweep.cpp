@@ -1,0 +1,82 @@
+// Reproduces Fig. 6: average completion time Tc and average input-droplet
+// count I as the demand D grows, over the synthetic ratio corpus (L = 32,
+// 2 <= N <= 12), comparing repeated baselines (RMM, RMTCS) against the
+// forest engine (MM+MMS, MTCS+MMS).
+//
+// Paper shape: the repeated baselines grow linearly in D; the forest engine
+// grows far slower — at D = 32 it uses roughly a quarter of the inputs.
+#include <iostream>
+
+#include "engine/baseline.h"
+#include "engine/mdst.h"
+#include "report/chart.h"
+#include "report/table.h"
+#include "workload/ratio_corpus.h"
+
+int main() {
+  using namespace dmf;
+  using mixgraph::Algorithm;
+
+  const auto& corpus = workload::evaluationCorpus();
+  std::cout << "# Fig. 6 — average Tc and I vs demand D over "
+            << corpus.size() << " ratios (L = 32)\n\n";
+
+  std::vector<std::uint64_t> demands;
+  for (std::uint64_t d = 2; d <= 32; d += 2) demands.push_back(d);
+
+  report::Series tcSeries[4] = {{"RMM", {}},
+                                {"RMTCS", {}},
+                                {"MM+MMS", {}},
+                                {"MTCS+MMS", {}}};
+  report::Series inSeries[4] = {{"RMM", {}},
+                                {"RMTCS", {}},
+                                {"MM+MMS", {}},
+                                {"MTCS+MMS", {}}};
+
+  report::Table table({"D", "Tc RMM", "Tc RMTCS", "Tc MM+MMS", "Tc MTCS+MMS",
+                       "I RMM", "I RMTCS", "I MM+MMS", "I MTCS+MMS"});
+
+  for (std::uint64_t demand : demands) {
+    double tc[4] = {0, 0, 0, 0};
+    double in[4] = {0, 0, 0, 0};
+    for (const Ratio& ratio : corpus) {
+      engine::MdstEngine engine(ratio);
+      const Algorithm algos[2] = {Algorithm::MM, Algorithm::MTCS};
+      for (int a = 0; a < 2; ++a) {
+        const engine::BaselineResult rep =
+            engine::runRepeatedBaseline(engine, algos[a], demand);
+        tc[a] += static_cast<double>(rep.completionTime);
+        in[a] += static_cast<double>(rep.inputDroplets);
+
+        engine::MdstRequest request;
+        request.algorithm = algos[a];
+        request.scheme = engine::Scheme::kMMS;
+        request.demand = demand;
+        const engine::MdstResult r = engine.run(request);
+        tc[2 + a] += static_cast<double>(r.completionTime);
+        in[2 + a] += static_cast<double>(r.inputDroplets);
+      }
+    }
+    std::vector<std::string> row{std::to_string(demand)};
+    for (int s = 0; s < 4; ++s) {
+      tc[s] /= static_cast<double>(corpus.size());
+      tcSeries[s].points.push_back({static_cast<double>(demand), tc[s]});
+    }
+    for (int s = 0; s < 4; ++s) {
+      in[s] /= static_cast<double>(corpus.size());
+      inSeries[s].points.push_back({static_cast<double>(demand), in[s]});
+    }
+    for (int s = 0; s < 4; ++s) row.push_back(report::fixed(tc[s], 1));
+    for (int s = 0; s < 4; ++s) row.push_back(report::fixed(in[s], 1));
+    table.addRow(std::move(row));
+  }
+
+  std::cout << table.render() << "\n";
+  std::cout << "(a) average time of completion Tc vs demand D:\n"
+            << report::renderChart({tcSeries[0], tcSeries[1], tcSeries[2],
+                                    tcSeries[3]})
+            << "\n(b) average input reactant droplets I vs demand D:\n"
+            << report::renderChart({inSeries[0], inSeries[1], inSeries[2],
+                                    inSeries[3]});
+  return 0;
+}

@@ -1,0 +1,181 @@
+// Micro-benchmarks (google-benchmark): construction and scheduling
+// throughput of the library's hot paths.
+#include <benchmark/benchmark.h>
+
+#include "analysis/error_model.h"
+#include "chip/executor.h"
+#include "chip/pcr_layout.h"
+#include "chip/router.h"
+#include "engine/mdst.h"
+#include "forest/task_forest.h"
+#include "mixgraph/builders.h"
+#include "protocols/protocols.h"
+#include "sched/ga_scheduler.h"
+#include "sched/heterogeneous.h"
+#include "sched/schedulers.h"
+#include "workload/ratio_corpus.h"
+
+namespace {
+
+using namespace dmf;
+
+const Ratio& pcrRatio() {
+  static const Ratio ratio = protocols::pcrMasterMixRatio();
+  return ratio;
+}
+
+const Ratio& bigRatio() {
+  static const Ratio ratio = protocols::publishedProtocols()[2].ratio;
+  return ratio;
+}
+
+void BM_BuildMM(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mixgraph::buildMM(bigRatio()));
+  }
+}
+BENCHMARK(BM_BuildMM);
+
+void BM_BuildRMA(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mixgraph::buildRMA(bigRatio()));
+  }
+}
+BENCHMARK(BM_BuildRMA);
+
+void BM_BuildMTCS(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mixgraph::buildMTCS(bigRatio()));
+  }
+}
+BENCHMARK(BM_BuildMTCS);
+
+void BM_ForestConstruction(benchmark::State& state) {
+  const mixgraph::MixingGraph graph = mixgraph::buildMM(bigRatio());
+  const auto demand = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(forest::TaskForest(graph, demand));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ForestConstruction)->Range(2, 512)->Complexity();
+
+void BM_ScheduleMMS(benchmark::State& state) {
+  const mixgraph::MixingGraph graph = mixgraph::buildMM(bigRatio());
+  const forest::TaskForest f(graph, static_cast<std::uint64_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sched::scheduleMMS(f, 4));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ScheduleMMS)->Range(2, 512)->Complexity();
+
+void BM_ScheduleSRS(benchmark::State& state) {
+  const mixgraph::MixingGraph graph = mixgraph::buildMM(bigRatio());
+  const forest::TaskForest f(graph, static_cast<std::uint64_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sched::scheduleSRS(f, 4));
+  }
+}
+BENCHMARK(BM_ScheduleSRS)->Range(2, 128);
+
+void BM_ScheduleOMS(benchmark::State& state) {
+  const mixgraph::MixingGraph graph = mixgraph::buildMM(bigRatio());
+  const forest::TaskForest f(graph, static_cast<std::uint64_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sched::scheduleOMS(f, 4));
+  }
+}
+BENCHMARK(BM_ScheduleOMS)->Range(2, 512);
+
+void BM_StorageCount(benchmark::State& state) {
+  const mixgraph::MixingGraph graph = mixgraph::buildMM(bigRatio());
+  const forest::TaskForest f(graph, 64);
+  const sched::Schedule s = sched::scheduleMMS(f, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sched::countStorage(f, s));
+  }
+}
+BENCHMARK(BM_StorageCount);
+
+void BM_EndToEndEngine(benchmark::State& state) {
+  for (auto _ : state) {
+    engine::MdstEngine engine(pcrRatio());
+    engine::MdstRequest request;
+    request.scheme = engine::Scheme::kMMS;
+    request.demand = 32;
+    benchmark::DoNotOptimize(engine.run(request));
+  }
+}
+BENCHMARK(BM_EndToEndEngine);
+
+void BM_RouterCostMatrix(benchmark::State& state) {
+  const chip::Layout layout = chip::makePcrLayout();
+  for (auto _ : state) {
+    chip::Router router(layout);
+    benchmark::DoNotOptimize(router.costMatrix());
+  }
+}
+BENCHMARK(BM_RouterCostMatrix);
+
+void BM_ChipExecution(benchmark::State& state) {
+  const chip::Layout layout = chip::makePcrLayout();
+  chip::Router router(layout);
+  chip::ChipExecutor executor(layout, router);
+  const mixgraph::MixingGraph graph = mixgraph::buildMM(pcrRatio());
+  const forest::TaskForest f(graph, 20);
+  const sched::Schedule s = sched::scheduleSRS(f, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(executor.run(f, s));
+  }
+}
+BENCHMARK(BM_ChipExecution);
+
+void BM_ScheduleGA(benchmark::State& state) {
+  const mixgraph::MixingGraph graph = mixgraph::buildMM(pcrRatio());
+  const forest::TaskForest f(graph, 32);
+  sched::GaOptions options;
+  options.population = 16;
+  options.generations = 10;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sched::scheduleGA(f, 3, options));
+  }
+}
+BENCHMARK(BM_ScheduleGA);
+
+void BM_ScheduleHeterogeneous(benchmark::State& state) {
+  const mixgraph::MixingGraph graph = mixgraph::buildMM(pcrRatio());
+  const forest::TaskForest f(graph, 32);
+  const sched::MixerBank bank{{1, 2, 4}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sched::scheduleHeterogeneous(f, bank));
+  }
+}
+BENCHMARK(BM_ScheduleHeterogeneous);
+
+void BM_MultiTargetGraph(benchmark::State& state) {
+  const std::vector<Ratio> targets = {Ratio({2, 1, 1, 1, 1, 1, 9}),
+                                      Ratio({2, 1, 1, 1, 1, 9, 1}),
+                                      Ratio({4, 4, 2, 2, 1, 1, 2})};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mixgraph::buildMultiTarget(targets));
+  }
+}
+BENCHMARK(BM_MultiTargetGraph);
+
+void BM_ErrorAnalysis(benchmark::State& state) {
+  const mixgraph::MixingGraph graph = mixgraph::buildMM(bigRatio());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::analyzeErrors(graph, {0.05, 0.0}));
+  }
+}
+BENCHMARK(BM_ErrorAnalysis);
+
+void BM_CorpusGeneration(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(workload::partitionCorpus(32, 2, 12));
+  }
+}
+BENCHMARK(BM_CorpusGeneration);
+
+}  // namespace

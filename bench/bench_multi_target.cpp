@@ -1,0 +1,75 @@
+// Extension experiment: multi-target preparation (SDMT/MDMT, the Table 1
+// axis the paper leaves open). A shared mixing forest prepares several
+// related mixtures at once; this harness quantifies the savings over
+// preparing each target separately, across corpus pairs and a case study
+// where one target is an intermediate of another.
+#include <iostream>
+
+#include "engine/multi_target.h"
+#include "report/table.h"
+#include "workload/ratio_corpus.h"
+
+int main() {
+  using namespace dmf;
+  using engine::runMultiTarget;
+  using engine::TargetDemand;
+
+  std::cout << "# Extension — multi-target preparation vs separate engines\n\n";
+
+  std::cout << "## Case studies (D = 8 per target unless noted)\n\n";
+  report::Table cases({"targets", "Tc shared", "Tc separate", "I shared",
+                       "I separate", "W shared", "W separate"});
+  struct Case {
+    const char* name;
+    std::vector<TargetDemand> targets;
+  };
+  const Case studies[] = {
+      {"PCR mix + fluid-swapped variant",
+       {{Ratio({2, 1, 1, 1, 1, 1, 9}), 8}, {Ratio({2, 1, 1, 1, 1, 9, 1}), 8}}},
+      {"{3:1} + its own intermediate {2:2} (D = 6/7)",
+       {{Ratio({3, 1}), 6}, {Ratio({2, 2}), 7}}},
+      {"three gradient blends {1:3},{2:2},{3:1} (D = 6 each)",
+       {{Ratio({1, 3}), 6}, {Ratio({2, 2}), 6}, {Ratio({3, 1}), 6}}},
+      {"PCR mix at two water levels",
+       {{Ratio({2, 1, 1, 1, 1, 1, 9}), 8}, {Ratio({2, 2, 1, 1, 1, 1, 8}), 8}}},
+  };
+  for (const Case& c : studies) {
+    const engine::MultiTargetResult r = runMultiTarget(c.targets);
+    cases.addRow({c.name, std::to_string(r.completionTime),
+                  std::to_string(r.separateCompletionTime),
+                  std::to_string(r.inputDroplets),
+                  std::to_string(r.separateInputDroplets),
+                  std::to_string(r.waste),
+                  std::to_string(r.separateWaste)});
+  }
+  std::cout << cases.render() << "\n";
+
+  std::cout << "## Corpus pairs (adjacent L=32 ratios of equal fluid count, "
+               "D = 9 each)\n\n";
+  const auto& corpus = workload::evaluationCorpus();
+  double tcShared = 0;
+  double tcSeparate = 0;
+  double inShared = 0;
+  double inSeparate = 0;
+  std::size_t pairs = 0;
+  for (std::size_t i = 0; i + 1 < corpus.size() && pairs < 120; i += 17) {
+    if (corpus[i].fluidCount() != corpus[i + 1].fluidCount()) continue;
+    const engine::MultiTargetResult r = runMultiTarget(
+        {TargetDemand{corpus[i], 9}, TargetDemand{corpus[i + 1], 9}});
+    tcShared += r.completionTime;
+    tcSeparate += r.separateCompletionTime;
+    inShared += static_cast<double>(r.inputDroplets);
+    inSeparate += static_cast<double>(r.separateInputDroplets);
+    ++pairs;
+  }
+  report::Table avg({"metric", "shared", "separate", "saving"});
+  const auto n = static_cast<double>(pairs);
+  avg.addRow({"avg Tc", report::fixed(tcShared / n, 1),
+              report::fixed(tcSeparate / n, 1),
+              report::fixed(100.0 * (1.0 - tcShared / tcSeparate), 1) + "%"});
+  avg.addRow({"avg I", report::fixed(inShared / n, 1),
+              report::fixed(inSeparate / n, 1),
+              report::fixed(100.0 * (1.0 - inShared / inSeparate), 1) + "%"});
+  std::cout << avg.render() << "(" << pairs << " corpus pairs)\n";
+  return 0;
+}

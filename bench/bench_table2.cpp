@@ -1,0 +1,90 @@
+// Reproduces Table 2: Tc, q and I for the five published target ratios
+// (L = 256, D = 32) under nine scheme combinations:
+//   A: RMM          B: MM+MMS     C: MM+SRS
+//   D: RRMA         E: RMA+MMS    F: RMA+SRS
+//   G: RMTCS        H: MTCS+MMS   I: MTCS+SRS
+// All schemes run with Mlb mixers of the corresponding MM tree, as in the
+// paper. Paper reference rows are printed below each measured row.
+#include <iostream>
+
+#include "engine/baseline.h"
+#include "engine/mdst.h"
+#include "protocols/protocols.h"
+#include "report/table.h"
+
+namespace {
+
+struct PaperRow {
+  // Tc for columns A..I, then q for A..I, then I for A, B/C, D, E/F, G, H/I.
+  const char* tc;
+  const char* q;
+  const char* inputs;
+};
+
+// Values transcribed from Table 2 of the paper.
+const PaperRow kPaper[5] = {
+    {"128 15 16 128 12 12 128 15 16", "1 13 8 0 12 8 2 13 8",
+     "272 41 304 43 240 39"},
+    {"128 34 34 128 34 34 128 34 34", "0 15 4 0 15 4 0 15 4",
+     "144 35 144 35 144 35"},
+    {"128 12 13 128 12 14 128 11 13", "1 9 9 0 10 9 2 10 11",
+     "432 45 464 47 288 39"},
+    {"128 20 20 128 15 15 128 20 20", "1 13 6 0 12 8 1 13 8",
+     "208 37 256 40 160 37"},
+    {"128 17 17 128 17 19 128 24 24", "2 13 9 1 12 13 1 13 14",
+     "304 40 320 41 208 36"},
+};
+
+}  // namespace
+
+int main() {
+  using namespace dmf;
+  using mixgraph::Algorithm;
+
+  std::cout << "# Table 2 — Tc / q / I for Ex.1..Ex.5 at D = 32 (L = 256)\n"
+            << "# columns: A=RMM B=MM+MMS C=MM+SRS D=RRMA E=RMA+MMS "
+               "F=RMA+SRS G=RMTCS H=MTCS+MMS I=MTCS+SRS\n\n";
+
+  const auto& protocols = protocols::publishedProtocols();
+
+  for (const char* metric : {"Tc", "q", "I"}) {
+    report::Table table({"ratio", "A", "B", "C", "D", "E", "F", "G", "H", "I",
+                         "paper row"});
+    for (std::size_t p = 0; p < protocols.size(); ++p) {
+      engine::MdstEngine engine(protocols[p].ratio);
+      std::vector<std::string> row{protocols[p].id};
+      for (Algorithm algo :
+           {Algorithm::MM, Algorithm::RMA, Algorithm::MTCS}) {
+        const engine::BaselineResult rep =
+            engine::runRepeatedBaseline(engine, algo, 32);
+        std::uint64_t repeatedValue =
+            std::string(metric) == "Tc"  ? rep.completionTime
+            : std::string(metric) == "q" ? rep.storageUnits
+                                         : rep.inputDroplets;
+        row.push_back(std::to_string(repeatedValue));
+        for (engine::Scheme scheme :
+             {engine::Scheme::kMMS, engine::Scheme::kSRS}) {
+          engine::MdstRequest request;
+          request.algorithm = algo;
+          request.scheme = scheme;
+          request.demand = 32;
+          const engine::MdstResult r = engine.run(request);
+          const std::uint64_t value =
+              std::string(metric) == "Tc"  ? r.completionTime
+              : std::string(metric) == "q" ? r.storageUnits
+                                           : r.inputDroplets;
+          row.push_back(std::to_string(value));
+        }
+      }
+      const PaperRow& ref = kPaper[p];
+      row.push_back(std::string(metric) == "Tc"  ? ref.tc
+                    : std::string(metric) == "q" ? ref.q
+                                                 : ref.inputs);
+      table.addRow(std::move(row));
+    }
+    std::cout << "## " << metric << "\n" << table.render() << "\n";
+  }
+  std::cout << "(paper I row lists A, B/C, D, E/F, G, H/I — MMS and SRS share "
+               "the forest, so I is scheme-independent)\n";
+  return 0;
+}

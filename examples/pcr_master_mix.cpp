@@ -1,0 +1,66 @@
+// The paper's section 5 case study, end to end: build the PCR master-mix
+// engine, schedule the D=20 forest with SRS on three mixers, print the Gantt
+// chart (Fig. 4), the chip layout and its transport-cost matrix (Fig. 5),
+// and compare electrode actuations against repeated single-pass mixing.
+#include <iostream>
+
+#include "chip/executor.h"
+#include "chip/pcr_layout.h"
+#include "chip/router.h"
+#include "engine/mdst.h"
+#include "forest/task_forest.h"
+#include "mixgraph/builders.h"
+#include "protocols/protocols.h"
+#include "sched/gantt.h"
+#include "sched/schedulers.h"
+
+int main() {
+  using namespace dmf;
+
+  const Ratio ratio = protocols::pcrMasterMixRatio();
+  std::cout << "=== PCR master-mix engine (ratio " << ratio.toString()
+            << ", D = 20, Mc = 3) ===\n\n";
+
+  const mixgraph::MixingGraph graph = mixgraph::buildMM(ratio);
+  std::cout << "Base MM tree: " << graph.leafCount() << " input droplets, "
+            << graph.internalCount() << " mix-splits, depth " << graph.depth()
+            << "\n";
+
+  const forest::TaskForest forest(graph, 20);
+  const auto& stats = forest.stats();
+  std::cout << "Mixing forest: |F| = " << stats.componentTrees
+            << ", Tms = " << stats.mixSplits << ", W = " << stats.waste
+            << ", I = " << stats.inputTotal << "\n\n";
+
+  const sched::Schedule schedule = sched::scheduleSRS(forest, 3);
+  std::cout << "SRS schedule (Tc = " << schedule.completionTime
+            << ", q = " << sched::countStorage(forest, schedule) << "):\n"
+            << sched::renderGantt(forest, schedule) << "\n";
+
+  const chip::Layout layout = chip::makePcrLayout();
+  std::cout << "Chip layout (" << layout.width() << "x" << layout.height()
+            << "):\n"
+            << layout.render() << "\n";
+
+  chip::Router router(layout);
+  std::cout << "Droplet-transportation costs (electrodes):\n"
+            << router.renderCostMatrix() << "\n";
+
+  chip::ChipExecutor executor(layout, router);
+  const chip::ExecutionTrace ours = executor.run(forest, schedule);
+
+  const forest::TaskForest pass(graph, 2);
+  const chip::ExecutionTrace perPass =
+      executor.run(pass, sched::scheduleOMS(pass, 3));
+
+  std::cout << "Electrode actuations, streaming engine : " << ours.totalCost
+            << "\n"
+            << "Electrode actuations, repeated MM x10  : "
+            << perPass.totalCost * 10 << "\n"
+            << "(The paper reports 386 vs 980 on its hand-crafted layout; the"
+               " shape —\n forest needs a fraction of the actuations — is the"
+               " reproduced claim.)\n"
+            << "Peak per-electrode actuations (wear)   : "
+            << ours.peakActuations << "\n";
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Droplet streaming under limited on-chip storage (paper section 6,
+// Table 4): a demand of 64 PCR master-mix droplets must be met with only a
+// handful of storage cells, so the engine splits the work into passes.
+#include <iostream>
+
+#include "engine/streaming.h"
+#include "protocols/protocols.h"
+#include "report/table.h"
+
+int main() {
+  using namespace dmf;
+
+  const Ratio ratio = protocols::pcrMasterMixRatio();
+  engine::MdstEngine engine(ratio);
+
+  std::cout << "=== Streaming 64 droplets of " << ratio.toString()
+            << " under storage caps ===\n\n";
+
+  report::Table table({"storage cap q'", "per-pass D'", "passes",
+                       "total cycles", "total waste", "total input",
+                       "peak storage"});
+  for (unsigned cap : {3u, 5u, 7u, 10u, 20u}) {
+    engine::StreamingRequest request;
+    request.algorithm = mixgraph::Algorithm::MM;
+    request.scheme = engine::Scheme::kSRS;
+    request.demand = 64;
+    request.storageCap = cap;
+    request.mixers = 3;
+    try {
+      const engine::StreamingPlan plan = planStreaming(engine, request);
+      table.addRow({std::to_string(cap), std::to_string(plan.perPassDemand),
+                    std::to_string(plan.passes.size()),
+                    std::to_string(plan.totalCycles),
+                    std::to_string(plan.totalWaste),
+                    std::to_string(plan.totalInput),
+                    std::to_string(plan.storageUnits)});
+    } catch (const std::exception& e) {
+      table.addRow({std::to_string(cap), "-", "-", "-", "-", "-",
+                    std::string("infeasible")});
+    }
+  }
+  std::cout << table.render()
+            << "\nMore storage lets each pass cover more demand, so fewer "
+               "passes, fewer wasted\ndroplets and fewer cycles — the paper's "
+               "Table 4 trade-off.\n";
+  return 0;
+}

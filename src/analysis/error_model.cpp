@@ -1,0 +1,60 @@
+#include "analysis/error_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace dmf::analysis {
+
+using mixgraph::MixingGraph;
+using mixgraph::NodeId;
+
+std::vector<NodeError> analyzeErrors(const MixingGraph& graph,
+                                     const ErrorOptions& options) {
+  if (!graph.finalized()) {
+    throw std::invalid_argument("analyzeErrors: graph must be finalized");
+  }
+  if (options.splitImbalance < 0.0 || options.dispenseError < 0.0) {
+    throw std::invalid_argument("analyzeErrors: error fractions must be >= 0");
+  }
+  const std::size_t fluids = graph.ratio().fluidCount();
+  std::vector<NodeError> errors(graph.nodeCount());
+
+  // Children precede parents in creation order (MixingGraph invariant), so a
+  // single forward sweep suffices.
+  for (NodeId id = 0; id < graph.nodeCount(); ++id) {
+    const auto& node = graph.node(id);
+    NodeError& e = errors[id];
+    e.concentration.assign(fluids, 0.0);
+    if (node.isLeaf()) {
+      e.volume = options.dispenseError;
+      continue;
+    }
+    const NodeError& left = errors[node.left];
+    const NodeError& right = errors[node.right];
+    const double operandVolume = (left.volume + right.volume) / 2.0;
+    e.volume = operandVolume + options.splitImbalance;
+    const auto& cfLeft = graph.node(node.left).value;
+    const auto& cfRight = graph.node(node.right).value;
+    for (std::size_t f = 0; f < fluids; ++f) {
+      const double gap = std::abs(cfLeft.concentration(f).toDouble() -
+                                  cfRight.concentration(f).toDouble());
+      e.concentration[f] =
+          (left.concentration[f] + right.concentration[f]) / 2.0 +
+          gap / 2.0 * operandVolume;
+      e.worstConcentration =
+          std::max(e.worstConcentration, e.concentration[f]);
+    }
+  }
+  return errors;
+}
+
+NodeError targetError(const MixingGraph& graph, const ErrorOptions& options) {
+  return analyzeErrors(graph, options)[graph.root()];
+}
+
+double quantizationError(const MixingGraph& graph) {
+  return 1.0 / std::ldexp(1.0, static_cast<int>(graph.ratio().accuracy() + 1));
+}
+
+}  // namespace dmf::analysis

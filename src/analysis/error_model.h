@@ -1,0 +1,61 @@
+// Volumetric split-error propagation.
+//
+// The paper's mix model is ideal: every split yields two exactly-unit
+// droplets. Real electrowetting splits are imbalanced by up to a fraction
+// eps of the droplet volume, and unequal operand volumes skew the
+// concentration of every downstream mixture. This module propagates
+// first-order worst-case bounds through a mixing graph:
+//
+//   volume error   w(leaf) = dispenseError
+//                  w(v)    = (w(left) + w(right)) / 2 + eps
+//   CF error       e_i(leaf) = 0
+//                  e_i(v) = (e_i(left) + e_i(right)) / 2
+//                           + |cf_i(left) - cf_i(right)| / 2
+//                             * (w(left) + w(right)) / 2
+//
+// The CF term is exact to first order in the volume errors: mixing volumes
+// (1+a) and (1+b) of concentrations cL, cR gives cf = (cL(1+a) + cR(1+b)) /
+// (2+a+b) = (cL+cR)/2 + (cL-cR)(a-b)/4 + O(err^2), and |a-b| <= |a| + |b|.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "mixgraph/graph.h"
+
+namespace dmf::analysis {
+
+/// Error model parameters (fractions of a unit droplet volume).
+struct ErrorOptions {
+  /// Worst-case volume imbalance per (1:1) split.
+  double splitImbalance = 0.05;
+  /// Worst-case volume error of a reservoir dispense.
+  double dispenseError = 0.0;
+};
+
+/// Worst-case bounds for one node's droplets.
+struct NodeError {
+  /// Volume deviation as a fraction of the unit volume.
+  double volume = 0.0;
+  /// Per-fluid concentration-factor deviation.
+  std::vector<double> concentration;
+  /// max over fluids of `concentration`.
+  double worstConcentration = 0.0;
+};
+
+/// Propagates the bounds over a finalized graph; result indexed by NodeId.
+/// Throws std::invalid_argument for negative error parameters or an
+/// unfinalized graph.
+[[nodiscard]] std::vector<NodeError> analyzeErrors(
+    const mixgraph::MixingGraph& graph, const ErrorOptions& options = {});
+
+/// Bounds at the target (root) droplet.
+[[nodiscard]] NodeError targetError(const mixgraph::MixingGraph& graph,
+                                    const ErrorOptions& options = {});
+
+/// The accuracy the ratio itself guarantees: CFs are quantized to 1/2^d, so
+/// deviations below half a quantum are indistinguishable from rounding.
+/// Returns 1 / 2^(d+1).
+[[nodiscard]] double quantizationError(const mixgraph::MixingGraph& graph);
+
+}  // namespace dmf::analysis

@@ -1,0 +1,87 @@
+#include "chip/contamination.h"
+
+#include <algorithm>
+
+namespace dmf::chip {
+
+namespace {
+
+// Distinct-droplet visit counts per free cell, and per-phase dirty-reuse
+// flags. Droplet identity is (phase index, trajectory index): trajectories
+// in different phases are different droplets by construction.
+std::vector<std::vector<unsigned>> visitCounts(
+    const Layout& layout, const SimulationResult& simulation,
+    std::vector<bool>* phaseReusesDirtyCell) {
+  const auto w = static_cast<std::size_t>(layout.width());
+  const auto h = static_cast<std::size_t>(layout.height());
+  std::vector<std::vector<unsigned>> counts(
+      h, std::vector<unsigned>(w, 0));
+  if (phaseReusesDirtyCell != nullptr) {
+    phaseReusesDirtyCell->assign(simulation.phases.size(), false);
+  }
+  for (std::size_t p = 0; p < simulation.phases.size(); ++p) {
+    const SimulatedPhase& phase = simulation.phases[p];
+    for (const Trajectory& traj : phase.routing.trajectories) {
+      // A droplet touches each distinct cell of its route once.
+      std::vector<Cell> cells = traj.positions;
+      std::sort(cells.begin(), cells.end(), [](const Cell& a, const Cell& b) {
+        return a.y != b.y ? a.y < b.y : a.x < b.x;
+      });
+      cells.erase(std::unique(cells.begin(), cells.end()), cells.end());
+      for (const Cell& c : cells) {
+        if (layout.moduleAt(c).has_value()) continue;
+        unsigned& count =
+            counts[static_cast<std::size_t>(c.y)][static_cast<std::size_t>(c.x)];
+        if (count > 0 && phaseReusesDirtyCell != nullptr) {
+          (*phaseReusesDirtyCell)[p] = true;
+        }
+        ++count;
+      }
+    }
+  }
+  return counts;
+}
+
+}  // namespace
+
+ContaminationReport analyzeContamination(const Layout& layout,
+                                         const SimulationResult& simulation) {
+  std::vector<bool> dirtyPhases;
+  const auto counts = visitCounts(layout, simulation, &dirtyPhases);
+  ContaminationReport report;
+  for (const auto& row : counts) {
+    for (unsigned count : row) {
+      if (count == 0) continue;
+      ++report.visitedCells;
+      if (count > 1) {
+        ++report.sharedCells;
+        report.contaminatedReuses += count - 1;
+      }
+    }
+  }
+  for (bool dirty : dirtyPhases) {
+    report.washDroplets += dirty ? 1 : 0;
+  }
+  return report;
+}
+
+std::string renderContamination(const Layout& layout,
+                                const SimulationResult& simulation) {
+  const auto counts = visitCounts(layout, simulation, nullptr);
+  std::string out;
+  for (const auto& row : counts) {
+    for (unsigned count : row) {
+      if (count == 0) {
+        out += '.';
+      } else if (count == 1) {
+        out += 'o';
+      } else {
+        out += static_cast<char>('0' + std::min(count, 9u));
+      }
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace dmf::chip

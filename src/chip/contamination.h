@@ -1,0 +1,43 @@
+// Cross-contamination analysis (after Zhao & Chakrabarty's wash-droplet
+// work): every droplet leaves residue on the electrodes it crosses, and a
+// later droplet of a different composition picks it up unless the cell is
+// washed first. This module counts contaminated cell reuses in a simulated
+// run and estimates the wash-droplet budget needed to separate them.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "chip/simulation.h"
+
+namespace dmf::chip {
+
+/// Contamination summary of one simulated run.
+struct ContaminationReport {
+  /// Free cells crossed by at least one droplet.
+  std::size_t visitedCells = 0;
+  /// Cells crossed by two or more distinct droplets (residue hand-over
+  /// sites).
+  std::size_t sharedCells = 0;
+  /// Total contaminated reuses: for each cell, every visitor after the
+  /// first. Each reuse needs one wash pass over that cell.
+  std::uint64_t contaminatedReuses = 0;
+  /// Wash droplets needed under the naive one-wash-per-reuse policy, with
+  /// one wash droplet able to clean a contiguous route of cells between two
+  /// phases (estimated as one wash per phase that reuses any dirty cell).
+  std::uint64_t washDroplets = 0;
+};
+
+/// Analyzes a simulation. Cells inside modules are excluded (modules are
+/// dedicated to one mixture at a time and washed as part of their
+/// operation). Module-port hand-offs therefore do not count.
+[[nodiscard]] ContaminationReport analyzeContamination(
+    const Layout& layout, const SimulationResult& simulation);
+
+/// ASCII map of contamination: '.' untouched, 'o' visited once, digits =
+/// number of distinct droplets that crossed the cell (capped at 9).
+[[nodiscard]] std::string renderContamination(
+    const Layout& layout, const SimulationResult& simulation);
+
+}  // namespace dmf::chip

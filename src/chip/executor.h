@@ -1,0 +1,88 @@
+// Executes a scheduled mixing forest on a chip layout: routes every droplet
+// movement (reservoir dispensing, mixer-to-mixer hand-off, storage parking,
+// waste disposal, target emission) and accounts the actuated electrodes —
+// the quantity the paper's Fig. 5 evaluation compares (386 for the forest
+// engine vs 980 for repeated MM).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "chip/router.h"
+#include "forest/task_forest.h"
+#include "sched/schedule.h"
+
+namespace dmf::chip {
+
+/// Why a droplet moved.
+enum class MoveKind : std::uint8_t {
+  kDispense,   ///< reservoir -> mixer (input droplet)
+  kHandOff,    ///< mixer -> mixer (consumed the next cycle)
+  kPark,       ///< mixer -> storage (consumer not ready yet)
+  kUnpark,     ///< storage -> mixer
+  kToWaste,    ///< mixer -> waste reservoir
+  kToOutput,   ///< mixer -> output port (target droplet)
+};
+
+/// Short tag for a move kind ("disp", "hand", ...).
+[[nodiscard]] std::string_view moveKindTag(MoveKind kind);
+
+/// One droplet transport.
+struct Move {
+  MoveKind kind = MoveKind::kDispense;
+  /// Cycle at which the droplet arrives at `to` (movement happens between
+  /// mix cycles; the model charges it to the arrival cycle).
+  unsigned cycle = 0;
+  ModuleId from = 0;
+  ModuleId to = 0;
+  unsigned cost = 0;
+};
+
+/// The full execution record.
+struct ExecutionTrace {
+  std::vector<Move> moves;
+  /// Total electrodes actuated for droplet transportation.
+  std::uint64_t totalCost = 0;
+  /// Electrode actuation counts per cell (reliability analysis: excessive
+  /// per-electrode actuation degrades the chip, paper section 5).
+  std::vector<std::vector<unsigned>> actuations;
+  /// Most-actuated single electrode.
+  unsigned peakActuations = 0;
+  /// Largest number of simultaneously occupied storage modules.
+  unsigned peakStorageUsed = 0;
+
+  /// Cost breakdown by move kind.
+  [[nodiscard]] std::uint64_t costOf(MoveKind kind) const;
+};
+
+/// Drives a (forest, schedule) pair on a layout.
+///
+/// Movement model: a mix-split scheduled at cycle t receives its operand
+/// droplets during cycle t (dispensed from a reservoir, handed off from the
+/// producing mixer if it ran at t-1, or fetched from the storage module where
+/// the droplet was parked). Output droplets leave the mixer at cycle t+1 —
+/// to the consuming mixer, to a free storage module chosen to minimize total
+/// detour, to the nearest waste reservoir, or to the output port.
+class ChipExecutor {
+ public:
+  /// The layout must contain a reservoir for every fluid of the forest's
+  /// ratio, at least one mixer per schedule mixer index, one waste module
+  /// and one output module. Throws std::invalid_argument otherwise.
+  ChipExecutor(const Layout& layout, Router& router);
+
+  /// Executes and returns the trace. Throws std::runtime_error when the
+  /// layout's storage modules cannot hold the schedule's parked droplets.
+  [[nodiscard]] ExecutionTrace run(const forest::TaskForest& forest,
+                                   const sched::Schedule& schedule) const;
+
+ private:
+  const Layout* layout_;
+  Router* router_;
+  std::vector<ModuleId> mixers_;
+  std::vector<ModuleId> storage_;
+  std::vector<ModuleId> waste_;
+  std::vector<ModuleId> output_;
+};
+
+}  // namespace dmf::chip

@@ -1,0 +1,121 @@
+#include "chip/layout.h"
+
+#include <stdexcept>
+
+namespace dmf::chip {
+
+std::string_view moduleKindTag(ModuleKind kind) {
+  switch (kind) {
+    case ModuleKind::kReservoir:
+      return "R";
+    case ModuleKind::kMixer:
+      return "M";
+    case ModuleKind::kStorage:
+      return "q";
+    case ModuleKind::kWaste:
+      return "W";
+    case ModuleKind::kOutput:
+      return "O";
+  }
+  throw std::invalid_argument("moduleKindTag: unknown kind");
+}
+
+Layout::Layout(int width, int height) : width_(width), height_(height) {
+  if (width < 3 || height < 3) {
+    throw std::invalid_argument("Layout: array must be at least 3x3");
+  }
+}
+
+ModuleId Layout::add(Module module) {
+  if (module.width < 1 || module.height < 1) {
+    throw std::invalid_argument("Layout: module must span at least one cell");
+  }
+  if (module.origin.x < 0 || module.origin.y < 0 ||
+      module.origin.x + module.width > width_ ||
+      module.origin.y + module.height > height_) {
+    throw std::invalid_argument("Layout: module '" + module.label +
+                                "' leaves the array");
+  }
+  for (const Module& other : modules_) {
+    const bool apartX = module.origin.x + module.width <= other.origin.x ||
+                        other.origin.x + other.width <= module.origin.x;
+    const bool apartY = module.origin.y + module.height <= other.origin.y ||
+                        other.origin.y + other.height <= module.origin.y;
+    if (!apartX && !apartY) {
+      throw std::invalid_argument("Layout: module '" + module.label +
+                                  "' overlaps '" + other.label + "'");
+    }
+  }
+  modules_.push_back(std::move(module));
+  return static_cast<ModuleId>(modules_.size() - 1);
+}
+
+const Module& Layout::module(ModuleId id) const {
+  if (id >= modules_.size()) {
+    throw std::invalid_argument("Layout: bad module id");
+  }
+  return modules_[id];
+}
+
+std::optional<ModuleId> Layout::moduleAt(const Cell& c) const {
+  for (ModuleId id = 0; id < modules_.size(); ++id) {
+    if (modules_[id].contains(c)) return id;
+  }
+  return std::nullopt;
+}
+
+std::vector<ModuleId> Layout::byKind(ModuleKind kind) const {
+  std::vector<ModuleId> out;
+  for (ModuleId id = 0; id < modules_.size(); ++id) {
+    if (modules_[id].kind == kind) out.push_back(id);
+  }
+  return out;
+}
+
+ModuleId Layout::reservoirFor(std::size_t fluid) const {
+  for (ModuleId id = 0; id < modules_.size(); ++id) {
+    if (modules_[id].kind == ModuleKind::kReservoir &&
+        modules_[id].fluid == fluid) {
+      return id;
+    }
+  }
+  throw std::invalid_argument("Layout: no reservoir for fluid x" +
+                              std::to_string(fluid + 1));
+}
+
+bool Layout::hasSegregationSpacing() const {
+  for (std::size_t a = 0; a < modules_.size(); ++a) {
+    for (std::size_t b = a + 1; b < modules_.size(); ++b) {
+      const Module& m = modules_[a];
+      const Module& o = modules_[b];
+      const bool apartX = m.origin.x + m.width < o.origin.x ||
+                          o.origin.x + o.width < m.origin.x;
+      const bool apartY = m.origin.y + m.height < o.origin.y ||
+                          o.origin.y + o.height < m.origin.y;
+      if (!apartX && !apartY) return false;
+    }
+  }
+  return true;
+}
+
+std::string Layout::render() const {
+  std::vector<std::string> grid(static_cast<std::size_t>(height_),
+                                std::string(static_cast<std::size_t>(width_),
+                                            '.'));
+  for (const Module& m : modules_) {
+    const char tag = moduleKindTag(m.kind)[0];
+    for (int y = m.origin.y; y < m.origin.y + m.height; ++y) {
+      for (int x = m.origin.x; x < m.origin.x + m.width; ++x) {
+        grid[static_cast<std::size_t>(y)][static_cast<std::size_t>(x)] = tag;
+      }
+    }
+  }
+  std::string out;
+  for (const std::string& row : grid) {
+    out += row;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace dmf::chip

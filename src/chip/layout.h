@@ -1,0 +1,109 @@
+// Physical model of a DMF biochip: a rectangular electrode array with placed
+// resource modules (fluid reservoirs, mixers, storage cells, waste ports,
+// the target-droplet output port).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace dmf::chip {
+
+/// A cell (electrode) position on the array.
+struct Cell {
+  int x = 0;
+  int y = 0;
+  friend bool operator==(const Cell&, const Cell&) = default;
+};
+
+/// Rectilinear distance (the minimum electrode count between two cells on an
+/// unobstructed array).
+[[nodiscard]] inline int manhattan(const Cell& a, const Cell& b) {
+  return (a.x > b.x ? a.x - b.x : b.x - a.x) +
+         (a.y > b.y ? a.y - b.y : b.y - a.y);
+}
+
+/// What a module does.
+enum class ModuleKind : std::uint8_t {
+  kReservoir,  ///< dispenses one input fluid
+  kMixer,      ///< executes (1:1) mix-split operations
+  kStorage,    ///< parks one droplet
+  kWaste,      ///< absorbs waste droplets
+  kOutput,     ///< emits target droplets off-chip
+};
+
+/// Short kind tag ("R", "M", "q", "W", "O").
+[[nodiscard]] std::string_view moduleKindTag(ModuleKind kind);
+
+/// Index of a module within a layout.
+using ModuleId = std::uint32_t;
+
+/// One placed resource module: an axis-aligned rectangle of electrodes.
+struct Module {
+  ModuleKind kind = ModuleKind::kMixer;
+  /// Top-left cell.
+  Cell origin;
+  int width = 1;
+  int height = 1;
+  /// For reservoirs: the input fluid index it dispenses.
+  std::size_t fluid = 0;
+  /// Display label ("R3", "M1", "q2", ...).
+  std::string label;
+
+  /// The cell droplets enter/leave through (module centre).
+  [[nodiscard]] Cell port() const {
+    return Cell{origin.x + width / 2, origin.y + height / 2};
+  }
+  [[nodiscard]] bool contains(const Cell& c) const {
+    return c.x >= origin.x && c.x < origin.x + width && c.y >= origin.y &&
+           c.y < origin.y + height;
+  }
+};
+
+/// A complete chip layout.
+///
+/// Invariants (validated): every module lies within the array, and modules do
+/// not overlap (droplet segregation between modules is the router's job; the
+/// standard one-cell module spacing is checked as a warning-level legality
+/// query, not an invariant, since published layouts such as the paper's
+/// Fig. 5 pack modules flush).
+class Layout {
+ public:
+  /// An empty array of the given size. Throws std::invalid_argument unless
+  /// both dimensions are at least 3.
+  Layout(int width, int height);
+
+  /// Places a module; returns its id. Throws std::invalid_argument when it
+  /// leaves the array or overlaps an existing module.
+  ModuleId add(Module module);
+
+  [[nodiscard]] int width() const { return width_; }
+  [[nodiscard]] int height() const { return height_; }
+  [[nodiscard]] std::size_t moduleCount() const { return modules_.size(); }
+  [[nodiscard]] const Module& module(ModuleId id) const;
+  [[nodiscard]] const std::vector<Module>& modules() const { return modules_; }
+
+  /// Module occupying a cell, if any.
+  [[nodiscard]] std::optional<ModuleId> moduleAt(const Cell& c) const;
+
+  /// All modules of one kind, in placement order.
+  [[nodiscard]] std::vector<ModuleId> byKind(ModuleKind kind) const;
+
+  /// The reservoir dispensing `fluid`. Throws std::invalid_argument if none.
+  [[nodiscard]] ModuleId reservoirFor(std::size_t fluid) const;
+
+  /// True when every pair of modules is separated by at least one free cell
+  /// (the droplet-segregation guideline).
+  [[nodiscard]] bool hasSegregationSpacing() const;
+
+  /// ASCII rendering of the array (module tags, '.' for free cells).
+  [[nodiscard]] std::string render() const;
+
+ private:
+  int width_;
+  int height_;
+  std::vector<Module> modules_;
+};
+
+}  // namespace dmf::chip

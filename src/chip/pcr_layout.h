@@ -1,0 +1,22 @@
+// Ready-made layouts: a parameterized synthesizer for arbitrary protocols
+// and the PCR master-mix chip of the paper's Fig. 5 (seven reservoirs, three
+// mixers, five storage cells, two waste ports).
+#pragma once
+
+#include "chip/layout.h"
+
+namespace dmf::chip {
+
+/// Synthesizes a legal layout for `fluidCount` reservoirs, `mixerCount` 2x2
+/// mixers, `storageCount` single-cell storage modules, two waste ports and
+/// one output port. Reservoirs line the top/bottom edges, mixers the middle
+/// band, storage a dedicated row — the arrangement of the paper's Fig. 5.
+/// Throws std::invalid_argument for zero mixers or fluids.
+[[nodiscard]] Layout synthesizeLayout(std::size_t fluidCount,
+                                      unsigned mixerCount,
+                                      unsigned storageCount);
+
+/// The PCR master-mix chip of Fig. 5: synthesizeLayout(7, 3, 5).
+[[nodiscard]] Layout makePcrLayout();
+
+}  // namespace dmf::chip

@@ -1,0 +1,141 @@
+#include "chip/pin_mapper.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dmf::chip {
+
+namespace {
+
+const Cell& positionAt(const Trajectory& traj, unsigned step) {
+  const std::size_t index =
+      std::min<std::size_t>(step, traj.positions.size() - 1);
+  return traj.positions[index];
+}
+
+}  // namespace
+
+ActuationMatrix::ActuationMatrix(const Layout& layout,
+                                 const SimulationResult& simulation) {
+  const auto w = static_cast<std::size_t>(layout.width());
+  const auto h = static_cast<std::size_t>(layout.height());
+
+  // Global slots: phases back to back, one slot per routing step (step 0 is
+  // the departure position — no new actuation, but it grounds neighbours).
+  slots_ = 0;
+  for (const SimulatedPhase& phase : simulation.phases) {
+    slots_ += phase.routing.makespan + 1;
+  }
+  signals_.assign(w * h, std::vector<Signal>(slots_, Signal::kDontCare));
+
+  auto cellIndex = [w](const Cell& c) {
+    return static_cast<std::size_t>(c.y) * w + static_cast<std::size_t>(c.x);
+  };
+
+  std::size_t base = 0;
+  for (const SimulatedPhase& phase : simulation.phases) {
+    for (unsigned step = 0; step <= phase.routing.makespan; ++step) {
+      const std::size_t slot = base + step;
+      for (const Trajectory& traj : phase.routing.trajectories) {
+        const Cell& c = positionAt(traj, step);
+        signals_[cellIndex(c)][slot] = Signal::kActuate;
+        // Neighbouring electrodes must stay grounded or the droplet would
+        // split toward them.
+        for (int dy = -1; dy <= 1; ++dy) {
+          for (int dx = -1; dx <= 1; ++dx) {
+            if (dx == 0 && dy == 0) continue;
+            const Cell n{c.x + dx, c.y + dy};
+            if (n.x < 0 || n.y < 0 || n.x >= layout.width() ||
+                n.y >= layout.height()) {
+              continue;
+            }
+            Signal& sig = signals_[cellIndex(n)][slot];
+            if (sig == Signal::kDontCare) sig = Signal::kGround;
+          }
+        }
+      }
+    }
+    base += phase.routing.makespan + 1;
+  }
+}
+
+bool ActuationMatrix::compatible(std::size_t a, std::size_t b) const {
+  const auto& sa = signals_[a];
+  const auto& sb = signals_[b];
+  for (std::size_t t = 0; t < slots_; ++t) {
+    if ((sa[t] == Signal::kActuate && sb[t] == Signal::kGround) ||
+        (sa[t] == Signal::kGround && sb[t] == Signal::kActuate)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+PinAssignment assignPins(const ActuationMatrix& matrix) {
+  const std::size_t n = matrix.electrodeCount();
+  const std::size_t slots = matrix.slotCount();
+
+  // Constraint weight = number of non-don't-care slots; heavily constrained
+  // electrodes claim pins first.
+  std::vector<std::size_t> order;
+  std::vector<std::size_t> weight(n, 0);
+  for (std::size_t e = 0; e < n; ++e) {
+    for (Signal s : matrix.signalsOf(e)) {
+      weight[e] += s != Signal::kDontCare ? 1 : 0;
+    }
+    if (weight[e] > 0) order.push_back(e);
+  }
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return weight[a] > weight[b];
+                   });
+
+  PinAssignment assignment;
+  assignment.idleElectrodes = n - order.size();
+
+  // Merged signal per pin; an electrode joins the first pin it fits.
+  std::vector<std::vector<Signal>> merged;
+  for (std::size_t e : order) {
+    const auto& sig = matrix.signalsOf(e);
+    bool placed = false;
+    for (std::size_t p = 0; p < merged.size() && !placed; ++p) {
+      bool ok = true;
+      for (std::size_t t = 0; t < slots && ok; ++t) {
+        ok = !((merged[p][t] == Signal::kActuate &&
+                sig[t] == Signal::kGround) ||
+               (merged[p][t] == Signal::kGround &&
+                sig[t] == Signal::kActuate));
+      }
+      if (ok) {
+        for (std::size_t t = 0; t < slots; ++t) {
+          if (sig[t] != Signal::kDontCare) merged[p][t] = sig[t];
+        }
+        assignment.pins[p].electrodes.push_back(e);
+        placed = true;
+      }
+    }
+    if (!placed) {
+      merged.push_back(sig);
+      assignment.pins.push_back(PinGroup{{e}});
+    }
+  }
+  return assignment;
+}
+
+void validatePins(const ActuationMatrix& matrix,
+                  const PinAssignment& assignment) {
+  for (const PinGroup& pin : assignment.pins) {
+    for (std::size_t i = 0; i < pin.electrodes.size(); ++i) {
+      for (std::size_t j = i + 1; j < pin.electrodes.size(); ++j) {
+        if (!matrix.compatible(pin.electrodes[i], pin.electrodes[j])) {
+          throw std::logic_error(
+              "validatePins: electrodes " +
+              std::to_string(pin.electrodes[i]) + " and " +
+              std::to_string(pin.electrodes[j]) + " conflict in one pin");
+        }
+      }
+    }
+  }
+}
+
+}  // namespace dmf::chip

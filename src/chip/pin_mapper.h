@@ -1,0 +1,76 @@
+// Pin-constrained electrode addressing (reliability-oriented broadcast,
+// after Huang/Ho/Chakrabarty ICCAD'11 — the paper's reference [10]).
+//
+// Direct addressing drives every electrode from its own control pin, which
+// does not scale. Broadcast addressing shares one pin among electrodes whose
+// actuation sequences never conflict: at each time slot an electrode needs
+// '1' (a droplet moves onto it), '0' (it borders a droplet and must stay
+// grounded), or don't-care. Electrodes are grouped greedily so that the
+// merged sequence of every group stays conflict-free.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "chip/simulation.h"
+
+namespace dmf::chip {
+
+/// Per-electrode control signal over the simulation's time slots.
+enum class Signal : std::uint8_t {
+  kDontCare,  ///< no constraint this slot
+  kActuate,   ///< must be high (droplet enters the electrode)
+  kGround,    ///< must be low (droplet on a neighbouring electrode)
+};
+
+/// The actuation matrix extracted from a simulation: signal per electrode
+/// (row-major cell index) per time slot.
+class ActuationMatrix {
+ public:
+  /// Builds the matrix from a simulated run on `layout`.
+  ActuationMatrix(const Layout& layout, const SimulationResult& simulation);
+
+  [[nodiscard]] std::size_t electrodeCount() const {
+    return signals_.size();
+  }
+  [[nodiscard]] std::size_t slotCount() const { return slots_; }
+  [[nodiscard]] const std::vector<Signal>& signalsOf(
+      std::size_t electrode) const {
+    return signals_[electrode];
+  }
+
+  /// True when the two electrodes can share a pin (no slot where one needs
+  /// actuation and the other ground).
+  [[nodiscard]] bool compatible(std::size_t a, std::size_t b) const;
+
+ private:
+  std::size_t slots_ = 0;
+  std::vector<std::vector<Signal>> signals_;
+};
+
+/// One pin driving a set of electrodes.
+struct PinGroup {
+  std::vector<std::size_t> electrodes;
+};
+
+/// Result of pin assignment.
+struct PinAssignment {
+  std::vector<PinGroup> pins;
+  /// Electrodes that are never constrained (fully don't-care); they share a
+  /// single always-ground pin and are excluded from `pins`.
+  std::size_t idleElectrodes = 0;
+
+  [[nodiscard]] std::size_t pinCount() const { return pins.size(); }
+};
+
+/// Greedy broadcast grouping: electrodes in descending constraint order each
+/// join the first pin whose merged signal they do not conflict with.
+[[nodiscard]] PinAssignment assignPins(const ActuationMatrix& matrix);
+
+/// Verifies that every group of `assignment` is pairwise conflict-free;
+/// throws std::logic_error otherwise (test support).
+void validatePins(const ActuationMatrix& matrix,
+                  const PinAssignment& assignment);
+
+}  // namespace dmf::chip

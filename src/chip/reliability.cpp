@@ -1,0 +1,72 @@
+#include "chip/reliability.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dmf::chip {
+
+WearReport analyzeWear(const ExecutionTrace& trace,
+                       std::uint64_t actuationBudget) {
+  if (trace.actuations.empty()) {
+    throw std::invalid_argument("analyzeWear: trace has no heat-map");
+  }
+  if (actuationBudget == 0) {
+    throw std::invalid_argument("analyzeWear: zero actuation budget");
+  }
+  WearReport report;
+  std::vector<unsigned> active;
+  for (const auto& row : trace.actuations) {
+    for (unsigned count : row) {
+      if (count == 0) continue;
+      active.push_back(count);
+      report.total += count;
+      report.peak = std::max(report.peak, count);
+    }
+  }
+  report.activeElectrodes = active.size();
+  if (active.empty()) {
+    report.workloadsToBudget = actuationBudget;  // nothing wears out
+    return report;
+  }
+  report.meanActive =
+      static_cast<double>(report.total) / static_cast<double>(active.size());
+
+  // Gini coefficient over active electrodes.
+  std::sort(active.begin(), active.end());
+  double weighted = 0.0;
+  for (std::size_t i = 0; i < active.size(); ++i) {
+    weighted += static_cast<double>(i + 1) * active[i];
+  }
+  const auto n = static_cast<double>(active.size());
+  report.imbalance =
+      (2.0 * weighted) / (n * static_cast<double>(report.total)) -
+      (n + 1.0) / n;
+
+  report.workloadsToBudget = actuationBudget / report.peak;
+  return report;
+}
+
+std::string renderHeatMap(const ExecutionTrace& trace) {
+  if (trace.actuations.empty()) return {};
+  unsigned peak = 0;
+  for (const auto& row : trace.actuations) {
+    for (unsigned count : row) peak = std::max(peak, count);
+  }
+  std::string out;
+  for (const auto& row : trace.actuations) {
+    for (unsigned count : row) {
+      if (count == 0) {
+        out += '.';
+      } else if (peak <= 9) {
+        out += static_cast<char>('0' + count);
+      } else {
+        const unsigned decile = count * 9 / peak;
+        out += static_cast<char>('0' + decile);
+      }
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace dmf::chip

@@ -1,0 +1,45 @@
+// Electrode-wear analysis. Excessive actuation degrades the dielectric and
+// shortens chip lifetime (the paper's section 5 motivation for minimizing
+// actuations); this module turns an actuation heat-map into wear statistics
+// and a relative lifetime estimate.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "chip/executor.h"
+
+namespace dmf::chip {
+
+/// Wear statistics of one executed workload.
+struct WearReport {
+  /// Total electrode actuations.
+  std::uint64_t total = 0;
+  /// Electrodes actuated at least once.
+  std::size_t activeElectrodes = 0;
+  /// Heaviest single electrode.
+  unsigned peak = 0;
+  /// Mean actuations over active electrodes.
+  double meanActive = 0.0;
+  /// Normalized wear imbalance in [0, 1]: 0 = perfectly levelled across
+  /// active electrodes, values near 1 = one electrode takes all the wear
+  /// (computed as the Gini coefficient of active-electrode actuations).
+  double imbalance = 0.0;
+  /// Workloads of this kind the chip survives before the heaviest electrode
+  /// reaches `budget` actuations (see estimateLifetime).
+  std::uint64_t workloadsToBudget = 0;
+};
+
+/// Analyzes a trace's heat-map. `actuationBudget` is the per-electrode
+/// actuation count the dielectric tolerates (device-dependent; defaults to a
+/// conservative 10^5). Throws std::invalid_argument on an empty heat-map or
+/// a zero budget.
+[[nodiscard]] WearReport analyzeWear(const ExecutionTrace& trace,
+                                     std::uint64_t actuationBudget = 100'000);
+
+/// Renders the heat-map as ASCII art (digits = actuation decile, '.' = never
+/// actuated).
+[[nodiscard]] std::string renderHeatMap(const ExecutionTrace& trace);
+
+}  // namespace dmf::chip

@@ -1,0 +1,123 @@
+#include "chip/router.h"
+
+#include <algorithm>
+#include <deque>
+#include <stdexcept>
+
+namespace dmf::chip {
+
+Router::Router(const Layout& layout) : layout_(&layout) {
+  costs_.assign(layout.moduleCount(),
+                std::vector<unsigned>(layout.moduleCount(), kUnknown));
+}
+
+Route Router::bfs(ModuleId from, ModuleId to) const {
+  const Layout& layout = *layout_;
+  const int w = layout.width();
+  const int h = layout.height();
+  auto index = [w](const Cell& c) {
+    return static_cast<std::size_t>(c.y) * static_cast<std::size_t>(w) +
+           static_cast<std::size_t>(c.x);
+  };
+
+  // A cell is traversable when free or inside one of the endpoint modules.
+  auto passable = [&](const Cell& c) {
+    const auto occupant = layout.moduleAt(c);
+    return !occupant.has_value() || *occupant == from || *occupant == to;
+  };
+
+  const Cell start = layout.module(from).port();
+  const Cell goal = layout.module(to).port();
+  std::vector<int> parent(static_cast<std::size_t>(w) *
+                              static_cast<std::size_t>(h),
+                          -2);
+  std::deque<Cell> frontier{start};
+  parent[index(start)] = -1;
+  while (!frontier.empty()) {
+    const Cell c = frontier.front();
+    frontier.pop_front();
+    if (c == goal) break;
+    const Cell next[4] = {{c.x + 1, c.y}, {c.x - 1, c.y},
+                          {c.x, c.y + 1}, {c.x, c.y - 1}};
+    for (const Cell& n : next) {
+      if (n.x < 0 || n.y < 0 || n.x >= w || n.y >= h) continue;
+      if (!passable(n) || parent[index(n)] != -2) continue;
+      parent[index(n)] = static_cast<int>(index(c));
+      frontier.push_back(n);
+    }
+  }
+  if (parent[index(goal)] == -2) {
+    throw std::runtime_error("Router: no path between '" +
+                             layout.module(from).label + "' and '" +
+                             layout.module(to).label + "'");
+  }
+
+  Route route;
+  for (Cell c = goal;;) {
+    route.cells.push_back(c);
+    const int p = parent[index(c)];
+    if (p < 0) break;
+    c = Cell{static_cast<int>(static_cast<std::size_t>(p) %
+                              static_cast<std::size_t>(w)),
+             static_cast<int>(static_cast<std::size_t>(p) /
+                              static_cast<std::size_t>(w))};
+  }
+  std::reverse(route.cells.begin(), route.cells.end());
+  return route;
+}
+
+Route Router::route(ModuleId from, ModuleId to) const {
+  Route r = bfs(from, to);
+  costs_[from][to] = r.cost();
+  costs_[to][from] = r.cost();
+  return r;
+}
+
+unsigned Router::cost(ModuleId from, ModuleId to) const {
+  if (from == to) return 0;
+  if (costs_[from][to] == kUnknown) {
+    (void)route(from, to);
+  }
+  return costs_[from][to];
+}
+
+const std::vector<std::vector<unsigned>>& Router::costMatrix() const {
+  if (!matrixComplete_) {
+    for (ModuleId a = 0; a < layout_->moduleCount(); ++a) {
+      costs_[a][a] = 0;
+      for (ModuleId b = static_cast<ModuleId>(a + 1);
+           b < layout_->moduleCount(); ++b) {
+        (void)cost(a, b);
+      }
+    }
+    matrixComplete_ = true;
+  }
+  return costs_;
+}
+
+std::string Router::renderCostMatrix() const {
+  const auto& matrix = costMatrix();
+  std::size_t width = 4;
+  for (const Module& m : layout_->modules()) {
+    width = std::max(width, m.label.size() + 1);
+  }
+  auto pad = [width](std::string text) {
+    if (text.size() < width) text.insert(0, width - text.size(), ' ');
+    return text;
+  };
+  std::string out = pad("");
+  for (const Module& m : layout_->modules()) {
+    out += pad(m.label);
+  }
+  out += '\n';
+  for (ModuleId a = 0; a < layout_->moduleCount(); ++a) {
+    out += pad(layout_->module(a).label);
+    for (ModuleId b = 0; b < layout_->moduleCount(); ++b) {
+      out += pad(std::to_string(matrix[a][b]));
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace dmf::chip

@@ -1,0 +1,58 @@
+// Droplet routing on the electrode array: shortest obstacle-avoiding paths
+// between module ports and the pairwise transport-cost matrix of Fig. 5.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "chip/layout.h"
+
+namespace dmf::chip {
+
+/// One routed droplet path.
+struct Route {
+  /// Cells traversed, source port first, destination port last. Each cell is
+  /// one actuated electrode.
+  std::vector<Cell> cells;
+  /// Electrodes actuated while transporting along this route — the paper's
+  /// transportation cost (number of cells entered after the source).
+  [[nodiscard]] unsigned cost() const {
+    return cells.empty() ? 0u
+                         : static_cast<unsigned>(cells.size() - 1);
+  }
+};
+
+/// Shortest-path router. Droplets travel over free cells; cells inside
+/// modules are obstacles except those of the route's own source and
+/// destination modules (a droplet may cross its endpoints' footprints).
+class Router {
+ public:
+  explicit Router(const Layout& layout);
+
+  /// Routes between two modules' ports. Throws std::runtime_error when no
+  /// path exists.
+  [[nodiscard]] Route route(ModuleId from, ModuleId to) const;
+
+  /// Transport cost between two modules (cached BFS).
+  [[nodiscard]] unsigned cost(ModuleId from, ModuleId to) const;
+
+  /// The full pairwise cost matrix, indexed [from][to] — the matrix printed
+  /// in the paper's Fig. 5.
+  [[nodiscard]] const std::vector<std::vector<unsigned>>& costMatrix() const;
+
+  /// Renders the cost matrix with module labels.
+  [[nodiscard]] std::string renderCostMatrix() const;
+
+ private:
+  Route bfs(ModuleId from, ModuleId to) const;
+
+  const Layout* layout_;
+  // Lazily filled cache of pairwise costs; kUnknown until computed.
+  mutable std::vector<std::vector<unsigned>> costs_;
+  mutable bool matrixComplete_ = false;
+
+  static constexpr unsigned kUnknown = 0xFFFFFFFFu;
+};
+
+}  // namespace dmf::chip

@@ -1,0 +1,37 @@
+#include "chip/simulation.h"
+
+#include <algorithm>
+#include <map>
+
+namespace dmf::chip {
+
+SimulationResult simulateTrace(const Layout& layout,
+                               const ExecutionTrace& trace,
+                               TimedRouterOptions options) {
+  // Group the trace's moves by cycle; each group is one concurrent phase.
+  std::map<unsigned, std::vector<PhaseMove>> phases;
+  for (std::size_t i = 0; i < trace.moves.size(); ++i) {
+    const Move& m = trace.moves[i];
+    if (m.from == m.to) continue;  // zero-length hand-off inside one mixer
+    phases[m.cycle].push_back(PhaseMove{layout.module(m.from).port(),
+                                        layout.module(m.to).port(),
+                                        static_cast<std::uint32_t>(i)});
+  }
+
+  TimedRouter router(layout, options);
+  SimulationResult result;
+  result.phases.reserve(phases.size());
+  for (auto& [cycle, moves] : phases) {
+    SimulatedPhase phase;
+    phase.cycle = cycle;
+    phase.routing = router.routePhase(std::move(moves));
+    result.totalActuations += phase.routing.totalActuations;
+    result.totalSteps += phase.routing.makespan;
+    result.maxPhaseMakespan =
+        std::max(result.maxPhaseMakespan, phase.routing.makespan);
+    result.phases.push_back(std::move(phase));
+  }
+  return result;
+}
+
+}  // namespace dmf::chip

@@ -1,0 +1,241 @@
+#include "chip/timed_router.h"
+
+#include <algorithm>
+#include <cctype>
+#include <optional>
+#include <queue>
+#include <stdexcept>
+
+namespace dmf::chip {
+
+namespace {
+
+int chebyshev(const Cell& a, const Cell& b) {
+  const int dx = a.x > b.x ? a.x - b.x : b.x - a.x;
+  const int dy = a.y > b.y ? a.y - b.y : b.y - a.y;
+  return std::max(dx, dy);
+}
+
+// A droplet occupies its final position after arrival.
+const Cell& positionAt(const Trajectory& traj, unsigned step) {
+  const std::size_t index =
+      std::min<std::size_t>(step, traj.positions.size() - 1);
+  return traj.positions[index];
+}
+
+}  // namespace
+
+unsigned Trajectory::arrivalStep() const {
+  return positions.empty() ? 0u
+                           : static_cast<unsigned>(positions.size() - 1);
+}
+
+unsigned Trajectory::actuations() const {
+  unsigned count = 0;
+  for (std::size_t i = 1; i < positions.size(); ++i) {
+    if (!(positions[i] == positions[i - 1])) ++count;
+  }
+  return count;
+}
+
+TimedRouter::TimedRouter(const Layout& layout, TimedRouterOptions options)
+    : layout_(&layout), options_(options) {}
+
+PhaseResult TimedRouter::routePhase(std::vector<PhaseMove> moves) const {
+  const Layout& layout = *layout_;
+  for (const PhaseMove& m : moves) {
+    for (const Cell& c : {m.from, m.to}) {
+      if (c.x < 0 || c.y < 0 || c.x >= layout.width() ||
+          c.y >= layout.height()) {
+        throw std::invalid_argument("TimedRouter: endpoint off the array");
+      }
+    }
+  }
+
+  // Longest moves first; retries rotate the order.
+  std::stable_sort(moves.begin(), moves.end(),
+                   [](const PhaseMove& a, const PhaseMove& b) {
+                     return manhattan(a.from, a.to) > manhattan(b.from, b.to);
+                   });
+
+  std::string lastError = "no moves";
+  for (unsigned attempt = 0; attempt <= options_.retries; ++attempt) {
+    std::vector<Trajectory> done;
+    done.reserve(moves.size());
+    bool failed = false;
+    for (const PhaseMove& move : moves) {
+      std::optional<Trajectory> traj = std::nullopt;
+      try {
+        traj = [&]() -> Trajectory {
+          // Space-time A* against the already-committed trajectories.
+          const auto fromModule = layout.moduleAt(move.from);
+          const auto toModule = layout.moduleAt(move.to);
+          auto passable = [&](const Cell& c) {
+            if (c.x < 0 || c.y < 0 || c.x >= layout.width() ||
+                c.y >= layout.height()) {
+              return false;
+            }
+            const auto occupant = layout.moduleAt(c);
+            return !occupant.has_value() || occupant == fromModule ||
+                   occupant == toModule;
+          };
+          // Fluidic constraints apply on open cells only; module walls
+          // isolate droplets physically.
+          auto conflicts = [&](const Cell& c, unsigned step) {
+            if (layout.moduleAt(c).has_value()) return false;
+            for (const Trajectory& other : done) {
+              for (unsigned s : {step == 0 ? step : step - 1, step, step + 1}) {
+                const Cell& oc = positionAt(other, s);
+                if (layout.moduleAt(oc).has_value()) continue;
+                if (chebyshev(c, oc) <= 1) return true;
+              }
+            }
+            return false;
+          };
+
+          const unsigned horizon = options_.horizon;
+          const auto w = static_cast<unsigned>(layout.width());
+          const auto h = static_cast<unsigned>(layout.height());
+          const std::size_t states =
+              static_cast<std::size_t>(w) * h * (horizon + 1);
+          std::vector<int> parent(states, -2);
+          auto encode = [&](const Cell& c, unsigned step) {
+            return (static_cast<std::size_t>(step) * h +
+                    static_cast<std::size_t>(c.y)) *
+                       w +
+                   static_cast<std::size_t>(c.x);
+          };
+          using Entry = std::pair<unsigned, std::size_t>;  // (f, state)
+          std::priority_queue<Entry, std::vector<Entry>, std::greater<>> open;
+          const std::size_t start = encode(move.from, 0);
+          parent[start] = -1;
+          open.push({static_cast<unsigned>(manhattan(move.from, move.to)),
+                     start});
+          std::size_t goalState = states;
+          while (!open.empty()) {
+            const auto [f, state] = open.top();
+            open.pop();
+            const unsigned step = static_cast<unsigned>(state / (w * h));
+            const Cell c{static_cast<int>(state % w),
+                         static_cast<int>((state / w) % h)};
+            if (c == move.to) {
+              goalState = state;
+              break;
+            }
+            if (step == horizon) continue;
+            const Cell next[5] = {{c.x, c.y},     {c.x + 1, c.y},
+                                  {c.x - 1, c.y}, {c.x, c.y + 1},
+                                  {c.x, c.y - 1}};
+            for (const Cell& n : next) {
+              if (!passable(n)) continue;
+              const std::size_t ns = encode(n, step + 1);
+              if (parent[ns] != -2) continue;
+              if (conflicts(n, step + 1)) continue;
+              parent[ns] = static_cast<int>(state);
+              open.push({step + 1 +
+                             static_cast<unsigned>(manhattan(n, move.to)),
+                         ns});
+            }
+          }
+          if (goalState == states) {
+            throw std::runtime_error("TimedRouter: droplet from (" +
+                                     std::to_string(move.from.x) + "," +
+                                     std::to_string(move.from.y) +
+                                     ") found no interference-free path");
+          }
+          Trajectory traj2;
+          traj2.tag = move.tag;
+          for (std::size_t s = goalState;;) {
+            traj2.positions.push_back(Cell{static_cast<int>(s % w),
+                                           static_cast<int>((s / w) % h)});
+            const int p = parent[s];
+            if (p < 0) break;
+            s = static_cast<std::size_t>(p);
+          }
+          std::reverse(traj2.positions.begin(), traj2.positions.end());
+          return traj2;
+        }();
+      } catch (const std::runtime_error& e) {
+        lastError = e.what();
+        failed = true;
+        break;
+      }
+      done.push_back(std::move(*traj));
+    }
+    if (!failed) {
+      PhaseResult result;
+      result.trajectories = std::move(done);
+      for (const Trajectory& traj : result.trajectories) {
+        result.makespan = std::max(result.makespan, traj.arrivalStep());
+        result.totalActuations += traj.actuations();
+      }
+      checkInterference(result.trajectories);
+      return result;
+    }
+    // Rotate priorities: the failing order's head goes to the back.
+    if (!moves.empty()) {
+      std::rotate(moves.begin(), moves.begin() + 1, moves.end());
+    }
+  }
+  throw std::runtime_error("TimedRouter: phase unroutable after " +
+                           std::to_string(options_.retries + 1) +
+                           " attempts (" + lastError + ")");
+}
+
+void TimedRouter::checkInterference(
+    const std::vector<Trajectory>& trajectories) const {
+  unsigned makespan = 0;
+  for (const Trajectory& t : trajectories) {
+    makespan = std::max(makespan, t.arrivalStep());
+  }
+  for (std::size_t i = 0; i < trajectories.size(); ++i) {
+    for (std::size_t j = i + 1; j < trajectories.size(); ++j) {
+      for (unsigned step = 0; step <= makespan; ++step) {
+        const Cell& a = positionAt(trajectories[i], step);
+        if (layout_->moduleAt(a).has_value()) continue;
+        // Static constraint at `step`, dynamic against step +/- 1.
+        for (unsigned s : {step == 0 ? step : step - 1, step, step + 1}) {
+          const Cell& b = positionAt(trajectories[j], s);
+          if (layout_->moduleAt(b).has_value()) continue;
+          if (chebyshev(a, b) <= 1) {
+            throw std::logic_error(
+                "TimedRouter: fluidic constraint violated between droplets " +
+                std::to_string(trajectories[i].tag) + " and " +
+                std::to_string(trajectories[j].tag) + " at step " +
+                std::to_string(step));
+          }
+        }
+      }
+    }
+  }
+}
+
+std::string renderPhase(const Layout& layout, const PhaseResult& result) {
+  std::string out;
+  for (unsigned step = 0; step <= result.makespan; ++step) {
+    out += "step " + std::to_string(step) + ":\n";
+    std::vector<std::string> grid(
+        static_cast<std::size_t>(layout.height()),
+        std::string(static_cast<std::size_t>(layout.width()), '.'));
+    for (const Module& m : layout.modules()) {
+      const char tag =
+          static_cast<char>(std::tolower(moduleKindTag(m.kind)[0]));
+      for (int y = m.origin.y; y < m.origin.y + m.height; ++y) {
+        for (int x = m.origin.x; x < m.origin.x + m.width; ++x) {
+          grid[static_cast<std::size_t>(y)][static_cast<std::size_t>(x)] = tag;
+        }
+      }
+    }
+    for (std::size_t d = 0; d < result.trajectories.size(); ++d) {
+      const Cell& c = positionAt(result.trajectories[d], step);
+      grid[static_cast<std::size_t>(c.y)][static_cast<std::size_t>(c.x)] =
+          static_cast<char>('A' + (d % 26));
+    }
+    for (const std::string& row : grid) {
+      out += "  " + row + "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace dmf::chip

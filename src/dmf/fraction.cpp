@@ -1,0 +1,84 @@
+#include "dmf/fraction.h"
+
+#include <limits>
+#include <stdexcept>
+
+namespace dmf {
+
+namespace {
+
+void canonicalize(std::uint64_t& num, unsigned& exp) {
+  if (num == 0) {
+    exp = 0;
+    return;
+  }
+  while (exp > 0 && (num & 1u) == 0) {
+    num >>= 1;
+    --exp;
+  }
+}
+
+}  // namespace
+
+DyadicFraction::DyadicFraction(std::uint64_t num, unsigned exp)
+    : num_(num), exp_(exp) {
+  if (exp > kMaxExponent) {
+    throw std::invalid_argument("DyadicFraction: exponent " +
+                                std::to_string(exp) + " exceeds limit");
+  }
+  canonicalize(num_, exp_);
+}
+
+double DyadicFraction::toDouble() const {
+  return static_cast<double>(num_) /
+         static_cast<double>(std::uint64_t{1} << exp_);
+}
+
+std::uint64_t DyadicFraction::numeratorAtScale(unsigned exp) const {
+  if (exp < exp_ || exp > kMaxExponent) {
+    throw std::invalid_argument("DyadicFraction: not representable at scale 2^" +
+                                std::to_string(exp));
+  }
+  const unsigned shift = exp - exp_;
+  if (shift > 0 &&
+      num_ > (std::numeric_limits<std::uint64_t>::max() >> shift)) {
+    throw std::overflow_error("DyadicFraction: scale overflow");
+  }
+  return num_ << shift;
+}
+
+DyadicFraction DyadicFraction::operator+(const DyadicFraction& o) const {
+  const unsigned exp = std::max(exp_, o.exp_);
+  const std::uint64_t a = numeratorAtScale(exp);
+  const std::uint64_t b = o.numeratorAtScale(exp);
+  if (a > std::numeric_limits<std::uint64_t>::max() - b) {
+    throw std::overflow_error("DyadicFraction: addition overflow");
+  }
+  return DyadicFraction(a + b, exp);
+}
+
+DyadicFraction DyadicFraction::half() const {
+  if (num_ == 0) return {};
+  if (exp_ + 1 > kMaxExponent) {
+    throw std::overflow_error("DyadicFraction: exponent overflow in half()");
+  }
+  return DyadicFraction(num_, exp_ + 1);
+}
+
+DyadicFraction DyadicFraction::mix(const DyadicFraction& a,
+                                   const DyadicFraction& b) {
+  return (a + b).half();
+}
+
+std::strong_ordering DyadicFraction::operator<=>(
+    const DyadicFraction& o) const {
+  const unsigned exp = std::max(exp_, o.exp_);
+  return numeratorAtScale(exp) <=> o.numeratorAtScale(exp);
+}
+
+std::string DyadicFraction::toString() const {
+  if (exp_ == 0) return std::to_string(num_);
+  return std::to_string(num_) + "/2^" + std::to_string(exp_);
+}
+
+}  // namespace dmf

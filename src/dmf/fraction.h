@@ -1,0 +1,69 @@
+// Exact dyadic fractions (n / 2^k) — the only concentrations reachable with
+// (1:1) mix-split operations on a digital microfluidic biochip.
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <string>
+
+namespace dmf {
+
+/// A non-negative dyadic rational `num / 2^exp`, kept in canonical form:
+/// either `num` is odd, or `num == 0 && exp == 0`.
+///
+/// Every droplet concentration produced by a sequence of (1:1) mix-split
+/// steps from 100%-CF inputs is such a fraction, so the whole library can use
+/// exact arithmetic — no floating-point rounding anywhere in the mix model.
+class DyadicFraction {
+ public:
+  /// Zero.
+  constexpr DyadicFraction() = default;
+
+  /// Constructs `num / 2^exp` and canonicalizes it.
+  /// Throws std::invalid_argument if exp > kMaxExponent.
+  DyadicFraction(std::uint64_t num, unsigned exp);
+
+  /// The whole number `n` (i.e. `n / 2^0`).
+  static DyadicFraction whole(std::uint64_t n) { return DyadicFraction(n, 0); }
+
+  /// Numerator in canonical form.
+  [[nodiscard]] std::uint64_t numerator() const { return num_; }
+  /// log2 of the denominator in canonical form.
+  [[nodiscard]] unsigned exponent() const { return exp_; }
+
+  [[nodiscard]] bool isZero() const { return num_ == 0; }
+  [[nodiscard]] bool isOne() const { return num_ == 1 && exp_ == 0; }
+
+  /// Exact value as double (exact for exponents within double's range).
+  [[nodiscard]] double toDouble() const;
+
+  /// Numerator when expressed over denominator 2^exp.
+  /// Throws std::invalid_argument if the fraction is not representable at
+  /// that scale (exp smaller than the canonical exponent).
+  [[nodiscard]] std::uint64_t numeratorAtScale(unsigned exp) const;
+
+  /// Exact sum. Throws std::overflow_error on 64-bit overflow.
+  [[nodiscard]] DyadicFraction operator+(const DyadicFraction& o) const;
+  /// Exact halving: value / 2.
+  [[nodiscard]] DyadicFraction half() const;
+  /// The (1:1) mix of two droplet concentrations: (a + b) / 2.
+  [[nodiscard]] static DyadicFraction mix(const DyadicFraction& a,
+                                          const DyadicFraction& b);
+
+  friend bool operator==(const DyadicFraction&, const DyadicFraction&) = default;
+  /// Exact value ordering.
+  [[nodiscard]] std::strong_ordering operator<=>(const DyadicFraction& o) const;
+
+  /// "num/2^exp" (or "num" when exp == 0).
+  [[nodiscard]] std::string toString() const;
+
+  /// Largest supported exponent; beyond this, mixing depth is unrealistic for
+  /// any biochip and the arithmetic would overflow.
+  static constexpr unsigned kMaxExponent = 62;
+
+ private:
+  std::uint64_t num_ = 0;
+  unsigned exp_ = 0;
+};
+
+}  // namespace dmf

@@ -1,0 +1,122 @@
+#include "dmf/mixture_value.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dmf {
+
+namespace {
+
+bool allEven(const std::vector<std::uint64_t>& v) {
+  return std::all_of(v.begin(), v.end(),
+                     [](std::uint64_t n) { return (n & 1u) == 0; });
+}
+
+}  // namespace
+
+MixtureValue::MixtureValue(std::vector<std::uint64_t> numerators,
+                           unsigned exponent)
+    : num_(std::move(numerators)), exp_(exponent) {
+  if (num_.empty()) {
+    throw std::invalid_argument("MixtureValue: empty numerator vector");
+  }
+  if (exp_ > DyadicFraction::kMaxExponent) {
+    throw std::invalid_argument("MixtureValue: exponent out of range");
+  }
+  std::uint64_t sum = 0;
+  for (std::uint64_t n : num_) {
+    if (n > (std::uint64_t{1} << exp_)) {
+      throw std::invalid_argument("MixtureValue: numerator exceeds denominator");
+    }
+    sum += n;
+  }
+  if (sum != (std::uint64_t{1} << exp_)) {
+    throw std::invalid_argument(
+        "MixtureValue: numerators sum to " + std::to_string(sum) +
+        ", expected 2^" + std::to_string(exp_));
+  }
+  while (exp_ > 0 && allEven(num_)) {
+    for (auto& n : num_) n >>= 1;
+    --exp_;
+  }
+}
+
+MixtureValue MixtureValue::pure(std::size_t fluid, std::size_t fluidCount) {
+  if (fluidCount == 0 || fluid >= fluidCount) {
+    throw std::invalid_argument("MixtureValue::pure: fluid index " +
+                                std::to_string(fluid) + " out of range");
+  }
+  std::vector<std::uint64_t> num(fluidCount, 0);
+  num[fluid] = 1;
+  return MixtureValue(std::move(num), 0);
+}
+
+MixtureValue MixtureValue::target(const Ratio& ratio) {
+  return MixtureValue(ratio.parts(), ratio.accuracy());
+}
+
+MixtureValue MixtureValue::mix(const MixtureValue& a, const MixtureValue& b) {
+  if (a.fluidCount() != b.fluidCount()) {
+    throw std::invalid_argument("MixtureValue::mix: fluid spaces differ");
+  }
+  if (a == b) {
+    throw std::invalid_argument(
+        "MixtureValue::mix: mixing two identical droplets is a no-op");
+  }
+  const unsigned exp = std::max(a.exp_, b.exp_) + 1;
+  if (exp > DyadicFraction::kMaxExponent) {
+    throw std::overflow_error("MixtureValue::mix: exponent overflow");
+  }
+  std::vector<std::uint64_t> num(a.fluidCount());
+  for (std::size_t i = 0; i < num.size(); ++i) {
+    // a_i/2^ea scaled to 2^(exp-1), likewise b; the (1:1) mix halves the sum.
+    num[i] = (a.num_[i] << (exp - 1 - a.exp_)) +
+             (b.num_[i] << (exp - 1 - b.exp_));
+  }
+  return MixtureValue(std::move(num), exp);
+}
+
+DyadicFraction MixtureValue::concentration(std::size_t i) const {
+  if (i >= num_.size()) {
+    throw std::invalid_argument("MixtureValue::concentration: index out of range");
+  }
+  return DyadicFraction(num_[i], exp_);
+}
+
+bool MixtureValue::isPure() const {
+  return exp_ == 0;
+}
+
+std::size_t MixtureValue::pureFluid() const {
+  if (!isPure()) {
+    throw std::logic_error("MixtureValue::pureFluid: droplet is a mixture");
+  }
+  for (std::size_t i = 0; i < num_.size(); ++i) {
+    if (num_[i] == 1) return i;
+  }
+  throw std::logic_error("MixtureValue::pureFluid: corrupt value");
+}
+
+std::size_t MixtureValue::hash() const {
+  std::size_t h = std::hash<unsigned>{}(exp_);
+  for (std::uint64_t n : num_) {
+    h ^= std::hash<std::uint64_t>{}(n) + 0x9e3779b97f4a7c15ULL + (h << 6) +
+         (h >> 2);
+  }
+  return h;
+}
+
+std::string MixtureValue::toString() const {
+  if (isPure()) {
+    return "pure(x" + std::to_string(pureFluid() + 1) + ")";
+  }
+  std::string out = "{";
+  for (std::size_t i = 0; i < num_.size(); ++i) {
+    if (i != 0) out += ':';
+    out += std::to_string(num_[i]);
+  }
+  out += "}/2^" + std::to_string(exp_);
+  return out;
+}
+
+}  // namespace dmf

@@ -1,0 +1,80 @@
+// The exact composition of a droplet: per-fluid concentration factors over a
+// common dyadic denominator.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "dmf/fraction.h"
+#include "dmf/ratio.h"
+
+namespace dmf {
+
+/// The composition of one droplet as a vector of per-fluid numerators over a
+/// common denominator 2^exponent.
+///
+/// Invariants: numerators().size() == fluidCount, sum(numerators) ==
+/// 2^exponent (a droplet is always 100% of *something*), and the value is
+/// canonical — exponent is minimal (some numerator is odd, or exponent == 0).
+///
+/// Canonical form makes equality structural, so two droplets with the same
+/// composition reached through different mix sequences compare (and hash)
+/// equal. That equivalence is exactly what the MTCS common-subtree sharing
+/// builder relies on.
+class MixtureValue {
+ public:
+  /// Composition with the given numerators over 2^exponent; canonicalizes.
+  /// Throws std::invalid_argument on an empty vector, exponent out of range,
+  /// or numerators that do not sum to 2^exponent.
+  MixtureValue(std::vector<std::uint64_t> numerators, unsigned exponent);
+
+  /// A droplet of pure input fluid `fluid` (CF = 100%) in an N-fluid space.
+  /// Throws std::invalid_argument if fluid >= fluidCount or fluidCount == 0.
+  static MixtureValue pure(std::size_t fluid, std::size_t fluidCount);
+
+  /// The target composition of a ratio: parts over 2^accuracy.
+  static MixtureValue target(const Ratio& ratio);
+
+  /// The (1:1) mix of two droplets from the same fluid space.
+  /// Throws std::invalid_argument if fluid spaces differ or if `a == b`
+  /// (mixing two identical droplets is a no-op the mix model forbids).
+  static MixtureValue mix(const MixtureValue& a, const MixtureValue& b);
+
+  /// Number of fluids in the composition space.
+  [[nodiscard]] std::size_t fluidCount() const { return num_.size(); }
+  /// Canonical numerators.
+  [[nodiscard]] const std::vector<std::uint64_t>& numerators() const {
+    return num_;
+  }
+  /// Canonical denominator exponent.
+  [[nodiscard]] unsigned exponent() const { return exp_; }
+
+  /// Concentration factor of fluid i as an exact dyadic fraction.
+  [[nodiscard]] DyadicFraction concentration(std::size_t i) const;
+
+  /// True iff the droplet is 100% of a single fluid.
+  [[nodiscard]] bool isPure() const;
+  /// For a pure droplet, the fluid index. Throws std::logic_error otherwise.
+  [[nodiscard]] std::size_t pureFluid() const;
+
+  /// Stable hash of the canonical form (for unordered containers).
+  [[nodiscard]] std::size_t hash() const;
+
+  /// "{2:1:1:1:1:1:9}/2^4" or "pure(x3)".
+  [[nodiscard]] std::string toString() const;
+
+  friend bool operator==(const MixtureValue&, const MixtureValue&) = default;
+
+ private:
+  std::vector<std::uint64_t> num_;
+  unsigned exp_ = 0;
+};
+
+/// Hash functor so MixtureValue can key unordered containers.
+struct MixtureValueHash {
+  std::size_t operator()(const MixtureValue& v) const { return v.hash(); }
+};
+
+}  // namespace dmf

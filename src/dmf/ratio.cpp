@@ -1,0 +1,79 @@
+#include "dmf/ratio.h"
+
+#include <bit>
+#include <charconv>
+#include <limits>
+#include <stdexcept>
+
+namespace dmf {
+
+Ratio::Ratio(std::vector<std::uint64_t> parts) : parts_(std::move(parts)) {
+  if (parts_.size() < 2) {
+    throw std::invalid_argument("Ratio: need at least 2 fluids, got " +
+                                std::to_string(parts_.size()));
+  }
+  for (std::size_t i = 0; i < parts_.size(); ++i) {
+    if (parts_[i] == 0) {
+      throw std::invalid_argument("Ratio: part " + std::to_string(i + 1) +
+                                  " is zero; every fluid must participate");
+    }
+    if (parts_[i] > std::numeric_limits<std::uint64_t>::max() - sum_) {
+      throw std::invalid_argument("Ratio: ratio-sum overflows 64 bits");
+    }
+    sum_ += parts_[i];
+  }
+  if (!std::has_single_bit(sum_)) {
+    throw std::invalid_argument("Ratio: ratio-sum " + std::to_string(sum_) +
+                                " is not a power of two");
+  }
+  accuracy_ = static_cast<unsigned>(std::countr_zero(sum_));
+  if (accuracy_ == 0) {
+    throw std::invalid_argument("Ratio: ratio-sum must be at least 2");
+  }
+}
+
+Ratio::Ratio(std::initializer_list<std::uint64_t> parts)
+    : Ratio(std::vector<std::uint64_t>(parts)) {}
+
+std::size_t Ratio::popcountSum() const {
+  std::size_t total = 0;
+  for (std::uint64_t p : parts_) {
+    total += static_cast<std::size_t>(std::popcount(p));
+  }
+  return total;
+}
+
+double Ratio::concentration(std::size_t i) const {
+  return static_cast<double>(parts_[i]) / static_cast<double>(sum_);
+}
+
+std::string Ratio::toString() const {
+  std::string out;
+  for (std::size_t i = 0; i < parts_.size(); ++i) {
+    if (i != 0) out += ':';
+    out += std::to_string(parts_[i]);
+  }
+  return out;
+}
+
+std::optional<Ratio> Ratio::parse(const std::string& text) {
+  std::vector<std::uint64_t> parts;
+  const char* p = text.data();
+  const char* end = text.data() + text.size();
+  while (p < end) {
+    std::uint64_t value = 0;
+    auto [next, ec] = std::from_chars(p, end, value);
+    if (ec != std::errc{} || next == p) return std::nullopt;
+    parts.push_back(value);
+    p = next;
+    if (p < end) {
+      if (*p != ':') return std::nullopt;
+      ++p;
+      if (p == end) return std::nullopt;  // trailing ':'
+    }
+  }
+  if (parts.empty()) return std::nullopt;
+  return Ratio(std::move(parts));
+}
+
+}  // namespace dmf

@@ -1,0 +1,66 @@
+// Target mixture ratios a1 : a2 : ... : aN with ratio-sum L = 2^d.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace dmf {
+
+/// A validated target mixture ratio for N fluids.
+///
+/// Invariants (checked at construction):
+///  - N >= 2 fluids,
+///  - every part a_i >= 1 (each fluid genuinely participates),
+///  - the ratio-sum L = sum a_i is a power of two, L = 2^d with d >= 1.
+///
+/// `d` is the paper's *accuracy level*: any mixing tree realizing the ratio
+/// with (1:1) mix-splits has depth d and each concentration factor is a
+/// multiple of 1/2^d.
+class Ratio {
+ public:
+  /// Constructs a validated ratio. Throws std::invalid_argument when the
+  /// invariants above are violated (message says which one).
+  explicit Ratio(std::vector<std::uint64_t> parts);
+
+  /// Convenience: Ratio({a1, a2, ...}).
+  Ratio(std::initializer_list<std::uint64_t> parts);
+
+  /// Number of constituent fluids, N.
+  [[nodiscard]] std::size_t fluidCount() const { return parts_.size(); }
+  /// The ratio parts a_1..a_N.
+  [[nodiscard]] const std::vector<std::uint64_t>& parts() const {
+    return parts_;
+  }
+  /// Part for fluid `i` (0-based). Precondition: i < fluidCount().
+  [[nodiscard]] std::uint64_t part(std::size_t i) const { return parts_[i]; }
+  /// Ratio-sum L = 2^d.
+  [[nodiscard]] std::uint64_t sum() const { return sum_; }
+  /// Accuracy level d = log2(L) — the depth of any realizing mixing tree.
+  [[nodiscard]] unsigned accuracy() const { return accuracy_; }
+
+  /// Total number of set bits over all parts — the leaf count of the MM tree
+  /// (the minimum number of input droplets per two-target pass).
+  [[nodiscard]] std::size_t popcountSum() const;
+
+  /// The concentration factor of fluid i, a_i / 2^d, as a double (for
+  /// reporting only; the library's mix model is exact).
+  [[nodiscard]] double concentration(std::size_t i) const;
+
+  /// "a1:a2:...:aN".
+  [[nodiscard]] std::string toString() const;
+
+  /// Parses "a1:a2:...:aN". Returns std::nullopt on malformed text; throws
+  /// std::invalid_argument if the text parses but violates ratio invariants.
+  static std::optional<Ratio> parse(const std::string& text);
+
+  friend bool operator==(const Ratio&, const Ratio&) = default;
+
+ private:
+  std::vector<std::uint64_t> parts_;
+  std::uint64_t sum_ = 0;
+  unsigned accuracy_ = 0;
+};
+
+}  // namespace dmf

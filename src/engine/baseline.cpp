@@ -1,0 +1,38 @@
+#include "engine/baseline.h"
+
+#include <stdexcept>
+
+namespace dmf::engine {
+
+BaselineResult runRepeatedBaseline(const MdstEngine& engine,
+                                   mixgraph::Algorithm algorithm,
+                                   std::uint64_t demand, unsigned mixers) {
+  if (demand == 0) {
+    throw std::invalid_argument("runRepeatedBaseline: demand must be positive");
+  }
+  const unsigned mc = mixers == 0 ? engine.defaultMixers() : mixers;
+
+  // One pass: the base graph at demand 2 (its natural two-droplet emission),
+  // optimally scheduled. Every later pass is identical.
+  const forest::TaskForest pass = engine.buildForest(algorithm, 2);
+  const sched::Schedule s = sched::scheduleOMS(pass, mc);
+
+  BaselineResult r;
+  r.passes = (demand + 1) / 2;
+  r.passCycles = s.completionTime;
+  r.completionTime = r.passes * s.completionTime;
+  r.storageUnits = sched::countStorage(pass, s);
+  r.mixSplits = r.passes * pass.stats().mixSplits;
+  r.waste = r.passes * pass.stats().waste +
+            (demand % 2 == 1 ? 1 : 0);  // odd demand discards one target
+  r.inputDroplets = r.passes * pass.stats().inputTotal;
+  r.mixers = mc;
+  return r;
+}
+
+double percentImprovement(double baseline, double ours) {
+  if (baseline == 0.0) return 0.0;
+  return 100.0 * (baseline - ours) / baseline;
+}
+
+}  // namespace dmf::engine

@@ -1,0 +1,45 @@
+// The paper's baseline approaches: repeated single-pass mixing (RMM, RRMA,
+// RMTCS). One pass of the base mixing graph emits two target droplets; a
+// demand D needs ceil(D/2) sequential passes, multiplying time, waste and
+// reactant usage.
+#pragma once
+
+#include <cstdint>
+
+#include "engine/mdst.h"
+
+namespace dmf::engine {
+
+/// Metrics of a repeated-baseline run (the paper's Tr, qr, Wr, Ir).
+struct BaselineResult {
+  /// Passes executed: ceil(D/2).
+  std::uint64_t passes = 0;
+  /// Single-pass completion time tc (OMS schedule of the base graph).
+  unsigned passCycles = 0;
+  /// Total completion time Tr = passes * tc.
+  std::uint64_t completionTime = 0;
+  /// Storage units qr (passes run one after another, so the per-pass peak).
+  unsigned storageUnits = 0;
+  /// Total mix-splits across all passes.
+  std::uint64_t mixSplits = 0;
+  /// Total waste droplets Wr.
+  std::uint64_t waste = 0;
+  /// Total input droplets Ir.
+  std::uint64_t inputDroplets = 0;
+  /// Mixers used.
+  unsigned mixers = 0;
+};
+
+/// Runs the repeated baseline for `algorithm` (RMM when MM, RRMA when RMA,
+/// RMTCS when MTCS) at demand D. `mixers == 0` resolves to the engine's
+/// default (Mlb of the MM base tree), the paper's convention.
+[[nodiscard]] BaselineResult runRepeatedBaseline(const MdstEngine& engine,
+                                                 mixgraph::Algorithm algorithm,
+                                                 std::uint64_t demand,
+                                                 unsigned mixers = 0);
+
+/// Percentage improvement of `ours` over `baseline` (positive = better,
+/// i.e. smaller). Returns 0 when the baseline value is 0.
+[[nodiscard]] double percentImprovement(double baseline, double ours);
+
+}  // namespace dmf::engine

@@ -1,0 +1,78 @@
+#include "engine/mdst.h"
+
+#include <optional>
+#include <stdexcept>
+
+namespace dmf::engine {
+
+using forest::TaskForest;
+using mixgraph::Algorithm;
+using mixgraph::MixingGraph;
+
+std::string_view schemeName(Scheme scheme) {
+  switch (scheme) {
+    case Scheme::kMMS:
+      return "MMS";
+    case Scheme::kSRS:
+      return "SRS";
+    case Scheme::kOMS:
+      return "OMS";
+  }
+  throw std::invalid_argument("schemeName: unknown scheme");
+}
+
+sched::Schedule schedule(const TaskForest& forest, Scheme scheme,
+                         unsigned mixers) {
+  switch (scheme) {
+    case Scheme::kMMS:
+      return sched::scheduleMMS(forest, mixers);
+    case Scheme::kSRS:
+      return sched::scheduleSRS(forest, mixers);
+    case Scheme::kOMS:
+      return sched::scheduleOMS(forest, mixers);
+  }
+  throw std::invalid_argument("schedule: unknown scheme");
+}
+
+MdstEngine::MdstEngine(Ratio ratio) : ratio_(std::move(ratio)), graphs_(4) {}
+
+const MixingGraph& MdstEngine::baseGraph(Algorithm algorithm) const {
+  auto& slot = graphs_.at(static_cast<std::size_t>(algorithm));
+  if (!slot.has_value()) {
+    slot.emplace(mixgraph::buildGraph(ratio_, algorithm));
+  }
+  return *slot;
+}
+
+unsigned MdstEngine::defaultMixers() const {
+  if (!defaultMixers_.has_value()) {
+    const TaskForest basePass(baseGraph(Algorithm::MM), 2);
+    defaultMixers_ = sched::minimumMixers(basePass);
+  }
+  return *defaultMixers_;
+}
+
+TaskForest MdstEngine::buildForest(Algorithm algorithm,
+                                   std::uint64_t demand) const {
+  return TaskForest(baseGraph(algorithm), demand);
+}
+
+MdstResult MdstEngine::run(const MdstRequest& request) const {
+  const unsigned mixers =
+      request.mixers == 0 ? defaultMixers() : request.mixers;
+  const TaskForest forest = buildForest(request.algorithm, request.demand);
+  const sched::Schedule s = schedule(forest, request.scheme, mixers);
+
+  MdstResult result;
+  result.completionTime = s.completionTime;
+  result.storageUnits = sched::countStorage(forest, s);
+  result.mixSplits = forest.stats().mixSplits;
+  result.waste = forest.stats().waste;
+  result.inputDroplets = forest.stats().inputTotal;
+  result.inputPerFluid = forest.stats().inputPerFluid;
+  result.componentTrees = forest.stats().componentTrees;
+  result.mixers = mixers;
+  return result;
+}
+
+}  // namespace dmf::engine

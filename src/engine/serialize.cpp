@@ -1,0 +1,91 @@
+#include "engine/serialize.h"
+
+namespace dmf::engine {
+
+using report::Json;
+
+Json toJson(const MdstResult& result) {
+  Json out = Json::object();
+  out.set("completionTime", Json::number(std::uint64_t{result.completionTime}))
+      .set("storageUnits", Json::number(std::uint64_t{result.storageUnits}))
+      .set("mixSplits", Json::number(result.mixSplits))
+      .set("waste", Json::number(result.waste))
+      .set("inputDroplets", Json::number(result.inputDroplets))
+      .set("componentTrees", Json::number(result.componentTrees))
+      .set("mixers", Json::number(std::uint64_t{result.mixers}));
+  Json perFluid = Json::array();
+  for (std::uint64_t n : result.inputPerFluid) {
+    perFluid.push(Json::number(n));
+  }
+  out.set("inputPerFluid", std::move(perFluid));
+  return out;
+}
+
+Json toJson(const forest::TaskForest& forest,
+            const sched::Schedule& schedule) {
+  Json out = Json::object();
+  out.set("ratio", Json::string(forest.graph().ratio().toString()))
+      .set("demand", Json::number(forest.demand()))
+      .set("scheme", Json::string(schedule.scheme))
+      .set("mixers", Json::number(std::uint64_t{schedule.mixerCount}))
+      .set("completionTime",
+           Json::number(std::uint64_t{schedule.completionTime}));
+  Json tasks = Json::array();
+  for (forest::TaskId id = 0; id < forest.taskCount(); ++id) {
+    const forest::Task& t = forest.task(id);
+    Json task = Json::object();
+    task.set("id", Json::number(std::uint64_t{id}))
+        .set("label", Json::string(forest.taskLabel(id)))
+        .set("tree", Json::number(std::uint64_t{t.tree}))
+        .set("level", Json::number(std::uint64_t{t.level}))
+        .set("cycle",
+             Json::number(std::uint64_t{schedule.assignments[id].cycle}))
+        .set("mixer",
+             Json::number(std::uint64_t{schedule.assignments[id].mixer}));
+    Json outputs = Json::array();
+    for (const forest::OutputDroplet& drop : t.out) {
+      Json droplet = Json::object();
+      switch (drop.fate) {
+        case forest::DropletFate::kConsumed:
+          droplet.set("fate", Json::string("consumed"))
+              .set("consumer", Json::number(std::uint64_t{drop.consumer}));
+          break;
+        case forest::DropletFate::kTarget:
+          droplet.set("fate", Json::string("target"));
+          break;
+        case forest::DropletFate::kWaste:
+          droplet.set("fate", Json::string("waste"));
+          break;
+      }
+      outputs.push(std::move(droplet));
+    }
+    task.set("outputs", std::move(outputs));
+    tasks.push(std::move(task));
+  }
+  out.set("tasks", std::move(tasks));
+  return out;
+}
+
+Json toJson(const StreamingPlan& plan) {
+  Json out = Json::object();
+  out.set("perPassDemand", Json::number(plan.perPassDemand))
+      .set("totalCycles", Json::number(plan.totalCycles))
+      .set("totalWaste", Json::number(plan.totalWaste))
+      .set("totalInput", Json::number(plan.totalInput))
+      .set("peakStorage", Json::number(std::uint64_t{plan.storageUnits}))
+      .set("mixers", Json::number(std::uint64_t{plan.mixers}));
+  Json passes = Json::array();
+  for (const StreamingPass& pass : plan.passes) {
+    Json p = Json::object();
+    p.set("demand", Json::number(pass.demand))
+        .set("cycles", Json::number(std::uint64_t{pass.cycles}))
+        .set("storage", Json::number(std::uint64_t{pass.storageUnits}))
+        .set("waste", Json::number(pass.waste))
+        .set("input", Json::number(pass.inputDroplets));
+    passes.push(std::move(p));
+  }
+  out.set("passes", std::move(passes));
+  return out;
+}
+
+}  // namespace dmf::engine

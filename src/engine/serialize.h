@@ -1,0 +1,23 @@
+// JSON serialization of engine artifacts, for downstream tooling (lab
+// controllers, visualizers, notebooks).
+#pragma once
+
+#include "engine/mdst.h"
+#include "engine/streaming.h"
+#include "report/json.h"
+#include "sched/schedule.h"
+
+namespace dmf::engine {
+
+/// Metrics of one MDST run.
+[[nodiscard]] report::Json toJson(const MdstResult& result);
+
+/// A full schedule: per-task cycle/mixer placement plus droplet routing
+/// facts (operands, fates), enough to drive an external chip controller.
+[[nodiscard]] report::Json toJson(const forest::TaskForest& forest,
+                                  const sched::Schedule& schedule);
+
+/// A streaming plan (pass list and totals).
+[[nodiscard]] report::Json toJson(const StreamingPlan& plan);
+
+}  // namespace dmf::engine

@@ -1,0 +1,147 @@
+#include "engine/streaming.h"
+
+#include <algorithm>
+#include <optional>
+#include <stdexcept>
+#include <vector>
+
+namespace dmf::engine {
+
+namespace {
+
+// Assembles the plan for a fixed per-pass demand from already-evaluated
+// passes.
+StreamingPlan assemblePlan(std::uint64_t perPass, unsigned mixers,
+                           const StreamingPass& full,
+                           const std::optional<StreamingPass>& remainder,
+                           std::uint64_t fullPasses) {
+  StreamingPlan plan;
+  plan.perPassDemand = perPass;
+  plan.mixers = mixers;
+  for (std::uint64_t i = 0; i < fullPasses; ++i) {
+    plan.passes.push_back(full);
+  }
+  if (remainder.has_value()) {
+    plan.passes.push_back(*remainder);
+  }
+  for (const StreamingPass& pass : plan.passes) {
+    plan.totalCycles += pass.cycles;
+    plan.totalWaste += pass.waste;
+    plan.totalInput += pass.inputDroplets;
+    plan.storageUnits = std::max(plan.storageUnits, pass.storageUnits);
+  }
+  return plan;
+}
+
+StreamingPass evaluatePass(const MdstEngine& engine,
+                           const StreamingRequest& request, unsigned mixers,
+                           std::uint64_t demand) {
+  const forest::TaskForest f = engine.buildForest(request.algorithm, demand);
+  const sched::Schedule s = schedule(f, request.scheme, mixers);
+  StreamingPass pass;
+  pass.demand = demand;
+  pass.cycles = s.completionTime;
+  pass.storageUnits = sched::countStorage(f, s);
+  pass.waste = f.stats().waste;
+  pass.inputDroplets = f.stats().inputTotal;
+  return pass;
+}
+
+}  // namespace
+
+StreamingPlan planStreaming(const MdstEngine& engine,
+                            const StreamingRequest& request) {
+  if (request.demand == 0) {
+    throw std::invalid_argument("planStreaming: demand must be positive");
+  }
+  const unsigned mixers =
+      request.mixers == 0 ? engine.defaultMixers() : request.mixers;
+
+  const std::uint64_t demand = request.demand;
+  auto feasible = [&](std::uint64_t d) {
+    return evaluatePass(engine, request, mixers, d).storageUnits <=
+           request.storageCap;
+  };
+
+  const std::uint64_t minPass = std::min<std::uint64_t>(demand, 2);
+  if (!feasible(minPass)) {
+    throw std::runtime_error(
+        "planStreaming: even a two-droplet pass exceeds the storage cap of " +
+        std::to_string(request.storageCap));
+  }
+
+  // Largest feasible per-pass demand D' by bisection (storage requirement
+  // grows with the forest, monotonically in practice).
+  std::uint64_t lo = minPass;
+  std::uint64_t hi = demand;
+  while (lo < hi) {
+    const std::uint64_t mid = lo + (hi - lo + 1) / 2;
+    if (feasible(mid)) {
+      lo = mid;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  const std::uint64_t perPass = lo;
+
+  const StreamingPass full = evaluatePass(engine, request, mixers, perPass);
+  const std::uint64_t remainder = demand % perPass;
+  std::optional<StreamingPass> last;
+  if (remainder > 0) {
+    last = evaluatePass(engine, request, mixers, remainder);
+  }
+  return assemblePlan(perPass, mixers, full, last, demand / perPass);
+}
+
+StreamingPlan planStreamingOptimized(const MdstEngine& engine,
+                                     const StreamingRequest& request) {
+  if (request.demand == 0) {
+    throw std::invalid_argument(
+        "planStreamingOptimized: demand must be positive");
+  }
+  const unsigned mixers =
+      request.mixers == 0 ? engine.defaultMixers() : request.mixers;
+  const std::uint64_t demand = request.demand;
+
+  std::optional<StreamingPlan> best;
+  // Pass evaluations are reused across candidate D' values (the remainder
+  // demand of one candidate is the full demand of another).
+  std::vector<std::optional<StreamingPass>> cache(demand + 1);
+  auto pass = [&](std::uint64_t d) -> const StreamingPass& {
+    if (!cache[d].has_value()) {
+      cache[d] = evaluatePass(engine, request, mixers, d);
+    }
+    return *cache[d];
+  };
+
+  for (std::uint64_t perPass = 1; perPass <= demand; ++perPass) {
+    const StreamingPass& full = pass(perPass);
+    if (full.storageUnits > request.storageCap) continue;
+    const std::uint64_t remainder = demand % perPass;
+    std::optional<StreamingPass> last;
+    if (remainder > 0) {
+      last = pass(remainder);
+      if (last->storageUnits > request.storageCap) continue;
+    }
+    StreamingPlan plan =
+        assemblePlan(perPass, mixers, full, last, demand / perPass);
+    const auto better = [&](const StreamingPlan& a, const StreamingPlan& b) {
+      if (a.totalCycles != b.totalCycles) {
+        return a.totalCycles < b.totalCycles;
+      }
+      if (a.totalWaste != b.totalWaste) return a.totalWaste < b.totalWaste;
+      return a.passes.size() < b.passes.size();
+    };
+    if (!best.has_value() || better(plan, *best)) {
+      best = std::move(plan);
+    }
+  }
+  if (!best.has_value()) {
+    throw std::runtime_error(
+        "planStreamingOptimized: no pass size fits the storage cap of " +
+        std::to_string(request.storageCap));
+  }
+  return *best;
+}
+
+}  // namespace dmf::engine

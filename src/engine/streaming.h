@@ -1,0 +1,71 @@
+// The droplet-streaming engine (paper section 6, Table 4): satisfy a demand D
+// under a hard cap on on-chip storage units by splitting it into passes, each
+// pass running the largest mixing forest whose SRS schedule fits the cap.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "engine/mdst.h"
+
+namespace dmf::engine {
+
+/// One pass of a streaming plan.
+struct StreamingPass {
+  std::uint64_t demand = 0;       ///< target droplets produced by this pass
+  unsigned cycles = 0;            ///< pass completion time
+  unsigned storageUnits = 0;      ///< pass peak storage (<= the cap)
+  std::uint64_t waste = 0;        ///< pass waste droplets
+  std::uint64_t inputDroplets = 0;///< pass reactant usage
+};
+
+/// A complete streaming plan.
+struct StreamingPlan {
+  /// Largest per-pass demand D' that fits the storage cap.
+  std::uint64_t perPassDemand = 0;
+  /// The individual passes, in execution order (all but possibly the last
+  /// produce perPassDemand droplets).
+  std::vector<StreamingPass> passes;
+  /// Sum of pass cycle counts (passes run back to back).
+  std::uint64_t totalCycles = 0;
+  /// Sum of pass waste droplets.
+  std::uint64_t totalWaste = 0;
+  /// Sum of pass reactant usage.
+  std::uint64_t totalInput = 0;
+  /// Peak storage over all passes.
+  unsigned storageUnits = 0;
+  /// Mixers used.
+  unsigned mixers = 0;
+};
+
+/// Request for a streaming plan.
+struct StreamingRequest {
+  mixgraph::Algorithm algorithm = mixgraph::Algorithm::MM;
+  /// Scheduler used inside each pass; the paper streams with SRS.
+  Scheme scheme = Scheme::kSRS;
+  /// Total demand D.
+  std::uint64_t demand = 2;
+  /// Available on-chip storage units q'.
+  unsigned storageCap = 0;
+  /// Mixers; 0 = engine default (Mlb of the MM base tree).
+  unsigned mixers = 0;
+};
+
+/// Computes the streaming plan with the paper's rule: the largest feasible
+/// per-pass demand D' (bisection on "scheduled storage of the D'-forest <=
+/// cap"; storage grows with demand) repeated ceil(D/D') times. Throws
+/// std::runtime_error when even a two-droplet pass exceeds the cap;
+/// std::invalid_argument on a zero demand.
+[[nodiscard]] StreamingPlan planStreaming(const MdstEngine& engine,
+                                          const StreamingRequest& request);
+
+/// Exhaustive refinement of planStreaming: the largest feasible D' does not
+/// always minimize the total cycle count (a slightly smaller forest can
+/// schedule disproportionately faster under a tight cap), so this variant
+/// evaluates every feasible per-pass demand and returns the plan with the
+/// fewest total cycles (ties broken toward less waste, then fewer passes).
+/// Same error behaviour as planStreaming.
+[[nodiscard]] StreamingPlan planStreamingOptimized(
+    const MdstEngine& engine, const StreamingRequest& request);
+
+}  // namespace dmf::engine

@@ -1,0 +1,280 @@
+#include "forest/task_forest.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+namespace dmf::forest {
+
+namespace {
+
+using mixgraph::kNoNode;
+using mixgraph::MixingGraph;
+using mixgraph::NodeId;
+
+// Safety valve: a forest this large means a absurd demand or ratio; refuse
+// rather than exhaust memory.
+constexpr std::uint64_t kMaxTasks = 50'000'000;
+
+OperandClass classify(const MixingGraph& graph, NodeId node) {
+  const auto& n = graph.node(node);
+  const bool leftLeaf = graph.node(n.left).isLeaf();
+  const bool rightLeaf = graph.node(n.right).isLeaf();
+  if (leftLeaf && rightLeaf) return OperandClass::kTypeC;
+  if (leftLeaf || rightLeaf) return OperandClass::kTypeB;
+  return OperandClass::kTypeA;
+}
+
+}  // namespace
+
+TaskForest::TaskForest(const MixingGraph& graph, std::uint64_t demand)
+    : TaskForest(graph, std::vector<std::uint64_t>{demand}) {}
+
+TaskForest::TaskForest(const MixingGraph& graph,
+                       std::vector<std::uint64_t> demands)
+    : graph_(&graph), demands_(std::move(demands)) {
+  if (!graph.finalized()) {
+    throw std::invalid_argument("TaskForest: graph must be finalized");
+  }
+  if (demands_.size() != graph.roots().size()) {
+    throw std::invalid_argument(
+        "TaskForest: need exactly one demand per graph root (" +
+        std::to_string(graph.roots().size()) + ")");
+  }
+  for (std::uint64_t d : demands_) {
+    if (d == 0) {
+      throw std::invalid_argument("TaskForest: demands must be positive");
+    }
+  }
+
+  const std::size_t nodeCount = graph.nodeCount();
+  const std::vector<NodeId> topDown = graph.nodesByLevelDesc();
+
+  // Per-node root index (for target-droplet allocation), kNoRoot otherwise.
+  constexpr std::size_t kNoRoot = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> rootIndex(nodeCount, kNoRoot);
+  for (std::size_t r = 0; r < graph.roots().size(); ++r) {
+    rootIndex[graph.roots()[r]] = r;
+  }
+
+  // ---- demand propagation ------------------------------------------------
+  std::vector<std::uint64_t> need(nodeCount, 0);
+  execs_.assign(nodeCount, 0);
+  stats_ = ForestStats{};
+  stats_.targets =
+      std::accumulate(demands_.begin(), demands_.end(), std::uint64_t{0});
+  stats_.inputPerFluid.assign(graph.ratio().fluidCount(), 0);
+
+  for (std::size_t r = 0; r < demands_.size(); ++r) {
+    need[graph.roots()[r]] += demands_[r];
+  }
+  std::uint64_t totalTasks = 0;
+  for (NodeId v : topDown) {
+    if (need[v] == 0) continue;
+    const auto& n = graph.node(v);
+    if (n.isLeaf()) {
+      stats_.inputPerFluid[n.value.pureFluid()] += need[v];
+      stats_.inputTotal += need[v];
+      continue;
+    }
+    execs_[v] = (need[v] + 1) / 2;
+    stats_.mixSplits += execs_[v];
+    stats_.waste += 2 * execs_[v] - need[v];
+    totalTasks += execs_[v];
+    need[n.left] += execs_[v];
+    need[n.right] += execs_[v];
+  }
+  for (NodeId root : graph.roots()) {
+    stats_.componentTrees += execs_[root];
+  }
+  if (totalTasks > kMaxTasks ||
+      totalTasks > std::numeric_limits<TaskId>::max() - 1) {
+    throw std::overflow_error("TaskForest: forest too large (" +
+                              std::to_string(totalTasks) + " mix-splits)");
+  }
+
+  // ---- task instantiation (level-ascending id order) ---------------------
+  std::vector<TaskId> taskBase(nodeCount, kNoTask);
+  tasks_.reserve(static_cast<std::size_t>(totalTasks));
+  for (auto it = topDown.rbegin(); it != topDown.rend(); ++it) {
+    const NodeId v = *it;
+    if (graph.node(v).isLeaf() || execs_[v] == 0) continue;
+    taskBase[v] = static_cast<TaskId>(tasks_.size());
+    for (std::uint64_t k = 0; k < execs_[v]; ++k) {
+      Task t;
+      t.node = v;
+      t.instance = static_cast<std::uint32_t>(k);
+      t.level = graph.node(v).level;
+      t.operandClass = classify(graph, v);
+      tasks_.push_back(t);
+    }
+  }
+
+  // ---- droplet allocation & dependency wiring ----------------------------
+  // Droplets of node v are indexed 0 .. 2*execs(v)-1 in production order;
+  // droplet j comes from instance j/2. A root's first demand[r] droplets are
+  // targets; remaining droplets go to consumer positions in graph order,
+  // each position taking one droplet per instance in instance order.
+  for (NodeId v = 0; v < nodeCount; ++v) {
+    if (graph.node(v).isLeaf() || execs_[v] == 0) continue;
+    std::uint64_t next = 0;
+    auto produce = [&](DropletFate fate, TaskId consumer) {
+      Task& producer = tasks_[taskBase[v] + static_cast<TaskId>(next / 2)];
+      producer.out[next % 2] = OutputDroplet{fate, consumer};
+      ++next;
+    };
+    if (rootIndex[v] != kNoRoot) {
+      for (std::uint64_t i = 0; i < demands_[rootIndex[v]]; ++i) {
+        produce(DropletFate::kTarget, kNoTask);
+      }
+    }
+    for (NodeId p : graph.consumers()[v]) {
+      // `p` appears once per operand slot that references v.
+      const bool leftSlot = graph.node(p).left == v;
+      for (std::uint64_t k = 0; k < execs_[p]; ++k) {
+        const TaskId consumer = taskBase[p] + static_cast<TaskId>(k);
+        const TaskId producer =
+            taskBase[v] + static_cast<TaskId>(next / 2);
+        if (leftSlot) {
+          tasks_[consumer].depLeft = producer;
+        } else {
+          tasks_[consumer].depRight = producer;
+        }
+        produce(DropletFate::kConsumed, consumer);
+      }
+    }
+    while (next < 2 * execs_[v]) {
+      produce(DropletFate::kWaste, kNoTask);
+    }
+  }
+
+  // ---- component-tree labelling ------------------------------------------
+  // Root instances own trees, numbered across roots in target order; every
+  // other instance belongs to the tree of its first consumer (consumers have
+  // larger ids, so one descending sweep settles everything).
+  std::vector<std::uint32_t> treeBase(graph.roots().size(), 0);
+  {
+    std::uint32_t base = 0;
+    for (std::size_t r = 0; r < graph.roots().size(); ++r) {
+      treeBase[r] = base;
+      base += static_cast<std::uint32_t>(execs_[graph.roots()[r]]);
+    }
+  }
+  for (TaskId id = static_cast<TaskId>(tasks_.size()); id-- > 0;) {
+    Task& t = tasks_[id];
+    if (rootIndex[t.node] != kNoRoot) {
+      t.tree = treeBase[rootIndex[t.node]] + t.instance + 1;
+      continue;
+    }
+    for (const OutputDroplet& drop : t.out) {
+      if (drop.fate == DropletFate::kConsumed) {
+        t.tree = tasks_[drop.consumer].tree;
+        break;
+      }
+    }
+  }
+
+  validateOrThrow();
+}
+
+std::uint64_t TaskForest::demand() const { return stats_.targets; }
+
+unsigned TaskForest::depth() const { return graph_->depth(); }
+
+std::vector<TaskId> TaskForest::initialReady() const {
+  std::vector<TaskId> ready;
+  for (TaskId id = 0; id < tasks_.size(); ++id) {
+    if (tasks_[id].depLeft == kNoTask && tasks_[id].depRight == kNoTask) {
+      ready.push_back(id);
+    }
+  }
+  return ready;
+}
+
+std::string TaskForest::taskLabel(TaskId id) const {
+  const Task& t = tasks_[id];
+  return "m" + std::to_string(t.tree) + "." + std::to_string(t.node);
+}
+
+std::string TaskForest::toDot() const {
+  std::string out = "digraph forest {\n  rankdir=BT;\n";
+  // Cluster tasks by component tree, as in the paper's figures.
+  for (std::uint64_t tree = 1; tree <= stats_.componentTrees; ++tree) {
+    out += "  subgraph cluster_T" + std::to_string(tree) + " {\n    label=\"T" +
+           std::to_string(tree) + "\";\n";
+    for (TaskId id = 0; id < tasks_.size(); ++id) {
+      if (tasks_[id].tree != tree) continue;
+      const bool emitsTarget =
+          tasks_[id].out[0].fate == DropletFate::kTarget ||
+          tasks_[id].out[1].fate == DropletFate::kTarget;
+      const bool wastes = tasks_[id].out[0].fate == DropletFate::kWaste ||
+                          tasks_[id].out[1].fate == DropletFate::kWaste;
+      out += "    t" + std::to_string(id) + " [label=\"" + taskLabel(id) +
+             "\\nL" + std::to_string(tasks_[id].level) + "\"" +
+             (emitsTarget ? ", shape=doublecircle" : "") +
+             (wastes ? ", color=red" : "") + "];\n";
+    }
+    out += "  }\n";
+  }
+  for (TaskId id = 0; id < tasks_.size(); ++id) {
+    for (const OutputDroplet& drop : tasks_[id].out) {
+      if (drop.fate != DropletFate::kConsumed) continue;
+      const bool crossTree = tasks_[drop.consumer].tree != tasks_[id].tree;
+      out += "  t" + std::to_string(id) + " -> t" +
+             std::to_string(drop.consumer) + " [color=" +
+             (crossTree ? "brown" : "darkgreen") + "];\n";
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+void TaskForest::validateOrThrow() const {
+  std::uint64_t targets = 0;
+  std::uint64_t waste = 0;
+  for (TaskId id = 0; id < tasks_.size(); ++id) {
+    const Task& t = tasks_[id];
+    const auto& n = graph_->node(t.node);
+    if (n.isLeaf()) {
+      throw std::logic_error("TaskForest: task on a leaf node");
+    }
+    const bool leftLeaf = graph_->node(n.left).isLeaf();
+    const bool rightLeaf = graph_->node(n.right).isLeaf();
+    if (leftLeaf != (t.depLeft == kNoTask) ||
+        rightLeaf != (t.depRight == kNoTask)) {
+      throw std::logic_error("TaskForest: operand wiring disagrees with graph");
+    }
+    for (TaskId dep : {t.depLeft, t.depRight}) {
+      if (dep == kNoTask) continue;
+      if (dep >= tasks_.size() || tasks_[dep].level >= t.level) {
+        throw std::logic_error("TaskForest: bad dependency");
+      }
+      bool found = false;
+      for (const OutputDroplet& drop : tasks_[dep].out) {
+        found = found ||
+                (drop.fate == DropletFate::kConsumed && drop.consumer == id);
+      }
+      if (!found) {
+        throw std::logic_error("TaskForest: consumer back-pointer missing");
+      }
+    }
+    for (const OutputDroplet& drop : t.out) {
+      targets += drop.fate == DropletFate::kTarget ? 1 : 0;
+      waste += drop.fate == DropletFate::kWaste ? 1 : 0;
+    }
+    if (t.tree == 0 || t.tree > stats_.componentTrees) {
+      throw std::logic_error("TaskForest: task without a component tree");
+    }
+  }
+  if (targets != stats_.targets || waste != stats_.waste) {
+    throw std::logic_error("TaskForest: droplet accounting broken");
+  }
+  // Droplet conservation: every input droplet becomes a target or a waste
+  // droplet ((1:1) mix-split preserves droplet count).
+  if (stats_.inputTotal != stats_.targets + stats_.waste) {
+    throw std::logic_error("TaskForest: droplet conservation violated");
+  }
+}
+
+}  // namespace dmf::forest

@@ -1,0 +1,35 @@
+#include <stdexcept>
+
+#include "mixgraph/builders.h"
+
+namespace dmf::mixgraph {
+
+std::string_view algorithmName(Algorithm algo) {
+  switch (algo) {
+    case Algorithm::MM:
+      return "MM";
+    case Algorithm::RMA:
+      return "RMA";
+    case Algorithm::MTCS:
+      return "MTCS";
+    case Algorithm::RSM:
+      return "RSM";
+  }
+  throw std::invalid_argument("algorithmName: unknown algorithm");
+}
+
+MixingGraph buildGraph(const Ratio& ratio, Algorithm algo) {
+  switch (algo) {
+    case Algorithm::MM:
+      return buildMM(ratio);
+    case Algorithm::RMA:
+      return buildRMA(ratio);
+    case Algorithm::MTCS:
+      return buildMTCS(ratio);
+    case Algorithm::RSM:
+      return buildRSM(ratio);
+  }
+  throw std::invalid_argument("buildGraph: unknown algorithm");
+}
+
+}  // namespace dmf::mixgraph

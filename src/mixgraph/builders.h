@@ -1,0 +1,71 @@
+// Base mixing algorithms: given a target ratio, construct a mixing graph
+// whose root denotes the target droplet. All four algorithms from the paper's
+// comparison (MM, RMA, MTCS, RSM) plus the N=2 dilution special case.
+#pragma once
+
+#include <string_view>
+
+#include "dmf/ratio.h"
+#include "mixgraph/graph.h"
+
+namespace dmf::mixgraph {
+
+/// Which base mixing algorithm constructs the graph.
+enum class Algorithm {
+  /// Min-Mix (Thies et al. '08): binary bit-decomposition. Fluid i gets a
+  /// leaf at level j for every set bit j of a_i; same-level nodes are paired
+  /// bottom-up (earlier-built mixes first, then leaves in fluid order).
+  /// Produces the minimum number of input droplets (sum of popcounts).
+  MM,
+  /// Ratio-ed Mixing Algorithm (Roy et al. VLSID'11), reconstructed as a
+  /// recursive balanced partition: the amount multiset (sum 2^k) splits into
+  /// two halves of 2^(k-1) by first-fit-decreasing, fragmenting amounts at
+  /// the boundary. Fragmentation yields extra leaves, hence more per-pass
+  /// waste than MM — the property the DAC'14 engine exploits.
+  RMA,
+  /// Mixing Tree with Common Subtrees (Kumar et al. DDECS'13), reconstructed
+  /// as MM followed by merging nodes with identical (composition, level), so
+  /// a shared sub-mixture is prepared once and both of its output droplets
+  /// are consumed. Produces a DAG; uses fewer input droplets than MM.
+  MTCS,
+  /// Reagent-Saving Mixing (Hsieh et al. TCAD'12), reconstructed as the MM
+  /// decomposition with a leaf-first pairing order (pure droplets combined
+  /// as early as possible). Included for API completeness (Table 1 scope);
+  /// not part of the paper's evaluation.
+  RSM,
+};
+
+/// Human-readable algorithm name ("MM", "RMA", ...).
+[[nodiscard]] std::string_view algorithmName(Algorithm algo);
+
+/// Builds a finalized mixing graph with the chosen algorithm.
+/// Throws std::invalid_argument / std::logic_error on invalid input.
+[[nodiscard]] MixingGraph buildGraph(const Ratio& ratio, Algorithm algo);
+
+/// Min-Mix mixing tree (exact reproduction of the published algorithm).
+[[nodiscard]] MixingGraph buildMM(const Ratio& ratio);
+
+/// Balanced-partition mixing tree (RMA reconstruction).
+[[nodiscard]] MixingGraph buildRMA(const Ratio& ratio);
+
+/// Common-subtree-sharing mixing DAG (MTCS reconstruction).
+[[nodiscard]] MixingGraph buildMTCS(const Ratio& ratio);
+
+/// Leaf-first-pairing mixing tree (RSM reconstruction).
+[[nodiscard]] MixingGraph buildRSM(const Ratio& ratio);
+
+/// Multi-target mixing DAG (the SDMT/MDMT generalization of the paper's
+/// Table 1): prepares every ratio in `targets` from one shared graph —
+/// MTCS-style value sharing applies across targets, and a target that is an
+/// intermediate of another is served by the same node. All targets must
+/// share fluid space and accuracy and be pairwise distinct.
+[[nodiscard]] MixingGraph buildMultiTarget(const std::vector<Ratio>& targets);
+
+/// Dilution special case: a two-fluid target with the sample at concentration
+/// `sampleNumerator / 2^accuracy` against a buffer. Equivalent to
+/// buildMM(Ratio{sampleNumerator, 2^accuracy - sampleNumerator}).
+/// Throws std::invalid_argument when sampleNumerator is 0 or >= 2^accuracy.
+[[nodiscard]] MixingGraph buildDilution(std::uint64_t sampleNumerator,
+                                        unsigned accuracy);
+
+}  // namespace dmf::mixgraph

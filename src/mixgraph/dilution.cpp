@@ -1,0 +1,22 @@
+// Dilution (N = 2) special case: sample against buffer at a dyadic
+// concentration factor. Min-Mix restricted to two fluids is the classic
+// bit-sequence dilution algorithm.
+#include <stdexcept>
+
+#include "mixgraph/builders.h"
+
+namespace dmf::mixgraph {
+
+MixingGraph buildDilution(std::uint64_t sampleNumerator, unsigned accuracy) {
+  if (accuracy == 0 || accuracy > DyadicFraction::kMaxExponent) {
+    throw std::invalid_argument("buildDilution: bad accuracy level");
+  }
+  const std::uint64_t scale = std::uint64_t{1} << accuracy;
+  if (sampleNumerator == 0 || sampleNumerator >= scale) {
+    throw std::invalid_argument(
+        "buildDilution: sample concentration must be strictly between 0 and 1");
+  }
+  return buildMM(Ratio({sampleNumerator, scale - sampleNumerator}));
+}
+
+}  // namespace dmf::mixgraph

@@ -1,0 +1,43 @@
+// Min-Mix (MM) builder: exact binary bit-decomposition of the target ratio.
+#include <stdexcept>
+#include <vector>
+
+#include "mixgraph/builders.h"
+
+namespace dmf::mixgraph {
+
+MixingGraph buildMM(const Ratio& ratio) {
+  MixingGraph graph(ratio);
+  const unsigned d = ratio.accuracy();
+
+  // `carry` holds the nodes alive at the current construction level.
+  // At level j we first keep the mixes built from level j-1 (in creation
+  // order), then append one leaf for every fluid whose amount has bit j set,
+  // and pair the sequence left to right. The ratio-sum being 2^d guarantees
+  // an even count at every level and exactly one node after level d-1.
+  std::vector<NodeId> carry;
+  for (unsigned j = 0; j < d; ++j) {
+    for (std::size_t fluid = 0; fluid < ratio.fluidCount(); ++fluid) {
+      if ((ratio.part(fluid) >> j) & 1u) {
+        carry.push_back(graph.addLeaf(fluid));
+      }
+    }
+    if (carry.size() % 2 != 0) {
+      throw std::logic_error("buildMM: odd node count at level " +
+                             std::to_string(j));
+    }
+    std::vector<NodeId> next;
+    next.reserve(carry.size() / 2);
+    for (std::size_t i = 0; i + 1 < carry.size(); i += 2) {
+      next.push_back(graph.addMix(carry[i], carry[i + 1]));
+    }
+    carry = std::move(next);
+  }
+  if (carry.size() != 1) {
+    throw std::logic_error("buildMM: did not converge to a single root");
+  }
+  graph.finalize(carry.front());
+  return graph;
+}
+
+}  // namespace dmf::mixgraph

@@ -1,0 +1,86 @@
+// MTCS builder (reconstruction): MM bit-decomposition with common
+// sub-mixture sharing. Two ingredients maximize sharing:
+//  - canonical pairing: the nodes alive at each level pair in sorted
+//    composition order, so recurring patterns line up and produce recurring
+//    intermediate compositions;
+//  - value keying: a mix whose composition was already prepared anywhere in
+//    the graph reuses the existing node, so both of its output droplets are
+//    consumed. A pairing of two droplet slots with identical composition is
+//    an identity and is skipped outright.
+// The result is a DAG that never needs more mix-splits or input droplets
+// than MM's tree.
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+#include "mixgraph/builders.h"
+
+namespace dmf::mixgraph {
+
+namespace {
+
+// Total order on compositions: by denominator exponent, then numerators
+// lexicographically. Any deterministic order works; this one groups equal
+// compositions adjacently, which is all canonical pairing needs.
+bool valueLess(const MixtureValue& a, const MixtureValue& b) {
+  if (a.exponent() != b.exponent()) return a.exponent() < b.exponent();
+  return a.numerators() < b.numerators();
+}
+
+}  // namespace
+
+MixingGraph buildMTCS(const Ratio& ratio) {
+  MixingGraph graph(ratio);
+  const unsigned d = ratio.accuracy();
+  const std::size_t fluids = ratio.fluidCount();
+
+  std::unordered_map<MixtureValue, NodeId, MixtureValueHash> known;
+  // Leaves are shared per fluid: one dispense node serves every consumer.
+  std::vector<NodeId> leafOf(fluids, kNoNode);
+  auto leaf = [&](std::size_t fluid) {
+    if (leafOf[fluid] == kNoNode) leafOf[fluid] = graph.addLeaf(fluid);
+    return leafOf[fluid];
+  };
+
+  std::vector<NodeId> carry;
+  for (unsigned j = 0; j < d; ++j) {
+    for (std::size_t fluid = 0; fluid < fluids; ++fluid) {
+      if ((ratio.part(fluid) >> j) & 1u) {
+        carry.push_back(leaf(fluid));
+      }
+    }
+    if (carry.size() % 2 != 0) {
+      throw std::logic_error("buildMTCS: odd node count at level " +
+                             std::to_string(j));
+    }
+    std::stable_sort(carry.begin(), carry.end(), [&](NodeId a, NodeId b) {
+      return valueLess(graph.node(a).value, graph.node(b).value);
+    });
+    std::vector<NodeId> next;
+    next.reserve(carry.size() / 2);
+    for (std::size_t i = 0; i + 1 < carry.size(); i += 2) {
+      if (graph.node(carry[i]).value == graph.node(carry[i + 1]).value) {
+        // Two droplet slots of identical composition: their (1:1) mix is an
+        // identity, so the existing node serves the combined slot directly.
+        next.push_back(carry[i]);
+        continue;
+      }
+      const MixtureValue value = MixtureValue::mix(
+          graph.node(carry[i]).value, graph.node(carry[i + 1]).value);
+      auto [it, inserted] = known.try_emplace(value, kNoNode);
+      if (inserted) {
+        it->second = graph.addMix(carry[i], carry[i + 1]);
+      }
+      next.push_back(it->second);
+    }
+    carry = std::move(next);
+  }
+  if (carry.size() != 1) {
+    throw std::logic_error("buildMTCS: did not converge to a single root");
+  }
+  graph.finalize(carry.front());
+  return graph;
+}
+
+}  // namespace dmf::mixgraph

@@ -1,0 +1,82 @@
+// Multi-target builder (the SDMT/MDMT generalization of Table 1): one graph
+// prepares several target mixtures over the same fluid space, sharing every
+// common sub-mixture across targets — including the case where one target is
+// an intermediate of another.
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+#include "mixgraph/builders.h"
+
+namespace dmf::mixgraph {
+
+namespace {
+
+bool valueLess(const MixtureValue& a, const MixtureValue& b) {
+  if (a.exponent() != b.exponent()) return a.exponent() < b.exponent();
+  return a.numerators() < b.numerators();
+}
+
+}  // namespace
+
+MixingGraph buildMultiTarget(const std::vector<Ratio>& targets) {
+  MixingGraph graph(targets);  // validates shared space/accuracy, uniqueness
+  const unsigned d = targets.front().accuracy();
+  const std::size_t fluids = targets.front().fluidCount();
+
+  std::unordered_map<MixtureValue, NodeId, MixtureValueHash> known;
+  std::vector<NodeId> leafOf(fluids, kNoNode);
+  auto leaf = [&](std::size_t fluid) {
+    if (leafOf[fluid] == kNoNode) leafOf[fluid] = graph.addLeaf(fluid);
+    return leafOf[fluid];
+  };
+
+  // Each target runs the MTCS pairing against the shared `known` map, so a
+  // sub-mixture any earlier target prepared is reused instead of rebuilt.
+  std::vector<NodeId> roots;
+  roots.reserve(targets.size());
+  for (const Ratio& target : targets) {
+    std::vector<NodeId> carry;
+    for (unsigned j = 0; j < d; ++j) {
+      for (std::size_t fluid = 0; fluid < fluids; ++fluid) {
+        if ((target.part(fluid) >> j) & 1u) {
+          carry.push_back(leaf(fluid));
+        }
+      }
+      if (carry.size() % 2 != 0) {
+        throw std::logic_error("buildMultiTarget: odd node count at level " +
+                               std::to_string(j));
+      }
+      std::stable_sort(carry.begin(), carry.end(), [&](NodeId a, NodeId b) {
+        return valueLess(graph.node(a).value, graph.node(b).value);
+      });
+      std::vector<NodeId> next;
+      next.reserve(carry.size() / 2);
+      for (std::size_t i = 0; i + 1 < carry.size(); i += 2) {
+        if (graph.node(carry[i]).value == graph.node(carry[i + 1]).value) {
+          next.push_back(carry[i]);
+          continue;
+        }
+        const MixtureValue value = MixtureValue::mix(
+            graph.node(carry[i]).value, graph.node(carry[i + 1]).value);
+        auto [it, inserted] = known.try_emplace(value, kNoNode);
+        if (inserted) {
+          it->second = graph.addMix(carry[i], carry[i + 1]);
+        }
+        next.push_back(it->second);
+      }
+      carry = std::move(next);
+    }
+    if (carry.size() != 1) {
+      throw std::logic_error(
+          "buildMultiTarget: did not converge to a single root for " +
+          target.toString());
+    }
+    roots.push_back(carry.front());
+  }
+  graph.finalize(std::move(roots));
+  return graph;
+}
+
+}  // namespace dmf::mixgraph

@@ -1,0 +1,75 @@
+// RMA builder (reconstruction): recursive balanced partition of the amount
+// multiset. See DESIGN.md section 3 for the substitution rationale.
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "mixgraph/builders.h"
+
+namespace dmf::mixgraph {
+
+namespace {
+
+// One fluid's share inside a sub-mixture under construction.
+struct Share {
+  std::size_t fluid;
+  std::uint64_t amount;
+};
+
+// Builds the subtree for `shares` whose amounts sum to 2^k; returns its node.
+NodeId buildPartition(MixingGraph& graph, std::vector<Share> shares,
+                      unsigned k) {
+  if (shares.empty()) {
+    throw std::logic_error("buildRMA: empty partition");
+  }
+  if (shares.size() == 1) {
+    // A single fluid at any scale is one pure droplet straight from the
+    // reservoir, regardless of level.
+    return graph.addLeaf(shares.front().fluid);
+  }
+  if (k == 0) {
+    throw std::logic_error("buildRMA: multiple fluids at unit scale");
+  }
+
+  // First-fit decreasing into two halves of capacity 2^(k-1) each; a share
+  // that straddles the boundary is fragmented across both halves (the extra
+  // leaves this creates are RMA's higher per-pass waste).
+  std::stable_sort(shares.begin(), shares.end(),
+                   [](const Share& a, const Share& b) {
+                     return a.amount > b.amount;
+                   });
+  const std::uint64_t capacity = std::uint64_t{1} << (k - 1);
+  std::vector<Share> low, high;
+  std::uint64_t lowRoom = capacity;
+  for (const Share& s : shares) {
+    std::uint64_t toLow = std::min(s.amount, lowRoom);
+    if (toLow > 0) {
+      low.push_back({s.fluid, toLow});
+      lowRoom -= toLow;
+    }
+    if (toLow < s.amount) {
+      high.push_back({s.fluid, s.amount - toLow});
+    }
+  }
+  const NodeId left = buildPartition(graph, std::move(low), k - 1);
+  const NodeId right = buildPartition(graph, std::move(high), k - 1);
+  return graph.addMix(left, right);
+}
+
+}  // namespace
+
+MixingGraph buildRMA(const Ratio& ratio) {
+  MixingGraph graph(ratio);
+  std::vector<Share> shares;
+  shares.reserve(ratio.fluidCount());
+  for (std::size_t fluid = 0; fluid < ratio.fluidCount(); ++fluid) {
+    shares.push_back({fluid, ratio.part(fluid)});
+  }
+  const NodeId root =
+      buildPartition(graph, std::move(shares), ratio.accuracy());
+  graph.finalize(root);
+  return graph;
+}
+
+}  // namespace dmf::mixgraph

@@ -1,0 +1,44 @@
+// RSM builder (reconstruction): MM bit-decomposition with a leaf-first
+// pairing order, combining fresh reagent droplets with each other as early
+// as possible at every level.
+#include <stdexcept>
+#include <vector>
+
+#include "mixgraph/builders.h"
+
+namespace dmf::mixgraph {
+
+MixingGraph buildRSM(const Ratio& ratio) {
+  MixingGraph graph(ratio);
+  const unsigned d = ratio.accuracy();
+
+  std::vector<NodeId> carry;
+  for (unsigned j = 0; j < d; ++j) {
+    // Unlike MM (mixes first, then leaves), put this level's fresh reagent
+    // leaves at the front of the pairing sequence.
+    std::vector<NodeId> order;
+    for (std::size_t fluid = 0; fluid < ratio.fluidCount(); ++fluid) {
+      if ((ratio.part(fluid) >> j) & 1u) {
+        order.push_back(graph.addLeaf(fluid));
+      }
+    }
+    order.insert(order.end(), carry.begin(), carry.end());
+    if (order.size() % 2 != 0) {
+      throw std::logic_error("buildRSM: odd node count at level " +
+                             std::to_string(j));
+    }
+    std::vector<NodeId> next;
+    next.reserve(order.size() / 2);
+    for (std::size_t i = 0; i + 1 < order.size(); i += 2) {
+      next.push_back(graph.addMix(order[i], order[i + 1]));
+    }
+    carry = std::move(next);
+  }
+  if (carry.size() != 1) {
+    throw std::logic_error("buildRSM: did not converge to a single root");
+  }
+  graph.finalize(carry.front());
+  return graph;
+}
+
+}  // namespace dmf::mixgraph

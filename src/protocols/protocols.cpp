@@ -1,0 +1,102 @@
+#include "protocols/protocols.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dmf::protocols {
+
+const std::vector<Protocol>& publishedProtocols() {
+  static const std::vector<Protocol> kProtocols = {
+      {"Ex.1",
+       "PCR master-mix for DNA amplification (Bio-Protocol'13; "
+       "mutationdiscovery.com)",
+       Ratio({26, 21, 2, 2, 3, 3, 199})},
+      {"Ex.2",
+       "Phenol : chloroform : isoamylalcohol, One-Step Miniprep "
+       "(Chowdhury, Nucleic Acids Res. 19(10), 1991)",
+       Ratio({128, 123, 5})},
+      {"Ex.3",
+       "Ten-fluid mixture, Molecular Barcodes method (Lopez & Erickson, "
+       "DNA Barcodes, 2012)",
+       Ratio({25, 5, 5, 5, 5, 13, 13, 25, 1, 159})},
+      {"Ex.4",
+       "Five-fluid mixture, Splinkerette PCR (Uren et al., Nature "
+       "Protocols 4(5), 2009)",
+       Ratio({9, 17, 26, 9, 195})},
+      {"Ex.5",
+       "Miniprep alkaline-lysis mixture (Cold Spring Harb. Protocols, 2006)",
+       Ratio({57, 28, 6, 6, 6, 3, 150})},
+  };
+  return kProtocols;
+}
+
+const std::vector<double>& pcrMasterMixPercentages() {
+  static const std::vector<double> kPercent = {10.0, 8.0, 0.8, 0.8,
+                                               1.0,  1.0, 78.4};
+  return kPercent;
+}
+
+Ratio pcrMasterMixRatio() { return Ratio({2, 1, 1, 1, 1, 1, 9}); }
+
+Ratio approximatePercentages(const std::vector<double>& percentages,
+                             unsigned accuracy, std::size_t bufferIndex) {
+  if (percentages.size() < 2) {
+    throw std::invalid_argument(
+        "approximatePercentages: need at least two components");
+  }
+  if (bufferIndex >= percentages.size()) {
+    throw std::invalid_argument("approximatePercentages: bad buffer index");
+  }
+  if (accuracy == 0 || accuracy > 62) {
+    throw std::invalid_argument("approximatePercentages: bad accuracy");
+  }
+  double sum = 0.0;
+  for (double p : percentages) {
+    if (!(p > 0.0)) {
+      throw std::invalid_argument(
+          "approximatePercentages: percentages must be positive");
+    }
+    sum += p;
+  }
+  if (std::abs(sum - 100.0) > 0.5) {
+    throw std::invalid_argument(
+        "approximatePercentages: percentages must sum to 100, got " +
+        std::to_string(sum));
+  }
+
+  const std::uint64_t scale = std::uint64_t{1} << accuracy;
+  if (scale < percentages.size()) {
+    throw std::invalid_argument(
+        "approximatePercentages: scale 2^" + std::to_string(accuracy) +
+        " cannot grant one unit per fluid");
+  }
+
+  std::vector<std::uint64_t> parts(percentages.size(), 0);
+  std::uint64_t allotted = 0;
+  for (std::size_t i = 0; i < percentages.size(); ++i) {
+    if (i == bufferIndex) continue;
+    const double exact =
+        percentages[i] / 100.0 * static_cast<double>(scale);
+    parts[i] =
+        std::max<std::uint64_t>(1, static_cast<std::uint64_t>(
+                                       std::llround(exact)));
+    allotted += parts[i];
+  }
+  if (allotted + 1 > scale) {
+    throw std::invalid_argument(
+        "approximatePercentages: buffer share would vanish at this accuracy");
+  }
+  parts[bufferIndex] = scale - allotted;
+  return Ratio(std::move(parts));
+}
+
+Ratio approximatePercentages(const std::vector<double>& percentages,
+                             unsigned accuracy) {
+  if (percentages.empty()) {
+    throw std::invalid_argument("approximatePercentages: empty recipe");
+  }
+  return approximatePercentages(percentages, accuracy,
+                                percentages.size() - 1);
+}
+
+}  // namespace dmf::protocols

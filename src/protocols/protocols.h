@@ -1,0 +1,54 @@
+// Published bioprotocol mixture ratios used in the paper's evaluation
+// (section 6), plus the percentage -> dyadic-ratio approximation that turns a
+// lab recipe into a biochip target ratio.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "dmf/ratio.h"
+
+namespace dmf::protocols {
+
+/// One published bioprotocol mixture.
+struct Protocol {
+  /// Paper identifier ("Ex.1" .. "Ex.5").
+  std::string id;
+  /// Human-readable description and literature source.
+  std::string description;
+  /// The target ratio at the paper's evaluation scale (L = 256).
+  Ratio ratio;
+};
+
+/// The five real-life target ratios of Table 2 (all at scale 256, d = 8).
+[[nodiscard]] const std::vector<Protocol>& publishedProtocols();
+
+/// The PCR master-mix volumetric percentages for DNA amplification:
+/// reactant buffer, dNTPs, forward primer, reverse primer, DNA template,
+/// optimase, water (sums to 100).
+[[nodiscard]] const std::vector<double>& pcrMasterMixPercentages();
+
+/// The PCR master-mix ratio at accuracy d = 4 used throughout the paper's
+/// running example: {2:1:1:1:1:1:9}.
+[[nodiscard]] Ratio pcrMasterMixRatio();
+
+/// Approximates a percentage recipe on the 2^accuracy scale the way the
+/// paper does for the PCR master-mix: every non-buffer component gets
+/// max(1, round(percent/100 * 2^accuracy)) and the buffer (largest, last by
+/// convention) absorbs the remainder. With the PCR percentages and
+/// accuracy 4 this reproduces {2:1:1:1:1:1:9} exactly.
+///
+/// `bufferIndex` selects the absorbing component. Throws
+/// std::invalid_argument when percentages are not positive, do not sum to
+/// ~100, the scale cannot fit one unit per fluid, or the buffer share would
+/// drop below one unit.
+[[nodiscard]] Ratio approximatePercentages(
+    const std::vector<double>& percentages, unsigned accuracy,
+    std::size_t bufferIndex);
+
+/// Overload defaulting the buffer to the last component.
+[[nodiscard]] Ratio approximatePercentages(
+    const std::vector<double>& percentages, unsigned accuracy);
+
+}  // namespace dmf::protocols

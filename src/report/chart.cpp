@@ -1,0 +1,60 @@
+#include "report/chart.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "report/table.h"
+
+namespace dmf::report {
+
+std::string renderChart(const std::vector<Series>& series, unsigned width,
+                        unsigned height) {
+  double xMin = std::numeric_limits<double>::infinity();
+  double xMax = -xMin;
+  double yMin = 0.0;  // figures in the paper are zero-anchored
+  double yMax = -std::numeric_limits<double>::infinity();
+  bool any = false;
+  for (const Series& s : series) {
+    for (const auto& [x, y] : s.points) {
+      xMin = std::min(xMin, x);
+      xMax = std::max(xMax, x);
+      yMax = std::max(yMax, y);
+      any = true;
+    }
+  }
+  if (!any || width < 2 || height < 2) return {};
+  if (xMax == xMin) xMax = xMin + 1;
+  if (yMax <= yMin) yMax = yMin + 1;
+
+  std::vector<std::string> grid(height, std::string(width, ' '));
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    const char glyph = static_cast<char>('A' + (si % 26));
+    for (const auto& [x, y] : series[si].points) {
+      const auto col = static_cast<unsigned>(std::lround(
+          (x - xMin) / (xMax - xMin) * (width - 1)));
+      const auto row = static_cast<unsigned>(std::lround(
+          (y - yMin) / (yMax - yMin) * (height - 1)));
+      grid[height - 1 - row][col] = glyph;
+    }
+  }
+
+  std::string out;
+  for (unsigned r = 0; r < height; ++r) {
+    const double yTop = yMax - (yMax - yMin) * r / (height - 1);
+    std::string label = fixed(yTop, 1);
+    label.insert(0, label.size() < 8 ? 8 - label.size() : 0, ' ');
+    out += label + " |" + grid[r] + "\n";
+  }
+  out += std::string(9, ' ') + '+' + std::string(width, '-') + "\n";
+  out += std::string(10, ' ') + "x: " + fixed(xMin, 0) + " .. " +
+         fixed(xMax, 0) + "\n";
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    out += std::string(10, ' ');
+    out += static_cast<char>('A' + (si % 26));
+    out += " = " + series[si].name + "\n";
+  }
+  return out;
+}
+
+}  // namespace dmf::report

@@ -1,0 +1,23 @@
+// Minimal ASCII line charts for the figure-reproduction benches (Fig 6/7).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace dmf::report {
+
+/// One plotted series.
+struct Series {
+  std::string name;
+  /// (x, y) points; x values should match across series for the shared axis.
+  std::vector<std::pair<double, double>> points;
+};
+
+/// Renders series as an ASCII chart of the given plot size, one glyph per
+/// series ('A', 'B', ...), with a y-axis scale and an x range footer.
+/// Returns an empty string when there is nothing to plot.
+[[nodiscard]] std::string renderChart(const std::vector<Series>& series,
+                                      unsigned width = 64,
+                                      unsigned height = 16);
+
+}  // namespace dmf::report

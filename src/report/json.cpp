@@ -1,0 +1,140 @@
+#include "report/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace dmf::report {
+
+std::string jsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (char ch : text) {
+    switch (ch) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(ch)));
+          out += buffer;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+Json Json::string(std::string value) {
+  Json j(Kind::kString);
+  j.text_ = std::move(value);
+  return j;
+}
+
+Json Json::number(double value) {
+  if (!std::isfinite(value)) {
+    throw std::invalid_argument("Json::number: non-finite value");
+  }
+  Json j(Kind::kNumber);
+  j.num_ = value;
+  return j;
+}
+
+Json Json::number(std::uint64_t value) {
+  Json j(Kind::kUnsigned);
+  j.unsigned_ = value;
+  return j;
+}
+
+Json Json::boolean(bool value) {
+  Json j(Kind::kBool);
+  j.bool_ = value;
+  return j;
+}
+
+Json& Json::set(const std::string& key, Json value) {
+  if (kind_ != Kind::kObject) {
+    throw std::logic_error("Json::set: not an object");
+  }
+  fields_.emplace_back(key, std::move(value));
+  return *this;
+}
+
+Json& Json::push(Json value) {
+  if (kind_ != Kind::kArray) {
+    throw std::logic_error("Json::push: not an array");
+  }
+  items_.push_back(std::move(value));
+  return *this;
+}
+
+std::string Json::dump(unsigned indent) const {
+  std::string out;
+  dumpTo(out, indent, 0);
+  if (indent > 0) out += '\n';
+  return out;
+}
+
+void Json::dumpTo(std::string& out, unsigned indent, unsigned depth) const {
+  const std::string pad =
+      indent == 0 ? "" : "\n" + std::string((depth + 1) * indent, ' ');
+  const std::string padClose =
+      indent == 0 ? "" : "\n" + std::string(depth * indent, ' ');
+  switch (kind_) {
+    case Kind::kObject: {
+      out += '{';
+      for (std::size_t i = 0; i < fields_.size(); ++i) {
+        if (i != 0) out += ',';
+        out += pad + '"' + jsonEscape(fields_[i].first) + "\":";
+        if (indent > 0) out += ' ';
+        fields_[i].second.dumpTo(out, indent, depth + 1);
+      }
+      if (!fields_.empty()) out += padClose;
+      out += '}';
+      break;
+    }
+    case Kind::kArray: {
+      out += '[';
+      for (std::size_t i = 0; i < items_.size(); ++i) {
+        if (i != 0) out += ',';
+        out += pad;
+        items_[i].dumpTo(out, indent, depth + 1);
+      }
+      if (!items_.empty()) out += padClose;
+      out += ']';
+      break;
+    }
+    case Kind::kString:
+      out += '"' + jsonEscape(text_) + '"';
+      break;
+    case Kind::kNumber: {
+      char buffer[32];
+      std::snprintf(buffer, sizeof(buffer), "%.10g", num_);
+      out += buffer;
+      break;
+    }
+    case Kind::kUnsigned:
+      out += std::to_string(unsigned_);
+      break;
+    case Kind::kBool:
+      out += bool_ ? "true" : "false";
+      break;
+  }
+}
+
+}  // namespace dmf::report

@@ -1,0 +1,51 @@
+// Minimal JSON writer for machine-readable plan exports (no external
+// dependencies; emits UTF-8 with escaped strings).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace dmf::report {
+
+/// A JSON value (object/array/string/number/bool). Build with the static
+/// factories, then render with dump().
+class Json {
+ public:
+  static Json object() { return Json(Kind::kObject); }
+  static Json array() { return Json(Kind::kArray); }
+  static Json string(std::string value);
+  static Json number(double value);
+  static Json number(std::uint64_t value);
+  static Json boolean(bool value);
+
+  /// Object field insertion (fields render in insertion order).
+  /// Throws std::logic_error when called on a non-object.
+  Json& set(const std::string& key, Json value);
+  /// Array append. Throws std::logic_error when called on a non-array.
+  Json& push(Json value);
+
+  /// Serializes; `indent` > 0 pretty-prints with that many spaces per level.
+  [[nodiscard]] std::string dump(unsigned indent = 0) const;
+
+ private:
+  enum class Kind { kObject, kArray, kString, kNumber, kUnsigned, kBool };
+  explicit Json(Kind kind) : kind_(kind) {}
+
+  void dumpTo(std::string& out, unsigned indent, unsigned depth) const;
+
+  Kind kind_;
+  std::vector<std::pair<std::string, Json>> fields_;
+  std::vector<Json> items_;
+  std::string text_;
+  double num_ = 0.0;
+  std::uint64_t unsigned_ = 0;
+  bool bool_ = false;
+};
+
+/// Escapes a string for JSON embedding.
+[[nodiscard]] std::string jsonEscape(const std::string& text);
+
+}  // namespace dmf::report

@@ -1,0 +1,38 @@
+// Fixed-width text tables and CSV emission for the benchmark harnesses.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace dmf::report {
+
+/// A simple column-aligned table builder.
+class Table {
+ public:
+  /// Creates a table with the given column headers.
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; must have exactly as many cells as there are headers
+  /// (throws std::invalid_argument otherwise).
+  void addRow(std::vector<std::string> cells);
+
+  /// Number of data rows.
+  [[nodiscard]] std::size_t rowCount() const { return rows_.size(); }
+
+  /// Renders with padded columns and a header separator.
+  [[nodiscard]] std::string render() const;
+
+  /// Renders as CSV (no escaping needed for the numeric content we emit;
+  /// cells containing commas or quotes are quoted defensively anyway).
+  [[nodiscard]] std::string toCsv() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` decimal places.
+[[nodiscard]] std::string fixed(double value, int digits = 1);
+
+}  // namespace dmf::report

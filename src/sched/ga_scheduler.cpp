@@ -1,0 +1,161 @@
+#include "sched/ga_scheduler.h"
+
+#include <algorithm>
+#include <random>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "sched/schedulers.h"
+
+namespace dmf::sched {
+
+using forest::DropletFate;
+using forest::kNoTask;
+using forest::Task;
+using forest::TaskForest;
+using forest::TaskId;
+
+namespace {
+
+// Decodes a random-key chromosome into a schedule: ready tasks run in
+// ascending key order, at most `mixers` per cycle.
+Schedule decode(const TaskForest& forest, unsigned mixers,
+                const std::vector<double>& keys) {
+  Schedule s;
+  s.mixerCount = mixers;
+  s.scheme = "GA";
+  s.assignments.assign(forest.taskCount(), Assignment{});
+
+  std::vector<unsigned> pending(forest.taskCount(), 0);
+  for (TaskId id = 0; id < forest.taskCount(); ++id) {
+    const Task& t = forest.task(id);
+    pending[id] = (t.depLeft != kNoTask ? 1u : 0u) +
+                  (t.depRight != kNoTask ? 1u : 0u);
+  }
+  std::set<std::pair<double, TaskId>> ready;
+  std::vector<std::vector<TaskId>> arrivals(2);
+  for (TaskId id = 0; id < forest.taskCount(); ++id) {
+    if (pending[id] == 0) arrivals[1].push_back(id);
+  }
+  std::size_t remaining = forest.taskCount();
+  for (unsigned t = 1; remaining > 0; ++t) {
+    if (t < arrivals.size()) {
+      for (TaskId id : arrivals[t]) ready.insert({keys[id], id});
+      arrivals[t].clear();
+    }
+    for (unsigned k = 0; k < mixers && !ready.empty(); ++k) {
+      const TaskId id = ready.begin()->second;
+      ready.erase(ready.begin());
+      s.assignments[id] = Assignment{t, k};
+      s.completionTime = t;
+      --remaining;
+      for (const auto& drop : forest.task(id).out) {
+        if (drop.fate != DropletFate::kConsumed) continue;
+        if (--pending[drop.consumer] == 0) {
+          if (arrivals.size() <= t + 1) arrivals.resize(t + 2);
+          arrivals[t + 1].push_back(drop.consumer);
+        }
+      }
+    }
+  }
+  return s;
+}
+
+// Lexicographic fitness: completion time, then storage. Smaller is better.
+std::pair<unsigned, unsigned> fitness(const TaskForest& forest,
+                                      const Schedule& s) {
+  return {s.completionTime, countStorage(forest, s)};
+}
+
+}  // namespace
+
+Schedule scheduleGA(const TaskForest& forest, unsigned mixers,
+                    const GaOptions& options) {
+  if (mixers == 0) {
+    throw std::invalid_argument("scheduleGA: at least one mixer required");
+  }
+  if (options.population == 0 || options.elites >= options.population ||
+      options.tournament == 0) {
+    throw std::invalid_argument("scheduleGA: degenerate GA options");
+  }
+  const std::size_t n = forest.taskCount();
+  if (n == 0) {
+    Schedule s;
+    s.mixerCount = mixers;
+    s.scheme = "GA";
+    return s;
+  }
+
+  std::mt19937_64 rng(options.seed);
+  std::uniform_real_distribution<double> uniform(0.0, 1.0);
+
+  struct Individual {
+    std::vector<double> keys;
+    std::pair<unsigned, unsigned> score;
+  };
+
+  auto evaluate = [&](const std::vector<double>& keys) {
+    return fitness(forest, decode(forest, mixers, keys));
+  };
+
+  std::vector<Individual> population;
+  population.reserve(options.population);
+
+  // Seed with a critical-path individual (keys = -colevel via the OMS
+  // schedule's cycle order) so the GA never starts worse than plain list
+  // scheduling.
+  {
+    const Schedule oms = scheduleOMS(forest, mixers);
+    std::vector<double> keys(n);
+    for (TaskId id = 0; id < n; ++id) {
+      keys[id] = static_cast<double>(oms.assignments[id].cycle) +
+                 1e-6 * static_cast<double>(id);
+    }
+    population.push_back({keys, evaluate(keys)});
+  }
+  while (population.size() < options.population) {
+    std::vector<double> keys(n);
+    for (double& key : keys) key = uniform(rng);
+    population.push_back({keys, evaluate(keys)});
+  }
+
+  auto better = [](const Individual& a, const Individual& b) {
+    return a.score < b.score;
+  };
+
+  for (unsigned gen = 0; gen < options.generations; ++gen) {
+    std::sort(population.begin(), population.end(), better);
+    std::vector<Individual> next(population.begin(),
+                                 population.begin() + options.elites);
+    auto tournamentPick = [&]() -> const Individual& {
+      std::size_t best = rng() % population.size();
+      for (unsigned t = 1; t < options.tournament; ++t) {
+        const std::size_t challenger = rng() % population.size();
+        if (population[challenger].score < population[best].score) {
+          best = challenger;
+        }
+      }
+      return population[best];
+    };
+    while (next.size() < options.population) {
+      const Individual& a = tournamentPick();
+      const Individual& b = tournamentPick();
+      std::vector<double> child(n);
+      for (std::size_t g = 0; g < n; ++g) {
+        child[g] = (rng() & 1u) ? a.keys[g] : b.keys[g];
+        if (uniform(rng) < options.mutationRate) {
+          child[g] = uniform(rng);
+        }
+      }
+      next.push_back({child, evaluate(child)});
+    }
+    population = std::move(next);
+  }
+
+  std::sort(population.begin(), population.end(), better);
+  Schedule best = decode(forest, mixers, population.front().keys);
+  return best;
+}
+
+}  // namespace dmf::sched

@@ -1,0 +1,40 @@
+// Genetic-algorithm scheduling (after Su & Chakrabarty's GA synthesis, the
+// paper's reference [22]) — an alternative to the deterministic MMS/SRS/OMS
+// engines, used by the scheduler-ablation bench.
+//
+// Chromosomes are random-key priority vectors; decoding is list scheduling
+// with the keys as priorities, so every individual is a feasible schedule by
+// construction. Fitness minimizes completion time first and storage units
+// second.
+#pragma once
+
+#include <cstdint>
+
+#include "forest/task_forest.h"
+#include "sched/schedule.h"
+
+namespace dmf::sched {
+
+/// GA tuning knobs. Defaults converge on forest sizes up to a few hundred
+/// tasks in well under a second.
+struct GaOptions {
+  std::uint64_t seed = 1;
+  unsigned population = 32;
+  unsigned generations = 60;
+  /// Tournament size for parent selection.
+  unsigned tournament = 3;
+  /// Individuals copied unchanged into the next generation.
+  unsigned elites = 2;
+  /// Per-gene probability of mutation (key resampled).
+  double mutationRate = 0.05;
+};
+
+/// Runs the GA and returns the best schedule found (never worse than the
+/// plain critical-path seed individual). Deterministic for a fixed seed.
+/// Throws std::invalid_argument if mixers == 0 or options are degenerate
+/// (empty population, elites >= population).
+[[nodiscard]] Schedule scheduleGA(const forest::TaskForest& forest,
+                                  unsigned mixers,
+                                  const GaOptions& options = {});
+
+}  // namespace dmf::sched

@@ -1,0 +1,18 @@
+// ASCII rendering of a schedule as a modified Gantt chart (paper Fig. 4):
+// one row per mixer, one column per time-cycle, plus the storage-occupancy
+// profile and the target-droplet emission sequence.
+#pragma once
+
+#include <string>
+
+#include "sched/schedule.h"
+
+namespace dmf::sched {
+
+/// Renders the schedule. Cells show the component tree and base-graph node of
+/// each mix-split ("m<tree>.<node>"); the footer rows show per-cycle storage
+/// occupancy and the number of target droplets emitted per cycle.
+[[nodiscard]] std::string renderGantt(const forest::TaskForest& forest,
+                                      const Schedule& s);
+
+}  // namespace dmf::sched

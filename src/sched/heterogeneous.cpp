@@ -1,0 +1,163 @@
+#include "sched/heterogeneous.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <stdexcept>
+
+namespace dmf::sched {
+
+using forest::DropletFate;
+using forest::kNoTask;
+using forest::Task;
+using forest::TaskForest;
+using forest::TaskId;
+
+MixerBank uniformBank(unsigned mixers, unsigned cycles) {
+  return MixerBank{std::vector<unsigned>(mixers, cycles)};
+}
+
+Schedule scheduleHeterogeneous(const TaskForest& forest,
+                               const MixerBank& bank) {
+  if (bank.size() == 0) {
+    throw std::invalid_argument("scheduleHeterogeneous: empty mixer bank");
+  }
+  for (unsigned cycles : bank.cyclesPerMix) {
+    if (cycles == 0) {
+      throw std::invalid_argument(
+          "scheduleHeterogeneous: zero-cycle mixer duration");
+    }
+  }
+  Schedule s;
+  s.mixerCount = static_cast<unsigned>(bank.size());
+  s.scheme = "HET";
+  s.assignments.assign(forest.taskCount(), Assignment{});
+  if (forest.taskCount() == 0) return s;
+  const std::size_t n = forest.taskCount();
+
+  // Longest remaining dependency chain first (Hu priority).
+  std::vector<unsigned> colevel(n, 1);
+  for (TaskId id = static_cast<TaskId>(n); id-- > 0;) {
+    for (const auto& drop : forest.task(id).out) {
+      if (drop.fate == DropletFate::kConsumed) {
+        colevel[id] = std::max(colevel[id], colevel[drop.consumer] + 1);
+      }
+    }
+  }
+
+  std::vector<unsigned> pending(n, 0);
+  for (TaskId id = 0; id < n; ++id) {
+    const Task& t = forest.task(id);
+    pending[id] = (t.depLeft != kNoTask ? 1u : 0u) +
+                  (t.depRight != kNoTask ? 1u : 0u);
+  }
+  std::map<unsigned, std::vector<TaskId>> arrivals;
+  // Earliest cycle a task may start: one past the latest operand finish
+  // (operands can finish out of scheduling order on a mixed bank).
+  std::vector<unsigned> readyAt(n, 1);
+  for (TaskId id = 0; id < n; ++id) {
+    if (pending[id] == 0) arrivals[1].push_back(id);
+  }
+
+  // Mixers ordered fastest-first; freeAt[m] = first idle cycle.
+  std::vector<unsigned> order(bank.size());
+  for (unsigned m = 0; m < bank.size(); ++m) order[m] = m;
+  std::stable_sort(order.begin(), order.end(), [&](unsigned a, unsigned b) {
+    return bank.cyclesPerMix[a] < bank.cyclesPerMix[b];
+  });
+  std::vector<unsigned> freeAt(bank.size(), 1);
+
+  std::set<std::pair<int, TaskId>> ready;
+  std::size_t remaining = n;
+  for (unsigned t = 1; remaining > 0; ++t) {
+    const auto it = arrivals.find(t);
+    if (it != arrivals.end()) {
+      for (TaskId id : it->second) {
+        ready.insert({-static_cast<int>(colevel[id]), id});
+      }
+      arrivals.erase(it);
+    }
+    for (unsigned m : order) {
+      if (ready.empty()) break;
+      if (freeAt[m] > t) continue;
+      const TaskId id = ready.begin()->second;
+      ready.erase(ready.begin());
+      s.assignments[id] = Assignment{t, m};
+      const unsigned finish = t + bank.cyclesPerMix[m] - 1;
+      freeAt[m] = finish + 1;
+      s.completionTime = std::max(s.completionTime, finish);
+      --remaining;
+      for (const auto& drop : forest.task(id).out) {
+        if (drop.fate != DropletFate::kConsumed) continue;
+        readyAt[drop.consumer] = std::max(readyAt[drop.consumer], finish + 1);
+        if (--pending[drop.consumer] == 0) {
+          arrivals[readyAt[drop.consumer]].push_back(drop.consumer);
+        }
+      }
+    }
+    if (ready.empty() && remaining > 0 && arrivals.empty()) {
+      throw std::logic_error("scheduleHeterogeneous: stalled");
+    }
+  }
+  return s;
+}
+
+unsigned finishCycle(const Schedule& s, const MixerBank& bank, TaskId id) {
+  const Assignment& a = s.assignments[id];
+  return a.cycle + bank.cyclesPerMix[a.mixer] - 1;
+}
+
+void validateHeterogeneous(const TaskForest& forest, const Schedule& s,
+                           const MixerBank& bank) {
+  if (s.assignments.size() != forest.taskCount()) {
+    throw std::logic_error("validateHeterogeneous: assignment count mismatch");
+  }
+  // Per-mixer occupancy intervals must be disjoint.
+  std::vector<std::vector<std::pair<unsigned, unsigned>>> busy(bank.size());
+  for (TaskId id = 0; id < forest.taskCount(); ++id) {
+    const Assignment& a = s.assignments[id];
+    if (a.cycle == 0) {
+      throw std::logic_error("validateHeterogeneous: unscheduled task");
+    }
+    if (a.mixer >= bank.size()) {
+      throw std::logic_error("validateHeterogeneous: mixer out of range");
+    }
+    busy[a.mixer].push_back({a.cycle, finishCycle(s, bank, id)});
+    const Task& t = forest.task(id);
+    for (TaskId dep : {t.depLeft, t.depRight}) {
+      if (dep != kNoTask && finishCycle(s, bank, dep) >= a.cycle) {
+        throw std::logic_error(
+            "validateHeterogeneous: operand not ready at task " +
+            std::to_string(id));
+      }
+    }
+  }
+  for (auto& intervals : busy) {
+    std::sort(intervals.begin(), intervals.end());
+    for (std::size_t i = 1; i < intervals.size(); ++i) {
+      if (intervals[i].first <= intervals[i - 1].second) {
+        throw std::logic_error(
+            "validateHeterogeneous: overlapping mixes on one mixer");
+      }
+    }
+  }
+}
+
+unsigned countStorageHeterogeneous(const TaskForest& forest,
+                                   const Schedule& s, const MixerBank& bank) {
+  std::vector<unsigned> storage(s.completionTime + 2, 0);
+  unsigned peak = 0;
+  for (TaskId id = 0; id < forest.taskCount(); ++id) {
+    const unsigned produced = finishCycle(s, bank, id);
+    for (const auto& drop : forest.task(id).out) {
+      if (drop.fate != DropletFate::kConsumed) continue;
+      const unsigned consumed = s.assignments[drop.consumer].cycle;
+      for (unsigned i = produced + 1; i < consumed; ++i) {
+        peak = std::max(peak, ++storage[i]);
+      }
+    }
+  }
+  return peak;
+}
+
+}  // namespace dmf::sched

@@ -1,0 +1,52 @@
+// Scheduling on heterogeneous mixer banks.
+//
+// The paper assumes every (1:1) mix-split takes one time-cycle in any mixer.
+// Real module libraries (Su & Chakrabarty) offer mixers of different
+// footprints and speeds: a 2x3 mixer finishes a mix in fewer cycles than a
+// 2x2. This module generalizes the forest schedulers to per-mixer mix
+// durations; with an all-ones bank it reduces exactly to the unit model.
+#pragma once
+
+#include <vector>
+
+#include "forest/task_forest.h"
+#include "sched/schedule.h"
+
+namespace dmf::sched {
+
+/// A bank of on-chip mixers; entry m is the number of cycles one mix-split
+/// occupies mixer m.
+struct MixerBank {
+  std::vector<unsigned> cyclesPerMix;
+
+  [[nodiscard]] std::size_t size() const { return cyclesPerMix.size(); }
+};
+
+/// A bank of `mixers` unit-speed mixers (the paper's model).
+[[nodiscard]] MixerBank uniformBank(unsigned mixers, unsigned cycles = 1);
+
+/// List-schedules the forest on the bank: ready tasks (longest remaining
+/// chain first) grab the fastest free mixer. A task starting at cycle t on
+/// mixer m occupies it for bank.cyclesPerMix[m] cycles; its droplets are
+/// available the cycle after it finishes. Throws std::invalid_argument on an
+/// empty bank or zero durations.
+[[nodiscard]] Schedule scheduleHeterogeneous(const forest::TaskForest& forest,
+                                             const MixerBank& bank);
+
+/// Finish cycle of a task under the bank (start cycle + duration - 1).
+[[nodiscard]] unsigned finishCycle(const Schedule& s, const MixerBank& bank,
+                                   forest::TaskId id);
+
+/// Validates a heterogeneous schedule: per-mixer occupancy intervals must
+/// not overlap and every operand must finish strictly before its consumer
+/// starts. Throws std::logic_error naming the violation.
+void validateHeterogeneous(const forest::TaskForest& forest,
+                           const Schedule& s, const MixerBank& bank);
+
+/// Algorithm 3 generalized: droplets occupy storage from the cycle after
+/// their producer finishes until the cycle before their consumer starts.
+[[nodiscard]] unsigned countStorageHeterogeneous(
+    const forest::TaskForest& forest, const Schedule& s,
+    const MixerBank& bank);
+
+}  // namespace dmf::sched

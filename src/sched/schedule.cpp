@@ -1,0 +1,89 @@
+#include "sched/schedule.h"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+namespace dmf::sched {
+
+using forest::DropletFate;
+using forest::kNoTask;
+using forest::Task;
+using forest::TaskForest;
+using forest::TaskId;
+
+void validateOrThrow(const TaskForest& forest, const Schedule& s) {
+  if (s.assignments.size() != forest.taskCount()) {
+    throw std::logic_error("Schedule: assignment count mismatch");
+  }
+  if (s.mixerCount == 0 && forest.taskCount() > 0) {
+    throw std::logic_error("Schedule: zero mixers");
+  }
+  unsigned last = 0;
+  std::set<std::pair<unsigned, unsigned>> slots;
+  for (TaskId id = 0; id < forest.taskCount(); ++id) {
+    const Assignment& a = s.assignments[id];
+    if (a.cycle == 0) {
+      throw std::logic_error("Schedule: task " + std::to_string(id) +
+                             " unscheduled");
+    }
+    if (a.mixer >= s.mixerCount) {
+      throw std::logic_error("Schedule: mixer index out of range");
+    }
+    if (!slots.insert({a.cycle, a.mixer}).second) {
+      throw std::logic_error("Schedule: two mix-splits share cycle " +
+                             std::to_string(a.cycle) + " mixer " +
+                             std::to_string(a.mixer));
+    }
+    const Task& t = forest.task(id);
+    for (TaskId dep : {t.depLeft, t.depRight}) {
+      if (dep != kNoTask && s.assignments[dep].cycle >= a.cycle) {
+        throw std::logic_error("Schedule: precedence violated at task " +
+                               std::to_string(id));
+      }
+    }
+    last = std::max(last, a.cycle);
+  }
+  if (last != s.completionTime) {
+    throw std::logic_error("Schedule: completionTime " +
+                           std::to_string(s.completionTime) +
+                           " != last busy cycle " + std::to_string(last));
+  }
+}
+
+std::vector<unsigned> storageProfile(const TaskForest& forest,
+                                     const Schedule& s) {
+  std::vector<unsigned> storage(s.completionTime + 1, 0);
+  for (TaskId id = 0; id < forest.taskCount(); ++id) {
+    const unsigned produced = s.assignments[id].cycle;
+    for (const auto& drop : forest.task(id).out) {
+      if (drop.fate != DropletFate::kConsumed) continue;
+      const unsigned consumed = s.assignments[drop.consumer].cycle;
+      for (unsigned i = produced + 1; i < consumed; ++i) {
+        ++storage[i];
+      }
+    }
+  }
+  return storage;
+}
+
+unsigned countStorage(const TaskForest& forest, const Schedule& s) {
+  const std::vector<unsigned> profile = storageProfile(forest, s);
+  return profile.empty() ? 0 : *std::max_element(profile.begin(), profile.end());
+}
+
+std::vector<unsigned> emissionCycles(const TaskForest& forest,
+                                     const Schedule& s) {
+  std::vector<unsigned> cycles;
+  for (TaskId id = 0; id < forest.taskCount(); ++id) {
+    for (const auto& drop : forest.task(id).out) {
+      if (drop.fate == DropletFate::kTarget) {
+        cycles.push_back(s.assignments[id].cycle);
+      }
+    }
+  }
+  std::sort(cycles.begin(), cycles.end());
+  return cycles;
+}
+
+}  // namespace dmf::sched

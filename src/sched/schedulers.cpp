@@ -1,0 +1,546 @@
+#include "sched/schedulers.h"
+
+#include <algorithm>
+#include <deque>
+#include <optional>
+#include <set>
+#include <stdexcept>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+namespace dmf::sched {
+
+using forest::DropletFate;
+using forest::kNoTask;
+using forest::OperandClass;
+using forest::Task;
+using forest::TaskForest;
+using forest::TaskId;
+
+namespace {
+
+// Shared list-scheduling driver. A Policy receives the tasks that become
+// schedulable at the current cycle (add) and yields at most `capacity` tasks
+// to run this cycle (take). The driver handles readiness bookkeeping: a task
+// becomes schedulable the cycle after its last operand is produced.
+template <typename Policy>
+Schedule runListScheduler(const TaskForest& forest, unsigned mixers,
+                          Policy policy, std::string name) {
+  if (mixers == 0) {
+    throw std::invalid_argument(name + ": at least one mixer required");
+  }
+  Schedule s;
+  s.mixerCount = mixers;
+  s.scheme = std::move(name);
+  s.assignments.assign(forest.taskCount(), Assignment{});
+  if (forest.taskCount() == 0) return s;
+
+  std::vector<unsigned> pending(forest.taskCount(), 0);
+  for (TaskId id = 0; id < forest.taskCount(); ++id) {
+    const Task& t = forest.task(id);
+    pending[id] = (t.depLeft != kNoTask ? 1u : 0u) +
+                  (t.depRight != kNoTask ? 1u : 0u);
+  }
+
+  // arrivals[t] = tasks that become schedulable at cycle t (1-based).
+  std::vector<std::vector<TaskId>> arrivals(2);
+  for (TaskId id = 0; id < forest.taskCount(); ++id) {
+    if (pending[id] == 0) arrivals[1].push_back(id);
+  }
+
+  std::size_t remaining = forest.taskCount();
+  std::vector<TaskId> batch;
+  for (unsigned t = 1; remaining > 0; ++t) {
+    if (t < arrivals.size()) {
+      policy.add(arrivals[t]);
+      arrivals[t].clear();
+    }
+    batch.clear();
+    policy.take(mixers, batch);
+    // Mixers are assigned in increasing index order (paper Algorithms 1/2).
+    for (unsigned k = 0; k < batch.size(); ++k) {
+      const TaskId id = batch[k];
+      s.assignments[id] = Assignment{t, k};
+      --remaining;
+      for (const auto& drop : forest.task(id).out) {
+        if (drop.fate != DropletFate::kConsumed) continue;
+        if (--pending[drop.consumer] == 0) {
+          if (arrivals.size() <= t + 1) arrivals.resize(t + 2);
+          arrivals[t + 1].push_back(drop.consumer);
+        }
+      }
+    }
+    s.completionTime = batch.empty() ? s.completionTime : t;
+    if (batch.empty() && remaining > 0 && t >= arrivals.size()) {
+      throw std::logic_error(s.scheme + ": scheduler stalled");
+    }
+  }
+  return s;
+}
+
+// Algorithm 1 policy: plain FIFO; same-cycle arrivals enter ordered by level
+// ascending ("from level l upwards"), ties by task id.
+class MmsPolicy {
+ public:
+  explicit MmsPolicy(const TaskForest& forest) : forest_(&forest) {}
+
+  void add(std::vector<TaskId>& arrivals) {
+    std::sort(arrivals.begin(), arrivals.end(), [this](TaskId a, TaskId b) {
+      const unsigned la = forest_->task(a).level;
+      const unsigned lb = forest_->task(b).level;
+      return la != lb ? la < lb : a < b;
+    });
+    queue_.insert(queue_.end(), arrivals.begin(), arrivals.end());
+  }
+
+  void take(unsigned capacity, std::vector<TaskId>& out) {
+    while (capacity-- > 0 && !queue_.empty()) {
+      out.push_back(queue_.front());
+      queue_.pop_front();
+    }
+  }
+
+ private:
+  const TaskForest* forest_;
+  std::deque<TaskId> queue_;
+};
+
+// Literal Algorithm 2 policy: Q_int (Type-A/B, highest level first) is served
+// before Q_leaf (Type-C, lowest level first); when |Q_int| >= Mc no Type-C
+// node runs this cycle, matching the paper's dequeue formula
+// max(0, min(Mc - |Q_int|, |Q_leaf|)).
+class SrsGreedyPolicy {
+ public:
+  explicit SrsGreedyPolicy(const TaskForest& forest) : forest_(&forest) {}
+
+  void add(std::vector<TaskId>& arrivals) {
+    for (TaskId id : arrivals) {
+      const Task& t = forest_->task(id);
+      if (t.operandClass == OperandClass::kTypeC) {
+        qLeaf_.insert({static_cast<int>(t.level), id});
+      } else {
+        qInt_.insert({-static_cast<int>(t.level), id});
+      }
+    }
+  }
+
+  void take(unsigned capacity, std::vector<TaskId>& out) {
+    const std::size_t intNodes = qInt_.size();
+    for (unsigned k = 0; k < capacity && !qInt_.empty(); ++k) {
+      out.push_back(qInt_.begin()->second);
+      qInt_.erase(qInt_.begin());
+    }
+    if (capacity > intNodes) {
+      unsigned leafBudget = capacity - static_cast<unsigned>(intNodes);
+      while (leafBudget-- > 0 && !qLeaf_.empty()) {
+        out.push_back(qLeaf_.begin()->second);
+        qLeaf_.erase(qLeaf_.begin());
+      }
+    }
+  }
+
+ private:
+  const TaskForest* forest_;
+  std::set<std::pair<int, TaskId>> qInt_;
+  std::set<std::pair<int, TaskId>> qLeaf_;
+};
+
+// Hu / critical-path policy: longest path to an emitted droplet first.
+class OmsPolicy {
+ public:
+  explicit OmsPolicy(std::vector<unsigned> colevel)
+      : colevel_(std::move(colevel)) {}
+
+  void add(std::vector<TaskId>& arrivals) {
+    for (TaskId id : arrivals) {
+      queue_.insert({-static_cast<int>(colevel_[id]), id});
+    }
+  }
+
+  void take(unsigned capacity, std::vector<TaskId>& out) {
+    while (capacity-- > 0 && !queue_.empty()) {
+      out.push_back(queue_.begin()->second);
+      queue_.erase(queue_.begin());
+    }
+  }
+
+ private:
+  std::vector<unsigned> colevel_;
+  std::set<std::pair<int, TaskId>> queue_;
+};
+
+// colevel(v) = length of the longest dependency chain starting at v
+// (inclusive). Task ids are level-ascending, so consumers always have larger
+// ids and one descending sweep suffices.
+std::vector<unsigned> computeColevels(const TaskForest& forest) {
+  std::vector<unsigned> colevel(forest.taskCount(), 1);
+  for (TaskId id = static_cast<TaskId>(forest.taskCount()); id-- > 0;) {
+    for (const auto& drop : forest.task(id).out) {
+      if (drop.fate == DropletFate::kConsumed) {
+        colevel[id] = std::max(colevel[id], colevel[drop.consumer] + 1);
+      }
+    }
+  }
+  return colevel;
+}
+
+}  // namespace
+
+Schedule scheduleMMS(const TaskForest& forest, unsigned mixers) {
+  return runListScheduler(forest, mixers, MmsPolicy(forest), "MMS");
+}
+
+Schedule scheduleSRSGreedy(const TaskForest& forest, unsigned mixers) {
+  return runListScheduler(forest, mixers, SrsGreedyPolicy(forest),
+                          "SRS-greedy");
+}
+
+namespace {
+
+// Latest-feasible (just-in-time) schedule: list-schedule the reversed
+// precedence DAG, then mirror the result in time, so droplets are produced
+// as late as the mixer bank allows.
+Schedule scheduleJustInTime(const TaskForest& forest, unsigned mixers) {
+  Schedule s;
+  s.mixerCount = mixers;
+  s.scheme = "SRS";
+  s.assignments.assign(forest.taskCount(), Assignment{});
+  if (forest.taskCount() == 0) return s;
+
+  // Storage shrinks when droplets are produced just before they are
+  // consumed. SRS therefore schedules every mix-split as LATE as the mixer
+  // bank allows: list-schedule the reversed precedence DAG (consumers release
+  // their producers), then mirror the result in time. Stalling a mix-split
+  // never parks extra droplets beyond its own operands, and Type-C nodes —
+  // whose stall is free (section 4.2.2) — end up deferred the most: they sit
+  // at the reversed DAG's deepest positions. Mixers idle rather than dispense
+  // early, the behaviour the paper attributes to SRS.
+  const std::size_t n = forest.taskCount();
+
+  // Reverse chain length: longest path from a task back through its operand
+  // producers (its successors in the reversed DAG).
+  std::vector<unsigned> revColevel(n, 1);
+  for (TaskId id = 0; id < n; ++id) {
+    const Task& t = forest.task(id);
+    for (TaskId dep : {t.depLeft, t.depRight}) {
+      if (dep != kNoTask) {
+        revColevel[id] = std::max(revColevel[id], revColevel[dep] + 1);
+      }
+    }
+  }
+
+  // Reverse readiness: a task is reverse-ready once every consumer of its
+  // droplets is reverse-scheduled. Root instances (no consumers) seed it.
+  std::vector<unsigned> pending(n, 0);
+  for (TaskId id = 0; id < n; ++id) {
+    for (const auto& drop : forest.task(id).out) {
+      if (drop.fate == DropletFate::kConsumed) ++pending[id];
+    }
+  }
+
+  std::vector<std::vector<TaskId>> arrivals(2);
+  for (TaskId id = 0; id < n; ++id) {
+    if (pending[id] == 0) arrivals[1].push_back(id);
+  }
+
+  // Priority: longest reverse chain first (Hu on the reversed DAG), breaking
+  // ties in favour of Type-C nodes (defer them furthest in forward time),
+  // then by task id for determinism.
+  auto key = [&](TaskId id) {
+    const bool typeC =
+        forest.task(id).operandClass == OperandClass::kTypeC;
+    return std::tuple<int, int, TaskId>(-static_cast<int>(revColevel[id]),
+                                        typeC ? 0 : 1, id);
+  };
+  std::set<std::tuple<int, int, TaskId>> ready;
+
+  std::vector<unsigned> revCycle(n, 0);
+  std::size_t remaining = n;
+  unsigned span = 0;
+  for (unsigned t = 1; remaining > 0; ++t) {
+    if (t < arrivals.size()) {
+      for (TaskId id : arrivals[t]) ready.insert(key(id));
+      arrivals[t].clear();
+    }
+    for (unsigned k = 0; k < mixers && !ready.empty(); ++k) {
+      const TaskId id = std::get<2>(*ready.begin());
+      ready.erase(ready.begin());
+      revCycle[id] = t;
+      span = std::max(span, t);
+      --remaining;
+      const Task& task = forest.task(id);
+      for (TaskId dep : {task.depLeft, task.depRight}) {
+        if (dep == kNoTask) continue;
+        if (--pending[dep] == 0) {
+          if (arrivals.size() <= t + 1) arrivals.resize(t + 2);
+          arrivals[t + 1].push_back(dep);
+        }
+      }
+    }
+    if (ready.empty() && remaining > 0 && t >= arrivals.size()) {
+      throw std::logic_error("SRS: reverse pass stalled");
+    }
+  }
+
+  // Mirror into forward time and hand out mixer indices per cycle.
+  std::vector<unsigned> used(span + 2, 0);
+  for (TaskId id = 0; id < n; ++id) {
+    const unsigned cycle = span + 1 - revCycle[id];
+    s.assignments[id] = Assignment{cycle, used[cycle]++};
+  }
+  s.completionTime = span;
+  return s;
+}
+
+}  // namespace
+
+namespace {
+
+// One storage-capped attempt with a fixed production-lookahead window.
+// Returns a schedule respecting the cap, or nullopt when this window stalls.
+std::optional<Schedule> tryStorageCapped(const TaskForest& forest,
+                                         unsigned mixers, unsigned storageCap,
+                                         unsigned window,
+                                         const Schedule& jit) {
+  Schedule s;
+  s.mixerCount = mixers;
+  s.scheme = "capped";
+  s.assignments.assign(forest.taskCount(), Assignment{});
+  if (forest.taskCount() == 0) return s;
+  const std::size_t n = forest.taskCount();
+
+  // Per-task inventory delta: +1 for every output droplet that some other
+  // mix-split will consume, -1 for every operand taken out of storage.
+  auto consumableOuts = [&](TaskId id) {
+    unsigned c = 0;
+    for (const auto& drop : forest.task(id).out) {
+      c += drop.fate == DropletFate::kConsumed ? 1u : 0u;
+    }
+    return c;
+  };
+  auto storedOperands = [&](TaskId id) {
+    const Task& t = forest.task(id);
+    return (t.depLeft != kNoTask ? 1u : 0u) +
+           (t.depRight != kNoTask ? 1u : 0u);
+  };
+
+  std::vector<unsigned> pending(n, 0);
+  for (TaskId id = 0; id < n; ++id) pending[id] = storedOperands(id);
+
+  std::vector<std::vector<TaskId>> arrivals(2);
+  for (TaskId id = 0; id < n; ++id) {
+    if (pending[id] == 0) arrivals[1].push_back(id);
+  }
+
+  // Ready tasks in just-in-time order: the latest-feasible schedule's cycle
+  // assignment pipelines production right before consumption, so following
+  // it under the cap keeps partner droplets adjacent. Producers must go in
+  // strictly this order — letting a later dispense mix jump a stalled one
+  // fills the storage with droplets whose partners can then never be made
+  // (the classic storage deadlock).
+  auto key = [&](TaskId id) {
+    return std::pair<unsigned, TaskId>(jit.assignments[id].cycle, id);
+  };
+  std::set<std::pair<unsigned, TaskId>> ready;
+
+  // `carried` counts consumable droplets produced in earlier cycles and not
+  // yet consumed. The droplets this cycle's batch does not consume are
+  // exactly the ones parked in storage during the cycle (Algorithm 3), so
+  // the hard constraint per cycle is: carried - consumedNow <= cap. Fresh
+  // production only becomes storage next cycle; it is admitted up to an
+  // optimism window of what the mixer bank could consume back in one cycle.
+  unsigned carried = 0;
+  const unsigned budget = storageCap + window;
+  std::size_t remaining = n;
+  std::vector<TaskId> batch;
+  for (unsigned t = 1; remaining > 0; ++t) {
+    if (t < arrivals.size()) {
+      for (TaskId id : arrivals[t]) ready.insert(key(id));
+      arrivals[t].clear();
+    }
+
+    batch.clear();
+    unsigned consumedNow = 0;
+    unsigned producedNow = 0;
+    // Pass 1 — consumers of stored droplets (the Q_int of Algorithm 2), in
+    // just-in-time order. Emptying storage takes precedence over everything.
+    for (auto it = ready.begin();
+         it != ready.end() && batch.size() < mixers;) {
+      const TaskId id = it->second;
+      const unsigned cons = storedOperands(id);
+      if (cons == 0) {
+        ++it;
+        continue;
+      }
+      const unsigned prod = consumableOuts(id);
+      if (prod > cons &&
+          carried - consumedNow - cons + producedNow + prod > budget) {
+        ++it;  // net-producing consumer under pressure: stall it
+        continue;
+      }
+      consumedNow += cons;
+      producedNow += prod;
+      batch.push_back(id);
+      it = ready.erase(it);
+    }
+    // Pass 2 — fresh dispense mixes (Q_leaf), strictly in just-in-time
+    // order: letting a later dispense mix jump a stalled one fills the
+    // storage with droplets whose partners can then never be made (the
+    // classic storage deadlock).
+    for (auto it = ready.begin();
+         it != ready.end() && batch.size() < mixers;) {
+      const TaskId id = it->second;
+      const unsigned cons = storedOperands(id);
+      if (cons != 0) {
+        ++it;
+        continue;
+      }
+      const unsigned prod = consumableOuts(id);
+      if (carried - consumedNow + producedNow + prod > budget) {
+        break;  // strict order among producers
+      }
+      producedNow += prod;
+      batch.push_back(id);
+      it = ready.erase(it);
+    }
+
+    if (carried - consumedNow > storageCap) {
+      return std::nullopt;
+    }
+
+    for (unsigned k = 0; k < batch.size(); ++k) {
+      const TaskId id = batch[k];
+      s.assignments[id] = Assignment{t, k};
+      --remaining;
+      for (const auto& drop : forest.task(id).out) {
+        if (drop.fate != DropletFate::kConsumed) continue;
+        if (--pending[drop.consumer] == 0) {
+          if (arrivals.size() <= t + 1) arrivals.resize(t + 2);
+          arrivals[t + 1].push_back(drop.consumer);
+        }
+      }
+    }
+    carried = carried - consumedNow + producedNow;
+    s.completionTime = batch.empty() ? s.completionTime : t;
+    if (batch.empty() && remaining > 0 && t >= arrivals.size()) {
+      return std::nullopt;
+    }
+  }
+  return s;
+}
+
+}  // namespace
+
+Schedule scheduleStorageCapped(const TaskForest& forest, unsigned mixers,
+                               unsigned storageCap) {
+  if (mixers == 0) {
+    throw std::invalid_argument(
+        "scheduleStorageCapped: at least one mixer required");
+  }
+  if (forest.taskCount() == 0) {
+    Schedule s;
+    s.mixerCount = mixers;
+    s.scheme = "capped";
+    return s;
+  }
+  // The production-lookahead window trades deadlock safety against mixer
+  // utilization and no single value dominates, so a small deterministic
+  // ladder is tried and the fastest completing schedule wins.
+  const Schedule jit = scheduleJustInTime(forest, mixers);
+  std::optional<Schedule> best;
+  for (unsigned window : {0u, 1u, 2u, 3u, mixers, 2 * mixers}) {
+    std::optional<Schedule> attempt =
+        tryStorageCapped(forest, mixers, storageCap, window, jit);
+    if (attempt.has_value() &&
+        (!best.has_value() ||
+         attempt->completionTime < best->completionTime)) {
+      best = std::move(attempt);
+    }
+  }
+  if (!best.has_value()) {
+    throw std::runtime_error(
+        "scheduleStorageCapped: storage cap of " +
+        std::to_string(storageCap) + " units is too tight to make progress");
+  }
+  return *best;
+}
+
+Schedule scheduleSRS(const TaskForest& forest, unsigned mixers) {
+  if (mixers == 0) {
+    throw std::invalid_argument("SRS: at least one mixer required");
+  }
+  Schedule best = scheduleJustInTime(forest, mixers);
+  best.scheme = "SRS";
+  if (forest.taskCount() == 0) return best;
+  unsigned bestStorage = countStorage(forest, best);
+
+  // The time budget: a bounded slowdown over the fastest candidate (the
+  // paper reports SRS costs ~5% completion time on average).
+  unsigned fastest = best.completionTime;
+  auto adopt = [&](Schedule candidate) {
+    fastest = std::min(fastest, candidate.completionTime);
+    const unsigned budget = fastest + std::max(3u, fastest / 4);
+    if (candidate.completionTime > budget) return;
+    const unsigned storage = countStorage(forest, candidate);
+    if (storage < bestStorage ||
+        (storage == bestStorage &&
+         candidate.completionTime < best.completionTime)) {
+      candidate.scheme = "SRS";
+      best = std::move(candidate);
+      bestStorage = storage;
+    }
+  };
+
+  // Candidate pool: MMS (SRS must never store more than it, section 4.2.2)
+  // and the verbatim two-queue Algorithm 2, which is strong on wide forests.
+  adopt(scheduleMMS(forest, mixers));
+  adopt(scheduleSRSGreedy(forest, mixers));
+
+  // Refinement: storage-capped scheduling seeded with the current best
+  // schedule's order, scanning every cap below it (feasibility is not
+  // monotone in the cap, so no bisection).
+  const unsigned budget = fastest + std::max(3u, fastest / 4);
+  const Schedule seed = best;
+  for (unsigned cap = bestStorage; cap-- > 0;) {
+    std::optional<Schedule> candidate;
+    for (unsigned window : {0u, 1u, 2u, 3u, mixers, 2 * mixers}) {
+      std::optional<Schedule> attempt =
+          tryStorageCapped(forest, mixers, cap, window, seed);
+      if (attempt.has_value() && attempt->completionTime <= budget &&
+          (!candidate.has_value() ||
+           attempt->completionTime < candidate->completionTime)) {
+        candidate = std::move(attempt);
+      }
+    }
+    if (candidate.has_value()) {
+      adopt(std::move(*candidate));
+    }
+  }
+  return best;
+}
+
+Schedule scheduleOMS(const TaskForest& forest, unsigned mixers) {
+  return runListScheduler(forest, mixers, OmsPolicy(computeColevels(forest)),
+                          "OMS");
+}
+
+unsigned criticalPathLength(const TaskForest& forest) {
+  const std::vector<unsigned> colevel = computeColevels(forest);
+  return colevel.empty() ? 0
+                         : *std::max_element(colevel.begin(), colevel.end());
+}
+
+unsigned minimumMixers(const TaskForest& forest) {
+  const unsigned cp = criticalPathLength(forest);
+  for (unsigned m = 1;; ++m) {
+    if (scheduleOMS(forest, m).completionTime == cp) {
+      return m;
+    }
+    if (m > forest.taskCount()) {
+      throw std::logic_error("minimumMixers: failed to reach critical path");
+    }
+  }
+}
+
+}  // namespace dmf::sched

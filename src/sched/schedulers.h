@@ -1,0 +1,58 @@
+// The paper's schedulers: MMS (Algorithm 1), SRS (Algorithm 2), and the
+// OMS baseline realized as critical-path (Hu) list scheduling.
+#pragma once
+
+#include "forest/task_forest.h"
+#include "sched/schedule.h"
+
+namespace dmf::sched {
+
+/// M_Mixers_Schedule (Algorithm 1): list scheduling with a FIFO ready queue;
+/// tasks becoming schedulable in the same cycle enqueue ordered by level
+/// ascending ("from level l upwards"). Throws std::invalid_argument if
+/// mixers == 0.
+[[nodiscard]] Schedule scheduleMMS(const forest::TaskForest& forest,
+                                   unsigned mixers);
+
+/// Storage_Reduced_Scheduling (Algorithm 2): every mix-split runs as late as
+/// the mixer bank allows (list scheduling of the reversed precedence DAG,
+/// mirrored in time), so droplets are produced just before they are consumed
+/// and Type-C nodes — whose stalling parks no droplets — are deferred the
+/// most. Mixers idle rather than dispense early; completion can be slightly
+/// later than MMS while the storage requirement drops, the trade-off the
+/// paper reports. Throws std::invalid_argument if mixers == 0.
+[[nodiscard]] Schedule scheduleSRS(const forest::TaskForest& forest,
+                                   unsigned mixers);
+
+/// The verbatim two-queue pseudo-code of Algorithm 2 (Q_int Type-A/B highest
+/// level first, then Q_leaf Type-C lowest level first, greedily every cycle).
+/// Exposed for comparison; scheduleSRS dominates it on storage.
+[[nodiscard]] Schedule scheduleSRSGreedy(const forest::TaskForest& forest,
+                                         unsigned mixers);
+
+/// List scheduling under a hard storage budget: a mix-split is admitted into
+/// a cycle only if the droplets parked on chip never exceed `storageCap`
+/// units. Consumers of stored droplets (Type-A/B, highest level first) are
+/// served before fresh dispense mixes (Type-C); mixers idle when admitting
+/// more work would overflow the storage. Throws std::runtime_error when the
+/// cap is too tight to make progress, std::invalid_argument if mixers == 0.
+[[nodiscard]] Schedule scheduleStorageCapped(const forest::TaskForest& forest,
+                                             unsigned mixers,
+                                             unsigned storageCap);
+
+/// Optimal Mix Scheduling stand-in: Hu's algorithm — list scheduling with
+/// longest-path-to-emission priority. Optimal for unit-time in-tree
+/// precedence (every single-pass mixing tree); a strong heuristic on forest
+/// DAGs. Throws std::invalid_argument if mixers == 0.
+[[nodiscard]] Schedule scheduleOMS(const forest::TaskForest& forest,
+                                   unsigned mixers);
+
+/// Length of the longest dependency chain — the makespan with unbounded
+/// mixers.
+[[nodiscard]] unsigned criticalPathLength(const forest::TaskForest& forest);
+
+/// The paper's Mlb: the smallest mixer count whose OMS makespan equals the
+/// critical path length (fastest possible completion).
+[[nodiscard]] unsigned minimumMixers(const forest::TaskForest& forest);
+
+}  // namespace dmf::sched

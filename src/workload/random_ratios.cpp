@@ -1,0 +1,44 @@
+#include "workload/random_ratios.h"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace dmf::workload {
+
+RandomRatioGenerator::RandomRatioGenerator(std::uint64_t sum,
+                                           std::size_t parts,
+                                           std::uint64_t seed)
+    : sum_(sum), parts_(parts), rng_(seed) {
+  if (sum < 2 || !std::has_single_bit(sum)) {
+    throw std::invalid_argument(
+        "RandomRatioGenerator: sum must be a power of two >= 2");
+  }
+  if (parts < 2 || parts > sum) {
+    throw std::invalid_argument("RandomRatioGenerator: bad part count");
+  }
+}
+
+Ratio RandomRatioGenerator::next() {
+  // Stars and bars: choose parts-1 distinct cut points in [1, sum-1]; the
+  // gaps between consecutive cuts are the parts.
+  std::unordered_set<std::uint64_t> cutSet;
+  std::uniform_int_distribution<std::uint64_t> dist(1, sum_ - 1);
+  while (cutSet.size() < parts_ - 1) {
+    cutSet.insert(dist(rng_));
+  }
+  std::vector<std::uint64_t> cuts(cutSet.begin(), cutSet.end());
+  std::sort(cuts.begin(), cuts.end());
+  std::vector<std::uint64_t> partsVec;
+  partsVec.reserve(parts_);
+  std::uint64_t prev = 0;
+  for (std::uint64_t c : cuts) {
+    partsVec.push_back(c - prev);
+    prev = c;
+  }
+  partsVec.push_back(sum_ - prev);
+  return Ratio(std::move(partsVec));
+}
+
+}  // namespace dmf::workload

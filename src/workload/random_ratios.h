@@ -1,0 +1,31 @@
+// Seeded random target-ratio generation for stress and property tests.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "dmf/ratio.h"
+
+namespace dmf::workload {
+
+/// Deterministic (seeded) generator of uniformly random compositions: ratios
+/// of exactly N parts summing to L, every part >= 1, drawn uniformly from
+/// all such ordered compositions (stars-and-bars sampling).
+class RandomRatioGenerator {
+ public:
+  /// Throws std::invalid_argument unless L is a power of two >= 2 and
+  /// 2 <= parts <= L.
+  RandomRatioGenerator(std::uint64_t sum, std::size_t parts,
+                       std::uint64_t seed);
+
+  /// Draws the next ratio.
+  [[nodiscard]] Ratio next();
+
+ private:
+  std::uint64_t sum_;
+  std::size_t parts_;
+  std::mt19937_64 rng_;
+};
+
+}  // namespace dmf::workload

@@ -1,0 +1,69 @@
+#include "workload/ratio_corpus.h"
+
+#include <bit>
+#include <stdexcept>
+
+namespace dmf::workload {
+
+namespace {
+
+void enumerate(std::uint64_t remaining, std::uint64_t maxPart,
+               std::size_t minParts, std::size_t maxParts,
+               std::vector<std::uint64_t>& prefix,
+               std::vector<Ratio>& out) {
+  if (remaining == 0) {
+    if (prefix.size() >= minParts && prefix.size() >= 2) {
+      out.emplace_back(prefix);
+    }
+    return;
+  }
+  if (prefix.size() >= maxParts) return;
+  // Parts are chosen non-increasing; the remaining budget must still be
+  // coverable by the remaining slots at the chosen part size.
+  const std::size_t slotsLeft = maxParts - prefix.size();
+  for (std::uint64_t part = std::min(maxPart, remaining); part >= 1; --part) {
+    if (part * static_cast<std::uint64_t>(slotsLeft) < remaining) break;
+    prefix.push_back(part);
+    enumerate(remaining - part, part, minParts, maxParts, prefix, out);
+    prefix.pop_back();
+  }
+}
+
+}  // namespace
+
+std::vector<Ratio> partitionCorpus(std::uint64_t sum, std::size_t minParts,
+                                   std::size_t maxParts) {
+  if (sum < 2 || !std::has_single_bit(sum)) {
+    throw std::invalid_argument(
+        "partitionCorpus: sum must be a power of two >= 2");
+  }
+  if (minParts < 2 || minParts > maxParts || maxParts > sum) {
+    throw std::invalid_argument("partitionCorpus: bad part bounds");
+  }
+  std::vector<Ratio> out;
+  std::vector<std::uint64_t> prefix;
+  enumerate(sum, sum, minParts, maxParts, prefix, out);
+  return out;
+}
+
+const std::vector<Ratio>& evaluationCorpus() {
+  static const std::vector<Ratio> kCorpus = partitionCorpus(32, 2, 12);
+  return kCorpus;
+}
+
+std::uint64_t countPartitions(std::uint64_t sum, std::size_t parts) {
+  if (parts == 0 || parts > sum) return 0;
+  // p(n, k): partitions of n into exactly k parts; p(n,k) = p(n-1,k-1) +
+  // p(n-k,k).
+  std::vector<std::vector<std::uint64_t>> p(
+      sum + 1, std::vector<std::uint64_t>(parts + 1, 0));
+  p[0][0] = 1;
+  for (std::uint64_t n = 1; n <= sum; ++n) {
+    for (std::size_t k = 1; k <= parts && k <= n; ++k) {
+      p[n][k] = p[n - 1][k - 1] + p[n - k][k];
+    }
+  }
+  return p[sum][parts];
+}
+
+}  // namespace dmf::workload

@@ -1,0 +1,29 @@
+// The synthetic target-ratio corpus of the paper's evaluation: target ratios
+// of N different fluids (2 <= N <= 12) with ratio-sum L = 32. We enumerate
+// integer partitions exhaustively (deterministic, order-free), reporting the
+// corpus size alongside every averaged result.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dmf/ratio.h"
+
+namespace dmf::workload {
+
+/// Enumerates every integer partition of `sum` into between `minParts` and
+/// `maxParts` parts (each >= 1), as ratios with parts in non-increasing
+/// order. `sum` must be a power of two >= 2 so the results are valid target
+/// ratios. Throws std::invalid_argument on bad bounds.
+[[nodiscard]] std::vector<Ratio> partitionCorpus(std::uint64_t sum,
+                                                 std::size_t minParts,
+                                                 std::size_t maxParts);
+
+/// The corpus used throughout the evaluation benches: L = 32, 2 <= N <= 12.
+[[nodiscard]] const std::vector<Ratio>& evaluationCorpus();
+
+/// Number of partitions of `sum` into exactly `parts` parts (for tests).
+[[nodiscard]] std::uint64_t countPartitions(std::uint64_t sum,
+                                            std::size_t parts);
+
+}  // namespace dmf::workload

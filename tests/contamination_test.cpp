@@ -1,0 +1,90 @@
+#include "chip/contamination.h"
+
+#include <gtest/gtest.h>
+
+#include "chip/executor.h"
+#include "chip/pcr_layout.h"
+#include "chip/router.h"
+#include "forest/task_forest.h"
+#include "mixgraph/builders.h"
+#include "sched/schedulers.h"
+
+namespace dmf::chip {
+namespace {
+
+using forest::TaskForest;
+using mixgraph::buildMM;
+using mixgraph::MixingGraph;
+
+SimulationResult simulatePcr(const Layout& layout, std::uint64_t demand) {
+  Router router(layout);
+  ChipExecutor executor(layout, router);
+  const MixingGraph graph = buildMM(Ratio({2, 1, 1, 1, 1, 1, 9}));
+  const TaskForest forest(graph, demand);
+  const ExecutionTrace trace =
+      executor.run(forest, sched::scheduleSRS(forest, 3));
+  return simulateTrace(layout, trace);
+}
+
+TEST(Contamination, CountsAreConsistent) {
+  const Layout layout = makePcrLayout();
+  const SimulationResult sim = simulatePcr(layout, 20);
+  const ContaminationReport report = analyzeContamination(layout, sim);
+  EXPECT_GT(report.visitedCells, 0u);
+  EXPECT_LE(report.sharedCells, report.visitedCells);
+  EXPECT_GE(report.contaminatedReuses, report.sharedCells);
+  EXPECT_LE(report.washDroplets, sim.phases.size());
+}
+
+TEST(Contamination, BusyRunsContaminateMoreThanQuietOnes) {
+  const Layout layout = makePcrLayout();
+  const ContaminationReport small =
+      analyzeContamination(layout, simulatePcr(layout, 4));
+  const ContaminationReport large =
+      analyzeContamination(layout, simulatePcr(layout, 20));
+  EXPECT_GE(large.contaminatedReuses, small.contaminatedReuses);
+  EXPECT_GE(large.visitedCells, small.visitedCells);
+}
+
+TEST(Contamination, SingleDropletLeavesNoSharedCells) {
+  // One droplet crossing an otherwise idle array contaminates nothing.
+  Layout layout(10, 10);
+  layout.add(Module{ModuleKind::kMixer, Cell{0, 0}, 1, 1, 0, "A"});
+  layout.add(Module{ModuleKind::kMixer, Cell{9, 9}, 1, 1, 0, "B"});
+  TimedRouter router(layout);
+  SimulationResult sim;
+  SimulatedPhase phase;
+  phase.cycle = 1;
+  phase.routing = router.routePhase({PhaseMove{Cell{0, 0}, Cell{9, 9}, 0}});
+  sim.phases.push_back(std::move(phase));
+  const ContaminationReport report = analyzeContamination(layout, sim);
+  EXPECT_GT(report.visitedCells, 0u);
+  EXPECT_EQ(report.sharedCells, 0u);
+  EXPECT_EQ(report.contaminatedReuses, 0u);
+  EXPECT_EQ(report.washDroplets, 0u);
+}
+
+TEST(Contamination, ModuleCellsAreExcluded) {
+  const Layout layout = makePcrLayout();
+  const SimulationResult sim = simulatePcr(layout, 8);
+  const std::string map = renderContamination(layout, sim);
+  // Mixer interior cells render untouched even though droplets enter them.
+  const auto mixers = layout.byKind(ModuleKind::kMixer);
+  const Cell port = layout.module(mixers[0]).port();
+  const std::size_t index =
+      static_cast<std::size_t>(port.y) *
+          (static_cast<std::size_t>(layout.width()) + 1) +
+      static_cast<std::size_t>(port.x);
+  EXPECT_EQ(map[index], '.');
+}
+
+TEST(Contamination, RenderMarksSharedCells) {
+  const Layout layout = makePcrLayout();
+  const SimulationResult sim = simulatePcr(layout, 20);
+  const std::string map = renderContamination(layout, sim);
+  EXPECT_NE(map.find('o'), std::string::npos);
+  EXPECT_NE(map.find_first_of("23456789"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dmf::chip

@@ -1,0 +1,168 @@
+#include "engine/mdst.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "engine/baseline.h"
+#include "engine/streaming.h"
+
+namespace dmf::engine {
+namespace {
+
+using mixgraph::Algorithm;
+
+Ratio pcr() { return Ratio({2, 1, 1, 1, 1, 1, 9}); }
+Ratio ex1() { return Ratio({26, 21, 2, 2, 3, 3, 199}); }
+
+TEST(MdstEngine, DefaultMixersIsMlbOfMmTree) {
+  MdstEngine engine(pcr());
+  EXPECT_EQ(engine.defaultMixers(), 3u);
+}
+
+TEST(MdstEngine, RunProducesPaperStatsForFig2) {
+  MdstEngine engine(pcr());
+  MdstRequest req;
+  req.algorithm = Algorithm::MM;
+  req.scheme = Scheme::kSRS;
+  req.mixers = 3;
+  req.demand = 20;
+  const MdstResult r = engine.run(req);
+  EXPECT_EQ(r.mixSplits, 27u);
+  EXPECT_EQ(r.waste, 5u);
+  EXPECT_EQ(r.inputDroplets, 25u);
+  EXPECT_EQ(r.componentTrees, 10u);
+  EXPECT_EQ(r.mixers, 3u);
+  EXPECT_GE(r.completionTime, 9u);
+}
+
+TEST(MdstEngine, RejectsZeroDemand) {
+  MdstEngine engine(pcr());
+  MdstRequest req;
+  req.demand = 0;
+  EXPECT_THROW(engine.run(req), std::invalid_argument);
+}
+
+TEST(MdstEngine, BaseGraphIsCachedPerAlgorithm) {
+  MdstEngine engine(pcr());
+  const auto& g1 = engine.baseGraph(Algorithm::MM);
+  const auto& g2 = engine.baseGraph(Algorithm::MM);
+  EXPECT_EQ(&g1, &g2);
+  EXPECT_NE(&g1, &engine.baseGraph(Algorithm::RMA));
+}
+
+TEST(Baseline, RmmMatchesPaperTable2ColumnA) {
+  // Table 2 column A (RMM) at D=32: Tc = 16 passes * 8 cycles = 128, and
+  // Ir = 16 * popcount-sum. For Ex.1 that is 272 input droplets.
+  MdstEngine engine(ex1());
+  const BaselineResult r = runRepeatedBaseline(engine, Algorithm::MM, 32);
+  EXPECT_EQ(r.passes, 16u);
+  EXPECT_EQ(r.passCycles, 8u);
+  EXPECT_EQ(r.completionTime, 128u);
+  EXPECT_EQ(r.inputDroplets, 272u);
+}
+
+TEST(Baseline, AllFiveProtocolRatiosComplete128CyclesAtD32) {
+  // Table 2 column A shows Tc = 128 for all five L=256 ratios.
+  for (const Ratio& r :
+       {ex1(), Ratio({128, 123, 5}), Ratio({25, 5, 5, 5, 5, 13, 13, 25, 1, 159}),
+        Ratio({9, 17, 26, 9, 195}), Ratio({57, 28, 6, 6, 6, 3, 150})}) {
+    MdstEngine engine(r);
+    const BaselineResult b = runRepeatedBaseline(engine, Algorithm::MM, 32);
+    EXPECT_EQ(b.completionTime, 128u) << r.toString();
+  }
+}
+
+TEST(Baseline, OddDemandRoundsPassesUp) {
+  MdstEngine engine(pcr());
+  const BaselineResult r = runRepeatedBaseline(engine, Algorithm::MM, 5);
+  EXPECT_EQ(r.passes, 3u);
+  // Three passes emit 6 targets; the surplus one is waste.
+  EXPECT_EQ(r.waste, 3u * 6u + 1u);
+}
+
+TEST(Baseline, ForestBeatsRepeatedBaseline) {
+  // The headline claim: the engine is faster and cheaper than repetition.
+  MdstEngine engine(pcr());
+  MdstRequest req;
+  req.scheme = Scheme::kMMS;
+  req.demand = 32;
+  const MdstResult ours = engine.run(req);
+  const BaselineResult rep = runRepeatedBaseline(engine, Algorithm::MM, 32);
+  EXPECT_LT(ours.completionTime, rep.completionTime);
+  EXPECT_LT(ours.inputDroplets, rep.inputDroplets);
+  EXPECT_LT(ours.waste, rep.waste);
+}
+
+TEST(Baseline, PercentImprovement) {
+  EXPECT_DOUBLE_EQ(percentImprovement(100.0, 25.0), 75.0);
+  EXPECT_DOUBLE_EQ(percentImprovement(0.0, 5.0), 0.0);
+  EXPECT_DOUBLE_EQ(percentImprovement(50.0, 60.0), -20.0);
+}
+
+TEST(Streaming, UnlimitedStorageUsesOnePass) {
+  MdstEngine engine(pcr());
+  StreamingRequest req;
+  req.demand = 32;
+  req.storageCap = 100;
+  req.mixers = 3;
+  const StreamingPlan plan = planStreaming(engine, req);
+  EXPECT_EQ(plan.passes.size(), 1u);
+  EXPECT_EQ(plan.perPassDemand, 32u);
+  EXPECT_EQ(plan.totalWaste, 0u);
+}
+
+TEST(Streaming, TightStorageSplitsIntoPasses) {
+  MdstEngine engine(pcr());
+  StreamingRequest req;
+  req.demand = 32;
+  req.storageCap = 3;
+  req.mixers = 3;
+  const StreamingPlan plan = planStreaming(engine, req);
+  EXPECT_GT(plan.passes.size(), 1u);
+  EXPECT_LE(plan.storageUnits, 3u);
+  std::uint64_t produced = 0;
+  for (const auto& pass : plan.passes) produced += pass.demand;
+  EXPECT_EQ(produced, 32u);
+}
+
+TEST(Streaming, MorePassesMeansMoreWasteAndCycles) {
+  MdstEngine engine(pcr());
+  StreamingRequest loose;
+  loose.demand = 32;
+  loose.storageCap = 20;
+  loose.mixers = 3;
+  StreamingRequest tight = loose;
+  tight.storageCap = 3;
+  const StreamingPlan a = planStreaming(engine, loose);
+  const StreamingPlan b = planStreaming(engine, tight);
+  EXPECT_LE(a.totalCycles, b.totalCycles);
+  EXPECT_LE(a.totalWaste, b.totalWaste);
+}
+
+TEST(Streaming, RejectsZeroDemand) {
+  MdstEngine engine(pcr());
+  StreamingRequest req;
+  req.demand = 0;
+  EXPECT_THROW(planStreaming(engine, req), std::invalid_argument);
+}
+
+TEST(Streaming, MmsSchemeAlsoWorks) {
+  MdstEngine engine(pcr());
+  StreamingRequest req;
+  req.scheme = Scheme::kMMS;
+  req.demand = 16;
+  req.storageCap = 10;
+  req.mixers = 3;
+  const StreamingPlan plan = planStreaming(engine, req);
+  EXPECT_LE(plan.storageUnits, 10u);
+}
+
+TEST(SchemeNames, AreStable) {
+  EXPECT_EQ(schemeName(Scheme::kMMS), "MMS");
+  EXPECT_EQ(schemeName(Scheme::kSRS), "SRS");
+  EXPECT_EQ(schemeName(Scheme::kOMS), "OMS");
+}
+
+}  // namespace
+}  // namespace dmf::engine

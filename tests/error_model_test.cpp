@@ -1,0 +1,120 @@
+#include "analysis/error_model.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "mixgraph/builders.h"
+#include "workload/ratio_corpus.h"
+
+namespace dmf::analysis {
+namespace {
+
+using mixgraph::Algorithm;
+using mixgraph::buildGraph;
+using mixgraph::buildMM;
+using mixgraph::MixingGraph;
+
+Ratio pcr() { return Ratio({2, 1, 1, 1, 1, 1, 9}); }
+
+TEST(ErrorModel, PerfectSplitsGiveZeroError) {
+  const MixingGraph g = buildMM(pcr());
+  const NodeError e = targetError(g, ErrorOptions{0.0, 0.0});
+  EXPECT_DOUBLE_EQ(e.volume, 0.0);
+  EXPECT_DOUBLE_EQ(e.worstConcentration, 0.0);
+}
+
+TEST(ErrorModel, LeavesCarryOnlyDispenseError) {
+  const MixingGraph g = buildMM(pcr());
+  const auto errors = analyzeErrors(g, ErrorOptions{0.05, 0.02});
+  for (mixgraph::NodeId id = 0; id < g.nodeCount(); ++id) {
+    if (g.node(id).isLeaf()) {
+      EXPECT_DOUBLE_EQ(errors[id].volume, 0.02);
+      EXPECT_DOUBLE_EQ(errors[id].worstConcentration, 0.0);
+    }
+  }
+}
+
+TEST(ErrorModel, VolumeErrorGrowsAtMostLinearlyWithDepth) {
+  // w(v) = avg(children) + eps adds eps per level, so w <= depth * eps.
+  const MixingGraph g = buildMM(Ratio({26, 21, 2, 2, 3, 3, 199}));
+  const double eps = 0.05;
+  const auto errors = analyzeErrors(g, ErrorOptions{eps, 0.0});
+  for (mixgraph::NodeId id = 0; id < g.nodeCount(); ++id) {
+    EXPECT_LE(errors[id].volume,
+              static_cast<double>(g.depth()) * eps + 1e-12);
+    if (!g.node(id).isLeaf()) {
+      EXPECT_GE(errors[id].volume, eps - 1e-12);
+    }
+  }
+}
+
+TEST(ErrorModel, ErrorGrowsMonotonicallyWithImbalance) {
+  const MixingGraph g = buildMM(pcr());
+  double previous = -1.0;
+  for (double eps : {0.01, 0.02, 0.05, 0.10}) {
+    const NodeError e = targetError(g, ErrorOptions{eps, 0.0});
+    EXPECT_GT(e.worstConcentration, previous);
+    previous = e.worstConcentration;
+  }
+}
+
+TEST(ErrorModel, ErrorScalesLinearlyInFirstOrder) {
+  const MixingGraph g = buildMM(pcr());
+  const double e1 =
+      targetError(g, ErrorOptions{0.01, 0.0}).worstConcentration;
+  const double e2 =
+      targetError(g, ErrorOptions{0.02, 0.0}).worstConcentration;
+  EXPECT_NEAR(e2, 2.0 * e1, 1e-12);  // the model is linear in eps
+}
+
+TEST(ErrorModel, QuantizationErrorMatchesAccuracy) {
+  EXPECT_DOUBLE_EQ(quantizationError(buildMM(pcr())), 1.0 / 32.0);
+  EXPECT_DOUBLE_EQ(
+      quantizationError(buildMM(Ratio({26, 21, 2, 2, 3, 3, 199}))),
+      1.0 / 512.0);
+}
+
+TEST(ErrorModel, RejectsBadInput) {
+  const MixingGraph g = buildMM(pcr());
+  EXPECT_THROW(analyzeErrors(g, ErrorOptions{-0.1, 0.0}),
+               std::invalid_argument);
+  EXPECT_THROW(analyzeErrors(g, ErrorOptions{0.1, -0.1}),
+               std::invalid_argument);
+  MixingGraph unfinished(pcr());
+  EXPECT_THROW(analyzeErrors(unfinished, ErrorOptions{}),
+               std::invalid_argument);
+}
+
+TEST(ErrorModel, DeeperTreesAccumulateMoreError) {
+  // A nearby concentration with more set bits needs a deeper mixing chain
+  // and thus picks up more split error (80/256 reduces to the 5/16 chain, so
+  // 85/256 = 0b01010101 is the deep counterpart).
+  const MixingGraph shallow = mixgraph::buildDilution(5, 4);  // 5/16
+  const MixingGraph deep = mixgraph::buildDilution(85, 8);    // 85/256
+  const double eShallow =
+      targetError(shallow, ErrorOptions{0.05, 0.0}).worstConcentration;
+  const double eDeep =
+      targetError(deep, ErrorOptions{0.05, 0.0}).worstConcentration;
+  EXPECT_GT(eDeep, eShallow);
+}
+
+TEST(ErrorModel, AllBuildersStayWithinFirstOrderEnvelope) {
+  // Coarse envelope: CF gaps are at most 1 and operand volume error at most
+  // depth * eps, halved per level on the way up — the worst concentration
+  // deviation is below depth^2 * eps / 2.
+  const auto& corpus = workload::evaluationCorpus();
+  for (std::size_t i = 0; i < corpus.size(); i += 211) {
+    for (Algorithm algo : {Algorithm::MM, Algorithm::RMA, Algorithm::MTCS}) {
+      const MixingGraph g = buildGraph(corpus[i], algo);
+      const double d = static_cast<double>(g.depth());
+      const NodeError e = targetError(g, ErrorOptions{0.05, 0.0});
+      EXPECT_LE(e.worstConcentration, d * d * 0.05 / 2.0 + 1e-9)
+          << corpus[i].toString();
+      EXPECT_GE(e.worstConcentration, 0.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dmf::analysis

@@ -1,0 +1,181 @@
+#include "forest/task_forest.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "mixgraph/builders.h"
+#include "workload/ratio_corpus.h"
+
+namespace dmf::forest {
+namespace {
+
+using mixgraph::Algorithm;
+using mixgraph::buildGraph;
+using mixgraph::buildMM;
+using mixgraph::MixingGraph;
+
+Ratio pcr() { return Ratio({2, 1, 1, 1, 1, 1, 9}); }
+
+TEST(TaskForest, Figure1Demand16) {
+  // Paper Fig. 1: ratio 2:1:1:1:1:1:9 (d=4), D=16 with the MM base tree:
+  // |F| = 8 component trees, Tms = 19, W = 0, I[] = [2,1,1,1,1,1,9], I = 16.
+  MixingGraph g = buildMM(pcr());
+  TaskForest f(g, 16);
+  EXPECT_EQ(f.stats().componentTrees, 8u);
+  EXPECT_EQ(f.stats().mixSplits, 19u);
+  EXPECT_EQ(f.stats().waste, 0u);
+  EXPECT_EQ(f.stats().inputTotal, 16u);
+  EXPECT_EQ(f.stats().inputPerFluid,
+            (std::vector<std::uint64_t>{2, 1, 1, 1, 1, 1, 9}));
+}
+
+TEST(TaskForest, Figure2Demand20) {
+  // Paper Fig. 2: same ratio, D=20: |F| = 10, Tms = 27, W = 5,
+  // I[] = [3,2,2,2,2,2,12], I = 25.
+  MixingGraph g = buildMM(pcr());
+  TaskForest f(g, 20);
+  EXPECT_EQ(f.stats().componentTrees, 10u);
+  EXPECT_EQ(f.stats().mixSplits, 27u);
+  EXPECT_EQ(f.stats().waste, 5u);
+  EXPECT_EQ(f.stats().inputTotal, 25u);
+  EXPECT_EQ(f.stats().inputPerFluid,
+            (std::vector<std::uint64_t>{3, 2, 2, 2, 2, 2, 12}));
+}
+
+TEST(TaskForest, DemandTwoIsTheBaseTree) {
+  MixingGraph g = buildMM(pcr());
+  TaskForest f(g, 2);
+  EXPECT_EQ(f.stats().componentTrees, 1u);
+  EXPECT_EQ(f.stats().mixSplits, g.internalCount());
+  // One pass wastes one droplet per non-root mix-split.
+  EXPECT_EQ(f.stats().waste, g.internalCount() - 1);
+  EXPECT_EQ(f.stats().inputTotal, g.leafCount());
+}
+
+TEST(TaskForest, FullMultipleOfScaleWastesNothing) {
+  MixingGraph g = buildMM(pcr());
+  for (std::uint64_t p = 1; p <= 4; ++p) {
+    TaskForest f(g, p * 16);
+    EXPECT_EQ(f.stats().waste, 0u) << "p=" << p;
+    EXPECT_EQ(f.stats().inputTotal, p * 16) << "p=" << p;
+  }
+}
+
+TEST(TaskForest, OddDemandWastesOneSurplusTarget) {
+  MixingGraph g = buildMM(pcr());
+  TaskForest even(g, 16);
+  TaskForest odd(g, 15);
+  EXPECT_EQ(odd.stats().componentTrees, 8u);
+  EXPECT_EQ(odd.stats().waste, even.stats().waste + 1);
+}
+
+TEST(TaskForest, RejectsZeroDemand) {
+  MixingGraph g = buildMM(pcr());
+  EXPECT_THROW(TaskForest(g, 0), std::invalid_argument);
+}
+
+TEST(TaskForest, RejectsUnfinalizedGraph) {
+  MixingGraph g(pcr());
+  EXPECT_THROW(TaskForest(g, 2), std::invalid_argument);
+}
+
+TEST(TaskForest, LevelsMatchBaseGraph) {
+  MixingGraph g = buildMM(pcr());
+  TaskForest f(g, 20);
+  for (TaskId id = 0; id < f.taskCount(); ++id) {
+    EXPECT_EQ(f.task(id).level, g.node(f.task(id).node).level);
+  }
+  EXPECT_EQ(f.depth(), 4u);
+}
+
+TEST(TaskForest, TreeIdsAreContiguousFromOne) {
+  MixingGraph g = buildMM(pcr());
+  TaskForest f(g, 20);
+  std::vector<bool> seen(f.stats().componentTrees + 1, false);
+  for (TaskId id = 0; id < f.taskCount(); ++id) {
+    const std::uint32_t tree = f.task(id).tree;
+    ASSERT_GE(tree, 1u);
+    ASSERT_LE(tree, f.stats().componentTrees);
+    seen[tree] = true;
+  }
+  for (std::size_t t = 1; t < seen.size(); ++t) {
+    EXPECT_TRUE(seen[t]) << "empty component tree " << t;
+  }
+}
+
+TEST(TaskForest, InitialReadyAreExactlyTypeCTasks) {
+  MixingGraph g = buildMM(pcr());
+  TaskForest f(g, 20);
+  const std::vector<TaskId> ready = f.initialReady();
+  EXPECT_FALSE(ready.empty());
+  for (TaskId id : ready) {
+    EXPECT_EQ(f.task(id).operandClass, OperandClass::kTypeC);
+  }
+}
+
+TEST(TaskForest, WasteReuseLinksComponentTrees) {
+  // In the D=20 forest some droplet produced inside one component tree is
+  // consumed by a task of a different tree — the paper's brown nodes.
+  MixingGraph g = buildMM(pcr());
+  TaskForest f(g, 20);
+  bool crossTree = false;
+  for (TaskId id = 0; id < f.taskCount(); ++id) {
+    for (const auto& drop : f.task(id).out) {
+      if (drop.fate == DropletFate::kConsumed &&
+          f.task(drop.consumer).tree != f.task(id).tree) {
+        crossTree = true;
+      }
+    }
+  }
+  EXPECT_TRUE(crossTree);
+}
+
+TEST(TaskForest, MtcsDagForestConservesDroplets) {
+  MixingGraph g = buildGraph(Ratio({25, 5, 5, 5, 5, 13, 13, 25, 1, 159}),
+                             Algorithm::MTCS);
+  TaskForest f(g, 32);
+  EXPECT_EQ(f.stats().inputTotal, f.stats().targets + f.stats().waste);
+}
+
+// Property sweep over the corpus: droplet conservation I = D + W and
+// demand-monotone input usage for every algorithm.
+struct ForestSweepParam {
+  Algorithm algorithm;
+  std::uint64_t demand;
+};
+
+class ForestCorpusTest
+    : public ::testing::TestWithParam<ForestSweepParam> {};
+
+TEST_P(ForestCorpusTest, ConservationAndSanity) {
+  const auto& corpus = workload::evaluationCorpus();
+  for (std::size_t i = 0; i < corpus.size(); i += 13) {
+    const Ratio& r = corpus[i];
+    MixingGraph g = buildGraph(r, GetParam().algorithm);
+    TaskForest f(g, GetParam().demand);
+    const ForestStats& s = f.stats();
+    EXPECT_EQ(s.inputTotal, s.targets + s.waste) << r.toString();
+    EXPECT_EQ(s.componentTrees, (GetParam().demand + 1) / 2) << r.toString();
+    EXPECT_GE(s.mixSplits, s.componentTrees) << r.toString();
+    std::uint64_t perFluid = 0;
+    for (std::uint64_t n : s.inputPerFluid) perFluid += n;
+    EXPECT_EQ(perFluid, s.inputTotal) << r.toString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ForestCorpusTest,
+    ::testing::Values(ForestSweepParam{Algorithm::MM, 2},
+                      ForestSweepParam{Algorithm::MM, 7},
+                      ForestSweepParam{Algorithm::MM, 32},
+                      ForestSweepParam{Algorithm::RMA, 32},
+                      ForestSweepParam{Algorithm::MTCS, 32},
+                      ForestSweepParam{Algorithm::RSM, 32}),
+    [](const auto& paramInfo) {
+      return std::string(mixgraph::algorithmName(paramInfo.param.algorithm)) +
+             "_D" + std::to_string(paramInfo.param.demand);
+    });
+
+}  // namespace
+}  // namespace dmf::forest

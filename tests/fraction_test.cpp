@@ -1,0 +1,87 @@
+#include "dmf/fraction.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace dmf {
+namespace {
+
+TEST(DyadicFraction, DefaultIsZero) {
+  DyadicFraction f;
+  EXPECT_TRUE(f.isZero());
+  EXPECT_EQ(f.numerator(), 0u);
+  EXPECT_EQ(f.exponent(), 0u);
+}
+
+TEST(DyadicFraction, CanonicalizesEvenNumerators) {
+  DyadicFraction f(8, 4);  // 8/16 == 1/2
+  EXPECT_EQ(f.numerator(), 1u);
+  EXPECT_EQ(f.exponent(), 1u);
+}
+
+TEST(DyadicFraction, ZeroCanonicalizesToExponentZero) {
+  DyadicFraction f(0, 10);
+  EXPECT_TRUE(f.isZero());
+  EXPECT_EQ(f.exponent(), 0u);
+}
+
+TEST(DyadicFraction, RejectsHugeExponent) {
+  EXPECT_THROW(DyadicFraction(1, 63), std::invalid_argument);
+}
+
+TEST(DyadicFraction, WholeNumbers) {
+  EXPECT_TRUE(DyadicFraction::whole(1).isOne());
+  EXPECT_EQ(DyadicFraction::whole(7).toDouble(), 7.0);
+}
+
+TEST(DyadicFraction, AdditionAlignsScales) {
+  DyadicFraction a(1, 2);  // 1/4
+  DyadicFraction b(1, 1);  // 1/2
+  DyadicFraction sum = a + b;
+  EXPECT_EQ(sum, DyadicFraction(3, 2));
+}
+
+TEST(DyadicFraction, MixHalvesTheSum) {
+  DyadicFraction pure = DyadicFraction::whole(1);
+  DyadicFraction zero;
+  EXPECT_EQ(DyadicFraction::mix(pure, zero), DyadicFraction(1, 1));
+  EXPECT_EQ(DyadicFraction::mix(DyadicFraction(1, 1), DyadicFraction(1, 2)),
+            DyadicFraction(3, 3));
+}
+
+TEST(DyadicFraction, NumeratorAtScale) {
+  DyadicFraction half(1, 1);
+  EXPECT_EQ(half.numeratorAtScale(4), 8u);
+  EXPECT_THROW((void)half.numeratorAtScale(0), std::invalid_argument);
+}
+
+TEST(DyadicFraction, OrderingIsByValue) {
+  EXPECT_LT(DyadicFraction(1, 2), DyadicFraction(1, 1));
+  EXPECT_GT(DyadicFraction(3, 2), DyadicFraction(1, 1));
+  EXPECT_EQ(DyadicFraction(2, 2) <=> DyadicFraction(1, 1),
+            std::strong_ordering::equal);
+}
+
+TEST(DyadicFraction, ToDoubleIsExactForSmallValues) {
+  EXPECT_DOUBLE_EQ(DyadicFraction(9, 4).toDouble(), 9.0 / 16.0);
+}
+
+TEST(DyadicFraction, ToStringFormats) {
+  EXPECT_EQ(DyadicFraction(9, 4).toString(), "9/2^4");
+  EXPECT_EQ(DyadicFraction::whole(3).toString(), "3");
+}
+
+TEST(DyadicFraction, AdditionOverflowThrows) {
+  DyadicFraction big(0xFFFFFFFFFFFFFFFFull, 0);
+  EXPECT_THROW((void)(big + big), std::overflow_error);
+}
+
+TEST(DyadicFraction, MixIsCommutative) {
+  DyadicFraction a(3, 3);
+  DyadicFraction b(5, 4);
+  EXPECT_EQ(DyadicFraction::mix(a, b), DyadicFraction::mix(b, a));
+}
+
+}  // namespace
+}  // namespace dmf

@@ -1,0 +1,188 @@
+#include "mixgraph/builders.h"
+#include "mixgraph/graph.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "workload/ratio_corpus.h"
+
+namespace dmf::mixgraph {
+namespace {
+
+Ratio pcr() { return Ratio({2, 1, 1, 1, 1, 1, 9}); }
+
+TEST(MixingGraphBuilder, RejectsUseBeforeFinalize) {
+  MixingGraph g(pcr());
+  g.addLeaf(0);
+  EXPECT_THROW((void)g.root(), std::logic_error);
+  EXPECT_THROW((void)g.leafCount(), std::logic_error);
+}
+
+TEST(MixingGraphBuilder, AddMixValidatesIds) {
+  MixingGraph g(pcr());
+  NodeId a = g.addLeaf(0);
+  EXPECT_THROW(g.addMix(a, 99), std::invalid_argument);
+}
+
+TEST(MixingGraphBuilder, FinalizeRejectsWrongRoot) {
+  MixingGraph g(Ratio({1, 1}));
+  NodeId a = g.addLeaf(0);
+  // A pure droplet is not the 1:1 target.
+  EXPECT_THROW(g.finalize(a), std::logic_error);
+}
+
+TEST(MixingGraphBuilder, SimpleTwoFluidGraph) {
+  MixingGraph g(Ratio({1, 1}));
+  NodeId a = g.addLeaf(0);
+  NodeId b = g.addLeaf(1);
+  NodeId m = g.addMix(a, b);
+  g.finalize(m);
+  EXPECT_EQ(g.leafCount(), 2u);
+  EXPECT_EQ(g.internalCount(), 1u);
+  EXPECT_EQ(g.depth(), 1u);
+  EXPECT_TRUE(g.isTree());
+}
+
+TEST(MixingGraphBuilder, FinalizePrunesUnreachable) {
+  MixingGraph g(Ratio({1, 1}));
+  g.addLeaf(1);  // orphan
+  NodeId a = g.addLeaf(0);
+  NodeId b = g.addLeaf(1);
+  NodeId m = g.addMix(a, b);
+  g.finalize(m);
+  EXPECT_EQ(g.nodeCount(), 3u);
+}
+
+TEST(BuildMM, PcrRunningExample) {
+  // Fig. 1 base tree: 8 leaves (popcount sum), 7 mix-splits, depth 4.
+  MixingGraph g = buildMM(pcr());
+  EXPECT_EQ(g.leafCount(), 8u);
+  EXPECT_EQ(g.internalCount(), 7u);
+  EXPECT_EQ(g.depth(), 4u);
+  EXPECT_TRUE(g.isTree());
+}
+
+TEST(BuildMM, LeafCountIsPopcountSum) {
+  for (const Ratio& r : {Ratio({26, 21, 2, 2, 3, 3, 199}), Ratio({128, 123, 5}),
+                         Ratio({9, 17, 26, 9, 195}), Ratio({3, 3, 2}),
+                         Ratio({1, 1})}) {
+    MixingGraph g = buildMM(r);
+    EXPECT_EQ(g.leafCount(), r.popcountSum()) << r.toString();
+    // A binary tree with L leaves has L-1 interior nodes.
+    EXPECT_EQ(g.internalCount(), r.popcountSum() - 1) << r.toString();
+  }
+}
+
+TEST(BuildMM, HandlesReducibleRatios) {
+  // All parts even: the canonical value at the root still matches.
+  MixingGraph g = buildMM(Ratio({2, 2}));
+  EXPECT_EQ(g.depth(), 2u);
+  EXPECT_EQ(g.leafCount(), 2u);
+}
+
+TEST(BuildRMA, ValidTreeWithAtLeastMmLeaves) {
+  for (const Ratio& r :
+       {pcr(), Ratio({26, 21, 2, 2, 3, 3, 199}), Ratio({128, 123, 5}),
+        Ratio({25, 5, 5, 5, 5, 13, 13, 25, 1, 159}), Ratio({9, 17, 26, 9, 195}),
+        Ratio({57, 28, 6, 6, 6, 3, 150})}) {
+    MixingGraph g = buildRMA(r);
+    EXPECT_TRUE(g.isTree()) << r.toString();
+    // The balanced-partition reconstruction fragments shares, so it never
+    // uses fewer input droplets than MM's minimal bit decomposition.
+    EXPECT_GE(g.leafCount(), r.popcountSum()) << r.toString();
+  }
+}
+
+TEST(BuildRMA, FragmentsDominantComponent) {
+  // Ex.1 has a dominant 199/256 share; fragmentation must add leaves.
+  MixingGraph g = buildRMA(Ratio({26, 21, 2, 2, 3, 3, 199}));
+  EXPECT_GT(g.leafCount(), Ratio({26, 21, 2, 2, 3, 3, 199}).popcountSum());
+}
+
+TEST(BuildMTCS, SharesCommonSubMixtures) {
+  // With repeated equal parts MTCS shares aggressively; the graph is a DAG
+  // with no more mix nodes than MM's tree.
+  for (const Ratio& r :
+       {pcr(), Ratio({26, 21, 2, 2, 3, 3, 199}),
+        Ratio({25, 5, 5, 5, 5, 13, 13, 25, 1, 159}), Ratio({3, 3, 2})}) {
+    MixingGraph mm = buildMM(r);
+    MixingGraph mtcs = buildMTCS(r);
+    EXPECT_LE(mtcs.internalCount(), mm.internalCount()) << r.toString();
+    EXPECT_LE(mtcs.leafCount(), r.fluidCount()) << r.toString();
+  }
+}
+
+TEST(BuildRSM, ValidTree) {
+  for (const Ratio& r : {pcr(), Ratio({26, 21, 2, 2, 3, 3, 199})}) {
+    MixingGraph g = buildRSM(r);
+    EXPECT_TRUE(g.isTree()) << r.toString();
+    EXPECT_EQ(g.leafCount(), r.popcountSum()) << r.toString();
+  }
+}
+
+TEST(BuildDilution, TwoFluidSpecialCase) {
+  MixingGraph g = buildDilution(5, 4);  // 5/16 sample
+  EXPECT_EQ(g.ratio(), Ratio({5, 11}));
+  EXPECT_EQ(g.depth(), 4u);
+}
+
+TEST(BuildDilution, RejectsDegenerateConcentrations) {
+  EXPECT_THROW(buildDilution(0, 4), std::invalid_argument);
+  EXPECT_THROW(buildDilution(16, 4), std::invalid_argument);
+  EXPECT_THROW(buildDilution(1, 0), std::invalid_argument);
+}
+
+TEST(Builders, DispatchMatchesDirectCalls) {
+  const Ratio r = pcr();
+  EXPECT_EQ(buildGraph(r, Algorithm::MM).leafCount(), buildMM(r).leafCount());
+  EXPECT_EQ(buildGraph(r, Algorithm::RMA).leafCount(),
+            buildRMA(r).leafCount());
+  EXPECT_EQ(buildGraph(r, Algorithm::MTCS).nodeCount(),
+            buildMTCS(r).nodeCount());
+  EXPECT_EQ(buildGraph(r, Algorithm::RSM).leafCount(),
+            buildRSM(r).leafCount());
+}
+
+TEST(Builders, AlgorithmNames) {
+  EXPECT_EQ(algorithmName(Algorithm::MM), "MM");
+  EXPECT_EQ(algorithmName(Algorithm::RMA), "RMA");
+  EXPECT_EQ(algorithmName(Algorithm::MTCS), "MTCS");
+  EXPECT_EQ(algorithmName(Algorithm::RSM), "RSM");
+}
+
+TEST(Builders, DotExportMentionsEveryNode) {
+  MixingGraph g = buildMM(Ratio({1, 1}));
+  const std::string dot = g.toDot();
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("n0"), std::string::npos);
+  EXPECT_NE(dot.find("->"), std::string::npos);
+}
+
+// Property sweep: every builder produces a valid graph (finalize validates
+// value correctness internally) on every corpus ratio.
+class BuilderCorpusTest : public ::testing::TestWithParam<Algorithm> {};
+
+TEST_P(BuilderCorpusTest, AllCorpusRatiosBuildValidGraphs) {
+  const auto& corpus = workload::evaluationCorpus();
+  std::size_t checked = 0;
+  // Stride through the corpus to keep runtime reasonable on one core.
+  for (std::size_t i = 0; i < corpus.size(); i += 7) {
+    const Ratio& r = corpus[i];
+    MixingGraph g = buildGraph(r, GetParam());
+    EXPECT_EQ(g.depth(), r.accuracy());
+    EXPECT_GE(g.leafCount(), 1u);
+    ++checked;
+  }
+  EXPECT_GT(checked, 100u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgorithms, BuilderCorpusTest,
+                         ::testing::Values(Algorithm::MM, Algorithm::RMA,
+                                           Algorithm::MTCS, Algorithm::RSM),
+                         [](const auto& paramInfo) {
+                           return std::string(algorithmName(paramInfo.param));
+                         });
+
+}  // namespace
+}  // namespace dmf::mixgraph

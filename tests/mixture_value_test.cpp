@@ -1,0 +1,95 @@
+#include "dmf/mixture_value.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace dmf {
+namespace {
+
+TEST(MixtureValue, PureDroplet) {
+  MixtureValue v = MixtureValue::pure(2, 5);
+  EXPECT_TRUE(v.isPure());
+  EXPECT_EQ(v.pureFluid(), 2u);
+  EXPECT_EQ(v.exponent(), 0u);
+  EXPECT_EQ(v.toString(), "pure(x3)");
+}
+
+TEST(MixtureValue, PureRejectsBadIndex) {
+  EXPECT_THROW(MixtureValue::pure(5, 5), std::invalid_argument);
+  EXPECT_THROW(MixtureValue::pure(0, 0), std::invalid_argument);
+}
+
+TEST(MixtureValue, TargetOfRatio) {
+  Ratio r({2, 1, 1, 1, 1, 1, 9});
+  MixtureValue t = MixtureValue::target(r);
+  EXPECT_EQ(t.exponent(), 4u);
+  EXPECT_EQ(t.numerators(), (std::vector<std::uint64_t>{2, 1, 1, 1, 1, 1, 9}));
+}
+
+TEST(MixtureValue, MixAverages) {
+  MixtureValue a = MixtureValue::pure(0, 2);
+  MixtureValue b = MixtureValue::pure(1, 2);
+  MixtureValue m = MixtureValue::mix(a, b);
+  EXPECT_EQ(m.exponent(), 1u);
+  EXPECT_EQ(m.numerators(), (std::vector<std::uint64_t>{1, 1}));
+}
+
+TEST(MixtureValue, MixCanonicalizes) {
+  // (3/4, 1/4) mixed with (1/4, 3/4) = (1/2, 1/2) at exponent 1, not 3.
+  MixtureValue a({3, 1}, 2);
+  MixtureValue b({1, 3}, 2);
+  MixtureValue m = MixtureValue::mix(a, b);
+  EXPECT_EQ(m, MixtureValue({1, 1}, 1));
+}
+
+TEST(MixtureValue, MixRejectsIdenticalOperands) {
+  MixtureValue a({1, 1}, 1);
+  MixtureValue b({2, 2}, 2);  // canonicalizes to the same composition
+  EXPECT_EQ(a, b);
+  EXPECT_THROW(MixtureValue::mix(a, b), std::invalid_argument);
+}
+
+TEST(MixtureValue, MixRejectsDifferentFluidSpaces) {
+  EXPECT_THROW(
+      MixtureValue::mix(MixtureValue::pure(0, 2), MixtureValue::pure(0, 3)),
+      std::invalid_argument);
+}
+
+TEST(MixtureValue, RejectsBadSum) {
+  EXPECT_THROW(MixtureValue({1, 1}, 2), std::invalid_argument);
+  EXPECT_THROW(MixtureValue({3, 2}, 2), std::invalid_argument);
+}
+
+TEST(MixtureValue, RejectsEmpty) {
+  EXPECT_THROW(MixtureValue({}, 0), std::invalid_argument);
+}
+
+TEST(MixtureValue, ConcentrationAccessor) {
+  MixtureValue v({2, 1, 1, 1, 1, 1, 9}, 4);
+  EXPECT_EQ(v.concentration(0), DyadicFraction(2, 4));
+  EXPECT_EQ(v.concentration(6), DyadicFraction(9, 4));
+  EXPECT_THROW((void)v.concentration(7), std::invalid_argument);
+}
+
+TEST(MixtureValue, HashAgreesWithEquality) {
+  MixtureValue a({1, 1}, 1);
+  MixtureValue b({2, 2}, 2);
+  EXPECT_EQ(a.hash(), b.hash());
+}
+
+TEST(MixtureValue, PureFluidThrowsOnMixtures) {
+  EXPECT_THROW((void)MixtureValue({1, 1}, 1).pureFluid(), std::logic_error);
+}
+
+TEST(MixtureValue, MixMatchesPaperRunningExample) {
+  // Root of the PCR d=4 tree: mix of {2:1:1:1:1:1:1}/8 with pure water (x7)
+  // must give {2:1:1:1:1:1:9}/16.
+  MixtureValue chain({2, 1, 1, 1, 1, 1, 1}, 3);
+  MixtureValue water = MixtureValue::pure(6, 7);
+  EXPECT_EQ(MixtureValue::mix(chain, water),
+            MixtureValue({2, 1, 1, 1, 1, 1, 9}, 4));
+}
+
+}  // namespace
+}  // namespace dmf

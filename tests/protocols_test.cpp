@@ -1,0 +1,78 @@
+#include "protocols/protocols.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace dmf::protocols {
+namespace {
+
+TEST(Protocols, FivePublishedRatios) {
+  const auto& protocols = publishedProtocols();
+  ASSERT_EQ(protocols.size(), 5u);
+  for (const Protocol& p : protocols) {
+    EXPECT_EQ(p.ratio.sum(), 256u) << p.id;
+    EXPECT_EQ(p.ratio.accuracy(), 8u) << p.id;
+    EXPECT_FALSE(p.description.empty()) << p.id;
+  }
+  EXPECT_EQ(protocols[0].ratio, Ratio({26, 21, 2, 2, 3, 3, 199}));
+  EXPECT_EQ(protocols[1].ratio, Ratio({128, 123, 5}));
+  EXPECT_EQ(protocols[2].ratio, Ratio({25, 5, 5, 5, 5, 13, 13, 25, 1, 159}));
+  EXPECT_EQ(protocols[3].ratio, Ratio({9, 17, 26, 9, 195}));
+  EXPECT_EQ(protocols[4].ratio, Ratio({57, 28, 6, 6, 6, 3, 150}));
+}
+
+TEST(Protocols, PcrPercentagesSumTo100) {
+  double sum = 0;
+  for (double p : pcrMasterMixPercentages()) sum += p;
+  EXPECT_NEAR(sum, 100.0, 1e-9);
+  EXPECT_EQ(pcrMasterMixPercentages().size(), 7u);
+}
+
+TEST(Approximate, ReproducesPaperPcrRatioAtAccuracy4) {
+  // Paper section 4.1: {10:8:0.8:0.8:1:1:78.4}% ~ {2:1:1:1:1:1:9} at scale 16.
+  const Ratio r = approximatePercentages(pcrMasterMixPercentages(), 4);
+  EXPECT_EQ(r, pcrMasterMixRatio());
+}
+
+TEST(Approximate, HigherAccuracyRefinesTheRatio) {
+  const Ratio r5 = approximatePercentages(pcrMasterMixPercentages(), 5);
+  EXPECT_EQ(r5.sum(), 32u);
+  EXPECT_EQ(r5.fluidCount(), 7u);
+  const Ratio r6 = approximatePercentages(pcrMasterMixPercentages(), 6);
+  EXPECT_EQ(r6.sum(), 64u);
+  // The buffer share converges toward 78.4% as accuracy grows.
+  EXPECT_NEAR(r6.concentration(6), 0.784, 0.08);
+}
+
+TEST(Approximate, EveryFluidKeepsAtLeastOneUnit) {
+  const Ratio r = approximatePercentages(pcrMasterMixPercentages(), 4);
+  for (std::size_t i = 0; i < r.fluidCount(); ++i) {
+    EXPECT_GE(r.part(i), 1u);
+  }
+}
+
+TEST(Approximate, RejectsBadInput) {
+  EXPECT_THROW(approximatePercentages({50.0}, 4), std::invalid_argument);
+  EXPECT_THROW(approximatePercentages({50.0, 30.0}, 4),
+               std::invalid_argument);  // does not sum to 100
+  EXPECT_THROW(approximatePercentages({-10.0, 110.0}, 4),
+               std::invalid_argument);
+  EXPECT_THROW(approximatePercentages(pcrMasterMixPercentages(), 0),
+               std::invalid_argument);
+  // Scale 4 cannot grant one unit to each of 7 fluids.
+  EXPECT_THROW(approximatePercentages(pcrMasterMixPercentages(), 2),
+               std::invalid_argument);
+}
+
+TEST(Approximate, ExplicitBufferIndex) {
+  const Ratio r = approximatePercentages({78.4, 10.0, 8.0, 0.8, 0.8, 1.0, 1.0},
+                                         4, 0);
+  EXPECT_EQ(r.part(0), 9u);
+  EXPECT_EQ(r.part(1), 2u);
+  EXPECT_THROW(approximatePercentages({50.0, 50.0}, 4, 2),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dmf::protocols

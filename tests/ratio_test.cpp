@@ -1,0 +1,76 @@
+#include "dmf/ratio.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace dmf {
+namespace {
+
+TEST(Ratio, PcrMasterMixProperties) {
+  Ratio r({2, 1, 1, 1, 1, 1, 9});
+  EXPECT_EQ(r.fluidCount(), 7u);
+  EXPECT_EQ(r.sum(), 16u);
+  EXPECT_EQ(r.accuracy(), 4u);
+  EXPECT_EQ(r.toString(), "2:1:1:1:1:1:9");
+}
+
+TEST(Ratio, PopcountSumIsMmLeafCount) {
+  // Paper Table 2, Ex.1: MM needs 17 input droplets per pass.
+  Ratio ex1({26, 21, 2, 2, 3, 3, 199});
+  EXPECT_EQ(ex1.popcountSum(), 17u);
+  // The running example needs 8.
+  EXPECT_EQ(Ratio({2, 1, 1, 1, 1, 1, 9}).popcountSum(), 8u);
+}
+
+TEST(Ratio, RejectsFewerThanTwoFluids) {
+  EXPECT_THROW(Ratio({16}), std::invalid_argument);
+  EXPECT_THROW(Ratio(std::vector<std::uint64_t>{}), std::invalid_argument);
+}
+
+TEST(Ratio, RejectsZeroPart) {
+  EXPECT_THROW(Ratio({4, 0, 4}), std::invalid_argument);
+}
+
+TEST(Ratio, RejectsNonPowerOfTwoSum) {
+  EXPECT_THROW(Ratio({3, 4}), std::invalid_argument);
+  EXPECT_THROW(Ratio({5, 5, 5}), std::invalid_argument);
+}
+
+TEST(Ratio, RejectsSumBelowTwo) {
+  EXPECT_THROW(Ratio({1, 0}), std::invalid_argument);
+}
+
+TEST(Ratio, ConcentrationIsExactShare)
+{
+  Ratio r({2, 1, 1, 1, 1, 1, 9});
+  EXPECT_DOUBLE_EQ(r.concentration(0), 2.0 / 16.0);
+  EXPECT_DOUBLE_EQ(r.concentration(6), 9.0 / 16.0);
+}
+
+TEST(Ratio, ParseRoundTrips) {
+  auto parsed = Ratio::parse("2:1:1:1:1:1:9");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, Ratio({2, 1, 1, 1, 1, 1, 9}));
+}
+
+TEST(Ratio, ParseRejectsMalformedText) {
+  EXPECT_FALSE(Ratio::parse("").has_value());
+  EXPECT_FALSE(Ratio::parse("2:").has_value());
+  EXPECT_FALSE(Ratio::parse("a:b").has_value());
+  EXPECT_FALSE(Ratio::parse("1,2").has_value());
+}
+
+TEST(Ratio, ParseValidatesInvariants) {
+  EXPECT_THROW(Ratio::parse("3:4"), std::invalid_argument);
+  EXPECT_THROW(Ratio::parse("16"), std::invalid_argument);
+}
+
+TEST(Ratio, EqualityIsStructural) {
+  EXPECT_EQ(Ratio({1, 1}), Ratio({1, 1}));
+  EXPECT_NE(Ratio({1, 1}), Ratio({2, 2}));  // same value, different scale
+  EXPECT_NE(Ratio({1, 3}), Ratio({3, 1}));  // order matters (fluid identity)
+}
+
+}  // namespace
+}  // namespace dmf

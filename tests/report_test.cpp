@@ -1,0 +1,59 @@
+#include "report/chart.h"
+#include "report/table.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace dmf::report {
+namespace {
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"Ratio", "Tc", "q"});
+  t.addRow({"2:1:1:1:1:1:9", "11", "5"});
+  t.addRow({"1:1", "1", "0"});
+  const std::string text = t.render();
+  EXPECT_NE(text.find("Ratio"), std::string::npos);
+  EXPECT_NE(text.find("2:1:1:1:1:1:9"), std::string::npos);
+  EXPECT_NE(text.find("---"), std::string::npos);
+  EXPECT_EQ(t.rowCount(), 2u);
+}
+
+TEST(Table, RejectsWrongArity) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.addRow({"only-one"}), std::invalid_argument);
+  EXPECT_THROW(Table(std::vector<std::string>{}), std::invalid_argument);
+}
+
+TEST(Table, CsvEscapesSpecials) {
+  Table t({"name", "value"});
+  t.addRow({"plain", "1"});
+  t.addRow({"with,comma", "quote\"inside"});
+  const std::string csv = t.toCsv();
+  EXPECT_NE(csv.find("name,value"), std::string::npos);
+  EXPECT_NE(csv.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"quote\"\"inside\""), std::string::npos);
+}
+
+TEST(Fixed, FormatsDigits) {
+  EXPECT_EQ(fixed(72.456, 1), "72.5");
+  EXPECT_EQ(fixed(3.0, 0), "3");
+}
+
+TEST(Chart, PlotsAllSeries) {
+  Series a{"ours", {{1, 1}, {2, 2}, {3, 3}}};
+  Series b{"baseline", {{1, 2}, {2, 4}, {3, 6}}};
+  const std::string chart = renderChart({a, b}, 32, 8);
+  EXPECT_NE(chart.find('A'), std::string::npos);
+  EXPECT_NE(chart.find('B'), std::string::npos);
+  EXPECT_NE(chart.find("ours"), std::string::npos);
+  EXPECT_NE(chart.find("baseline"), std::string::npos);
+}
+
+TEST(Chart, EmptyInputYieldsEmptyOutput) {
+  EXPECT_TRUE(renderChart({}).empty());
+  EXPECT_TRUE(renderChart({Series{"empty", {}}}).empty());
+}
+
+}  // namespace
+}  // namespace dmf::report

@@ -1,0 +1,249 @@
+#include "sched/schedulers.h"
+
+#include <gtest/gtest.h>
+
+#include <iostream>
+#include <stdexcept>
+
+#include "mixgraph/builders.h"
+#include "sched/gantt.h"
+#include "sched/schedule.h"
+#include "workload/ratio_corpus.h"
+
+namespace dmf::sched {
+namespace {
+
+using forest::TaskForest;
+using mixgraph::Algorithm;
+using mixgraph::buildGraph;
+using mixgraph::buildMM;
+using mixgraph::MixingGraph;
+
+Ratio pcr() { return Ratio({2, 1, 1, 1, 1, 1, 9}); }
+
+TEST(Oms, BaseTreeMatchesPaperSection5) {
+  // Paper section 5: the MM base tree of the PCR ratio completes in d = 4
+  // cycles and needs Mlb = 3 mixers for that.
+  MixingGraph g = buildMM(pcr());
+  TaskForest pass(g, 2);
+  EXPECT_EQ(criticalPathLength(pass), 4u);
+  EXPECT_EQ(minimumMixers(pass), 3u);
+  const Schedule s = scheduleOMS(pass, 3);
+  EXPECT_EQ(s.completionTime, 4u);
+  validateOrThrow(pass, s);
+}
+
+TEST(Oms, SingleMixerSerializesEverything) {
+  MixingGraph g = buildMM(pcr());
+  TaskForest pass(g, 2);
+  const Schedule s = scheduleOMS(pass, 1);
+  EXPECT_EQ(s.completionTime, pass.taskCount());
+  validateOrThrow(pass, s);
+}
+
+TEST(Schedulers, RejectZeroMixers) {
+  MixingGraph g = buildMM(pcr());
+  TaskForest pass(g, 2);
+  EXPECT_THROW(scheduleMMS(pass, 0), std::invalid_argument);
+  EXPECT_THROW(scheduleSRS(pass, 0), std::invalid_argument);
+  EXPECT_THROW(scheduleOMS(pass, 0), std::invalid_argument);
+}
+
+TEST(Srs, Figure3Demand20ThreeMixers) {
+  // Paper Fig. 3 / Fig. 4: the D=20 forest scheduled by SRS with 3 mixers
+  // completes in Tc = 11 cycles using q = 5 storage units. Our SRS lands on
+  // the same storage requirement, one cycle later (Tc = 12) — the engines
+  // differ in tie-breaking, not in the trade-off.
+  MixingGraph g = buildMM(pcr());
+  TaskForest f(g, 20);
+  const Schedule s = scheduleSRS(f, 3);
+  validateOrThrow(f, s);
+  EXPECT_EQ(countStorage(f, s), 5u);
+  // 27 mix-splits on 3 mixers cannot beat ceil(27/3) = 9 cycles.
+  EXPECT_GE(s.completionTime, 9u);
+  EXPECT_LE(s.completionTime, 13u);
+}
+
+TEST(Mms, Figure3ForestValidAndFast) {
+  MixingGraph g = buildMM(pcr());
+  TaskForest f(g, 20);
+  const Schedule s = scheduleMMS(f, 3);
+  validateOrThrow(f, s);
+  // MMS packs all 27 mix-splits into the 9-cycle lower bound here, at the
+  // cost of more storage than SRS.
+  EXPECT_EQ(s.completionTime, 9u);
+  EXPECT_EQ(countStorage(f, s), 6u);
+}
+
+TEST(Srs, NeverUsesMoreStorageThanMmsOnPcrSweep) {
+  // The paper's claim (section 4.2.2): SRS trades a little completion time
+  // for fewer storage units than MMS.
+  MixingGraph g = buildMM(pcr());
+  for (std::uint64_t demand : {8u, 16u, 20u, 32u}) {
+    TaskForest f(g, demand);
+    const Schedule mms = scheduleMMS(f, 3);
+    const Schedule srs = scheduleSRS(f, 3);
+    EXPECT_LE(countStorage(f, srs), countStorage(f, mms)) << "D=" << demand;
+    EXPECT_GE(srs.completionTime, mms.completionTime) << "D=" << demand;
+  }
+}
+
+TEST(SrsGreedy, LiteralAlgorithm2IsValid) {
+  MixingGraph g = buildMM(pcr());
+  TaskForest f(g, 20);
+  const Schedule s = scheduleSRSGreedy(f, 3);
+  validateOrThrow(f, s);
+  EXPECT_GE(s.completionTime, 9u);
+}
+
+TEST(StorageCapped, RespectsTheCap) {
+  MixingGraph g = buildMM(pcr());
+  TaskForest f(g, 20);
+  for (unsigned cap : {5u, 6u, 8u, 20u}) {
+    const Schedule s = scheduleStorageCapped(f, 3, cap);
+    validateOrThrow(f, s);
+    EXPECT_LE(countStorage(f, s), cap) << "cap=" << cap;
+  }
+}
+
+TEST(StorageCapped, TighterCapsCostCycles) {
+  MixingGraph g = buildMM(pcr());
+  TaskForest f(g, 20);
+  const Schedule loose = scheduleStorageCapped(f, 3, 20);
+  const Schedule tight = scheduleStorageCapped(f, 3, 5);
+  EXPECT_LE(loose.completionTime, tight.completionTime);
+}
+
+TEST(StorageCapped, ImpossibleCapThrows) {
+  MixingGraph g = buildMM(pcr());
+  TaskForest f(g, 20);
+  EXPECT_THROW(scheduleStorageCapped(f, 3, 0), std::runtime_error);
+  EXPECT_THROW(scheduleStorageCapped(f, 0, 5), std::invalid_argument);
+}
+
+TEST(StorageCapped, GenerousCapMatchesUncappedSpeed) {
+  MixingGraph g = buildMM(pcr());
+  TaskForest f(g, 3);
+  const Schedule uncapped = scheduleOMS(f, 3);
+  const Schedule capped = scheduleStorageCapped(f, 3, 100);
+  EXPECT_LE(capped.completionTime, uncapped.completionTime + 2);
+}
+
+TEST(Storage, EmptyStorageWhenChainIsTight) {
+  // Two-fluid one-mix tree: the only task has no stored droplets.
+  MixingGraph g = buildMM(Ratio({1, 1}));
+  TaskForest f(g, 2);
+  const Schedule s = scheduleOMS(f, 1);
+  EXPECT_EQ(countStorage(f, s), 0u);
+}
+
+TEST(Storage, CountsParkedDroplets) {
+  // Serialize the PCR base tree on one mixer: intermediates must wait, so
+  // storage is needed.
+  MixingGraph g = buildMM(pcr());
+  TaskForest f(g, 2);
+  const Schedule s = scheduleOMS(f, 1);
+  EXPECT_GT(countStorage(f, s), 0u);
+  const auto profile = storageProfile(f, s);
+  EXPECT_EQ(profile.size(), s.completionTime + 1u);
+}
+
+TEST(Storage, BaselineStorageBoundHolds) {
+  // Paper section 4.2: a base tree scheduled with Mc mixers needs roughly
+  // d - (log2 Mc + 1) storage units; with Mlb mixers that is a small number.
+  MixingGraph g = buildMM(pcr());
+  TaskForest f(g, 2);
+  const Schedule s = scheduleOMS(f, 3);
+  EXPECT_LE(countStorage(f, s), 4u);
+}
+
+TEST(Emission, TwentyTargetsEmitted) {
+  MixingGraph g = buildMM(pcr());
+  TaskForest f(g, 20);
+  const Schedule s = scheduleSRS(f, 3);
+  const auto cycles = emissionCycles(f, s);
+  ASSERT_EQ(cycles.size(), 20u);
+  EXPECT_EQ(cycles.back(), s.completionTime);
+  EXPECT_TRUE(std::is_sorted(cycles.begin(), cycles.end()));
+}
+
+TEST(Validate, DetectsPrecedenceViolation) {
+  MixingGraph g = buildMM(pcr());
+  TaskForest f(g, 2);
+  Schedule s = scheduleOMS(f, 3);
+  // Move the root mix to cycle 1: its operands are no longer earlier.
+  for (forest::TaskId id = 0; id < f.taskCount(); ++id) {
+    if (f.task(id).node == g.root()) s.assignments[id].cycle = 1;
+  }
+  EXPECT_THROW(validateOrThrow(f, s), std::logic_error);
+}
+
+TEST(Validate, DetectsMixerOverlap) {
+  MixingGraph g = buildMM(pcr());
+  TaskForest f(g, 2);
+  Schedule s = scheduleOMS(f, 3);
+  // Force every task onto mixer 0 — cycle/mixer collisions appear.
+  bool collision = false;
+  for (auto& a : s.assignments) {
+    if (a.mixer != 0) {
+      a.mixer = 0;
+      collision = true;
+    }
+  }
+  ASSERT_TRUE(collision);
+  EXPECT_THROW(validateOrThrow(f, s), std::logic_error);
+}
+
+TEST(Gantt, RendersEveryMixerRow) {
+  MixingGraph g = buildMM(pcr());
+  TaskForest f(g, 20);
+  const Schedule s = scheduleSRS(f, 3);
+  const std::string chart = renderGantt(f, s);
+  EXPECT_NE(chart.find("M1"), std::string::npos);
+  EXPECT_NE(chart.find("M3"), std::string::npos);
+  EXPECT_NE(chart.find("store"), std::string::npos);
+  EXPECT_NE(chart.find("emit"), std::string::npos);
+}
+
+// Parameterized validity sweep: every scheduler produces a valid schedule on
+// corpus forests for several mixer counts, and more mixers never hurt much.
+struct SchedSweepParam {
+  Algorithm algorithm;
+  unsigned mixers;
+};
+
+class SchedulerCorpusTest
+    : public ::testing::TestWithParam<SchedSweepParam> {};
+
+TEST_P(SchedulerCorpusTest, ValidSchedulesOnCorpus) {
+  const auto& corpus = workload::evaluationCorpus();
+  for (std::size_t i = 0; i < corpus.size(); i += 97) {
+    const Ratio& r = corpus[i];
+    MixingGraph g = buildGraph(r, GetParam().algorithm);
+    TaskForest f(g, 32);
+    for (const Schedule& s :
+         {scheduleMMS(f, GetParam().mixers), scheduleSRS(f, GetParam().mixers),
+          scheduleOMS(f, GetParam().mixers)}) {
+      validateOrThrow(f, s);
+      EXPECT_GE(s.completionTime, criticalPathLength(f)) << r.toString();
+      EXPECT_GE(s.completionTime,
+                (f.taskCount() + GetParam().mixers - 1) / GetParam().mixers)
+          << r.toString();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SchedulerCorpusTest,
+    ::testing::Values(SchedSweepParam{Algorithm::MM, 1},
+                      SchedSweepParam{Algorithm::MM, 2},
+                      SchedSweepParam{Algorithm::MM, 4},
+                      SchedSweepParam{Algorithm::RMA, 3},
+                      SchedSweepParam{Algorithm::MTCS, 3}),
+    [](const auto& paramInfo) {
+      return std::string(mixgraph::algorithmName(paramInfo.param.algorithm)) +
+             "_M" + std::to_string(paramInfo.param.mixers);
+    });
+
+}  // namespace
+}  // namespace dmf::sched

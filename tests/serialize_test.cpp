@@ -1,0 +1,100 @@
+#include "engine/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "protocols/protocols.h"
+#include "report/json.h"
+#include "sched/schedulers.h"
+
+namespace dmf {
+namespace {
+
+using report::Json;
+
+TEST(Json, BuildsNestedStructures) {
+  Json obj = Json::object();
+  obj.set("name", Json::string("dmf"))
+      .set("count", Json::number(std::uint64_t{42}))
+      .set("ratio", Json::number(0.5))
+      .set("ok", Json::boolean(true));
+  Json arr = Json::array();
+  arr.push(Json::number(std::uint64_t{1})).push(Json::string("two"));
+  obj.set("items", std::move(arr));
+  const std::string text = obj.dump();
+  EXPECT_EQ(text,
+            "{\"name\":\"dmf\",\"count\":42,\"ratio\":0.5,\"ok\":true,"
+            "\"items\":[1,\"two\"]}");
+}
+
+TEST(Json, PrettyPrintsWithIndent) {
+  Json obj = Json::object();
+  obj.set("a", Json::number(std::uint64_t{1}));
+  const std::string text = obj.dump(2);
+  EXPECT_NE(text.find("{\n  \"a\": 1\n}"), std::string::npos);
+}
+
+TEST(Json, EscapesSpecialCharacters) {
+  EXPECT_EQ(report::jsonEscape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+  EXPECT_EQ(Json::string("\t").dump(), "\"\\t\"");
+  EXPECT_EQ(report::jsonEscape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(Json, EmptyContainers) {
+  EXPECT_EQ(Json::object().dump(), "{}");
+  EXPECT_EQ(Json::array().dump(), "[]");
+}
+
+TEST(Json, TypeMisuseThrows) {
+  Json arr = Json::array();
+  EXPECT_THROW(arr.set("x", Json::boolean(false)), std::logic_error);
+  Json obj = Json::object();
+  EXPECT_THROW(obj.push(Json::boolean(false)), std::logic_error);
+  EXPECT_THROW(Json::number(std::nan("")), std::invalid_argument);
+}
+
+TEST(Serialize, MdstResultRoundsAllMetrics) {
+  engine::MdstEngine engine(protocols::pcrMasterMixRatio());
+  engine::MdstRequest request;
+  request.demand = 20;
+  request.scheme = engine::Scheme::kSRS;
+  const std::string json = engine::toJson(engine.run(request)).dump();
+  EXPECT_NE(json.find("\"mixSplits\":27"), std::string::npos);
+  EXPECT_NE(json.find("\"waste\":5"), std::string::npos);
+  EXPECT_NE(json.find("\"inputDroplets\":25"), std::string::npos);
+  EXPECT_NE(json.find("\"inputPerFluid\":[3,2,2,2,2,2,12]"),
+            std::string::npos);
+}
+
+TEST(Serialize, ScheduleListsEveryTaskOnce) {
+  engine::MdstEngine engine(protocols::pcrMasterMixRatio());
+  const forest::TaskForest forest =
+      engine.buildForest(mixgraph::Algorithm::MM, 20);
+  const sched::Schedule schedule = sched::scheduleSRS(forest, 3);
+  const std::string json = engine::toJson(forest, schedule).dump();
+  std::size_t taskEntries = 0;
+  for (std::size_t pos = json.find("\"cycle\":"); pos != std::string::npos;
+       pos = json.find("\"cycle\":", pos + 1)) {
+    ++taskEntries;
+  }
+  EXPECT_EQ(taskEntries, forest.taskCount());
+  EXPECT_NE(json.find("\"fate\":\"target\""), std::string::npos);
+  EXPECT_NE(json.find("\"fate\":\"waste\""), std::string::npos);
+  EXPECT_NE(json.find("\"scheme\":\"SRS\""), std::string::npos);
+}
+
+TEST(Serialize, StreamingPlanRoundTrips) {
+  engine::MdstEngine engine(protocols::pcrMasterMixRatio());
+  engine::StreamingRequest request;
+  request.demand = 32;
+  request.storageCap = 3;
+  request.mixers = 3;
+  const engine::StreamingPlan plan = planStreaming(engine, request);
+  const std::string json = engine::toJson(plan).dump(2);
+  EXPECT_NE(json.find("\"passes\""), std::string::npos);
+  EXPECT_NE(json.find("\"peakStorage\": 3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dmf

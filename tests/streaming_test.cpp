@@ -1,0 +1,110 @@
+// Property tests for the streaming engine: both planners, across caps,
+// algorithms and demands.
+#include "engine/streaming.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "engine/mdst.h"
+#include "protocols/protocols.h"
+
+namespace dmf::engine {
+namespace {
+
+using mixgraph::Algorithm;
+
+MdstEngine pcrEngine() { return MdstEngine(protocols::pcrMasterMixRatio()); }
+
+StreamingRequest request(std::uint64_t demand, unsigned cap,
+                         unsigned mixers = 3) {
+  StreamingRequest r;
+  r.demand = demand;
+  r.storageCap = cap;
+  r.mixers = mixers;
+  return r;
+}
+
+TEST(StreamingOptimized, NeverSlowerThanMaxDemandRule) {
+  MdstEngine engine = pcrEngine();
+  for (unsigned cap : {3u, 5u, 7u, 12u}) {
+    for (std::uint64_t demand : {16u, 20u, 32u, 50u}) {
+      const StreamingPlan paper = planStreaming(engine, request(demand, cap));
+      const StreamingPlan opt =
+          planStreamingOptimized(engine, request(demand, cap));
+      EXPECT_LE(opt.totalCycles, paper.totalCycles)
+          << "cap=" << cap << " D=" << demand;
+      EXPECT_LE(opt.storageUnits, cap);
+    }
+  }
+}
+
+TEST(StreamingOptimized, DeliversTheFullDemand) {
+  MdstEngine engine = pcrEngine();
+  const StreamingPlan plan =
+      planStreamingOptimized(engine, request(37, 5));
+  std::uint64_t produced = 0;
+  for (const StreamingPass& pass : plan.passes) {
+    produced += pass.demand;
+    EXPECT_LE(pass.storageUnits, 5u);
+  }
+  EXPECT_EQ(produced, 37u);
+}
+
+TEST(StreamingOptimized, ThrowsWhenNothingFits) {
+  MdstEngine engine = pcrEngine();
+  // One mixer, zero storage: even a two-droplet pass parks droplets.
+  EXPECT_THROW(planStreamingOptimized(engine, request(8, 0, 1)),
+               std::runtime_error);
+  EXPECT_THROW(planStreamingOptimized(engine, request(0, 5)),
+               std::invalid_argument);
+}
+
+TEST(StreamingPlans, PassAccountingIsConsistent) {
+  MdstEngine engine = pcrEngine();
+  for (const StreamingPlan& plan :
+       {planStreaming(engine, request(32, 5)),
+        planStreamingOptimized(engine, request(32, 5))}) {
+    std::uint64_t cycles = 0;
+    std::uint64_t waste = 0;
+    std::uint64_t input = 0;
+    unsigned storage = 0;
+    for (const StreamingPass& pass : plan.passes) {
+      cycles += pass.cycles;
+      waste += pass.waste;
+      input += pass.inputDroplets;
+      storage = std::max(storage, pass.storageUnits);
+      // Conservation per pass: I = D + W.
+      EXPECT_EQ(pass.inputDroplets, pass.demand + pass.waste);
+    }
+    EXPECT_EQ(plan.totalCycles, cycles);
+    EXPECT_EQ(plan.totalWaste, waste);
+    EXPECT_EQ(plan.totalInput, input);
+    EXPECT_EQ(plan.storageUnits, storage);
+  }
+}
+
+TEST(StreamingPlans, WorksWithEveryAlgorithm) {
+  for (Algorithm algo : {Algorithm::MM, Algorithm::RMA, Algorithm::MTCS}) {
+    MdstEngine engine = pcrEngine();
+    StreamingRequest r = request(24, 6);
+    r.algorithm = algo;
+    const StreamingPlan plan = planStreaming(engine, r);
+    EXPECT_LE(plan.storageUnits, 6u) << mixgraph::algorithmName(algo);
+    std::uint64_t produced = 0;
+    for (const StreamingPass& pass : plan.passes) produced += pass.demand;
+    EXPECT_EQ(produced, 24u) << mixgraph::algorithmName(algo);
+  }
+}
+
+TEST(StreamingPlans, SinglePassWhenDemandIsTiny) {
+  MdstEngine engine = pcrEngine();
+  const StreamingPlan plan = planStreaming(engine, request(1, 10));
+  ASSERT_EQ(plan.passes.size(), 1u);
+  EXPECT_EQ(plan.passes[0].demand, 1u);
+  // An odd single droplet still wastes the surplus target.
+  EXPECT_GE(plan.totalWaste, 1u);
+}
+
+}  // namespace
+}  // namespace dmf::engine

@@ -1,0 +1,91 @@
+#include "workload/ratio_corpus.h"
+#include "workload/random_ratios.h"
+
+#include <gtest/gtest.h>
+
+#include <iostream>
+#include <set>
+#include <stdexcept>
+
+namespace dmf::workload {
+namespace {
+
+TEST(PartitionCorpus, SmallCaseIsExhaustive) {
+  // Partitions of 8 into 2..3 parts: (7,1)(6,2)(5,3)(4,4) and
+  // (6,1,1)(5,2,1)(4,3,1)(4,2,2)(3,3,2).
+  const auto corpus = partitionCorpus(8, 2, 3);
+  EXPECT_EQ(corpus.size(), 9u);
+  std::set<std::string> seen;
+  for (const Ratio& r : corpus) {
+    EXPECT_TRUE(seen.insert(r.toString()).second) << "duplicate " << r.toString();
+    EXPECT_EQ(r.sum(), 8u);
+  }
+}
+
+TEST(PartitionCorpus, PartsAreNonIncreasing) {
+  for (const Ratio& r : partitionCorpus(16, 2, 5)) {
+    for (std::size_t i = 1; i < r.fluidCount(); ++i) {
+      EXPECT_LE(r.part(i), r.part(i - 1)) << r.toString();
+    }
+  }
+}
+
+TEST(PartitionCorpus, MatchesCountingRecurrence) {
+  std::uint64_t expected = 0;
+  for (std::size_t k = 2; k <= 5; ++k) expected += countPartitions(16, k);
+  EXPECT_EQ(partitionCorpus(16, 2, 5).size(), expected);
+}
+
+TEST(PartitionCorpus, EvaluationCorpusSizeIsStable) {
+  // The paper reports 6058 synthetic ratios of 2..12 fluids at L = 32; the
+  // exhaustive partition corpus is our deterministic stand-in. Record its
+  // size so every averaged bench is reproducible.
+  const auto& corpus = evaluationCorpus();
+  std::uint64_t expected = 0;
+  for (std::size_t k = 2; k <= 12; ++k) expected += countPartitions(32, k);
+  EXPECT_EQ(corpus.size(), expected);
+  std::cout << "[diag] evaluation corpus size = " << corpus.size() << "\n";
+  EXPECT_GT(corpus.size(), 3000u);
+  EXPECT_LT(corpus.size(), 9000u);
+}
+
+TEST(PartitionCorpus, RejectsBadArguments) {
+  EXPECT_THROW(partitionCorpus(12, 2, 4), std::invalid_argument);  // not 2^k
+  EXPECT_THROW(partitionCorpus(16, 1, 4), std::invalid_argument);
+  EXPECT_THROW(partitionCorpus(16, 5, 4), std::invalid_argument);
+  EXPECT_THROW(partitionCorpus(16, 2, 17), std::invalid_argument);
+}
+
+TEST(CountPartitions, KnownValues) {
+  EXPECT_EQ(countPartitions(8, 2), 4u);
+  EXPECT_EQ(countPartitions(8, 3), 5u);
+  EXPECT_EQ(countPartitions(8, 8), 1u);
+  EXPECT_EQ(countPartitions(8, 9), 0u);
+  EXPECT_EQ(countPartitions(8, 0), 0u);
+}
+
+TEST(RandomRatios, DeterministicForSeed) {
+  RandomRatioGenerator a(32, 5, 42);
+  RandomRatioGenerator b(32, 5, 42);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(RandomRatios, ProducesValidRatios) {
+  RandomRatioGenerator gen(64, 7, 1);
+  for (int i = 0; i < 100; ++i) {
+    const Ratio r = gen.next();
+    EXPECT_EQ(r.sum(), 64u);
+    EXPECT_EQ(r.fluidCount(), 7u);
+  }
+}
+
+TEST(RandomRatios, RejectsBadArguments) {
+  EXPECT_THROW(RandomRatioGenerator(12, 3, 0), std::invalid_argument);
+  EXPECT_THROW(RandomRatioGenerator(16, 1, 0), std::invalid_argument);
+  EXPECT_THROW(RandomRatioGenerator(16, 17, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dmf::workload

@@ -1,0 +1,414 @@
+// dmfstream — command-line front end for the droplet-streaming engine.
+//
+//   dmfstream plan   --ratio 2:1:1:1:1:1:9 --demand 20 [--mixers N]
+//                    [--algo MM|RMA|MTCS|RSM] [--scheme MMS|SRS|OMS|GA]
+//                    [--gantt] [--csv]
+//   dmfstream stream --ratio R --demand D --storage Q [--mixers N] [--algo A]
+//   dmfstream dilute --sample a/2^d --demand D [--mixers N]
+//   dmfstream chip   --ratio R --demand D [--mixers N] [--simulate] [--pins]
+//                    [--wear] [--anneal]
+//   dmfstream corpus [--sum L] [--min-fluids N] [--max-fluids N]
+//
+// Exit code 0 on success, 1 on usage errors, 2 on infeasible requests.
+#include <charconv>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/error_model.h"
+#include "chip/contamination.h"
+#include "chip/executor.h"
+#include "chip/pcr_layout.h"
+#include "chip/pin_mapper.h"
+#include "chip/placer.h"
+#include "chip/reliability.h"
+#include "chip/router.h"
+#include "chip/simulation.h"
+#include "engine/baseline.h"
+#include "engine/mdst.h"
+#include "engine/multi_target.h"
+#include "engine/serialize.h"
+#include "engine/streaming.h"
+#include "mixgraph/builders.h"
+#include "report/table.h"
+#include "sched/ga_scheduler.h"
+#include "sched/gantt.h"
+#include "sched/schedulers.h"
+#include "workload/ratio_corpus.h"
+
+namespace {
+
+using namespace dmf;
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> options;
+  std::vector<std::string> flags;
+
+  [[nodiscard]] bool has(const std::string& flag) const {
+    for (const std::string& f : flags) {
+      if (f == flag) return true;
+    }
+    return false;
+  }
+  [[nodiscard]] std::optional<std::string> get(const std::string& key) const {
+    auto it = options.find(key);
+    return it == options.end() ? std::nullopt
+                               : std::optional<std::string>(it->second);
+  }
+  [[nodiscard]] std::uint64_t getU64(const std::string& key,
+                                     std::uint64_t fallback) const {
+    const auto text = get(key);
+    if (!text.has_value()) return fallback;
+    std::uint64_t value = 0;
+    const auto [ptr, ec] =
+        std::from_chars(text->data(), text->data() + text->size(), value);
+    if (ec != std::errc{} || ptr != text->data() + text->size()) {
+      throw std::invalid_argument("--" + key + ": expected a number, got '" +
+                                  *text + "'");
+    }
+    return value;
+  }
+};
+
+int usage() {
+  std::cerr <<
+      R"(usage: dmfstream <command> [options]
+
+commands:
+  plan    schedule a droplet demand        --ratio a1:..:aN --demand D
+          options: --mixers N (default: Mlb) --algo MM|RMA|MTCS|RSM
+                   --scheme MMS|SRS|OMS|GA  --gantt  --csv  --json
+                   --split-error EPS (worst-case CF error analysis)
+  stream  multi-pass plan under a storage cap
+          --ratio R --demand D --storage Q [--mixers N] [--algo A]
+          [--optimize]  (search all pass sizes for minimum total cycles)
+  multi   shared multi-target preparation
+          --targets R1;R2;... --demands D1,D2,... [--mixers N]
+  dilute  two-fluid dilution stream        --sample a/2^d --demand D
+  chip    execute on a synthesized biochip --ratio R --demand D
+          options: --simulate (timed routing) --pins --wear --anneal
+                   --contamination (residue/wash analysis)
+  corpus  describe the evaluation ratio corpus [--sum L]
+          [--min-fluids N] [--max-fluids N]
+)";
+  return 1;
+}
+
+Args parse(int argc, char** argv) {
+  Args args;
+  if (argc < 2) return args;
+  args.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    std::string token = argv[i];
+    if (token.rfind("--", 0) != 0) {
+      throw std::invalid_argument("unexpected argument '" + token + "'");
+    }
+    token = token.substr(2);
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      args.options[token] = argv[++i];
+    } else {
+      args.flags.push_back(token);
+    }
+  }
+  return args;
+}
+
+Ratio requireRatio(const Args& args) {
+  const auto text = args.get("ratio");
+  if (!text.has_value()) {
+    throw std::invalid_argument("--ratio is required (e.g. 2:1:1:1:1:1:9)");
+  }
+  auto ratio = Ratio::parse(*text);
+  if (!ratio.has_value()) {
+    throw std::invalid_argument("--ratio: malformed '" + *text + "'");
+  }
+  return *ratio;
+}
+
+mixgraph::Algorithm parseAlgo(const Args& args) {
+  const std::string name = args.get("algo").value_or("MM");
+  if (name == "MM") return mixgraph::Algorithm::MM;
+  if (name == "RMA") return mixgraph::Algorithm::RMA;
+  if (name == "MTCS") return mixgraph::Algorithm::MTCS;
+  if (name == "RSM") return mixgraph::Algorithm::RSM;
+  throw std::invalid_argument("--algo: unknown algorithm '" + name + "'");
+}
+
+sched::Schedule makeSchedule(const forest::TaskForest& forest,
+                             const std::string& scheme, unsigned mixers) {
+  if (scheme == "MMS") return sched::scheduleMMS(forest, mixers);
+  if (scheme == "SRS") return sched::scheduleSRS(forest, mixers);
+  if (scheme == "OMS") return sched::scheduleOMS(forest, mixers);
+  if (scheme == "GA") return sched::scheduleGA(forest, mixers);
+  throw std::invalid_argument("--scheme: unknown scheme '" + scheme + "'");
+}
+
+int cmdPlan(const Args& args, const Ratio& ratio) {
+  engine::MdstEngine engine(ratio);
+  const std::uint64_t demand = args.getU64("demand", 2);
+  const auto mixers =
+      static_cast<unsigned>(args.getU64("mixers", engine.defaultMixers()));
+  const std::string scheme = args.get("scheme").value_or("SRS");
+
+  const forest::TaskForest forest = engine.buildForest(parseAlgo(args), demand);
+  const sched::Schedule schedule = makeSchedule(forest, scheme, mixers);
+  sched::validateOrThrow(forest, schedule);
+  const unsigned storage = sched::countStorage(forest, schedule);
+
+  report::Table table({"metric", "value"});
+  table.addRow({"ratio", ratio.toString()});
+  table.addRow({"accuracy d", std::to_string(ratio.accuracy())});
+  table.addRow({"demand D", std::to_string(demand)});
+  table.addRow({"scheme", scheme});
+  table.addRow({"mixers Mc", std::to_string(mixers)});
+  table.addRow({"component trees |F|",
+                std::to_string(forest.stats().componentTrees)});
+  table.addRow({"mix-splits Tms", std::to_string(forest.stats().mixSplits)});
+  table.addRow({"completion Tc", std::to_string(schedule.completionTime)});
+  table.addRow({"storage units q", std::to_string(storage)});
+  table.addRow({"input droplets I", std::to_string(forest.stats().inputTotal)});
+  table.addRow({"waste droplets W", std::to_string(forest.stats().waste)});
+  if (args.has("json")) {
+    std::cout << engine::toJson(forest, schedule).dump(2);
+    return 0;
+  }
+  if (args.get("split-error").has_value()) {
+    const double eps = std::stod(*args.get("split-error"));
+    const analysis::NodeError err = analysis::targetError(
+        engine.baseGraph(parseAlgo(args)), analysis::ErrorOptions{eps, 0.0});
+    table.addRow({"worst CF error @eps=" + *args.get("split-error"),
+                  report::fixed(err.worstConcentration, 5)});
+    table.addRow({"quantization error",
+                  report::fixed(analysis::quantizationError(
+                                    engine.baseGraph(parseAlgo(args))),
+                                5)});
+  }
+  std::cout << (args.has("csv") ? table.toCsv() : table.render());
+  if (args.has("gantt")) {
+    std::cout << "\n" << sched::renderGantt(forest, schedule);
+  }
+  return 0;
+}
+
+int cmdStream(const Args& args, const Ratio& ratio) {
+  engine::MdstEngine engine(ratio);
+  engine::StreamingRequest request;
+  request.algorithm = parseAlgo(args);
+  request.demand = args.getU64("demand", 2);
+  request.storageCap = static_cast<unsigned>(args.getU64("storage", 5));
+  request.mixers = static_cast<unsigned>(args.getU64("mixers", 0));
+  const engine::StreamingPlan plan = args.has("optimize")
+                                         ? planStreamingOptimized(engine, request)
+                                         : planStreaming(engine, request);
+
+  report::Table table({"pass", "demand", "cycles", "storage", "waste",
+                       "input"});
+  for (std::size_t p = 0; p < plan.passes.size(); ++p) {
+    const engine::StreamingPass& pass = plan.passes[p];
+    table.addRow({std::to_string(p + 1), std::to_string(pass.demand),
+                  std::to_string(pass.cycles),
+                  std::to_string(pass.storageUnits),
+                  std::to_string(pass.waste),
+                  std::to_string(pass.inputDroplets)});
+  }
+  std::cout << table.render() << "total: " << plan.passes.size()
+            << " passes, " << plan.totalCycles << " cycles, "
+            << plan.totalWaste << " waste, " << plan.totalInput
+            << " input droplets (storage cap " << request.storageCap
+            << ", peak " << plan.storageUnits << ")\n";
+  return 0;
+}
+
+int cmdDilute(const Args& args) {
+  const auto text = args.get("sample");
+  if (!text.has_value()) {
+    throw std::invalid_argument("--sample is required (e.g. 5/2^4)");
+  }
+  const auto slash = text->find("/2^");
+  std::uint64_t numerator = 0;
+  unsigned accuracy = 0;
+  bool ok = slash != std::string::npos;
+  if (ok) {
+    const std::string num = text->substr(0, slash);
+    const std::string exp = text->substr(slash + 3);
+    ok = std::from_chars(num.data(), num.data() + num.size(), numerator)
+                 .ec == std::errc{} &&
+         std::from_chars(exp.data(), exp.data() + exp.size(), accuracy).ec ==
+             std::errc{};
+  }
+  if (!ok) {
+    throw std::invalid_argument("--sample: expected a/2^d, got '" + *text +
+                                "'");
+  }
+  const mixgraph::MixingGraph graph =
+      mixgraph::buildDilution(numerator, accuracy);
+  Args planArgs = args;
+  planArgs.options["ratio"] = graph.ratio().toString();
+  return cmdPlan(planArgs, graph.ratio());
+}
+
+int cmdChip(const Args& args, const Ratio& ratio) {
+  engine::MdstEngine engine(ratio);
+  const std::uint64_t demand = args.getU64("demand", 2);
+  const auto mixers =
+      static_cast<unsigned>(args.getU64("mixers", engine.defaultMixers()));
+  const forest::TaskForest forest =
+      engine.buildForest(parseAlgo(args), demand);
+  const sched::Schedule schedule = sched::scheduleSRS(forest, mixers);
+  const unsigned storage = sched::countStorage(forest, schedule);
+
+  chip::Layout layout = chip::synthesizeLayout(
+      ratio.fluidCount(), mixers, std::max(storage, 1u));
+  chip::Router router(layout);
+  chip::ChipExecutor executor(layout, router);
+  chip::ExecutionTrace trace = executor.run(forest, schedule);
+
+  if (args.has("anneal")) {
+    const chip::FlowMatrix flow =
+        chip::flowFromTrace(trace, layout.moduleCount());
+    layout = chip::annealPlacement(layout, flow);
+    chip::Router annealedRouter(layout);
+    chip::ChipExecutor annealedExecutor(layout, annealedRouter);
+    trace = annealedExecutor.run(forest, schedule);
+  }
+
+  std::cout << "layout (" << layout.width() << "x" << layout.height()
+            << "):\n"
+            << layout.render() << "\nBFS-priced transport cost: "
+            << trace.totalCost << " electrode actuations\n";
+
+  if (args.has("simulate") || args.has("pins") || args.has("contamination")) {
+    const chip::SimulationResult sim = chip::simulateTrace(layout, trace);
+    std::cout << "timed simulation: " << sim.totalActuations
+              << " actuations over " << sim.totalSteps
+              << " routing steps (longest phase " << sim.maxPhaseMakespan
+              << ")\n";
+    if (args.has("contamination")) {
+      const chip::ContaminationReport report =
+          chip::analyzeContamination(layout, sim);
+      std::cout << "contamination: " << report.sharedCells
+                << " shared cells, " << report.contaminatedReuses
+                << " dirty reuses, ~" << report.washDroplets
+                << " wash droplets needed\n"
+                << chip::renderContamination(layout, sim);
+    }
+    if (args.has("pins")) {
+      const chip::ActuationMatrix matrix(layout, sim);
+      const chip::PinAssignment pins = chip::assignPins(matrix);
+      std::cout << "broadcast addressing: " << pins.pinCount()
+                << " control pins for "
+                << matrix.electrodeCount() - pins.idleElectrodes
+                << " constrained electrodes (plus " << pins.idleElectrodes
+                << " idle)\n";
+    }
+  }
+  if (args.has("wear")) {
+    const chip::WearReport wear = chip::analyzeWear(trace);
+    std::cout << "wear: peak " << wear.peak << " actuations, imbalance "
+              << report::fixed(wear.imbalance, 2) << ", ~"
+              << wear.workloadsToBudget
+              << " workloads to the dielectric budget\n"
+              << chip::renderHeatMap(trace);
+  }
+  return 0;
+}
+
+int cmdMulti(const Args& args) {
+  const auto targetsText = args.get("targets");
+  const auto demandsText = args.get("demands");
+  if (!targetsText.has_value() || !demandsText.has_value()) {
+    throw std::invalid_argument(
+        "multi needs --targets R1;R2;... and --demands D1,D2,...");
+  }
+  auto splitOn = [](const std::string& text, char sep) {
+    std::vector<std::string> parts;
+    std::size_t start = 0;
+    while (start <= text.size()) {
+      const std::size_t end = text.find(sep, start);
+      parts.push_back(text.substr(
+          start, end == std::string::npos ? std::string::npos : end - start));
+      if (end == std::string::npos) break;
+      start = end + 1;
+    }
+    return parts;
+  };
+  std::vector<engine::TargetDemand> targets;
+  const auto ratios = splitOn(*targetsText, ';');
+  const auto demands = splitOn(*demandsText, ',');
+  if (ratios.size() != demands.size() || ratios.empty()) {
+    throw std::invalid_argument(
+        "multi: --targets and --demands must list the same number of items");
+  }
+  for (std::size_t i = 0; i < ratios.size(); ++i) {
+    const auto ratio = Ratio::parse(ratios[i]);
+    if (!ratio.has_value()) {
+      throw std::invalid_argument("multi: malformed ratio '" + ratios[i] +
+                                  "'");
+    }
+    std::uint64_t demand = 0;
+    const auto [ptr, ec] = std::from_chars(
+        demands[i].data(), demands[i].data() + demands[i].size(), demand);
+    if (ec != std::errc{} || ptr != demands[i].data() + demands[i].size()) {
+      throw std::invalid_argument("multi: malformed demand '" + demands[i] +
+                                  "'");
+    }
+    targets.push_back({*ratio, demand});
+  }
+  const engine::MultiTargetResult r = engine::runMultiTarget(
+      targets, engine::Scheme::kSRS,
+      static_cast<unsigned>(args.getU64("mixers", 0)));
+  report::Table table({"metric", "shared forest", "separate engines"});
+  table.addRow({"completion Tc", std::to_string(r.completionTime),
+                std::to_string(r.separateCompletionTime)});
+  table.addRow({"storage q", std::to_string(r.storageUnits),
+                std::to_string(r.separateStorageUnits)});
+  table.addRow({"input droplets I", std::to_string(r.inputDroplets),
+                std::to_string(r.separateInputDroplets)});
+  table.addRow({"waste W", std::to_string(r.waste),
+                std::to_string(r.separateWaste)});
+  std::cout << table.render() << "(" << targets.size()
+            << " targets on " << r.mixers << " mixers)\n";
+  return 0;
+}
+
+int cmdCorpus(const Args& args) {
+  const std::uint64_t sum = args.getU64("sum", 32);
+  const std::size_t minN =
+      static_cast<std::size_t>(args.getU64("min-fluids", 2));
+  const std::size_t maxN =
+      static_cast<std::size_t>(args.getU64("max-fluids", 12));
+  const auto corpus = workload::partitionCorpus(sum, minN, maxN);
+  report::Table table({"fluids N", "ratios"});
+  std::map<std::size_t, std::size_t> byN;
+  for (const Ratio& r : corpus) ++byN[r.fluidCount()];
+  for (const auto& [n, count] : byN) {
+    table.addRow({std::to_string(n), std::to_string(count)});
+  }
+  std::cout << table.render() << "total: " << corpus.size()
+            << " target ratios with sum " << sum << "\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Args args = parse(argc, argv);
+    if (args.command == "plan") return cmdPlan(args, requireRatio(args));
+    if (args.command == "stream") return cmdStream(args, requireRatio(args));
+    if (args.command == "multi") return cmdMulti(args);
+    if (args.command == "dilute") return cmdDilute(args);
+    if (args.command == "chip") return cmdChip(args, requireRatio(args));
+    if (args.command == "corpus") return cmdCorpus(args);
+    return usage();
+  } catch (const std::invalid_argument& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  } catch (const std::exception& e) {
+    std::cerr << "infeasible: " << e.what() << "\n";
+    return 2;
+  }
+}
