@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_error"
+  "../bench/bench_ablation_error.pdb"
+  "CMakeFiles/bench_ablation_error.dir/bench_ablation_error.cpp.o"
+  "CMakeFiles/bench_ablation_error.dir/bench_ablation_error.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_error.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_mixers"
+  "../bench/bench_ablation_mixers.pdb"
+  "CMakeFiles/bench_ablation_mixers.dir/bench_ablation_mixers.cpp.o"
+  "CMakeFiles/bench_ablation_mixers.dir/bench_ablation_mixers.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_mixers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

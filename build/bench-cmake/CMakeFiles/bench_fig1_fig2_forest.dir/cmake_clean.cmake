@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig1_fig2_forest"
+  "../bench/bench_fig1_fig2_forest.pdb"
+  "CMakeFiles/bench_fig1_fig2_forest.dir/bench_fig1_fig2_forest.cpp.o"
+  "CMakeFiles/bench_fig1_fig2_forest.dir/bench_fig1_fig2_forest.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_fig2_forest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

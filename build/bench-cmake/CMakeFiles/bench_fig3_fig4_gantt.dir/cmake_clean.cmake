@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig3_fig4_gantt"
+  "../bench/bench_fig3_fig4_gantt.pdb"
+  "CMakeFiles/bench_fig3_fig4_gantt.dir/bench_fig3_fig4_gantt.cpp.o"
+  "CMakeFiles/bench_fig3_fig4_gantt.dir/bench_fig3_fig4_gantt.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_fig4_gantt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5_layout"
+  "../bench/bench_fig5_layout.pdb"
+  "CMakeFiles/bench_fig5_layout.dir/bench_fig5_layout.cpp.o"
+  "CMakeFiles/bench_fig5_layout.dir/bench_fig5_layout.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

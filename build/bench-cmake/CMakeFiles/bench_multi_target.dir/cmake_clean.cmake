@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_multi_target"
+  "../bench/bench_multi_target.pdb"
+  "CMakeFiles/bench_multi_target.dir/bench_multi_target.cpp.o"
+  "CMakeFiles/bench_multi_target.dir/bench_multi_target.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_multi_target.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dilution_streaming.dir/dilution_streaming.cpp.o"
+  "CMakeFiles/dilution_streaming.dir/dilution_streaming.cpp.o.d"
+  "dilution_streaming"
+  "dilution_streaming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dilution_streaming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

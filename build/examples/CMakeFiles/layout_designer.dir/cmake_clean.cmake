@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/layout_designer.dir/layout_designer.cpp.o"
+  "CMakeFiles/layout_designer.dir/layout_designer.cpp.o.d"
+  "layout_designer"
+  "layout_designer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/layout_designer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

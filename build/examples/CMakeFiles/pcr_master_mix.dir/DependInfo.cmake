@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/pcr_master_mix.cpp" "examples/CMakeFiles/pcr_master_mix.dir/pcr_master_mix.cpp.o" "gcc" "examples/CMakeFiles/pcr_master_mix.dir/pcr_master_mix.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/engine/CMakeFiles/dmf_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/protocols/CMakeFiles/dmf_protocols.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/dmf_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/report/CMakeFiles/dmf_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/chip/CMakeFiles/dmf_chip.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/dmf_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/forest/CMakeFiles/dmf_forest.dir/DependInfo.cmake"
+  "/root/repo/build/src/mixgraph/CMakeFiles/dmf_mixgraph.dir/DependInfo.cmake"
+  "/root/repo/build/src/dmf/CMakeFiles/dmf_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

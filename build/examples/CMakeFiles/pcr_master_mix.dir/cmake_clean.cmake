@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcr_master_mix.dir/pcr_master_mix.cpp.o"
+  "CMakeFiles/pcr_master_mix.dir/pcr_master_mix.cpp.o.d"
+  "pcr_master_mix"
+  "pcr_master_mix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcr_master_mix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for pcr_master_mix.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protocol_sweep.dir/protocol_sweep.cpp.o"
+  "CMakeFiles/protocol_sweep.dir/protocol_sweep.cpp.o.d"
+  "protocol_sweep"
+  "protocol_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protocol_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

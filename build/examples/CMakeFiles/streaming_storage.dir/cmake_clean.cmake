@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streaming_storage.dir/streaming_storage.cpp.o"
+  "CMakeFiles/streaming_storage.dir/streaming_storage.cpp.o.d"
+  "streaming_storage"
+  "streaming_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streaming_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

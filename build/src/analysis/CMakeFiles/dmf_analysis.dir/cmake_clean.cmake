@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmf_analysis.dir/error_model.cpp.o"
+  "CMakeFiles/dmf_analysis.dir/error_model.cpp.o.d"
+  "libdmf_analysis.a"
+  "libdmf_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmf_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdmf_analysis.a"
+)

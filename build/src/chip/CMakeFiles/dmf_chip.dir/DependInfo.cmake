@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/chip/contamination.cpp" "src/chip/CMakeFiles/dmf_chip.dir/contamination.cpp.o" "gcc" "src/chip/CMakeFiles/dmf_chip.dir/contamination.cpp.o.d"
+  "/root/repo/src/chip/executor.cpp" "src/chip/CMakeFiles/dmf_chip.dir/executor.cpp.o" "gcc" "src/chip/CMakeFiles/dmf_chip.dir/executor.cpp.o.d"
+  "/root/repo/src/chip/layout.cpp" "src/chip/CMakeFiles/dmf_chip.dir/layout.cpp.o" "gcc" "src/chip/CMakeFiles/dmf_chip.dir/layout.cpp.o.d"
+  "/root/repo/src/chip/pcr_layout.cpp" "src/chip/CMakeFiles/dmf_chip.dir/pcr_layout.cpp.o" "gcc" "src/chip/CMakeFiles/dmf_chip.dir/pcr_layout.cpp.o.d"
+  "/root/repo/src/chip/pin_mapper.cpp" "src/chip/CMakeFiles/dmf_chip.dir/pin_mapper.cpp.o" "gcc" "src/chip/CMakeFiles/dmf_chip.dir/pin_mapper.cpp.o.d"
+  "/root/repo/src/chip/placer.cpp" "src/chip/CMakeFiles/dmf_chip.dir/placer.cpp.o" "gcc" "src/chip/CMakeFiles/dmf_chip.dir/placer.cpp.o.d"
+  "/root/repo/src/chip/reliability.cpp" "src/chip/CMakeFiles/dmf_chip.dir/reliability.cpp.o" "gcc" "src/chip/CMakeFiles/dmf_chip.dir/reliability.cpp.o.d"
+  "/root/repo/src/chip/router.cpp" "src/chip/CMakeFiles/dmf_chip.dir/router.cpp.o" "gcc" "src/chip/CMakeFiles/dmf_chip.dir/router.cpp.o.d"
+  "/root/repo/src/chip/simulation.cpp" "src/chip/CMakeFiles/dmf_chip.dir/simulation.cpp.o" "gcc" "src/chip/CMakeFiles/dmf_chip.dir/simulation.cpp.o.d"
+  "/root/repo/src/chip/timed_router.cpp" "src/chip/CMakeFiles/dmf_chip.dir/timed_router.cpp.o" "gcc" "src/chip/CMakeFiles/dmf_chip.dir/timed_router.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sched/CMakeFiles/dmf_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/forest/CMakeFiles/dmf_forest.dir/DependInfo.cmake"
+  "/root/repo/build/src/mixgraph/CMakeFiles/dmf_mixgraph.dir/DependInfo.cmake"
+  "/root/repo/build/src/dmf/CMakeFiles/dmf_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

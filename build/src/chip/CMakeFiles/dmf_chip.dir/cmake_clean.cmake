@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmf_chip.dir/contamination.cpp.o"
+  "CMakeFiles/dmf_chip.dir/contamination.cpp.o.d"
+  "CMakeFiles/dmf_chip.dir/executor.cpp.o"
+  "CMakeFiles/dmf_chip.dir/executor.cpp.o.d"
+  "CMakeFiles/dmf_chip.dir/layout.cpp.o"
+  "CMakeFiles/dmf_chip.dir/layout.cpp.o.d"
+  "CMakeFiles/dmf_chip.dir/pcr_layout.cpp.o"
+  "CMakeFiles/dmf_chip.dir/pcr_layout.cpp.o.d"
+  "CMakeFiles/dmf_chip.dir/pin_mapper.cpp.o"
+  "CMakeFiles/dmf_chip.dir/pin_mapper.cpp.o.d"
+  "CMakeFiles/dmf_chip.dir/placer.cpp.o"
+  "CMakeFiles/dmf_chip.dir/placer.cpp.o.d"
+  "CMakeFiles/dmf_chip.dir/reliability.cpp.o"
+  "CMakeFiles/dmf_chip.dir/reliability.cpp.o.d"
+  "CMakeFiles/dmf_chip.dir/router.cpp.o"
+  "CMakeFiles/dmf_chip.dir/router.cpp.o.d"
+  "CMakeFiles/dmf_chip.dir/simulation.cpp.o"
+  "CMakeFiles/dmf_chip.dir/simulation.cpp.o.d"
+  "CMakeFiles/dmf_chip.dir/timed_router.cpp.o"
+  "CMakeFiles/dmf_chip.dir/timed_router.cpp.o.d"
+  "libdmf_chip.a"
+  "libdmf_chip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmf_chip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

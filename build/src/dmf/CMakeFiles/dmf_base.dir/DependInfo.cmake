@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dmf/fraction.cpp" "src/dmf/CMakeFiles/dmf_base.dir/fraction.cpp.o" "gcc" "src/dmf/CMakeFiles/dmf_base.dir/fraction.cpp.o.d"
+  "/root/repo/src/dmf/mixture_value.cpp" "src/dmf/CMakeFiles/dmf_base.dir/mixture_value.cpp.o" "gcc" "src/dmf/CMakeFiles/dmf_base.dir/mixture_value.cpp.o.d"
+  "/root/repo/src/dmf/ratio.cpp" "src/dmf/CMakeFiles/dmf_base.dir/ratio.cpp.o" "gcc" "src/dmf/CMakeFiles/dmf_base.dir/ratio.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmf_base.dir/fraction.cpp.o"
+  "CMakeFiles/dmf_base.dir/fraction.cpp.o.d"
+  "CMakeFiles/dmf_base.dir/mixture_value.cpp.o"
+  "CMakeFiles/dmf_base.dir/mixture_value.cpp.o.d"
+  "CMakeFiles/dmf_base.dir/ratio.cpp.o"
+  "CMakeFiles/dmf_base.dir/ratio.cpp.o.d"
+  "libdmf_base.a"
+  "libdmf_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmf_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/baseline.cpp" "src/engine/CMakeFiles/dmf_engine.dir/baseline.cpp.o" "gcc" "src/engine/CMakeFiles/dmf_engine.dir/baseline.cpp.o.d"
+  "/root/repo/src/engine/mdst.cpp" "src/engine/CMakeFiles/dmf_engine.dir/mdst.cpp.o" "gcc" "src/engine/CMakeFiles/dmf_engine.dir/mdst.cpp.o.d"
+  "/root/repo/src/engine/multi_target.cpp" "src/engine/CMakeFiles/dmf_engine.dir/multi_target.cpp.o" "gcc" "src/engine/CMakeFiles/dmf_engine.dir/multi_target.cpp.o.d"
+  "/root/repo/src/engine/serialize.cpp" "src/engine/CMakeFiles/dmf_engine.dir/serialize.cpp.o" "gcc" "src/engine/CMakeFiles/dmf_engine.dir/serialize.cpp.o.d"
+  "/root/repo/src/engine/streaming.cpp" "src/engine/CMakeFiles/dmf_engine.dir/streaming.cpp.o" "gcc" "src/engine/CMakeFiles/dmf_engine.dir/streaming.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sched/CMakeFiles/dmf_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/forest/CMakeFiles/dmf_forest.dir/DependInfo.cmake"
+  "/root/repo/build/src/mixgraph/CMakeFiles/dmf_mixgraph.dir/DependInfo.cmake"
+  "/root/repo/build/src/report/CMakeFiles/dmf_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/dmf/CMakeFiles/dmf_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmf_engine.dir/baseline.cpp.o"
+  "CMakeFiles/dmf_engine.dir/baseline.cpp.o.d"
+  "CMakeFiles/dmf_engine.dir/mdst.cpp.o"
+  "CMakeFiles/dmf_engine.dir/mdst.cpp.o.d"
+  "CMakeFiles/dmf_engine.dir/multi_target.cpp.o"
+  "CMakeFiles/dmf_engine.dir/multi_target.cpp.o.d"
+  "CMakeFiles/dmf_engine.dir/serialize.cpp.o"
+  "CMakeFiles/dmf_engine.dir/serialize.cpp.o.d"
+  "CMakeFiles/dmf_engine.dir/streaming.cpp.o"
+  "CMakeFiles/dmf_engine.dir/streaming.cpp.o.d"
+  "libdmf_engine.a"
+  "libdmf_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmf_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmf_forest.dir/task_forest.cpp.o"
+  "CMakeFiles/dmf_forest.dir/task_forest.cpp.o.d"
+  "libdmf_forest.a"
+  "libdmf_forest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmf_forest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mixgraph/builders.cpp" "src/mixgraph/CMakeFiles/dmf_mixgraph.dir/builders.cpp.o" "gcc" "src/mixgraph/CMakeFiles/dmf_mixgraph.dir/builders.cpp.o.d"
+  "/root/repo/src/mixgraph/dilution.cpp" "src/mixgraph/CMakeFiles/dmf_mixgraph.dir/dilution.cpp.o" "gcc" "src/mixgraph/CMakeFiles/dmf_mixgraph.dir/dilution.cpp.o.d"
+  "/root/repo/src/mixgraph/graph.cpp" "src/mixgraph/CMakeFiles/dmf_mixgraph.dir/graph.cpp.o" "gcc" "src/mixgraph/CMakeFiles/dmf_mixgraph.dir/graph.cpp.o.d"
+  "/root/repo/src/mixgraph/mm.cpp" "src/mixgraph/CMakeFiles/dmf_mixgraph.dir/mm.cpp.o" "gcc" "src/mixgraph/CMakeFiles/dmf_mixgraph.dir/mm.cpp.o.d"
+  "/root/repo/src/mixgraph/mtcs.cpp" "src/mixgraph/CMakeFiles/dmf_mixgraph.dir/mtcs.cpp.o" "gcc" "src/mixgraph/CMakeFiles/dmf_mixgraph.dir/mtcs.cpp.o.d"
+  "/root/repo/src/mixgraph/multi_target.cpp" "src/mixgraph/CMakeFiles/dmf_mixgraph.dir/multi_target.cpp.o" "gcc" "src/mixgraph/CMakeFiles/dmf_mixgraph.dir/multi_target.cpp.o.d"
+  "/root/repo/src/mixgraph/rma.cpp" "src/mixgraph/CMakeFiles/dmf_mixgraph.dir/rma.cpp.o" "gcc" "src/mixgraph/CMakeFiles/dmf_mixgraph.dir/rma.cpp.o.d"
+  "/root/repo/src/mixgraph/rsm.cpp" "src/mixgraph/CMakeFiles/dmf_mixgraph.dir/rsm.cpp.o" "gcc" "src/mixgraph/CMakeFiles/dmf_mixgraph.dir/rsm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dmf/CMakeFiles/dmf_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

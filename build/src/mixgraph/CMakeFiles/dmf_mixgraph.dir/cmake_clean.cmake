@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmf_mixgraph.dir/builders.cpp.o"
+  "CMakeFiles/dmf_mixgraph.dir/builders.cpp.o.d"
+  "CMakeFiles/dmf_mixgraph.dir/dilution.cpp.o"
+  "CMakeFiles/dmf_mixgraph.dir/dilution.cpp.o.d"
+  "CMakeFiles/dmf_mixgraph.dir/graph.cpp.o"
+  "CMakeFiles/dmf_mixgraph.dir/graph.cpp.o.d"
+  "CMakeFiles/dmf_mixgraph.dir/mm.cpp.o"
+  "CMakeFiles/dmf_mixgraph.dir/mm.cpp.o.d"
+  "CMakeFiles/dmf_mixgraph.dir/mtcs.cpp.o"
+  "CMakeFiles/dmf_mixgraph.dir/mtcs.cpp.o.d"
+  "CMakeFiles/dmf_mixgraph.dir/multi_target.cpp.o"
+  "CMakeFiles/dmf_mixgraph.dir/multi_target.cpp.o.d"
+  "CMakeFiles/dmf_mixgraph.dir/rma.cpp.o"
+  "CMakeFiles/dmf_mixgraph.dir/rma.cpp.o.d"
+  "CMakeFiles/dmf_mixgraph.dir/rsm.cpp.o"
+  "CMakeFiles/dmf_mixgraph.dir/rsm.cpp.o.d"
+  "libdmf_mixgraph.a"
+  "libdmf_mixgraph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmf_mixgraph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmf_protocols.dir/protocols.cpp.o"
+  "CMakeFiles/dmf_protocols.dir/protocols.cpp.o.d"
+  "libdmf_protocols.a"
+  "libdmf_protocols.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmf_protocols.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

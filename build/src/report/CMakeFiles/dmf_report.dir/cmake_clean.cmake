@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmf_report.dir/chart.cpp.o"
+  "CMakeFiles/dmf_report.dir/chart.cpp.o.d"
+  "CMakeFiles/dmf_report.dir/json.cpp.o"
+  "CMakeFiles/dmf_report.dir/json.cpp.o.d"
+  "CMakeFiles/dmf_report.dir/table.cpp.o"
+  "CMakeFiles/dmf_report.dir/table.cpp.o.d"
+  "libdmf_report.a"
+  "libdmf_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmf_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/ga_scheduler.cpp" "src/sched/CMakeFiles/dmf_sched.dir/ga_scheduler.cpp.o" "gcc" "src/sched/CMakeFiles/dmf_sched.dir/ga_scheduler.cpp.o.d"
+  "/root/repo/src/sched/gantt.cpp" "src/sched/CMakeFiles/dmf_sched.dir/gantt.cpp.o" "gcc" "src/sched/CMakeFiles/dmf_sched.dir/gantt.cpp.o.d"
+  "/root/repo/src/sched/heterogeneous.cpp" "src/sched/CMakeFiles/dmf_sched.dir/heterogeneous.cpp.o" "gcc" "src/sched/CMakeFiles/dmf_sched.dir/heterogeneous.cpp.o.d"
+  "/root/repo/src/sched/schedule.cpp" "src/sched/CMakeFiles/dmf_sched.dir/schedule.cpp.o" "gcc" "src/sched/CMakeFiles/dmf_sched.dir/schedule.cpp.o.d"
+  "/root/repo/src/sched/schedulers.cpp" "src/sched/CMakeFiles/dmf_sched.dir/schedulers.cpp.o" "gcc" "src/sched/CMakeFiles/dmf_sched.dir/schedulers.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/forest/CMakeFiles/dmf_forest.dir/DependInfo.cmake"
+  "/root/repo/build/src/mixgraph/CMakeFiles/dmf_mixgraph.dir/DependInfo.cmake"
+  "/root/repo/build/src/dmf/CMakeFiles/dmf_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmf_sched.dir/ga_scheduler.cpp.o"
+  "CMakeFiles/dmf_sched.dir/ga_scheduler.cpp.o.d"
+  "CMakeFiles/dmf_sched.dir/gantt.cpp.o"
+  "CMakeFiles/dmf_sched.dir/gantt.cpp.o.d"
+  "CMakeFiles/dmf_sched.dir/heterogeneous.cpp.o"
+  "CMakeFiles/dmf_sched.dir/heterogeneous.cpp.o.d"
+  "CMakeFiles/dmf_sched.dir/schedule.cpp.o"
+  "CMakeFiles/dmf_sched.dir/schedule.cpp.o.d"
+  "CMakeFiles/dmf_sched.dir/schedulers.cpp.o"
+  "CMakeFiles/dmf_sched.dir/schedulers.cpp.o.d"
+  "libdmf_sched.a"
+  "libdmf_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmf_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

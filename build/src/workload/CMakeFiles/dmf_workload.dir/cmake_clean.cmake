@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmf_workload.dir/random_ratios.cpp.o"
+  "CMakeFiles/dmf_workload.dir/random_ratios.cpp.o.d"
+  "CMakeFiles/dmf_workload.dir/ratio_corpus.cpp.o"
+  "CMakeFiles/dmf_workload.dir/ratio_corpus.cpp.o.d"
+  "libdmf_workload.a"
+  "libdmf_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmf_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,49 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/chip_test.cpp" "tests/CMakeFiles/dmf_tests.dir/chip_test.cpp.o" "gcc" "tests/CMakeFiles/dmf_tests.dir/chip_test.cpp.o.d"
+  "/root/repo/tests/contamination_test.cpp" "tests/CMakeFiles/dmf_tests.dir/contamination_test.cpp.o" "gcc" "tests/CMakeFiles/dmf_tests.dir/contamination_test.cpp.o.d"
+  "/root/repo/tests/engine_test.cpp" "tests/CMakeFiles/dmf_tests.dir/engine_test.cpp.o" "gcc" "tests/CMakeFiles/dmf_tests.dir/engine_test.cpp.o.d"
+  "/root/repo/tests/error_model_test.cpp" "tests/CMakeFiles/dmf_tests.dir/error_model_test.cpp.o" "gcc" "tests/CMakeFiles/dmf_tests.dir/error_model_test.cpp.o.d"
+  "/root/repo/tests/forest_test.cpp" "tests/CMakeFiles/dmf_tests.dir/forest_test.cpp.o" "gcc" "tests/CMakeFiles/dmf_tests.dir/forest_test.cpp.o.d"
+  "/root/repo/tests/fraction_test.cpp" "tests/CMakeFiles/dmf_tests.dir/fraction_test.cpp.o" "gcc" "tests/CMakeFiles/dmf_tests.dir/fraction_test.cpp.o.d"
+  "/root/repo/tests/ga_scheduler_test.cpp" "tests/CMakeFiles/dmf_tests.dir/ga_scheduler_test.cpp.o" "gcc" "tests/CMakeFiles/dmf_tests.dir/ga_scheduler_test.cpp.o.d"
+  "/root/repo/tests/heterogeneous_test.cpp" "tests/CMakeFiles/dmf_tests.dir/heterogeneous_test.cpp.o" "gcc" "tests/CMakeFiles/dmf_tests.dir/heterogeneous_test.cpp.o.d"
+  "/root/repo/tests/integration_test.cpp" "tests/CMakeFiles/dmf_tests.dir/integration_test.cpp.o" "gcc" "tests/CMakeFiles/dmf_tests.dir/integration_test.cpp.o.d"
+  "/root/repo/tests/mixgraph_test.cpp" "tests/CMakeFiles/dmf_tests.dir/mixgraph_test.cpp.o" "gcc" "tests/CMakeFiles/dmf_tests.dir/mixgraph_test.cpp.o.d"
+  "/root/repo/tests/mixture_value_test.cpp" "tests/CMakeFiles/dmf_tests.dir/mixture_value_test.cpp.o" "gcc" "tests/CMakeFiles/dmf_tests.dir/mixture_value_test.cpp.o.d"
+  "/root/repo/tests/multi_target_test.cpp" "tests/CMakeFiles/dmf_tests.dir/multi_target_test.cpp.o" "gcc" "tests/CMakeFiles/dmf_tests.dir/multi_target_test.cpp.o.d"
+  "/root/repo/tests/property_test.cpp" "tests/CMakeFiles/dmf_tests.dir/property_test.cpp.o" "gcc" "tests/CMakeFiles/dmf_tests.dir/property_test.cpp.o.d"
+  "/root/repo/tests/protocols_test.cpp" "tests/CMakeFiles/dmf_tests.dir/protocols_test.cpp.o" "gcc" "tests/CMakeFiles/dmf_tests.dir/protocols_test.cpp.o.d"
+  "/root/repo/tests/ratio_test.cpp" "tests/CMakeFiles/dmf_tests.dir/ratio_test.cpp.o" "gcc" "tests/CMakeFiles/dmf_tests.dir/ratio_test.cpp.o.d"
+  "/root/repo/tests/report_test.cpp" "tests/CMakeFiles/dmf_tests.dir/report_test.cpp.o" "gcc" "tests/CMakeFiles/dmf_tests.dir/report_test.cpp.o.d"
+  "/root/repo/tests/sched_test.cpp" "tests/CMakeFiles/dmf_tests.dir/sched_test.cpp.o" "gcc" "tests/CMakeFiles/dmf_tests.dir/sched_test.cpp.o.d"
+  "/root/repo/tests/serialize_test.cpp" "tests/CMakeFiles/dmf_tests.dir/serialize_test.cpp.o" "gcc" "tests/CMakeFiles/dmf_tests.dir/serialize_test.cpp.o.d"
+  "/root/repo/tests/streaming_test.cpp" "tests/CMakeFiles/dmf_tests.dir/streaming_test.cpp.o" "gcc" "tests/CMakeFiles/dmf_tests.dir/streaming_test.cpp.o.d"
+  "/root/repo/tests/timed_router_test.cpp" "tests/CMakeFiles/dmf_tests.dir/timed_router_test.cpp.o" "gcc" "tests/CMakeFiles/dmf_tests.dir/timed_router_test.cpp.o.d"
+  "/root/repo/tests/workload_test.cpp" "tests/CMakeFiles/dmf_tests.dir/workload_test.cpp.o" "gcc" "tests/CMakeFiles/dmf_tests.dir/workload_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/engine/CMakeFiles/dmf_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/protocols/CMakeFiles/dmf_protocols.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/dmf_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/report/CMakeFiles/dmf_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/chip/CMakeFiles/dmf_chip.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/dmf_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/dmf_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/forest/CMakeFiles/dmf_forest.dir/DependInfo.cmake"
+  "/root/repo/build/src/mixgraph/CMakeFiles/dmf_mixgraph.dir/DependInfo.cmake"
+  "/root/repo/build/src/dmf/CMakeFiles/dmf_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmfstream.dir/dmfstream_cli.cpp.o"
+  "CMakeFiles/dmfstream.dir/dmfstream_cli.cpp.o.d"
+  "dmfstream"
+  "dmfstream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmfstream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for dmfstream.
+# This may be replaced when dependencies are built.

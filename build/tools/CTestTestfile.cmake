@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_plan "/root/repo/build/tools/dmfstream" "plan" "--ratio" "2:1:1:1:1:1:9" "--demand" "20" "--gantt")
+set_tests_properties(cli_plan PROPERTIES  PASS_REGULAR_EXPRESSION "storage units q" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_plan_ga "/root/repo/build/tools/dmfstream" "plan" "--ratio" "3:1" "--demand" "8" "--scheme" "GA")
+set_tests_properties(cli_plan_ga PROPERTIES  PASS_REGULAR_EXPRESSION "completion Tc" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_stream "/root/repo/build/tools/dmfstream" "stream" "--ratio" "2:1:1:1:1:1:9" "--demand" "32" "--storage" "3")
+set_tests_properties(cli_stream PROPERTIES  PASS_REGULAR_EXPRESSION "passes" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_dilute "/root/repo/build/tools/dmfstream" "dilute" "--sample" "5/2^4" "--demand" "8")
+set_tests_properties(cli_dilute PROPERTIES  PASS_REGULAR_EXPRESSION "5:11" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_chip "/root/repo/build/tools/dmfstream" "chip" "--ratio" "2:1:1:1:1:1:9" "--demand" "8" "--simulate" "--pins" "--wear")
+set_tests_properties(cli_chip PROPERTIES  PASS_REGULAR_EXPRESSION "broadcast addressing" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;15;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_corpus "/root/repo/build/tools/dmfstream" "corpus" "--sum" "16" "--max-fluids" "6")
+set_tests_properties(cli_corpus PROPERTIES  PASS_REGULAR_EXPRESSION "135 target ratios" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;17;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_usage "/root/repo/build/tools/dmfstream" "nonsense")
+set_tests_properties(cli_usage PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;19;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_bad_ratio "/root/repo/build/tools/dmfstream" "plan" "--ratio" "3:4" "--demand" "4")
+set_tests_properties(cli_bad_ratio PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;21;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_infeasible "/root/repo/build/tools/dmfstream" "stream" "--ratio" "2:1:1:1:1:1:9" "--demand" "32" "--storage" "0" "--mixers" "1")
+set_tests_properties(cli_infeasible PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;23;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_multi "/root/repo/build/tools/dmfstream" "multi" "--targets" "2:1:1:1:1:1:9;2:1:1:1:1:9:1" "--demands" "8,8")
+set_tests_properties(cli_multi PROPERTIES  PASS_REGULAR_EXPRESSION "shared forest" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;25;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_multi_bad "/root/repo/build/tools/dmfstream" "multi" "--targets" "2:1:1" "--demands" "8,8")
+set_tests_properties(cli_multi_bad PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;27;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_plan_error "/root/repo/build/tools/dmfstream" "plan" "--ratio" "2:1:1:1:1:1:9" "--demand" "8" "--split-error" "0.05")
+set_tests_properties(cli_plan_error PROPERTIES  PASS_REGULAR_EXPRESSION "worst CF error" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;29;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_plan_json "/root/repo/build/tools/dmfstream" "plan" "--ratio" "2:1:1:1:1:1:9" "--demand" "8" "--json")
+set_tests_properties(cli_plan_json PROPERTIES  PASS_REGULAR_EXPRESSION "\"tasks\"" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;31;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_chip_contamination "/root/repo/build/tools/dmfstream" "chip" "--ratio" "2:1:1:1:1:1:9" "--demand" "8" "--contamination")
+set_tests_properties(cli_chip_contamination PROPERTIES  PASS_REGULAR_EXPRESSION "wash droplets" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;33;add_test;/root/repo/tools/CMakeLists.txt;0;")
