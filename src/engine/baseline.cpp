@@ -2,7 +2,28 @@
 
 #include <stdexcept>
 
+#include "engine/pass_cache.h"
+
 namespace dmf::engine {
+
+namespace {
+
+BaselineResult fromBasePass(const StreamingPass& pass, std::uint64_t demand,
+                            unsigned mixers) {
+  BaselineResult r;
+  r.passes = (demand + 1) / 2;
+  r.passCycles = pass.cycles;
+  r.completionTime = r.passes * pass.cycles;
+  r.storageUnits = pass.storageUnits;
+  r.mixSplits = r.passes * pass.mixSplits;
+  r.waste = r.passes * pass.waste +
+            (demand % 2 == 1 ? 1 : 0);  // odd demand discards one target
+  r.inputDroplets = r.passes * pass.inputDroplets;
+  r.mixers = mixers;
+  return r;
+}
+
+}  // namespace
 
 BaselineResult runRepeatedBaseline(const MdstEngine& engine,
                                    mixgraph::Algorithm algorithm,
@@ -14,20 +35,22 @@ BaselineResult runRepeatedBaseline(const MdstEngine& engine,
 
   // One pass: the base graph at demand 2 (its natural two-droplet emission),
   // optimally scheduled. Every later pass is identical.
-  const forest::TaskForest pass = engine.buildForest(algorithm, 2);
-  const sched::Schedule s = sched::scheduleOMS(pass, mc);
+  const StreamingPass pass =
+      evaluatePass(engine, algorithm, Scheme::kOMS, mc, 2);
+  return fromBasePass(pass, demand, mc);
+}
 
-  BaselineResult r;
-  r.passes = (demand + 1) / 2;
-  r.passCycles = s.completionTime;
-  r.completionTime = r.passes * s.completionTime;
-  r.storageUnits = sched::countStorage(pass, s);
-  r.mixSplits = r.passes * pass.stats().mixSplits;
-  r.waste = r.passes * pass.stats().waste +
-            (demand % 2 == 1 ? 1 : 0);  // odd demand discards one target
-  r.inputDroplets = r.passes * pass.stats().inputTotal;
-  r.mixers = mc;
-  return r;
+BaselineResult runRepeatedBaseline(const MdstEngine& engine,
+                                   mixgraph::Algorithm algorithm,
+                                   std::uint64_t demand, unsigned mixers,
+                                   PassCache& cache) {
+  if (demand == 0) {
+    throw std::invalid_argument("runRepeatedBaseline: demand must be positive");
+  }
+  const unsigned mc = mixers == 0 ? engine.defaultMixers() : mixers;
+  const StreamingPass pass =
+      cache.evaluate(engine, algorithm, Scheme::kOMS, mc, 2);
+  return fromBasePass(pass, demand, mc);
 }
 
 double percentImprovement(double baseline, double ours) {

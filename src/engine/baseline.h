@@ -10,6 +10,8 @@
 
 namespace dmf::engine {
 
+class PassCache;
+
 /// Metrics of a repeated-baseline run (the paper's Tr, qr, Wr, Ir).
 struct BaselineResult {
   /// Passes executed: ceil(D/2).
@@ -37,6 +39,16 @@ struct BaselineResult {
                                                  mixgraph::Algorithm algorithm,
                                                  std::uint64_t demand,
                                                  unsigned mixers = 0);
+
+/// Memoized overload: the baseline repeats one two-droplet pass, so its
+/// forest build + OMS schedule are cached per (algorithm, mixers) — a demand
+/// sweep re-schedules the pass once instead of once per demand point. The
+/// cache must be dedicated to `engine` (see PassCache).
+[[nodiscard]] BaselineResult runRepeatedBaseline(const MdstEngine& engine,
+                                                 mixgraph::Algorithm algorithm,
+                                                 std::uint64_t demand,
+                                                 unsigned mixers,
+                                                 PassCache& cache);
 
 /// Percentage improvement of `ours` over `baseline` (positive = better,
 /// i.e. smaller). Returns 0 when the baseline value is 0.

@@ -37,16 +37,21 @@ sched::Schedule schedule(const TaskForest& forest, Scheme scheme,
 MdstEngine::MdstEngine(Ratio ratio) : ratio_(std::move(ratio)), graphs_(4) {}
 
 const MixingGraph& MdstEngine::baseGraph(Algorithm algorithm) const {
+  const std::lock_guard<std::mutex> lock(lazyMutex_);
   auto& slot = graphs_.at(static_cast<std::size_t>(algorithm));
   if (!slot.has_value()) {
     slot.emplace(mixgraph::buildGraph(ratio_, algorithm));
   }
+  // The reference stays valid after unlock: graphs_ never resizes and an
+  // engaged slot is never re-assigned.
   return *slot;
 }
 
 unsigned MdstEngine::defaultMixers() const {
+  const MixingGraph& base = baseGraph(Algorithm::MM);
+  const std::lock_guard<std::mutex> lock(lazyMutex_);
   if (!defaultMixers_.has_value()) {
-    const TaskForest basePass(baseGraph(Algorithm::MM), 2);
+    const TaskForest basePass(base, 2);
     defaultMixers_ = sched::minimumMixers(basePass);
   }
   return *defaultMixers_;

@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 #include <string>
 
 #include "dmf/ratio.h"
@@ -65,6 +66,10 @@ struct MdstRequest {
 /// collects the paper's metrics. A default-mixer request resolves Mc to the
 /// Mlb of the MM base tree (minimum mixers for fastest single-pass
 /// completion), exactly as the paper's evaluation does.
+///
+/// Const member functions are safe to call concurrently: the lazy base-graph
+/// and default-mixer caches are guarded by an internal mutex, so a PassPool
+/// can fan pass evaluations over one shared engine.
 class MdstEngine {
  public:
   explicit MdstEngine(Ratio ratio);
@@ -89,6 +94,9 @@ class MdstEngine {
 
  private:
   Ratio ratio_;
+  // Guards the lazy caches below (never held while a caller-visible
+  // reference is used: graphs_ has fixed size, so engaged slots are stable).
+  mutable std::mutex lazyMutex_;
   // Lazily built per-algorithm base graphs (index by enum value).
   mutable std::vector<std::optional<mixgraph::MixingGraph>> graphs_;
   mutable std::optional<unsigned> defaultMixers_;

@@ -3,10 +3,13 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "engine/pass_pool.h"
+
 namespace dmf::engine {
 
 MultiTargetResult runMultiTarget(const std::vector<TargetDemand>& targets,
-                                 Scheme scheme, unsigned mixers) {
+                                 Scheme scheme, unsigned mixers,
+                                 unsigned jobs) {
   if (targets.empty()) {
     throw std::invalid_argument("runMultiTarget: no targets");
   }
@@ -39,15 +42,22 @@ MultiTargetResult runMultiTarget(const std::vector<TargetDemand>& targets,
   result.mixers = mc;
 
   // Separate baseline: each target gets its own engine run on the same
-  // mixer bank; runs execute back to back.
-  for (const TargetDemand& t : targets) {
-    MdstEngine engine(t.ratio);
+  // mixer bank; runs execute back to back. The runs are independent, so
+  // they fan out over the pool; each writes its own slot and the reduction
+  // below walks the slots in target order (deterministic for any `jobs`).
+  std::vector<MdstResult> perTarget(targets.size());
+  PassPool pool(PassPool::resolveJobs(jobs));
+  pool.forEach(targets.size(), [&](std::uint64_t i) {
+    const TargetDemand& t = targets[i];
+    const MdstEngine engine(t.ratio);
     MdstRequest request;
     request.algorithm = mixgraph::Algorithm::MTCS;  // same sharing per target
     request.scheme = scheme;
     request.mixers = mc;
     request.demand = t.demand;
-    const MdstResult r = engine.run(request);
+    perTarget[i] = engine.run(request);
+  });
+  for (const MdstResult& r : perTarget) {
     result.separateCompletionTime += r.completionTime;
     result.separateStorageUnits =
         std::max(result.separateStorageUnits, r.storageUnits);

@@ -1,0 +1,126 @@
+#include "engine/pass_cache.h"
+
+#include <chrono>
+#include <mutex>
+
+namespace dmf::engine {
+
+namespace {
+
+std::uint64_t nanosSince(std::chrono::steady_clock::time_point start) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+}
+
+}  // namespace
+
+std::size_t PassKeyHash::operator()(const PassKey& key) const noexcept {
+  // FNV-1a over the four fields; demand dominates the entropy.
+  std::uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  mix(static_cast<std::uint64_t>(key.algorithm));
+  mix(static_cast<std::uint64_t>(key.scheme));
+  mix(key.mixers);
+  mix(key.demand);
+  return static_cast<std::size_t>(h);
+}
+
+StreamingPass evaluatePass(const MdstEngine& engine,
+                           mixgraph::Algorithm algorithm, Scheme scheme,
+                           unsigned mixers, std::uint64_t demand,
+                           PassCacheStats* stageNanos) {
+  auto start = std::chrono::steady_clock::now();
+  const forest::TaskForest f = engine.buildForest(algorithm, demand);
+  const std::uint64_t buildNanos = nanosSince(start);
+
+  start = std::chrono::steady_clock::now();
+  const sched::Schedule s = schedule(f, scheme, mixers);
+  const std::uint64_t scheduleNanos = nanosSince(start);
+
+  start = std::chrono::steady_clock::now();
+  StreamingPass pass;
+  pass.demand = demand;
+  pass.cycles = s.completionTime;
+  pass.storageUnits = sched::countStorage(f, s);
+  pass.waste = f.stats().waste;
+  pass.inputDroplets = f.stats().inputTotal;
+  pass.mixSplits = f.stats().mixSplits;
+  const std::uint64_t storageNanos = nanosSince(start);
+
+  if (stageNanos != nullptr) {
+    stageNanos->buildNanos = buildNanos;
+    stageNanos->scheduleNanos = scheduleNanos;
+    stageNanos->storageNanos = storageNanos;
+  }
+  return pass;
+}
+
+StreamingPass PassCache::evaluate(const MdstEngine& engine,
+                                  mixgraph::Algorithm algorithm, Scheme scheme,
+                                  unsigned mixers, std::uint64_t demand) {
+  const PassKey key{algorithm, scheme, mixers, demand};
+  {
+    const std::shared_lock<std::shared_mutex> lock(mutex_);
+    const auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+  }
+
+  // Compute outside any lock: two threads racing on the same key both pay
+  // the evaluation (rare, harmless — the value is a pure function of the
+  // key) rather than serializing every miss.
+  PassCacheStats stage;
+  const StreamingPass pass =
+      evaluatePass(engine, algorithm, scheme, mixers, demand, &stage);
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  buildNanos_.fetch_add(stage.buildNanos, std::memory_order_relaxed);
+  scheduleNanos_.fetch_add(stage.scheduleNanos, std::memory_order_relaxed);
+  storageNanos_.fetch_add(stage.storageNanos, std::memory_order_relaxed);
+
+  {
+    const std::unique_lock<std::shared_mutex> lock(mutex_);
+    entries_.emplace(key, pass);
+  }
+  return pass;
+}
+
+std::optional<StreamingPass> PassCache::lookup(const PassKey& key) const {
+  const std::shared_lock<std::shared_mutex> lock(mutex_);
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::size_t PassCache::size() const {
+  const std::shared_lock<std::shared_mutex> lock(mutex_);
+  return entries_.size();
+}
+
+PassCacheStats PassCache::stats() const {
+  PassCacheStats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.buildNanos = buildNanos_.load(std::memory_order_relaxed);
+  s.scheduleNanos = scheduleNanos_.load(std::memory_order_relaxed);
+  s.storageNanos = storageNanos_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void PassCache::clear() {
+  const std::unique_lock<std::shared_mutex> lock(mutex_);
+  entries_.clear();
+  hits_.store(0, std::memory_order_relaxed);
+  misses_.store(0, std::memory_order_relaxed);
+  buildNanos_.store(0, std::memory_order_relaxed);
+  scheduleNanos_.store(0, std::memory_order_relaxed);
+  storageNanos_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace dmf::engine

@@ -1,0 +1,99 @@
+// Memoized, thread-safe pass evaluation for the streaming planners.
+//
+// Evaluating one candidate per-pass demand D' means building the D'-droplet
+// mixing forest, scheduling it and counting storage — the hottest path of a
+// demand sweep, and one that both planners used to repeat for the same D'
+// over and over. PassCache memoizes those results behind a shared lock,
+// keyed on (algorithm, scheme, mixers, demand), and keeps hit/miss plus
+// per-stage timing counters for reporting.
+//
+// A PassCache holds results for ONE target ratio: callers key caches per
+// MdstEngine (the key does not include the ratio). Sharing a cache between
+// engines with different ratios silently returns wrong passes.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <shared_mutex>
+#include <unordered_map>
+
+#include "engine/streaming.h"
+
+namespace dmf::engine {
+
+/// Cache key: everything evaluatePass depends on besides the engine's ratio.
+struct PassKey {
+  mixgraph::Algorithm algorithm = mixgraph::Algorithm::MM;
+  Scheme scheme = Scheme::kSRS;
+  unsigned mixers = 0;
+  std::uint64_t demand = 0;
+
+  [[nodiscard]] bool operator==(const PassKey&) const = default;
+};
+
+struct PassKeyHash {
+  [[nodiscard]] std::size_t operator()(const PassKey& key) const noexcept;
+};
+
+/// Counters a cache accumulates over its lifetime. Hit/miss counts are
+/// deterministic under serial use; under concurrent use two threads racing on
+/// the same key may both record a miss (both compute, the value is identical).
+struct PassCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  /// Per-stage wall time of all cache misses, in nanoseconds.
+  std::uint64_t buildNanos = 0;     ///< TaskForest construction
+  std::uint64_t scheduleNanos = 0;  ///< scheduler run
+  std::uint64_t storageNanos = 0;   ///< Algorithm 3 storage counting
+
+  [[nodiscard]] std::uint64_t evaluations() const { return hits + misses; }
+  [[nodiscard]] std::uint64_t totalNanos() const {
+    return buildNanos + scheduleNanos + storageNanos;
+  }
+};
+
+/// Thread-safe sparse memo of StreamingPass results for one engine/ratio.
+class PassCache {
+ public:
+  /// Evaluates one pass of `demand` droplets (forest -> schedule -> storage),
+  /// memoized. Safe to call concurrently; `engine` must outlive the call and
+  /// be the same engine for every call on this cache.
+  [[nodiscard]] StreamingPass evaluate(const MdstEngine& engine,
+                                       mixgraph::Algorithm algorithm,
+                                       Scheme scheme, unsigned mixers,
+                                       std::uint64_t demand);
+
+  /// Non-computing lookup.
+  [[nodiscard]] std::optional<StreamingPass> lookup(const PassKey& key) const;
+
+  /// Entries currently memoized.
+  [[nodiscard]] std::size_t size() const;
+
+  /// Snapshot of the counters.
+  [[nodiscard]] PassCacheStats stats() const;
+
+  /// Drops all entries and zeroes the counters.
+  void clear();
+
+ private:
+  mutable std::shared_mutex mutex_;
+  std::unordered_map<PassKey, StreamingPass, PassKeyHash> entries_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> buildNanos_{0};
+  std::atomic<std::uint64_t> scheduleNanos_{0};
+  std::atomic<std::uint64_t> storageNanos_{0};
+};
+
+/// Uncached single-pass evaluation (what the cache runs on a miss): builds
+/// the demand-droplet forest, schedules it with `scheme`, counts storage.
+/// `stats`, when non-null, receives the per-stage wall times of this call.
+[[nodiscard]] StreamingPass evaluatePass(const MdstEngine& engine,
+                                         mixgraph::Algorithm algorithm,
+                                         Scheme scheme, unsigned mixers,
+                                         std::uint64_t demand,
+                                         PassCacheStats* stageNanos = nullptr);
+
+}  // namespace dmf::engine

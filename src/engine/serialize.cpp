@@ -81,10 +81,25 @@ Json toJson(const StreamingPlan& plan) {
         .set("cycles", Json::number(std::uint64_t{pass.cycles}))
         .set("storage", Json::number(std::uint64_t{pass.storageUnits}))
         .set("waste", Json::number(pass.waste))
-        .set("input", Json::number(pass.inputDroplets));
+        .set("input", Json::number(pass.inputDroplets))
+        .set("mixSplits", Json::number(pass.mixSplits));
     passes.push(std::move(p));
   }
   out.set("passes", std::move(passes));
+  return out;
+}
+
+Json toJson(const PassCacheStats& stats) {
+  Json out = Json::object();
+  out.set("hits", stats.hits)
+      .set("misses", stats.misses)
+      .set("evaluations", stats.evaluations());
+  Json timings = Json::object();
+  timings.set("forestBuildNanos", stats.buildNanos)
+      .set("scheduleNanos", stats.scheduleNanos)
+      .set("storageCountNanos", stats.storageNanos)
+      .set("totalNanos", stats.totalNanos());
+  out.set("stageTimings", std::move(timings));
   return out;
 }
 

@@ -3,6 +3,7 @@
 #pragma once
 
 #include "engine/mdst.h"
+#include "engine/pass_cache.h"
 #include "engine/streaming.h"
 #include "report/json.h"
 #include "sched/schedule.h"
@@ -19,5 +20,10 @@ namespace dmf::engine {
 
 /// A streaming plan (pass list and totals).
 [[nodiscard]] report::Json toJson(const StreamingPlan& plan);
+
+/// Pass-cache counters (hit/miss accounting plus per-stage wall times of the
+/// misses). Timings are wall-clock and therefore run-to-run nondeterministic;
+/// keep them out of outputs that must be byte-stable.
+[[nodiscard]] report::Json toJson(const PassCacheStats& stats);
 
 }  // namespace dmf::engine

@@ -1,9 +1,13 @@
 #include "engine/streaming.h"
 
 #include <algorithm>
+#include <limits>
 #include <optional>
 #include <stdexcept>
 #include <vector>
+
+#include "engine/pass_cache.h"
+#include "engine/pass_pool.h"
 
 namespace dmf::engine {
 
@@ -33,108 +37,208 @@ StreamingPlan assemblePlan(std::uint64_t perPass, unsigned mixers,
   return plan;
 }
 
-StreamingPass evaluatePass(const MdstEngine& engine,
-                           const StreamingRequest& request, unsigned mixers,
-                           std::uint64_t demand) {
-  const forest::TaskForest f = engine.buildForest(request.algorithm, demand);
-  const sched::Schedule s = schedule(f, request.scheme, mixers);
-  StreamingPass pass;
-  pass.demand = demand;
-  pass.cycles = s.completionTime;
-  pass.storageUnits = sched::countStorage(f, s);
-  pass.waste = f.stats().waste;
-  pass.inputDroplets = f.stats().inputTotal;
-  return pass;
+// Shared candidate-evaluation context of one planning call.
+struct PlanContext {
+  const MdstEngine& engine;
+  const StreamingRequest& request;
+  unsigned mixers;
+  PassCache& cache;
+  PassPool& pool;
+
+  [[nodiscard]] StreamingPass eval(std::uint64_t demand) const {
+    return cache.evaluate(engine, request.algorithm, request.scheme, mixers,
+                          demand);
+  }
+  [[nodiscard]] bool feasible(std::uint64_t demand) const {
+    return eval(demand).storageUnits <= request.storageCap;
+  }
+  /// Warms the cache for a batch of candidate demands in parallel. Purely a
+  /// wall-time optimization: every decision below re-reads through eval(),
+  /// whose results are a function of the key alone, so plans are identical
+  /// with any job count.
+  void prefetch(const std::vector<std::uint64_t>& demands) const {
+    if (pool.jobs() <= 1 || demands.size() <= 1) return;
+    pool.forEach(demands.size(),
+                 [this, &demands](std::uint64_t i) { (void)eval(demands[i]); });
+  }
+};
+
+// Largest feasible demand in [floor, upper], scanning downward; evaluates
+// chunks of candidates in parallel, then inspects them in descending order
+// so the answer is deterministic. Returns nullopt when none is feasible.
+std::optional<std::uint64_t> largestFeasibleDescending(const PlanContext& ctx,
+                                                       std::uint64_t floor,
+                                                       std::uint64_t upper) {
+  const std::uint64_t chunk =
+      std::max<std::uint64_t>(1, std::uint64_t{ctx.pool.jobs()} * 4);
+  std::uint64_t high = upper;
+  while (high >= floor) {
+    const std::uint64_t low =
+        (high - floor + 1 > chunk) ? high - chunk + 1 : floor;
+    std::vector<std::uint64_t> batch;
+    for (std::uint64_t d = high;; --d) {
+      batch.push_back(d);
+      if (d == low) break;
+    }
+    ctx.prefetch(batch);
+    for (const std::uint64_t d : batch) {
+      if (ctx.feasible(d)) return d;
+    }
+    if (low == floor) break;
+    high = low - 1;
+  }
+  return std::nullopt;
 }
 
-}  // namespace
+// The paper's rule with a verified search: largest feasible per-pass demand,
+// bisection first, descending scan when the monotonicity probe fails.
+std::uint64_t largestFeasiblePerPass(const PlanContext& ctx,
+                                     std::uint64_t minPass,
+                                     std::uint64_t demand) {
+  if (ctx.feasible(demand)) return demand;  // single pass serves everything
+  if (minPass >= demand) return minPass;
 
-StreamingPlan planStreaming(const MdstEngine& engine,
-                            const StreamingRequest& request) {
-  if (request.demand == 0) {
-    throw std::invalid_argument("planStreaming: demand must be positive");
-  }
-  const unsigned mixers =
-      request.mixers == 0 ? engine.defaultMixers() : request.mixers;
-
-  const std::uint64_t demand = request.demand;
-  auto feasible = [&](std::uint64_t d) {
-    return evaluatePass(engine, request, mixers, d).storageUnits <=
-           request.storageCap;
-  };
-
-  const std::uint64_t minPass = std::min<std::uint64_t>(demand, 2);
-  if (!feasible(minPass)) {
-    throw std::runtime_error(
-        "planStreaming: even a two-droplet pass exceeds the storage cap of " +
-        std::to_string(request.storageCap));
+  // Warm the cache along the bisection's likely path.
+  if (ctx.pool.jobs() > 1) {
+    const std::uint64_t span = demand - minPass;
+    const std::uint64_t samples =
+        std::min<std::uint64_t>(std::uint64_t{ctx.pool.jobs()} * 4, span);
+    std::vector<std::uint64_t> grid;
+    for (std::uint64_t i = 0; i < samples; ++i) {
+      grid.push_back(minPass + span * (i + 1) / (samples + 1));
+    }
+    ctx.prefetch(grid);
   }
 
-  // Largest feasible per-pass demand D' by bisection (storage requirement
-  // grows with the forest, monotonically in practice).
+  // Bisection assuming storage grows with demand.
   std::uint64_t lo = minPass;
-  std::uint64_t hi = demand;
+  std::uint64_t hi = demand - 1;
   while (lo < hi) {
     const std::uint64_t mid = lo + (hi - lo + 1) / 2;
-    if (feasible(mid)) {
+    if (ctx.feasible(mid)) {
       lo = mid;
     } else {
       hi = mid - 1;
     }
   }
-  const std::uint64_t perPass = lo;
+  const std::uint64_t candidate = lo;
 
-  const StreamingPass full = evaluatePass(engine, request, mixers, perPass);
-  const std::uint64_t remainder = demand % perPass;
-  std::optional<StreamingPass> last;
-  if (remainder > 0) {
-    last = evaluatePass(engine, request, mixers, remainder);
+  // Monotonicity probe: the SRS storage curve can dip as the forest
+  // recomposes, in which case feasible demands exist above the bisection
+  // result. Sample a few points there; any hit falls back to an exact
+  // descending scan.
+  bool monotone = true;
+  for (const std::uint64_t probe :
+       {candidate + 1, candidate + (demand - candidate) / 2, demand - 1}) {
+    if (probe > candidate && probe < demand && ctx.feasible(probe)) {
+      monotone = false;
+      break;
+    }
   }
-  return assemblePlan(perPass, mixers, full, last, demand / perPass);
+  if (monotone) return candidate;
+  return largestFeasibleDescending(ctx, candidate, demand - 1)
+      .value_or(candidate);
 }
 
-StreamingPlan planStreamingOptimized(const MdstEngine& engine,
-                                     const StreamingRequest& request) {
+StreamingPlan planStreamingImpl(const MdstEngine& engine,
+                                const StreamingRequest& request,
+                                PassCache& cache, PassPool& pool) {
   if (request.demand == 0) {
-    throw std::invalid_argument(
-        "planStreamingOptimized: demand must be positive");
+    throw std::invalid_argument("planStreaming: demand must be positive");
   }
   const unsigned mixers =
       request.mixers == 0 ? engine.defaultMixers() : request.mixers;
   const std::uint64_t demand = request.demand;
+  const PlanContext ctx{engine, request, mixers, cache, pool};
+
+  const std::uint64_t minPass = std::min<std::uint64_t>(demand, 2);
+  if (!ctx.feasible(minPass)) {
+    throw std::runtime_error(
+        "planStreaming: even a two-droplet pass exceeds the storage cap of " +
+        std::to_string(request.storageCap));
+  }
+
+  std::uint64_t perPass = largestFeasiblePerPass(ctx, minPass, demand);
+
+  // The remainder pass must fit the cap as well: storage is not monotone in
+  // demand, so a feasible D' can leave an infeasible tail of D mod D'
+  // droplets. Shrink D' to the next feasible size until the tail fits.
+  while (true) {
+    const std::uint64_t remainder = demand % perPass;
+    if (remainder == 0 || ctx.feasible(remainder)) break;
+    const std::optional<std::uint64_t> smaller =
+        perPass > 1 ? largestFeasibleDescending(ctx, 1, perPass - 1)
+                    : std::nullopt;
+    if (!smaller.has_value()) {
+      throw std::runtime_error(
+          "planStreaming: no per-pass split fits the storage cap of " +
+          std::to_string(request.storageCap));
+    }
+    perPass = *smaller;
+  }
+
+  const StreamingPass full = ctx.eval(perPass);
+  const std::uint64_t remainder = demand % perPass;
+  std::optional<StreamingPass> last;
+  if (remainder > 0) {
+    last = ctx.eval(remainder);
+  }
+  return assemblePlan(perPass, mixers, full, last, demand / perPass);
+}
+
+StreamingPlan planStreamingOptimizedImpl(const MdstEngine& engine,
+                                         const StreamingRequest& request,
+                                         PassCache& cache, PassPool& pool) {
+  if (request.demand == 0) {
+    throw std::invalid_argument(
+        "planStreamingOptimized: demand must be positive");
+  }
+  if (request.demand == std::numeric_limits<std::uint64_t>::max()) {
+    // The candidate range [1, demand] is inclusive; a demand of UINT64_MAX
+    // would overflow the loop counter (and is far beyond any real assay).
+    throw std::invalid_argument(
+        "planStreamingOptimized: demand overflows the candidate range");
+  }
+  const unsigned mixers =
+      request.mixers == 0 ? engine.defaultMixers() : request.mixers;
+  const std::uint64_t demand = request.demand;
+  const PlanContext ctx{engine, request, mixers, cache, pool};
+
+  // Every candidate D' in [1, D] gets evaluated (and every remainder demand
+  // D mod D' < D is one of them), so warm the whole range in parallel before
+  // the serial reduction.
+  if (pool.jobs() > 1) {
+    pool.forEach(demand, [&ctx](std::uint64_t i) { (void)ctx.eval(i + 1); });
+  }
 
   std::optional<StreamingPlan> best;
-  // Pass evaluations are reused across candidate D' values (the remainder
-  // demand of one candidate is the full demand of another).
-  std::vector<std::optional<StreamingPass>> cache(demand + 1);
-  auto pass = [&](std::uint64_t d) -> const StreamingPass& {
-    if (!cache[d].has_value()) {
-      cache[d] = evaluatePass(engine, request, mixers, d);
-    }
-    return *cache[d];
-  };
-
-  for (std::uint64_t perPass = 1; perPass <= demand; ++perPass) {
-    const StreamingPass& full = pass(perPass);
-    if (full.storageUnits > request.storageCap) continue;
-    const std::uint64_t remainder = demand % perPass;
-    std::optional<StreamingPass> last;
-    if (remainder > 0) {
-      last = pass(remainder);
-      if (last->storageUnits > request.storageCap) continue;
-    }
-    StreamingPlan plan =
-        assemblePlan(perPass, mixers, full, last, demand / perPass);
-    const auto better = [&](const StreamingPlan& a, const StreamingPlan& b) {
-      if (a.totalCycles != b.totalCycles) {
-        return a.totalCycles < b.totalCycles;
+  for (std::uint64_t perPass = 1;; ++perPass) {
+    const StreamingPass full = ctx.eval(perPass);
+    if (full.storageUnits <= request.storageCap) {
+      const std::uint64_t remainder = demand % perPass;
+      std::optional<StreamingPass> last;
+      bool remainderFits = true;
+      if (remainder > 0) {
+        last = ctx.eval(remainder);
+        remainderFits = last->storageUnits <= request.storageCap;
       }
-      if (a.totalWaste != b.totalWaste) return a.totalWaste < b.totalWaste;
-      return a.passes.size() < b.passes.size();
-    };
-    if (!best.has_value() || better(plan, *best)) {
-      best = std::move(plan);
+      if (remainderFits) {
+        StreamingPlan plan =
+            assemblePlan(perPass, mixers, full, last, demand / perPass);
+        const auto better = [](const StreamingPlan& a,
+                               const StreamingPlan& b) {
+          if (a.totalCycles != b.totalCycles) {
+            return a.totalCycles < b.totalCycles;
+          }
+          if (a.totalWaste != b.totalWaste) return a.totalWaste < b.totalWaste;
+          return a.passes.size() < b.passes.size();
+        };
+        if (!best.has_value() || better(plan, *best)) {
+          best = std::move(plan);
+        }
+      }
     }
+    if (perPass == demand) break;
   }
   if (!best.has_value()) {
     throw std::runtime_error(
@@ -142,6 +246,46 @@ StreamingPlan planStreamingOptimized(const MdstEngine& engine,
         std::to_string(request.storageCap));
   }
   return *best;
+}
+
+}  // namespace
+
+StreamingPlan planStreaming(const MdstEngine& engine,
+                            const StreamingRequest& request) {
+  PassCache cache;
+  return planStreaming(engine, request, cache);
+}
+
+StreamingPlan planStreaming(const MdstEngine& engine,
+                            const StreamingRequest& request,
+                            PassCache& cache) {
+  PassPool pool(PassPool::resolveJobs(request.jobs));
+  return planStreamingImpl(engine, request, cache, pool);
+}
+
+StreamingPlan planStreaming(const MdstEngine& engine,
+                            const StreamingRequest& request, PassCache& cache,
+                            PassPool& pool) {
+  return planStreamingImpl(engine, request, cache, pool);
+}
+
+StreamingPlan planStreamingOptimized(const MdstEngine& engine,
+                                     const StreamingRequest& request) {
+  PassCache cache;
+  return planStreamingOptimized(engine, request, cache);
+}
+
+StreamingPlan planStreamingOptimized(const MdstEngine& engine,
+                                     const StreamingRequest& request,
+                                     PassCache& cache) {
+  PassPool pool(PassPool::resolveJobs(request.jobs));
+  return planStreamingOptimizedImpl(engine, request, cache, pool);
+}
+
+StreamingPlan planStreamingOptimized(const MdstEngine& engine,
+                                     const StreamingRequest& request,
+                                     PassCache& cache, PassPool& pool) {
+  return planStreamingOptimizedImpl(engine, request, cache, pool);
 }
 
 }  // namespace dmf::engine

@@ -10,6 +10,9 @@
 
 namespace dmf::engine {
 
+class PassCache;
+class PassPool;
+
 /// One pass of a streaming plan.
 struct StreamingPass {
   std::uint64_t demand = 0;       ///< target droplets produced by this pass
@@ -17,6 +20,7 @@ struct StreamingPass {
   unsigned storageUnits = 0;      ///< pass peak storage (<= the cap)
   std::uint64_t waste = 0;        ///< pass waste droplets
   std::uint64_t inputDroplets = 0;///< pass reactant usage
+  std::uint64_t mixSplits = 0;    ///< pass mix-split count
 };
 
 /// A complete streaming plan.
@@ -49,23 +53,60 @@ struct StreamingRequest {
   unsigned storageCap = 0;
   /// Mixers; 0 = engine default (Mlb of the MM base tree).
   unsigned mixers = 0;
+  /// Worker threads for candidate evaluation; 1 = serial (the default),
+  /// 0 = one per hardware core. Results are identical for every value.
+  unsigned jobs = 1;
 };
 
 /// Computes the streaming plan with the paper's rule: the largest feasible
-/// per-pass demand D' (bisection on "scheduled storage of the D'-forest <=
-/// cap"; storage grows with demand) repeated ceil(D/D') times. Throws
-/// std::runtime_error when even a two-droplet pass exceeds the cap;
-/// std::invalid_argument on a zero demand.
+/// per-pass demand D' repeated ceil(D/D') times, with two correctness
+/// guarantees the paper's bisection sketch lacks:
+///
+///  * the search is verified — scheduled storage is NOT always monotone in
+///    demand (the SRS storage curve can dip when the forest recomposes), so
+///    the bisection result is re-checked and a probe that finds a feasible
+///    demand above it falls back to a descending scan;
+///  * the remainder pass (demand % D' droplets) is validated against the cap
+///    too, and D' shrinks to the next feasible size until the tail fits, so
+///    no emitted pass ever exceeds storageCap.
+///
+/// Throws std::runtime_error when even a two-droplet pass exceeds the cap (or
+/// no split satisfies the cap); std::invalid_argument on a zero demand.
 [[nodiscard]] StreamingPlan planStreaming(const MdstEngine& engine,
                                           const StreamingRequest& request);
+
+/// As above, memoizing pass evaluations in a caller-owned cache (share one
+/// cache per engine across calls to make demand sweeps incremental).
+[[nodiscard]] StreamingPlan planStreaming(const MdstEngine& engine,
+                                          const StreamingRequest& request,
+                                          PassCache& cache);
+
+/// As above with a caller-owned worker pool (overrides request.jobs).
+[[nodiscard]] StreamingPlan planStreaming(const MdstEngine& engine,
+                                          const StreamingRequest& request,
+                                          PassCache& cache, PassPool& pool);
 
 /// Exhaustive refinement of planStreaming: the largest feasible D' does not
 /// always minimize the total cycle count (a slightly smaller forest can
 /// schedule disproportionately faster under a tight cap), so this variant
 /// evaluates every feasible per-pass demand and returns the plan with the
 /// fewest total cycles (ties broken toward less waste, then fewer passes).
-/// Same error behaviour as planStreaming.
+/// Candidate evaluation fans out over request.jobs workers through a sparse
+/// PassCache (no O(D) upfront allocation); the reduction is serial and
+/// ascending, so the result is identical for every job count. Same error
+/// behaviour as planStreaming, plus std::invalid_argument on a demand of
+/// UINT64_MAX (the inclusive candidate range would overflow).
 [[nodiscard]] StreamingPlan planStreamingOptimized(
     const MdstEngine& engine, const StreamingRequest& request);
+
+/// Shared-cache overload of planStreamingOptimized.
+[[nodiscard]] StreamingPlan planStreamingOptimized(
+    const MdstEngine& engine, const StreamingRequest& request,
+    PassCache& cache);
+
+/// Shared-cache, shared-pool overload of planStreamingOptimized.
+[[nodiscard]] StreamingPlan planStreamingOptimized(
+    const MdstEngine& engine, const StreamingRequest& request,
+    PassCache& cache, PassPool& pool);
 
 }  // namespace dmf::engine

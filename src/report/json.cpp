@@ -75,6 +75,18 @@ Json& Json::set(const std::string& key, Json value) {
   return *this;
 }
 
+Json& Json::set(const std::string& key, std::uint64_t value) {
+  return set(key, Json::number(value));
+}
+
+Json& Json::set(const std::string& key, double value) {
+  return set(key, Json::number(value));
+}
+
+Json& Json::set(const std::string& key, std::string value) {
+  return set(key, Json::string(std::move(value)));
+}
+
 Json& Json::push(Json value) {
   if (kind_ != Kind::kArray) {
     throw std::logic_error("Json::push: not an array");

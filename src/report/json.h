@@ -24,6 +24,10 @@ class Json {
   /// Object field insertion (fields render in insertion order).
   /// Throws std::logic_error when called on a non-object.
   Json& set(const std::string& key, Json value);
+  /// Scalar conveniences: set("n", 3) instead of set("n", Json::number(3)).
+  Json& set(const std::string& key, std::uint64_t value);
+  Json& set(const std::string& key, double value);
+  Json& set(const std::string& key, std::string value);
   /// Array append. Throws std::logic_error when called on a non-array.
   Json& push(Json value);
 

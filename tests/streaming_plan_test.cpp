@@ -1,0 +1,335 @@
+// Regression tests for the streaming-planner storage-cap fixes and the
+// pass-evaluation layer (PassCache + PassPool).
+//
+// The two planner bugs covered here shipped in the original bisection
+// planner: (1) the remainder pass was never checked against the storage cap,
+// so a feasible per-pass demand with an infeasible tail silently emitted a
+// cap-violating plan; (2) the bisection assumed scheduled storage is
+// monotone in demand, but the SRS storage curve dips when the forest
+// recomposes, making the bisection stop short of the true largest feasible
+// per-pass demand.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "engine/mdst.h"
+#include "engine/pass_cache.h"
+#include "engine/pass_pool.h"
+#include "engine/streaming.h"
+
+namespace dmf::engine {
+namespace {
+
+using mixgraph::Algorithm;
+
+StreamingRequest request(std::uint64_t demand, unsigned cap, unsigned mixers,
+                         unsigned jobs = 1) {
+  StreamingRequest r;
+  r.demand = demand;
+  r.storageCap = cap;
+  r.mixers = mixers;
+  r.jobs = jobs;
+  return r;
+}
+
+MdstEngine engineFor(const std::string& ratioText) {
+  const auto ratio = Ratio::parse(ratioText);
+  EXPECT_TRUE(ratio.has_value()) << ratioText;
+  return MdstEngine(*ratio);
+}
+
+void expectAllPassesFit(const StreamingPlan& plan, unsigned cap,
+                        std::uint64_t demand, const std::string& label) {
+  std::uint64_t produced = 0;
+  for (const StreamingPass& pass : plan.passes) {
+    EXPECT_LE(pass.storageUnits, cap) << label << " pass D'=" << pass.demand;
+    produced += pass.demand;
+  }
+  EXPECT_LE(plan.storageUnits, cap) << label;
+  EXPECT_EQ(produced, demand) << label;
+}
+
+// Bug 1: ratio 7:3:3:3 on two mixers under cap 3 — the largest bisection
+// answer for D=13 is D'=8, whose remainder pass of 5 droplets needs 4
+// storage units. The original planner returned that cap-violating plan.
+TEST(StreamingPlanFix, RemainderPassRespectsStorageCap) {
+  MdstEngine engine = engineFor("7:3:3:3");
+  for (const std::uint64_t demand : {13u, 21u}) {
+    const StreamingPlan plan = planStreaming(engine, request(demand, 3, 2));
+    expectAllPassesFit(plan, 3, demand, "7:3:3:3 D=" + std::to_string(demand));
+  }
+}
+
+// Bug 1, swept: no (cap, demand) combination may emit a pass above the cap.
+TEST(StreamingPlanFix, NoPassEverExceedsCapAcrossSweep) {
+  MdstEngine engine = engineFor("7:5:4");
+  PassCache cache;
+  for (unsigned cap : {2u, 3u, 5u}) {
+    for (std::uint64_t demand = 7; demand <= 40; ++demand) {
+      StreamingPlan plan;
+      try {
+        plan = planStreaming(engine, request(demand, cap, 2), cache);
+      } catch (const std::runtime_error&) {
+        continue;  // genuinely infeasible cap is fine; emitting a bad plan is not
+      }
+      expectAllPassesFit(plan, cap, demand,
+                         "7:5:4 cap=" + std::to_string(cap) +
+                             " D=" + std::to_string(demand));
+    }
+  }
+}
+
+// Bug 2: ratio 14:2 on two mixers has a non-monotone SRS storage curve —
+// demands 9..12 need 2 units but 13..16 drop back to 1. Under cap 1 with
+// D=16 the bisection stopped at D'=8 (two passes); the whole demand fits in
+// one pass, and the verified search must find it.
+TEST(StreamingPlanFix, NonMonotoneStorageStillFindsLargestFeasible) {
+  MdstEngine engine = engineFor("14:2");
+  PassCache cache;
+
+  // Pin the non-monotone dip itself so this regression keeps meaning.
+  const unsigned storageAt12 =
+      cache.evaluate(engine, Algorithm::MM, Scheme::kSRS, 2, 12).storageUnits;
+  const unsigned storageAt16 =
+      cache.evaluate(engine, Algorithm::MM, Scheme::kSRS, 2, 16).storageUnits;
+  ASSERT_GT(storageAt12, storageAt16) << "storage curve no longer dips; "
+                                         "pick a new non-monotone instance";
+
+  const StreamingPlan plan =
+      planStreaming(engine, request(16, storageAt16, 2), cache);
+  expectAllPassesFit(plan, storageAt16, 16, "14:2 cap=1 D=16");
+  EXPECT_EQ(plan.perPassDemand, 16u)
+      << "verified search should discover the single-pass plan above the dip";
+  EXPECT_EQ(plan.passes.size(), 1u);
+}
+
+TEST(StreamingPlanFix, OptimizedRejectsOverflowingDemand) {
+  MdstEngine engine = engineFor("7:3:3:3");
+  EXPECT_THROW(
+      (void)planStreamingOptimized(
+          engine,
+          request(std::numeric_limits<std::uint64_t>::max(), 5, 2)),
+      std::invalid_argument);
+}
+
+TEST(StreamingPlanFix, OptimizedStillNeverSlowerAndCapped) {
+  MdstEngine engine = engineFor("7:3:3:3");
+  PassCache cache;
+  for (unsigned cap : {3u, 4u, 6u}) {
+    for (const std::uint64_t demand : {13u, 21u, 29u}) {
+      const StreamingPlan paper =
+          planStreaming(engine, request(demand, cap, 2), cache);
+      const StreamingPlan opt =
+          planStreamingOptimized(engine, request(demand, cap, 2), cache);
+      EXPECT_LE(opt.totalCycles, paper.totalCycles)
+          << "cap=" << cap << " D=" << demand;
+      expectAllPassesFit(opt, cap, demand,
+                         "optimized cap=" + std::to_string(cap));
+    }
+  }
+}
+
+TEST(PassCacheAccounting, CountsHitsAndMisses) {
+  MdstEngine engine = engineFor("2:1:1:1:1:1:9");
+  PassCache cache;
+
+  const StreamingPass first =
+      cache.evaluate(engine, Algorithm::MM, Scheme::kSRS, 3, 8);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().hits, 0u);
+  EXPECT_EQ(cache.size(), 1u);
+
+  const StreamingPass second =
+      cache.evaluate(engine, Algorithm::MM, Scheme::kSRS, 3, 8);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(second.cycles, first.cycles);
+  EXPECT_EQ(second.storageUnits, first.storageUnits);
+
+  // A different demand is a different key.
+  (void)cache.evaluate(engine, Algorithm::MM, Scheme::kSRS, 3, 12);
+  EXPECT_EQ(cache.stats().misses, 2u);
+  EXPECT_EQ(cache.size(), 2u);
+
+  // Stage timings only accumulate on misses.
+  EXPECT_GT(cache.stats().totalNanos(), 0u);
+
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.stats().evaluations(), 0u);
+}
+
+TEST(PassCacheAccounting, SecondPlanIsAllHits) {
+  MdstEngine engine = engineFor("2:1:1:1:1:1:9");
+  PassCache cache;
+  const StreamingPlan first = planStreaming(engine, request(32, 3, 3), cache);
+  const std::uint64_t missesAfterFirst = cache.stats().misses;
+  EXPECT_GT(missesAfterFirst, 0u);
+
+  const StreamingPlan second = planStreaming(engine, request(32, 3, 3), cache);
+  EXPECT_EQ(cache.stats().misses, missesAfterFirst)
+      << "a repeated plan must be served entirely from the cache";
+  EXPECT_EQ(second.totalCycles, first.totalCycles);
+  EXPECT_EQ(second.perPassDemand, first.perPassDemand);
+}
+
+TEST(PassCacheAccounting, LookupDoesNotCompute) {
+  MdstEngine engine = engineFor("3:1");
+  PassCache cache;
+  const PassKey key{Algorithm::MM, Scheme::kSRS, 2, 8};
+  EXPECT_FALSE(cache.lookup(key).has_value());
+  (void)cache.evaluate(engine, Algorithm::MM, Scheme::kSRS, 2, 8);
+  EXPECT_TRUE(cache.lookup(key).has_value());
+}
+
+void expectPlansIdentical(const StreamingPlan& a, const StreamingPlan& b,
+                          const std::string& label) {
+  EXPECT_EQ(a.perPassDemand, b.perPassDemand) << label;
+  EXPECT_EQ(a.totalCycles, b.totalCycles) << label;
+  EXPECT_EQ(a.totalWaste, b.totalWaste) << label;
+  EXPECT_EQ(a.totalInput, b.totalInput) << label;
+  EXPECT_EQ(a.storageUnits, b.storageUnits) << label;
+  EXPECT_EQ(a.mixers, b.mixers) << label;
+  ASSERT_EQ(a.passes.size(), b.passes.size()) << label;
+  for (std::size_t i = 0; i < a.passes.size(); ++i) {
+    EXPECT_EQ(a.passes[i].demand, b.passes[i].demand) << label << " pass " << i;
+    EXPECT_EQ(a.passes[i].cycles, b.passes[i].cycles) << label << " pass " << i;
+    EXPECT_EQ(a.passes[i].storageUnits, b.passes[i].storageUnits)
+        << label << " pass " << i;
+    EXPECT_EQ(a.passes[i].waste, b.passes[i].waste) << label << " pass " << i;
+    EXPECT_EQ(a.passes[i].inputDroplets, b.passes[i].inputDroplets)
+        << label << " pass " << i;
+    EXPECT_EQ(a.passes[i].mixSplits, b.passes[i].mixSplits)
+        << label << " pass " << i;
+  }
+}
+
+// Four workers and one worker must produce field-identical plans: the pool
+// only warms the cache, every decision re-reads memoized values.
+TEST(StreamingPlanParallel, FourThreadsMatchOneThreadFieldByField) {
+  for (const std::string& ratioText : {"2:1:1:1:1:1:9", "7:5:4", "14:2"}) {
+    MdstEngine serialEngine = engineFor(ratioText);
+    MdstEngine parallelEngine = engineFor(ratioText);
+    for (unsigned cap : {1u, 3u, 5u}) {
+      for (const std::uint64_t demand : {16u, 23u, 37u}) {
+        StreamingPlan serial, parallel;
+        bool serialThrew = false;
+        bool parallelThrew = false;
+        try {
+          serial = planStreaming(serialEngine, request(demand, cap, 2, 1));
+        } catch (const std::runtime_error&) {
+          serialThrew = true;
+        }
+        try {
+          parallel =
+              planStreaming(parallelEngine, request(demand, cap, 2, 4));
+        } catch (const std::runtime_error&) {
+          parallelThrew = true;
+        }
+        const std::string label = ratioText + " cap=" + std::to_string(cap) +
+                                  " D=" + std::to_string(demand);
+        EXPECT_EQ(serialThrew, parallelThrew) << label;
+        if (!serialThrew && !parallelThrew) {
+          expectPlansIdentical(serial, parallel, label);
+        }
+      }
+    }
+  }
+}
+
+TEST(StreamingPlanParallel, OptimizedFourThreadsMatchOneThread) {
+  MdstEngine serialEngine = engineFor("2:1:1:1:1:1:9");
+  MdstEngine parallelEngine = engineFor("2:1:1:1:1:1:9");
+  for (unsigned cap : {3u, 5u}) {
+    for (const std::uint64_t demand : {20u, 37u}) {
+      const StreamingPlan serial = planStreamingOptimized(
+          serialEngine, request(demand, cap, 3, 1));
+      const StreamingPlan parallel = planStreamingOptimized(
+          parallelEngine, request(demand, cap, 3, 4));
+      expectPlansIdentical(serial, parallel,
+                           "optimized cap=" + std::to_string(cap) +
+                               " D=" + std::to_string(demand));
+    }
+  }
+}
+
+// Concurrent evaluation of overlapping keys through one shared cache: what
+// the TSan-labelled ctest run guards.
+TEST(PassCacheAccounting, ConcurrentEvaluationIsConsistent) {
+  MdstEngine engine = engineFor("2:1:1:1:1:1:9");
+  PassCache cache;
+  PassPool pool(4);
+  std::vector<unsigned> storage(64);
+  pool.forEach(storage.size(), [&](std::uint64_t i) {
+    // Demands overlap heavily (i % 8), forcing hit and miss paths to race.
+    storage[i] = cache
+                     .evaluate(engine, Algorithm::MM, Scheme::kSRS, 3,
+                               2 + (i % 8))
+                     .storageUnits;
+  });
+  for (std::size_t i = 0; i < storage.size(); ++i) {
+    const unsigned serial =
+        evaluatePass(engine, Algorithm::MM, Scheme::kSRS, 3, 2 + (i % 8))
+            .storageUnits;
+    EXPECT_EQ(storage[i], serial) << "demand " << 2 + (i % 8);
+  }
+  EXPECT_EQ(cache.stats().evaluations(), storage.size());
+}
+
+TEST(PassPoolExecution, ForEachCoversEveryIndexExactlyOnce) {
+  PassPool pool(4);
+  std::vector<std::atomic<int>> touched(10000);
+  pool.forEach(touched.size(), [&](std::uint64_t i) {
+    touched[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < touched.size(); ++i) {
+    ASSERT_EQ(touched[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(PassPoolExecution, ReusableAcrossBatches) {
+  PassPool pool(3);
+  for (int round = 0; round < 50; ++round) {
+    std::vector<std::uint64_t> out(97, 0);
+    pool.forEach(out.size(), [&](std::uint64_t i) { out[i] = i * i; });
+    for (std::uint64_t i = 0; i < out.size(); ++i) {
+      ASSERT_EQ(out[i], i * i);
+    }
+  }
+}
+
+TEST(PassPoolExecution, LowestIndexExceptionWins) {
+  PassPool pool(4);
+  try {
+    pool.forEach(1000, [](std::uint64_t i) {
+      if (i >= 500) {
+        throw std::runtime_error(std::to_string(i));
+      }
+    });
+    FAIL() << "expected the batch to rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "500");
+  }
+}
+
+TEST(PassPoolExecution, SerialPoolSpawnsNoThreadsAndStillWorks) {
+  PassPool pool(1);
+  EXPECT_EQ(pool.jobs(), 1u);
+  std::uint64_t sum = 0;
+  pool.forEach(100, [&](std::uint64_t i) { sum += i; });
+  EXPECT_EQ(sum, 4950u);
+}
+
+TEST(PassPoolExecution, ZeroResolvesToHardwareConcurrency) {
+  EXPECT_GE(PassPool::resolveJobs(0), 1u);
+  EXPECT_EQ(PassPool::resolveJobs(7), 7u);
+}
+
+}  // namespace
+}  // namespace dmf::engine

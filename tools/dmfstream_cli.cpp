@@ -29,6 +29,7 @@
 #include "engine/baseline.h"
 #include "engine/mdst.h"
 #include "engine/multi_target.h"
+#include "engine/pass_cache.h"
 #include "engine/serialize.h"
 #include "engine/streaming.h"
 #include "mixgraph/builders.h"
@@ -85,8 +86,11 @@ commands:
   stream  multi-pass plan under a storage cap
           --ratio R --demand D --storage Q [--mixers N] [--algo A]
           [--optimize]  (search all pass sizes for minimum total cycles)
+          [--jobs N]    (parallel candidate evaluation; 0 = all cores)
+          [--json]      (machine-readable plan, identical for every --jobs)
+          [--stats]     (pass-cache hit/miss and per-stage timings)
   multi   shared multi-target preparation
-          --targets R1;R2;... --demands D1,D2,... [--mixers N]
+          --targets R1;R2;... --demands D1,D2,... [--mixers N] [--jobs N]
   dilute  two-fluid dilution stream        --sample a/2^d --demand D
   chip    execute on a synthesized biochip --ratio R --demand D
           options: --simulate (timed routing) --pins --wear --anneal
@@ -200,9 +204,24 @@ int cmdStream(const Args& args, const Ratio& ratio) {
   request.demand = args.getU64("demand", 2);
   request.storageCap = static_cast<unsigned>(args.getU64("storage", 5));
   request.mixers = static_cast<unsigned>(args.getU64("mixers", 0));
-  const engine::StreamingPlan plan = args.has("optimize")
-                                         ? planStreamingOptimized(engine, request)
-                                         : planStreaming(engine, request);
+  request.jobs = static_cast<unsigned>(args.getU64("jobs", 1));
+
+  engine::PassCache cache;
+  const engine::StreamingPlan plan =
+      args.has("optimize") ? planStreamingOptimized(engine, request, cache)
+                           : planStreaming(engine, request, cache);
+
+  if (args.has("json")) {
+    report::Json out = engine::toJson(plan);
+    if (args.has("stats")) {
+      // Stats are nondeterministic (wall times; parallel prefetch shifts the
+      // hit/miss split), so they only join the JSON on explicit request —
+      // the default plan JSON is byte-identical for every --jobs.
+      out.set("passCache", engine::toJson(cache.stats()));
+    }
+    std::cout << out.dump(2);
+    return 0;
+  }
 
   report::Table table({"pass", "demand", "cycles", "storage", "waste",
                        "input"});
@@ -219,6 +238,19 @@ int cmdStream(const Args& args, const Ratio& ratio) {
             << plan.totalWaste << " waste, " << plan.totalInput
             << " input droplets (storage cap " << request.storageCap
             << ", peak " << plan.storageUnits << ")\n";
+  if (args.has("stats")) {
+    const engine::PassCacheStats stats = cache.stats();
+    std::cout << "pass cache: " << stats.hits << " hits, " << stats.misses
+              << " misses; stage times (ms): forest "
+              << report::fixed(static_cast<double>(stats.buildNanos) / 1e6, 2)
+              << ", schedule "
+              << report::fixed(
+                     static_cast<double>(stats.scheduleNanos) / 1e6, 2)
+              << ", storage count "
+              << report::fixed(
+                     static_cast<double>(stats.storageNanos) / 1e6, 2)
+              << "\n";
+  }
   return 0;
 }
 
@@ -359,7 +391,8 @@ int cmdMulti(const Args& args) {
   }
   const engine::MultiTargetResult r = engine::runMultiTarget(
       targets, engine::Scheme::kSRS,
-      static_cast<unsigned>(args.getU64("mixers", 0)));
+      static_cast<unsigned>(args.getU64("mixers", 0)),
+      static_cast<unsigned>(args.getU64("jobs", 1)));
   report::Table table({"metric", "shared forest", "separate engines"});
   table.addRow({"completion Tc", std::to_string(r.completionTime),
                 std::to_string(r.separateCompletionTime)});
