@@ -11,7 +11,10 @@
 #include "report/table.h"
 #include "workload/ratio_corpus.h"
 
+#include "bench_obs.h"
+
 int main() {
+  const dmf::bench::BenchSession benchObs("ablation_error");
   using namespace dmf;
   using mixgraph::Algorithm;
 

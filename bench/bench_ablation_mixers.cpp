@@ -10,7 +10,10 @@
 #include "report/table.h"
 #include "sched/heterogeneous.h"
 
+#include "bench_obs.h"
+
 int main() {
+  const dmf::bench::BenchSession benchObs("ablation_mixers");
   using namespace dmf;
 
   const Ratio ratio = protocols::pcrMasterMixRatio();

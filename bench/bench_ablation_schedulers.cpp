@@ -18,7 +18,10 @@
 #include "sched/schedulers.h"
 #include "workload/ratio_corpus.h"
 
+#include "bench_obs.h"
+
 int main() {
+  const dmf::bench::BenchSession benchObs("ablation_schedulers");
   using namespace dmf;
   using Clock = std::chrono::steady_clock;
 

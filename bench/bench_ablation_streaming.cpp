@@ -8,7 +8,10 @@
 #include "protocols/protocols.h"
 #include "report/table.h"
 
+#include "bench_obs.h"
+
 int main() {
+  const dmf::bench::BenchSession benchObs("ablation_streaming");
   using namespace dmf;
 
   std::cout << "# Ablation — streaming pass-size policy (PCR master-mix, "

@@ -10,7 +10,10 @@
 #include "protocols/protocols.h"
 #include "report/table.h"
 
+#include "bench_obs.h"
+
 int main() {
+  const dmf::bench::BenchSession benchObs("fig1_fig2_forest");
   using namespace dmf;
 
   const Ratio ratio = protocols::pcrMasterMixRatio();

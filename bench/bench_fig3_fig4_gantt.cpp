@@ -13,7 +13,10 @@
 #include "sched/gantt.h"
 #include "sched/schedulers.h"
 
+#include "bench_obs.h"
+
 int main() {
+  const dmf::bench::BenchSession benchObs("fig3_fig4_gantt");
   using namespace dmf;
 
   const Ratio ratio = protocols::pcrMasterMixRatio();

@@ -13,7 +13,10 @@
 #include "report/table.h"
 #include "sched/schedulers.h"
 
+#include "bench_obs.h"
+
 int main() {
+  const dmf::bench::BenchSession benchObs("fig5_layout");
   using namespace dmf;
 
   const Ratio ratio = protocols::pcrMasterMixRatio();

@@ -25,7 +25,10 @@
 #include "report/table.h"
 #include "workload/ratio_corpus.h"
 
+#include "bench_obs.h"
+
 int main(int argc, char** argv) {
+  const dmf::bench::BenchSession benchObs("fig6_demand_sweep", argc, argv);
   using namespace dmf;
   using mixgraph::Algorithm;
 

@@ -11,7 +11,10 @@
 #include "report/chart.h"
 #include "report/table.h"
 
+#include "bench_obs.h"
+
 int main() {
+  const dmf::bench::BenchSession benchObs("fig7_mixer_sweep");
   using namespace dmf;
 
   const Ratio ratio = protocols::pcrMasterMixRatio();

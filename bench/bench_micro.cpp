@@ -9,6 +9,7 @@
 #include "engine/mdst.h"
 #include "forest/task_forest.h"
 #include "mixgraph/builders.h"
+#include "obs/scope.h"
 #include "protocols/protocols.h"
 #include "sched/ga_scheduler.h"
 #include "sched/heterogeneous.h"
@@ -177,5 +178,68 @@ void BM_CorpusGeneration(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CorpusGeneration);
+
+// --- observability overhead -----------------------------------------------
+// The disabled path must be near-free: each helper is one relaxed atomic
+// load plus a branch, so these two benchmarks should report low-nanosecond
+// times. BM_ObsDisabledScheduling vs BM_ScheduleMMS quantifies the
+// whole-pipeline cost of the instrumentation hooks when no session exists.
+
+void BM_ObsDisabledCount(benchmark::State& state) {
+  for (auto _ : state) {
+    obs::count("bench.disabled.counter");
+    benchmark::DoNotOptimize(obs::enabled());
+  }
+}
+BENCHMARK(BM_ObsDisabledCount);
+
+void BM_ObsDisabledSpan(benchmark::State& state) {
+  for (auto _ : state) {
+    const obs::Span span("bench.disabled.span", "bench");
+    benchmark::DoNotOptimize(&span);
+  }
+}
+BENCHMARK(BM_ObsDisabledSpan);
+
+void BM_ObsEnabledCount(benchmark::State& state) {
+  obs::Session session;
+  const obs::Scope scope(session);
+  for (auto _ : state) {
+    obs::count("bench.enabled.counter");
+  }
+}
+BENCHMARK(BM_ObsEnabledCount);
+
+void BM_ObsEnabledSpan(benchmark::State& state) {
+  obs::Session session;
+  const obs::Scope scope(session);
+  for (auto _ : state) {
+    const obs::Span span("bench.enabled.span", "bench");
+    benchmark::DoNotOptimize(&span);
+  }
+}
+BENCHMARK(BM_ObsEnabledSpan);
+
+void BM_ObsDisabledScheduling(benchmark::State& state) {
+  const mixgraph::MixingGraph graph = mixgraph::buildMM(bigRatio());
+  const forest::TaskForest f(graph, 64);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sched::scheduleMMS(f, 4));
+    benchmark::DoNotOptimize(sched::countStorage(f, sched::scheduleMMS(f, 4)));
+  }
+}
+BENCHMARK(BM_ObsDisabledScheduling);
+
+void BM_ObsEnabledScheduling(benchmark::State& state) {
+  const mixgraph::MixingGraph graph = mixgraph::buildMM(bigRatio());
+  const forest::TaskForest f(graph, 64);
+  obs::Session session;
+  const obs::Scope scope(session);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sched::scheduleMMS(f, 4));
+    benchmark::DoNotOptimize(sched::countStorage(f, sched::scheduleMMS(f, 4)));
+  }
+}
+BENCHMARK(BM_ObsEnabledScheduling);
 
 }  // namespace

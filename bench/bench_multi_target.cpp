@@ -9,7 +9,10 @@
 #include "report/table.h"
 #include "workload/ratio_corpus.h"
 
+#include "bench_obs.h"
+
 int main() {
+  const dmf::bench::BenchSession benchObs("multi_target");
   using namespace dmf;
   using engine::runMultiTarget;
   using engine::TargetDemand;

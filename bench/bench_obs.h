@@ -1,0 +1,47 @@
+// Shared observability harness for the bench_* binaries: installs a
+// process-wide obs session for the lifetime of main() and writes the
+// collected metrics snapshot to BENCH_<name>.json in the working directory
+// (override with --metrics FILE) when the benchmark exits. The blob carries
+// the same instruments the CLI's --metrics flag exposes — pass-cache
+// hit/miss, per-stage nanos, scheduler utilization, storage high water —
+// so bench runs are diffable across commits.
+#pragma once
+
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "obs/scope.h"
+
+namespace dmf::bench {
+
+class BenchSession {
+ public:
+  explicit BenchSession(const std::string& name, int argc = 0,
+                        char** argv = nullptr)
+      : path_("BENCH_" + name + ".json"), scope_(session_) {
+    for (int i = 1; i + 1 < argc; ++i) {
+      if (std::string(argv[i]) == "--metrics") path_ = argv[i + 1];
+    }
+  }
+
+  ~BenchSession() {
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out << session_.metrics.snapshot().dump(2) << "\n";
+    if (out) {
+      std::cerr << "metrics written to " << path_ << "\n";
+    } else {
+      std::cerr << "warning: could not write metrics to " << path_ << "\n";
+    }
+  }
+
+  BenchSession(const BenchSession&) = delete;
+  BenchSession& operator=(const BenchSession&) = delete;
+
+ private:
+  obs::Session session_;
+  std::string path_;
+  obs::Scope scope_;
+};
+
+}  // namespace dmf::bench

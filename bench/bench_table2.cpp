@@ -12,6 +12,8 @@
 #include "protocols/protocols.h"
 #include "report/table.h"
 
+#include "bench_obs.h"
+
 namespace {
 
 struct PaperRow {
@@ -38,6 +40,7 @@ const PaperRow kPaper[5] = {
 }  // namespace
 
 int main() {
+  const dmf::bench::BenchSession benchObs("table2");
   using namespace dmf;
   using mixgraph::Algorithm;
 

@@ -13,7 +13,10 @@
 #include "report/table.h"
 #include "workload/ratio_corpus.h"
 
+#include "bench_obs.h"
+
 int main() {
+  const dmf::bench::BenchSession benchObs("table3");
   using namespace dmf;
   using mixgraph::Algorithm;
 

@@ -21,7 +21,10 @@
 #include "protocols/protocols.h"
 #include "report/table.h"
 
+#include "bench_obs.h"
+
 int main(int argc, char** argv) {
+  const dmf::bench::BenchSession benchObs("table4_streaming", argc, argv);
   using namespace dmf;
 
   unsigned jobs = 1;

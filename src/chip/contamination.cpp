@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/scope.h"
+
 namespace dmf::chip {
 
 namespace {
@@ -61,6 +63,13 @@ ContaminationReport analyzeContamination(const Layout& layout,
   }
   for (bool dirty : dirtyPhases) {
     report.washDroplets += dirty ? 1 : 0;
+  }
+  if (obs::MetricsRegistry* m = obs::metrics()) {
+    m->counter("chip.contamination.visited_cells").add(report.visitedCells);
+    m->counter("chip.contamination.shared_cells").add(report.sharedCells);
+    m->counter("chip.contamination.dirty_reuses")
+        .add(report.contaminatedReuses);
+    m->counter("chip.wash.droplets").add(report.washDroplets);
   }
   return report;
 }

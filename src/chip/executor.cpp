@@ -4,6 +4,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "obs/scope.h"
+
 namespace dmf::chip {
 
 using forest::DropletFate;
@@ -63,6 +65,7 @@ ExecutionTrace ChipExecutor::run(const TaskForest& forest,
   }
   sched::validateOrThrow(forest, schedule);
 
+  const obs::Span runSpan("chip.execute", "chip");
   ExecutionTrace trace;
   // Storage occupancy intervals [begin, end) per storage module.
   std::vector<std::vector<std::pair<unsigned, unsigned>>> occupied(
@@ -87,21 +90,26 @@ ExecutionTrace ChipExecutor::run(const TaskForest& forest,
   };
 
   // --- operand arrivals (dispensing) --------------------------------------
-  for (TaskId id = 0; id < forest.taskCount(); ++id) {
-    const forest::Task& t = forest.task(id);
-    const auto& node = forest.graph().node(t.node);
-    const unsigned cycle = cycleOf(id);
-    for (const auto& [dep, child] :
-         {std::pair{t.depLeft, node.left}, std::pair{t.depRight, node.right}}) {
-      if (dep != kNoTask) continue;  // handled by the producer's droplet
-      const std::size_t fluid = forest.graph().node(child).value.pureFluid();
-      trace.moves.push_back(Move{MoveKind::kDispense, cycle,
-                                 layout_->reservoirFor(fluid), mixerOf(id),
-                                 0});
+  {
+    const obs::Span dispenseSpan("chip.dispense_batch", "chip");
+    for (TaskId id = 0; id < forest.taskCount(); ++id) {
+      const forest::Task& t = forest.task(id);
+      const auto& node = forest.graph().node(t.node);
+      const unsigned cycle = cycleOf(id);
+      for (const auto& [dep, child] : {std::pair{t.depLeft, node.left},
+                                       std::pair{t.depRight, node.right}}) {
+        if (dep != kNoTask) continue;  // handled by the producer's droplet
+        const std::size_t fluid = forest.graph().node(child).value.pureFluid();
+        trace.moves.push_back(Move{MoveKind::kDispense, cycle,
+                                   layout_->reservoirFor(fluid), mixerOf(id),
+                                   0});
+      }
     }
   }
 
   // --- output droplets -----------------------------------------------------
+  obs::TraceRecorder* recorder = obs::tracer();
+  std::uint64_t phaseStart = recorder != nullptr ? recorder->nowNanos() : 0;
   for (TaskId id = 0; id < forest.taskCount(); ++id) {
     const unsigned produced = cycleOf(id);
     const ModuleId from = mixerOf(id);
@@ -159,6 +167,12 @@ ExecutionTrace ChipExecutor::run(const TaskForest& forest,
     }
   }
 
+  if (recorder != nullptr) {
+    recorder->completeEvent("chip.emit_batch", "chip", phaseStart,
+                            recorder->nowNanos() - phaseStart);
+    phaseStart = recorder->nowNanos();
+  }
+
   // --- route every move, accumulate costs and the actuation heat-map ------
   trace.actuations.assign(
       static_cast<std::size_t>(layout_->height()),
@@ -178,6 +192,10 @@ ExecutionTrace ChipExecutor::run(const TaskForest& forest,
   }
   std::sort(trace.moves.begin(), trace.moves.end(),
             [](const Move& a, const Move& b) { return a.cycle < b.cycle; });
+  if (recorder != nullptr) {
+    recorder->completeEvent("chip.route_batch", "chip", phaseStart,
+                            recorder->nowNanos() - phaseStart);
+  }
 
   // --- peak storage occupancy ---------------------------------------------
   unsigned horizon = schedule.completionTime + 2;
@@ -189,6 +207,18 @@ ExecutionTrace ChipExecutor::run(const TaskForest& forest,
         trace.peakStorageUsed = std::max(trace.peakStorageUsed, used[t]);
       }
     }
+  }
+
+  if (obs::MetricsRegistry* m = obs::metrics()) {
+    for (const Move& move : trace.moves) {
+      m->counter(std::string("chip.moves.") +
+                 std::string(moveKindTag(move.kind)))
+          .add(1);
+    }
+    m->counter("chip.actuations").add(trace.totalCost);
+    m->gauge("chip.storage_peak").accumulateMax(trace.peakStorageUsed);
+    m->gauge("chip.peak_electrode_actuations")
+        .accumulateMax(trace.peakActuations);
   }
   return trace;
 }

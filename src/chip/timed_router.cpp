@@ -6,6 +6,8 @@
 #include <queue>
 #include <stdexcept>
 
+#include "obs/scope.h"
+
 namespace dmf::chip {
 
 namespace {
@@ -170,6 +172,22 @@ PhaseResult TimedRouter::routePhase(std::vector<PhaseMove> moves) const {
         result.totalActuations += traj.actuations();
       }
       checkInterference(result.trajectories);
+      if (obs::MetricsRegistry* m = obs::metrics()) {
+        // A stall is a step on which a droplet held its cell before arrival
+        // (waiting out another droplet's reservation).
+        std::uint64_t stalls = 0;
+        for (const Trajectory& traj : result.trajectories) {
+          const unsigned arrival = traj.arrivalStep();
+          for (unsigned step = 1;
+               step <= arrival && step < traj.positions.size(); ++step) {
+            if (traj.positions[step] == traj.positions[step - 1]) ++stalls;
+          }
+        }
+        m->counter("chip.router.stall_cycles").add(stalls);
+        m->counter("chip.router.phases").add(1);
+        m->counter("chip.router.droplets").add(result.trajectories.size());
+        m->counter("chip.router.retries").add(attempt);
+      }
       return result;
     }
     // Rotate priorities: the failing order's head goes to the back.

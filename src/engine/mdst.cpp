@@ -1,7 +1,11 @@
 #include "engine/mdst.h"
 
+#include <algorithm>
+#include <map>
 #include <optional>
 #include <stdexcept>
+
+#include "obs/scope.h"
 
 namespace dmf::engine {
 
@@ -21,17 +25,74 @@ std::string_view schemeName(Scheme scheme) {
   throw std::invalid_argument("schemeName: unknown scheme");
 }
 
+namespace {
+
+// Mixer-bank utilization of a finished schedule, overall and per forest
+// level, recorded into the active session. Runs only when observability is
+// on; purely derived from the schedule, so it cannot perturb planning.
+void recordScheduleObservability(const TaskForest& forest,
+                                 const sched::Schedule& s) {
+  obs::MetricsRegistry* m = obs::metrics();
+  if (m == nullptr || s.completionTime == 0 || s.mixerCount == 0) return;
+
+  const std::uint64_t capacity =
+      std::uint64_t{s.completionTime} * s.mixerCount;
+  const std::uint64_t utilizationPct = forest.taskCount() * 100 / capacity;
+  m->gauge("sched.utilization_pct").set(utilizationPct);
+  m->histogram("sched.utilization_pct_hist",
+               {10, 20, 30, 40, 50, 60, 70, 80, 90, 100})
+      .observe(utilizationPct);
+
+  // Per-level utilization: tasks of one forest level over the mixer-cycles
+  // spanned by that level's busy window (Fig. 3's "how full is each wave").
+  struct LevelSpan {
+    std::uint64_t tasks = 0;
+    unsigned first = 0;
+    unsigned last = 0;
+  };
+  std::map<unsigned, LevelSpan> levels;
+  for (forest::TaskId id = 0; id < forest.taskCount(); ++id) {
+    const unsigned cycle = s.assignments[id].cycle;
+    auto [it, inserted] =
+        levels.try_emplace(forest.task(id).level, LevelSpan{0, cycle, cycle});
+    it->second.tasks += 1;
+    it->second.first = std::min(it->second.first, cycle);
+    it->second.last = std::max(it->second.last, cycle);
+  }
+  obs::Histogram& perLevel = m->histogram(
+      "sched.level_utilization_pct", {10, 20, 30, 40, 50, 60, 70, 80, 90, 100});
+  for (const auto& [level, span] : levels) {
+    const std::uint64_t window =
+        std::uint64_t{span.last - span.first + 1} * s.mixerCount;
+    perLevel.observe(span.tasks * 100 / window);
+  }
+  m->counter("sched.schedules").add(1);
+  m->counter("sched.scheduled_tasks").add(forest.taskCount());
+}
+
+}  // namespace
+
 sched::Schedule schedule(const TaskForest& forest, Scheme scheme,
                          unsigned mixers) {
-  switch (scheme) {
-    case Scheme::kMMS:
-      return sched::scheduleMMS(forest, mixers);
-    case Scheme::kSRS:
-      return sched::scheduleSRS(forest, mixers);
-    case Scheme::kOMS:
-      return sched::scheduleOMS(forest, mixers);
-  }
-  throw std::invalid_argument("schedule: unknown scheme");
+  const sched::Schedule s = [&] {
+    switch (scheme) {
+      case Scheme::kMMS: {
+        const obs::Span span("sched.MMS", "sched");
+        return sched::scheduleMMS(forest, mixers);
+      }
+      case Scheme::kSRS: {
+        const obs::Span span("sched.SRS", "sched");
+        return sched::scheduleSRS(forest, mixers);
+      }
+      case Scheme::kOMS: {
+        const obs::Span span("sched.OMS", "sched");
+        return sched::scheduleOMS(forest, mixers);
+      }
+    }
+    throw std::invalid_argument("schedule: unknown scheme");
+  }();
+  recordScheduleObservability(forest, s);
+  return s;
 }
 
 MdstEngine::MdstEngine(Ratio ratio) : ratio_(std::move(ratio)), graphs_(4) {}

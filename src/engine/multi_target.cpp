@@ -1,9 +1,11 @@
 #include "engine/multi_target.h"
 
 #include <algorithm>
+#include <chrono>
 #include <stdexcept>
 
 #include "engine/pass_pool.h"
+#include "obs/scope.h"
 
 namespace dmf::engine {
 
@@ -13,6 +15,7 @@ MultiTargetResult runMultiTarget(const std::vector<TargetDemand>& targets,
   if (targets.empty()) {
     throw std::invalid_argument("runMultiTarget: no targets");
   }
+  const obs::Span span("engine.multi_target");
   std::vector<Ratio> ratios;
   std::vector<std::uint64_t> demands;
   ratios.reserve(targets.size());
@@ -22,6 +25,7 @@ MultiTargetResult runMultiTarget(const std::vector<TargetDemand>& targets,
     demands.push_back(t.demand);
   }
 
+  const auto sharedStart = std::chrono::steady_clock::now();
   const mixgraph::MixingGraph graph = mixgraph::buildMultiTarget(ratios);
   const forest::TaskForest forest(graph, demands);
 
@@ -32,6 +36,7 @@ MultiTargetResult runMultiTarget(const std::vector<TargetDemand>& targets,
     mc = sched::minimumMixers(basePass);
   }
   const sched::Schedule s = schedule(forest, scheme, mc);
+  const auto sharedEnd = std::chrono::steady_clock::now();
 
   MultiTargetResult result;
   result.completionTime = s.completionTime;
@@ -63,6 +68,18 @@ MultiTargetResult runMultiTarget(const std::vector<TargetDemand>& targets,
         std::max(result.separateStorageUnits, r.storageUnits);
     result.separateInputDroplets += r.inputDroplets;
     result.separateWaste += r.waste;
+  }
+  if (obs::MetricsRegistry* m = obs::metrics()) {
+    const auto nanos = [](auto a, auto b) {
+      return static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(b - a).count());
+    };
+    m->counter("engine.multi_target.runs").add(1);
+    m->counter("engine.multi_target.targets").add(targets.size());
+    m->counter("engine.multi_target.shared_nanos")
+        .add(nanos(sharedStart, sharedEnd));
+    m->counter("engine.multi_target.separate_nanos")
+        .add(nanos(sharedEnd, std::chrono::steady_clock::now()));
   }
   return result;
 }

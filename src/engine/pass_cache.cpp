@@ -3,6 +3,8 @@
 #include <chrono>
 #include <mutex>
 
+#include "obs/scope.h"
+
 namespace dmf::engine {
 
 namespace {
@@ -35,27 +37,45 @@ StreamingPass evaluatePass(const MdstEngine& engine,
                            unsigned mixers, std::uint64_t demand,
                            PassCacheStats* stageNanos) {
   auto start = std::chrono::steady_clock::now();
-  const forest::TaskForest f = engine.buildForest(algorithm, demand);
+  const forest::TaskForest f = [&] {
+    const obs::Span span("engine.forest_build");
+    return engine.buildForest(algorithm, demand);
+  }();
   const std::uint64_t buildNanos = nanosSince(start);
 
   start = std::chrono::steady_clock::now();
-  const sched::Schedule s = schedule(f, scheme, mixers);
+  const sched::Schedule s = [&] {
+    const obs::Span span("engine.schedule");
+    return schedule(f, scheme, mixers);
+  }();
   const std::uint64_t scheduleNanos = nanosSince(start);
 
   start = std::chrono::steady_clock::now();
   StreamingPass pass;
-  pass.demand = demand;
-  pass.cycles = s.completionTime;
-  pass.storageUnits = sched::countStorage(f, s);
-  pass.waste = f.stats().waste;
-  pass.inputDroplets = f.stats().inputTotal;
-  pass.mixSplits = f.stats().mixSplits;
+  {
+    const obs::Span span("engine.storage_count");
+    pass.demand = demand;
+    pass.cycles = s.completionTime;
+    pass.storageUnits = sched::countStorage(f, s);
+    pass.waste = f.stats().waste;
+    pass.inputDroplets = f.stats().inputTotal;
+    pass.mixSplits = f.stats().mixSplits;
+  }
   const std::uint64_t storageNanos = nanosSince(start);
 
   if (stageNanos != nullptr) {
     stageNanos->buildNanos = buildNanos;
     stageNanos->scheduleNanos = scheduleNanos;
     stageNanos->storageNanos = storageNanos;
+  }
+  if (obs::MetricsRegistry* m = obs::metrics()) {
+    m->counter("engine.pass_eval.count").add(1);
+    m->counter("engine.pass_eval.build_nanos").add(buildNanos);
+    m->counter("engine.pass_eval.schedule_nanos").add(scheduleNanos);
+    m->counter("engine.pass_eval.storage_nanos").add(storageNanos);
+    m->histogram("engine.pass_eval.micros",
+                 {10, 50, 100, 500, 1000, 5000, 10000, 50000, 100000})
+        .observe((buildNanos + scheduleNanos + storageNanos) / 1000);
   }
   return pass;
 }
@@ -68,7 +88,8 @@ StreamingPass PassCache::evaluate(const MdstEngine& engine,
     const std::shared_lock<std::shared_mutex> lock(mutex_);
     const auto it = entries_.find(key);
     if (it != entries_.end()) {
-      hits_.fetch_add(1, std::memory_order_relaxed);
+      hits_.add(1);
+      obs::count("engine.pass_cache.hits");
       return it->second;
     }
   }
@@ -79,10 +100,11 @@ StreamingPass PassCache::evaluate(const MdstEngine& engine,
   PassCacheStats stage;
   const StreamingPass pass =
       evaluatePass(engine, algorithm, scheme, mixers, demand, &stage);
-  misses_.fetch_add(1, std::memory_order_relaxed);
-  buildNanos_.fetch_add(stage.buildNanos, std::memory_order_relaxed);
-  scheduleNanos_.fetch_add(stage.scheduleNanos, std::memory_order_relaxed);
-  storageNanos_.fetch_add(stage.storageNanos, std::memory_order_relaxed);
+  misses_.add(1);
+  obs::count("engine.pass_cache.misses");
+  buildNanos_.add(stage.buildNanos);
+  scheduleNanos_.add(stage.scheduleNanos);
+  storageNanos_.add(stage.storageNanos);
 
   {
     const std::unique_lock<std::shared_mutex> lock(mutex_);
@@ -105,22 +127,22 @@ std::size_t PassCache::size() const {
 
 PassCacheStats PassCache::stats() const {
   PassCacheStats s;
-  s.hits = hits_.load(std::memory_order_relaxed);
-  s.misses = misses_.load(std::memory_order_relaxed);
-  s.buildNanos = buildNanos_.load(std::memory_order_relaxed);
-  s.scheduleNanos = scheduleNanos_.load(std::memory_order_relaxed);
-  s.storageNanos = storageNanos_.load(std::memory_order_relaxed);
+  s.hits = hits_.value();
+  s.misses = misses_.value();
+  s.buildNanos = buildNanos_.value();
+  s.scheduleNanos = scheduleNanos_.value();
+  s.storageNanos = storageNanos_.value();
   return s;
 }
 
 void PassCache::clear() {
   const std::unique_lock<std::shared_mutex> lock(mutex_);
   entries_.clear();
-  hits_.store(0, std::memory_order_relaxed);
-  misses_.store(0, std::memory_order_relaxed);
-  buildNanos_.store(0, std::memory_order_relaxed);
-  scheduleNanos_.store(0, std::memory_order_relaxed);
-  storageNanos_.store(0, std::memory_order_relaxed);
+  hits_.reset();
+  misses_.reset();
+  buildNanos_.reset();
+  scheduleNanos_.reset();
+  storageNanos_.reset();
 }
 
 }  // namespace dmf::engine

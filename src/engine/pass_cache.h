@@ -12,7 +12,6 @@
 // engines with different ratios silently returns wrong passes.
 #pragma once
 
-#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <optional>
@@ -20,6 +19,7 @@
 #include <unordered_map>
 
 #include "engine/streaming.h"
+#include "obs/metrics.h"
 
 namespace dmf::engine {
 
@@ -80,11 +80,15 @@ class PassCache {
  private:
   mutable std::shared_mutex mutex_;
   std::unordered_map<PassKey, StreamingPass, PassKeyHash> entries_;
-  std::atomic<std::uint64_t> hits_{0};
-  std::atomic<std::uint64_t> misses_{0};
-  std::atomic<std::uint64_t> buildNanos_{0};
-  std::atomic<std::uint64_t> scheduleNanos_{0};
-  std::atomic<std::uint64_t> storageNanos_{0};
+  // obs instruments used standalone; stats() is the thin adapter that
+  // snapshots them into the legacy PassCacheStats shape. When a global
+  // obs::Scope is active, evaluate() additionally mirrors these counts into
+  // the session registry (engine.pass_cache.*).
+  obs::Counter hits_;
+  obs::Counter misses_;
+  obs::Counter buildNanos_;
+  obs::Counter scheduleNanos_;
+  obs::Counter storageNanos_;
 };
 
 /// Uncached single-pass evaluation (what the cache runs on a miss): builds

@@ -6,6 +6,8 @@
 #include <limits>
 #include <mutex>
 
+#include "obs/scope.h"
+
 namespace dmf::engine {
 
 // One forEach invocation: participants pull indices from `next` until the
@@ -87,7 +89,11 @@ void PassPool::workerLoop() {
       seen = state_->generation;
       batch = state_->batch;
     }
-    batch->drain();
+    {
+      // One span per worker per batch: the "--jobs N" tasks in the trace.
+      const obs::Span span("pool.worker", "pool");
+      batch->drain();
+    }
     {
       const std::lock_guard<std::mutex> lock(state_->mutex);
       if (--state_->active == 0) state_->done.notify_all();
@@ -113,8 +119,13 @@ void PassPool::forEach(std::uint64_t count,
     state_->active = jobs_;  // jobs_ - 1 workers plus this thread
   }
   state_->work.notify_all();
+  obs::count("engine.pool.batches");
+  obs::count("engine.pool.tasks", count);
 
-  batch.drain();  // the calling thread works too
+  {
+    const obs::Span span("pool.worker", "pool");
+    batch.drain();  // the calling thread works too
+  }
 
   {
     std::unique_lock<std::mutex> lock(state_->mutex);

@@ -89,6 +89,29 @@ Json toJson(const StreamingPlan& plan) {
   return out;
 }
 
+Json toJson(const MultiTargetResult& result) {
+  Json shared = Json::object();
+  shared.set("completionTime",
+             Json::number(std::uint64_t{result.completionTime}))
+      .set("storageUnits", Json::number(std::uint64_t{result.storageUnits}))
+      .set("mixSplits", Json::number(result.mixSplits))
+      .set("waste", Json::number(result.waste))
+      .set("inputDroplets", Json::number(result.inputDroplets));
+  Json separate = Json::object();
+  separate
+      .set("completionTime",
+           Json::number(std::uint64_t{result.separateCompletionTime}))
+      .set("storageUnits",
+           Json::number(std::uint64_t{result.separateStorageUnits}))
+      .set("waste", Json::number(result.separateWaste))
+      .set("inputDroplets", Json::number(result.separateInputDroplets));
+  Json out = Json::object();
+  out.set("mixers", Json::number(std::uint64_t{result.mixers}))
+      .set("shared", std::move(shared))
+      .set("separate", std::move(separate));
+  return out;
+}
+
 Json toJson(const PassCacheStats& stats) {
   Json out = Json::object();
   out.set("hits", stats.hits)

@@ -3,6 +3,7 @@
 #pragma once
 
 #include "engine/mdst.h"
+#include "engine/multi_target.h"
 #include "engine/pass_cache.h"
 #include "engine/streaming.h"
 #include "report/json.h"
@@ -20,6 +21,10 @@ namespace dmf::engine {
 
 /// A streaming plan (pass list and totals).
 [[nodiscard]] report::Json toJson(const StreamingPlan& plan);
+
+/// A multi-target run: shared-forest metrics side by side with the
+/// separate-preparation baseline.
+[[nodiscard]] report::Json toJson(const MultiTargetResult& result);
 
 /// Pass-cache counters (hit/miss accounting plus per-stage wall times of the
 /// misses). Timings are wall-clock and therefore run-to-run nondeterministic;

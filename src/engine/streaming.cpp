@@ -8,10 +8,38 @@
 
 #include "engine/pass_cache.h"
 #include "engine/pass_pool.h"
+#include "obs/scope.h"
 
 namespace dmf::engine {
 
 namespace {
+
+// Publishes the chosen plan to the active obs session (no-op when disabled):
+// summary gauges plus one model-time span per pass on the virtual "plan
+// timeline" track, so Perfetto shows the pass sequence as a Gantt chart in
+// schedule cycles. Observation only — the plan itself is never altered.
+void recordPlanObservability(const StreamingPlan& plan) {
+  if (obs::MetricsRegistry* m = obs::metrics()) {
+    m->gauge("engine.plan.passes").set(plan.passes.size());
+    m->gauge("engine.plan.per_pass_demand").set(plan.perPassDemand);
+    m->gauge("engine.plan.total_cycles").set(plan.totalCycles);
+    m->gauge("engine.plan.total_waste").set(plan.totalWaste);
+    m->gauge("engine.plan.storage_high_water")
+        .accumulateMax(plan.storageUnits);
+  }
+  if (obs::TraceRecorder* t = obs::tracer()) {
+    std::uint64_t cursor = 0;
+    for (std::size_t p = 0; p < plan.passes.size(); ++p) {
+      const StreamingPass& pass = plan.passes[p];
+      t->modelEvent(
+          "pass " + std::to_string(p + 1), "plan", cursor, pass.cycles, 1,
+          {{"demand", std::to_string(pass.demand)},
+           {"storage", std::to_string(pass.storageUnits)},
+           {"waste", std::to_string(pass.waste)}});
+      cursor += pass.cycles;
+    }
+  }
+}
 
 // Assembles the plan for a fixed per-pass demand from already-evaluated
 // passes.
@@ -143,6 +171,7 @@ std::uint64_t largestFeasiblePerPass(const PlanContext& ctx,
 StreamingPlan planStreamingImpl(const MdstEngine& engine,
                                 const StreamingRequest& request,
                                 PassCache& cache, PassPool& pool) {
+  const obs::Span span("engine.plan_streaming");
   if (request.demand == 0) {
     throw std::invalid_argument("planStreaming: demand must be positive");
   }
@@ -183,12 +212,16 @@ StreamingPlan planStreamingImpl(const MdstEngine& engine,
   if (remainder > 0) {
     last = ctx.eval(remainder);
   }
-  return assemblePlan(perPass, mixers, full, last, demand / perPass);
+  StreamingPlan plan =
+      assemblePlan(perPass, mixers, full, last, demand / perPass);
+  recordPlanObservability(plan);
+  return plan;
 }
 
 StreamingPlan planStreamingOptimizedImpl(const MdstEngine& engine,
                                          const StreamingRequest& request,
                                          PassCache& cache, PassPool& pool) {
+  const obs::Span span("engine.plan_streaming_optimized");
   if (request.demand == 0) {
     throw std::invalid_argument(
         "planStreamingOptimized: demand must be positive");
@@ -245,6 +278,7 @@ StreamingPlan planStreamingOptimizedImpl(const MdstEngine& engine,
         "planStreamingOptimized: no pass size fits the storage cap of " +
         std::to_string(request.storageCap));
   }
+  recordPlanObservability(*best);
   return *best;
 }
 

@@ -1,0 +1,96 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dmf::obs {
+
+Histogram::Histogram(std::vector<std::uint64_t> bounds)
+    : bounds_(std::move(bounds)) {
+  if (bounds_.empty()) {
+    throw std::invalid_argument("Histogram: bounds must be non-empty");
+  }
+  if (!std::is_sorted(bounds_.begin(), bounds_.end()) ||
+      std::adjacent_find(bounds_.begin(), bounds_.end()) != bounds_.end()) {
+    throw std::invalid_argument("Histogram: bounds must be strictly ascending");
+  }
+  counts_ = std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    counts_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+void Histogram::observe(std::uint64_t value) noexcept {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  const std::size_t bucket =
+      static_cast<std::size_t>(it - bounds_.begin());  // == size() -> overflow
+  counts_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<std::uint64_t> bounds) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>(std::move(bounds));
+  return *slot;
+}
+
+std::size_t MetricsRegistry::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return counters_.size() + gauges_.size() + histograms_.size();
+}
+
+report::Json MetricsRegistry::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  report::Json out = report::Json::object();
+
+  report::Json counters = report::Json::object();
+  for (const auto& [name, counter] : counters_) {
+    counters.set(name, counter->value());
+  }
+  out.set("counters", std::move(counters));
+
+  report::Json gauges = report::Json::object();
+  for (const auto& [name, gauge] : gauges_) {
+    gauges.set(name, gauge->value());
+  }
+  out.set("gauges", std::move(gauges));
+
+  report::Json histograms = report::Json::object();
+  for (const auto& [name, histogram] : histograms_) {
+    report::Json h = report::Json::object();
+    report::Json bounds = report::Json::array();
+    for (const std::uint64_t b : histogram->bounds()) {
+      bounds.push(report::Json::number(b));
+    }
+    h.set("bounds", std::move(bounds));
+    report::Json counts = report::Json::array();
+    for (std::size_t i = 0; i <= histogram->bounds().size(); ++i) {
+      counts.push(report::Json::number(histogram->bucketCount(i)));
+    }
+    h.set("counts", std::move(counts));
+    h.set("count", histogram->count());
+    h.set("sum", histogram->sum());
+    histograms.set(name, std::move(h));
+  }
+  out.set("histograms", std::move(histograms));
+  return out;
+}
+
+}  // namespace dmf::obs

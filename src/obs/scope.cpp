@@ -1,0 +1,23 @@
+#include "obs/scope.h"
+
+#include <stdexcept>
+
+namespace dmf::obs {
+
+namespace detail {
+std::atomic<Session*> g_session{nullptr};
+}  // namespace detail
+
+Scope::Scope(Session& session) {
+  Session* expected = nullptr;
+  if (!detail::g_session.compare_exchange_strong(expected, &session,
+                                                 std::memory_order_acq_rel)) {
+    throw std::logic_error("obs::Scope: a session is already installed");
+  }
+}
+
+Scope::~Scope() {
+  detail::g_session.store(nullptr, std::memory_order_release);
+}
+
+}  // namespace dmf::obs

@@ -1,0 +1,103 @@
+// Process-global observability session: a MetricsRegistry + TraceRecorder
+// pair installed for the duration of an obs::Scope.
+//
+// Design constraints (see DESIGN.md §9):
+//  * disabled is the default and must be near-free — every helper below
+//    starts with a single relaxed atomic load of the session pointer and
+//    branches out before touching a clock, a mutex, or a string;
+//  * instrumentation must never change behaviour — it only observes, so the
+//    planner's `--jobs N` byte-identical guarantee holds with tracing on;
+//  * one session at a time — nested Scope installation throws (there is no
+//    meaningful merge of two sessions' files).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace dmf::obs {
+
+/// The sinks of one observability session.
+struct Session {
+  MetricsRegistry metrics;
+  TraceRecorder trace;
+};
+
+namespace detail {
+extern std::atomic<Session*> g_session;
+}  // namespace detail
+
+/// RAII installer: the session is globally visible between construction and
+/// destruction. Throws std::logic_error if a Scope is already active.
+class Scope {
+ public:
+  explicit Scope(Session& session);
+  ~Scope();
+
+  Scope(const Scope&) = delete;
+  Scope& operator=(const Scope&) = delete;
+};
+
+/// True while a Scope is active.
+[[nodiscard]] inline bool enabled() noexcept {
+  return detail::g_session.load(std::memory_order_acquire) != nullptr;
+}
+
+/// The active session's registry, or nullptr when observability is off.
+[[nodiscard]] inline MetricsRegistry* metrics() noexcept {
+  Session* s = detail::g_session.load(std::memory_order_acquire);
+  return s == nullptr ? nullptr : &s->metrics;
+}
+
+/// The active session's trace recorder, or nullptr when observability is off.
+[[nodiscard]] inline TraceRecorder* tracer() noexcept {
+  Session* s = detail::g_session.load(std::memory_order_acquire);
+  return s == nullptr ? nullptr : &s->trace;
+}
+
+/// Bumps a named counter in the active registry; no-op when disabled.
+inline void count(const char* name, std::uint64_t delta = 1) {
+  if (MetricsRegistry* m = metrics()) m->counter(name).add(delta);
+}
+
+/// Raises a named high-water gauge; no-op when disabled.
+inline void gaugeMax(const char* name, std::uint64_t value) {
+  if (MetricsRegistry* m = metrics()) m->gauge(name).accumulateMax(value);
+}
+
+/// Sets a named last-value gauge; no-op when disabled.
+inline void gaugeSet(const char* name, std::uint64_t value) {
+  if (MetricsRegistry* m = metrics()) m->gauge(name).set(value);
+}
+
+/// RAII wall-clock span on the calling thread's trace track. Latches the
+/// recorder at construction: when tracing is off this is two null checks and
+/// no clock read.
+class Span {
+ public:
+  explicit Span(const char* name, const char* category = "engine") noexcept
+      : recorder_(tracer()),
+        name_(name),
+        category_(category),
+        start_(recorder_ == nullptr ? 0 : recorder_->nowNanos()) {}
+
+  ~Span() {
+    if (recorder_ != nullptr) {
+      recorder_->completeEvent(name_, category_, start_,
+                               recorder_->nowNanos() - start_);
+    }
+  }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  TraceRecorder* recorder_;
+  const char* name_;
+  const char* category_;
+  std::uint64_t start_;
+};
+
+}  // namespace dmf::obs

@@ -1,0 +1,114 @@
+#include "obs/trace.h"
+
+namespace dmf::obs {
+
+TraceRecorder::TraceRecorder() : epoch_(std::chrono::steady_clock::now()) {}
+
+std::uint64_t TraceRecorder::nowNanos() const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+std::uint32_t TraceRecorder::threadTrack() {
+  // Caller holds mutex_.
+  const auto [it, inserted] = threadIds_.emplace(
+      std::this_thread::get_id(),
+      static_cast<std::uint32_t>(threadIds_.size() + 1));
+  (void)inserted;
+  return it->second;
+}
+
+void TraceRecorder::completeEvent(
+    std::string name, std::string category, std::uint64_t startNanos,
+    std::uint64_t durationNanos,
+    std::vector<std::pair<std::string, std::string>> args) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  events_.push_back(TraceEvent{std::move(name), std::move(category), 'X',
+                               startNanos, durationNanos, 1, threadTrack(),
+                               std::move(args)});
+}
+
+void TraceRecorder::instantEvent(
+    std::string name, std::string category,
+    std::vector<std::pair<std::string, std::string>> args) {
+  const std::uint64_t now = nowNanos();
+  const std::lock_guard<std::mutex> lock(mutex_);
+  events_.push_back(TraceEvent{std::move(name), std::move(category), 'i', now,
+                               0, 1, threadTrack(), std::move(args)});
+}
+
+void TraceRecorder::modelEvent(
+    std::string name, std::string category, std::uint64_t start,
+    std::uint64_t duration, std::uint32_t track,
+    std::vector<std::pair<std::string, std::string>> args) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  // Model time: one schedule cycle renders as one microsecond.
+  events_.push_back(TraceEvent{std::move(name), std::move(category), 'X',
+                               start * 1000, duration * 1000, 2, track,
+                               std::move(args)});
+}
+
+std::size_t TraceRecorder::eventCount() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return events_.size();
+}
+
+namespace {
+
+report::Json metadataEvent(const std::string& kind, std::uint32_t pid,
+                           std::uint32_t tid, const std::string& label) {
+  report::Json meta = report::Json::object();
+  meta.set("name", kind);
+  meta.set("ph", std::string("M"));
+  meta.set("pid", std::uint64_t{pid});
+  meta.set("tid", std::uint64_t{tid});
+  report::Json args = report::Json::object();
+  args.set("name", label);
+  meta.set("args", std::move(args));
+  return meta;
+}
+
+}  // namespace
+
+report::Json TraceRecorder::toJson() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  report::Json events = report::Json::array();
+
+  events.push(metadataEvent("process_name", 1, 0, "dmfstream (wall clock)"));
+  events.push(metadataEvent("process_name", 2, 0, "plan timeline (cycles)"));
+  for (const auto& [id, track] : threadIds_) {
+    events.push(metadataEvent("thread_name", 1, track,
+                              track == 1 ? "main" : "worker-" +
+                                                        std::to_string(track)));
+  }
+
+  for (const TraceEvent& e : events_) {
+    report::Json event = report::Json::object();
+    event.set("name", e.name);
+    if (!e.category.empty()) event.set("cat", e.category);
+    event.set("ph", std::string(1, e.phase));
+    // Chrome trace timestamps are microseconds; keep sub-us precision.
+    event.set("ts", static_cast<double>(e.startNanos) / 1000.0);
+    if (e.phase == 'X') {
+      event.set("dur", static_cast<double>(e.durationNanos) / 1000.0);
+    }
+    if (e.phase == 'i') event.set("s", std::string("t"));
+    event.set("pid", std::uint64_t{e.pid});
+    event.set("tid", std::uint64_t{e.tid});
+    if (!e.args.empty()) {
+      report::Json args = report::Json::object();
+      for (const auto& [key, value] : e.args) args.set(key, value);
+      event.set("args", std::move(args));
+    }
+    events.push(std::move(event));
+  }
+
+  report::Json out = report::Json::object();
+  out.set("traceEvents", std::move(events));
+  out.set("displayTimeUnit", std::string("ms"));
+  return out;
+}
+
+}  // namespace dmf::obs

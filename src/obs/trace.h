@@ -1,0 +1,84 @@
+// Thread-safe span / instant-event recording with a Chrome trace-event JSON
+// writer. The output of `toJson()` loads directly in chrome://tracing and
+// Perfetto (https://ui.perfetto.dev): a {"traceEvents": [...]} object of
+// complete ("ph":"X") and instant ("ph":"i") events with microsecond
+// timestamps relative to the recorder's construction.
+//
+// Two timelines coexist, distinguished by pid:
+//  * pid 1 — wall-clock events (real durations, one track per thread);
+//  * pid 2 — model-time events whose "timestamps" are schedule cycles
+//    (the streaming plan rendered as a Gantt chart, one track per pass).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "report/json.h"
+
+namespace dmf::obs {
+
+/// One recorded trace event (already resolved to a thread-track id).
+struct TraceEvent {
+  std::string name;
+  std::string category;
+  char phase = 'X';               ///< 'X' complete span, 'i' instant
+  std::uint64_t startNanos = 0;   ///< wall: ns since epoch; model: cycles*1000
+  std::uint64_t durationNanos = 0;
+  std::uint32_t pid = 1;          ///< 1 = wall clock, 2 = model time
+  std::uint32_t tid = 0;
+  /// Extra string arguments rendered into the event's "args" object.
+  std::vector<std::pair<std::string, std::string>> args;
+};
+
+/// Collects events from any number of threads behind one mutex. Recording is
+/// cheap (one clock read + one lock per event) but not free — call sites gate
+/// on obs::tracer() so a disabled run never reaches this class.
+class TraceRecorder {
+ public:
+  TraceRecorder();
+
+  /// Nanoseconds elapsed since this recorder was constructed.
+  [[nodiscard]] std::uint64_t nowNanos() const;
+
+  /// Records a complete span [startNanos, startNanos + durationNanos) on the
+  /// calling thread's wall-clock track.
+  void completeEvent(
+      std::string name, std::string category, std::uint64_t startNanos,
+      std::uint64_t durationNanos,
+      std::vector<std::pair<std::string, std::string>> args = {});
+
+  /// Records an instant event "now" on the calling thread's track.
+  void instantEvent(std::string name, std::string category,
+                    std::vector<std::pair<std::string, std::string>> args = {});
+
+  /// Records a model-time span on the virtual timeline (pid 2): `start` and
+  /// `duration` are schedule cycles, rendered as if one cycle were 1 us.
+  /// `track` selects the row within the virtual process.
+  void modelEvent(std::string name, std::string category, std::uint64_t start,
+                  std::uint64_t duration, std::uint32_t track,
+                  std::vector<std::pair<std::string, std::string>> args = {});
+
+  [[nodiscard]] std::size_t eventCount() const;
+
+  /// The full trace as a Chrome trace-event object:
+  /// {"traceEvents":[...],"displayTimeUnit":"ms"} including process/thread
+  /// name metadata events.
+  [[nodiscard]] report::Json toJson() const;
+
+ private:
+  /// Small dense id for the calling thread (registration order).
+  std::uint32_t threadTrack();
+
+  std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> events_;
+  std::map<std::thread::id, std::uint32_t> threadIds_;
+};
+
+}  // namespace dmf::obs

@@ -1,5 +1,7 @@
 #include "report/json.h"
 
+#include <cctype>
+#include <charconv>
 #include <cmath>
 #include <cstdio>
 #include <stdexcept>
@@ -95,6 +97,309 @@ Json& Json::push(Json value) {
   return *this;
 }
 
+std::size_t Json::size() const {
+  if (kind_ == Kind::kObject) return fields_.size();
+  if (kind_ == Kind::kArray) return items_.size();
+  return 0;
+}
+
+bool Json::contains(const std::string& key) const {
+  if (kind_ != Kind::kObject) return false;
+  for (const auto& [name, value] : fields_) {
+    if (name == key) return true;
+  }
+  return false;
+}
+
+const Json& Json::at(const std::string& key) const {
+  if (kind_ != Kind::kObject) {
+    throw std::logic_error("Json::at(key): not an object");
+  }
+  for (const auto& [name, value] : fields_) {
+    if (name == key) return value;
+  }
+  throw std::out_of_range("Json::at: no key '" + key + "'");
+}
+
+const Json& Json::at(std::size_t index) const {
+  if (kind_ != Kind::kArray) {
+    throw std::logic_error("Json::at(index): not an array");
+  }
+  if (index >= items_.size()) {
+    throw std::out_of_range("Json::at: index " + std::to_string(index) +
+                            " out of range");
+  }
+  return items_[index];
+}
+
+std::vector<std::string> Json::keys() const {
+  if (kind_ != Kind::kObject) {
+    throw std::logic_error("Json::keys: not an object");
+  }
+  std::vector<std::string> out;
+  out.reserve(fields_.size());
+  for (const auto& [name, value] : fields_) out.push_back(name);
+  return out;
+}
+
+const std::string& Json::asString() const {
+  if (kind_ != Kind::kString) {
+    throw std::logic_error("Json::asString: not a string");
+  }
+  return text_;
+}
+
+double Json::asDouble() const {
+  if (kind_ == Kind::kNumber) return num_;
+  if (kind_ == Kind::kUnsigned) return static_cast<double>(unsigned_);
+  throw std::logic_error("Json::asDouble: not a number");
+}
+
+std::uint64_t Json::asUint() const {
+  if (kind_ == Kind::kUnsigned) return unsigned_;
+  if (kind_ == Kind::kNumber) {
+    if (num_ < 0.0 || num_ != std::floor(num_) ||
+        num_ >= 18446744073709551616.0) {
+      throw std::logic_error("Json::asUint: number is not a uint64");
+    }
+    return static_cast<std::uint64_t>(num_);
+  }
+  throw std::logic_error("Json::asUint: not a number");
+}
+
+bool Json::asBool() const {
+  if (kind_ != Kind::kBool) {
+    throw std::logic_error("Json::asBool: not a boolean");
+  }
+  return bool_;
+}
+
+namespace {
+
+/// Recursive-descent reader over the serialized text.
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Json parse() {
+    Json value = parseValue();
+    skipSpace();
+    if (pos_ != text_.size()) fail("trailing characters");
+    return value;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::invalid_argument("Json::parse: " + what + " at offset " +
+                                std::to_string(pos_));
+  }
+
+  void skipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char ch) {
+    if (peek() != ch) fail(std::string("expected '") + ch + "'");
+    ++pos_;
+  }
+
+  bool consumeLiteral(const char* literal) {
+    const std::size_t n = std::char_traits<char>::length(literal);
+    if (text_.compare(pos_, n, literal) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  Json parseValue() {
+    skipSpace();
+    switch (peek()) {
+      case '{':
+        return parseObject();
+      case '[':
+        return parseArray();
+      case '"':
+        return Json::string(parseString());
+      case 't':
+        if (!consumeLiteral("true")) fail("bad literal");
+        return Json::boolean(true);
+      case 'f':
+        if (!consumeLiteral("false")) fail("bad literal");
+        return Json::boolean(false);
+      case 'n':
+        if (!consumeLiteral("null")) fail("bad literal");
+        return Json::null();
+      default:
+        return parseNumber();
+    }
+  }
+
+  Json parseObject() {
+    expect('{');
+    Json object = Json::object();
+    skipSpace();
+    if (peek() == '}') {
+      ++pos_;
+      return object;
+    }
+    while (true) {
+      skipSpace();
+      std::string key = parseString();
+      skipSpace();
+      expect(':');
+      object.set(key, parseValue());
+      skipSpace();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return object;
+    }
+  }
+
+  Json parseArray() {
+    expect('[');
+    Json array = Json::array();
+    skipSpace();
+    if (peek() == ']') {
+      ++pos_;
+      return array;
+    }
+    while (true) {
+      array.push(parseValue());
+      skipSpace();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return array;
+    }
+  }
+
+  std::string parseString() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char ch = text_[pos_++];
+      if (ch == '"') return out;
+      if (ch != '\\') {
+        out += ch;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+          out += '"';
+          break;
+        case '\\':
+          out += '\\';
+          break;
+        case '/':
+          out += '/';
+          break;
+        case 'n':
+          out += '\n';
+          break;
+        case 't':
+          out += '\t';
+          break;
+        case 'r':
+          out += '\r';
+          break;
+        case 'b':
+          out += '\b';
+          break;
+        case 'f':
+          out += '\f';
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char hex = text_[pos_++];
+            code <<= 4;
+            if (hex >= '0' && hex <= '9') {
+              code |= static_cast<unsigned>(hex - '0');
+            } else if (hex >= 'a' && hex <= 'f') {
+              code |= static_cast<unsigned>(hex - 'a' + 10);
+            } else if (hex >= 'A' && hex <= 'F') {
+              code |= static_cast<unsigned>(hex - 'A' + 10);
+            } else {
+              fail("bad \\u escape digit");
+            }
+          }
+          // The writer only emits \u00xx for control bytes; decode the BMP
+          // point as UTF-8 for completeness.
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default:
+          fail("unknown escape");
+      }
+    }
+  }
+
+  Json parseNumber() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected a value");
+    const std::string token = text_.substr(start, pos_ - start);
+    const bool integral =
+        token.find_first_of(".eE") == std::string::npos && token[0] != '-';
+    if (integral) {
+      std::uint64_t value = 0;
+      const auto [ptr, ec] =
+          std::from_chars(token.data(), token.data() + token.size(), value);
+      if (ec == std::errc{} && ptr == token.data() + token.size()) {
+        return Json::number(value);
+      }
+    }
+    try {
+      std::size_t used = 0;
+      const double value = std::stod(token, &used);
+      if (used != token.size()) fail("malformed number");
+      return Json::number(value);
+    } catch (const std::invalid_argument&) {
+      fail("malformed number");
+    } catch (const std::out_of_range&) {
+      fail("number out of range");
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Json Json::parse(const std::string& text) { return Parser(text).parse(); }
+
 std::string Json::dump(unsigned indent) const {
   std::string out;
   dumpTo(out, indent, 0);
@@ -145,6 +450,9 @@ void Json::dumpTo(std::string& out, unsigned indent, unsigned depth) const {
       break;
     case Kind::kBool:
       out += bool_ ? "true" : "false";
+      break;
+    case Kind::kNull:
+      out += "null";
       break;
   }
 }

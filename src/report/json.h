@@ -1,5 +1,7 @@
-// Minimal JSON writer for machine-readable plan exports (no external
-// dependencies; emits UTF-8 with escaped strings).
+// Minimal JSON writer + reader for machine-readable exports (no external
+// dependencies; emits UTF-8 with escaped strings). The reader exists so the
+// test suite can load what the writers emit — trace files, metrics
+// snapshots, plans — and assert on structure instead of substrings.
 #pragma once
 
 #include <cstdint>
@@ -10,8 +12,9 @@
 
 namespace dmf::report {
 
-/// A JSON value (object/array/string/number/bool). Build with the static
-/// factories, then render with dump().
+/// A JSON value (object/array/string/number/bool/null). Build with the
+/// static factories or `parse`, then render with dump() or inspect with the
+/// accessors.
 class Json {
  public:
   static Json object() { return Json(Kind::kObject); }
@@ -20,6 +23,12 @@ class Json {
   static Json number(double value);
   static Json number(std::uint64_t value);
   static Json boolean(bool value);
+  static Json null() { return Json(Kind::kNull); }
+
+  /// Parses a JSON document (the grammar this writer emits: objects, arrays,
+  /// strings with the standard escapes, numbers, true/false/null). Throws
+  /// std::invalid_argument with an offset on malformed input.
+  [[nodiscard]] static Json parse(const std::string& text);
 
   /// Object field insertion (fields render in insertion order).
   /// Throws std::logic_error when called on a non-object.
@@ -31,11 +40,40 @@ class Json {
   /// Array append. Throws std::logic_error when called on a non-array.
   Json& push(Json value);
 
+  // --- inspection ---------------------------------------------------------
+  [[nodiscard]] bool isObject() const { return kind_ == Kind::kObject; }
+  [[nodiscard]] bool isArray() const { return kind_ == Kind::kArray; }
+  [[nodiscard]] bool isString() const { return kind_ == Kind::kString; }
+  [[nodiscard]] bool isNumber() const {
+    return kind_ == Kind::kNumber || kind_ == Kind::kUnsigned;
+  }
+  [[nodiscard]] bool isBool() const { return kind_ == Kind::kBool; }
+  [[nodiscard]] bool isNull() const { return kind_ == Kind::kNull; }
+
+  /// Object/array element count; 0 for scalars.
+  [[nodiscard]] std::size_t size() const;
+  /// True when an object has the key. False on non-objects.
+  [[nodiscard]] bool contains(const std::string& key) const;
+  /// Object member access; throws std::out_of_range when absent,
+  /// std::logic_error on non-objects.
+  [[nodiscard]] const Json& at(const std::string& key) const;
+  /// Array element access; throws std::out_of_range / std::logic_error.
+  [[nodiscard]] const Json& at(std::size_t index) const;
+  /// Object keys in insertion order (parse preserves document order).
+  [[nodiscard]] std::vector<std::string> keys() const;
+
+  /// Scalar extraction; each throws std::logic_error on a kind mismatch.
+  [[nodiscard]] const std::string& asString() const;
+  [[nodiscard]] double asDouble() const;
+  /// Exact for kUnsigned; kNumber values convert when integral and in range.
+  [[nodiscard]] std::uint64_t asUint() const;
+  [[nodiscard]] bool asBool() const;
+
   /// Serializes; `indent` > 0 pretty-prints with that many spaces per level.
   [[nodiscard]] std::string dump(unsigned indent = 0) const;
 
  private:
-  enum class Kind { kObject, kArray, kString, kNumber, kUnsigned, kBool };
+  enum class Kind { kObject, kArray, kString, kNumber, kUnsigned, kBool, kNull };
   explicit Json(Kind kind) : kind_(kind) {}
 
   void dumpTo(std::string& out, unsigned indent, unsigned depth) const;

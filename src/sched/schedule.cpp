@@ -4,6 +4,8 @@
 #include <set>
 #include <stdexcept>
 
+#include "obs/scope.h"
+
 namespace dmf::sched {
 
 using forest::DropletFate;
@@ -69,7 +71,11 @@ std::vector<unsigned> storageProfile(const TaskForest& forest,
 
 unsigned countStorage(const TaskForest& forest, const Schedule& s) {
   const std::vector<unsigned> profile = storageProfile(forest, s);
-  return profile.empty() ? 0 : *std::max_element(profile.begin(), profile.end());
+  const unsigned peak =
+      profile.empty() ? 0
+                      : *std::max_element(profile.begin(), profile.end());
+  obs::gaugeMax("sched.storage_high_water", peak);
+  return peak;
 }
 
 std::vector<unsigned> emissionCycles(const TaskForest& forest,

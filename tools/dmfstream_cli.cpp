@@ -9,10 +9,17 @@
 //                    [--wear] [--anneal]
 //   dmfstream corpus [--sum L] [--min-fluids N] [--max-fluids N]
 //
+// Any command also accepts --trace FILE (Chrome trace-event JSON, loadable
+// in Perfetto / chrome://tracing) and --metrics FILE (metrics snapshot).
+//
 // Exit code 0 on success, 1 on usage errors, 2 on infeasible requests.
 #include <charconv>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -33,6 +40,7 @@
 #include "engine/serialize.h"
 #include "engine/streaming.h"
 #include "mixgraph/builders.h"
+#include "obs/scope.h"
 #include "report/table.h"
 #include "sched/ga_scheduler.h"
 #include "sched/gantt.h"
@@ -91,12 +99,22 @@ commands:
           [--stats]     (pass-cache hit/miss and per-stage timings)
   multi   shared multi-target preparation
           --targets R1;R2;... --demands D1,D2,... [--mixers N] [--jobs N]
+          [--json]      (machine-readable shared-vs-separate comparison)
+          [--stats]     (planning wall time, shared vs separate split)
   dilute  two-fluid dilution stream        --sample a/2^d --demand D
   chip    execute on a synthesized biochip --ratio R --demand D
           options: --simulate (timed routing) --pins --wear --anneal
                    --contamination (residue/wash analysis)
   corpus  describe the evaluation ratio corpus [--sum L]
           [--min-fluids N] [--max-fluids N]
+
+global options (any command):
+  --trace FILE    write a Chrome trace-event JSON (open in Perfetto or
+                  chrome://tracing); spans cover forest build, scheduling,
+                  storage counting, streaming passes, worker tasks, and
+                  chip-executor batches
+  --metrics FILE  write a JSON snapshot of all counters, gauges, and
+                  histograms collected during the run
 )";
   return 1;
 }
@@ -389,10 +407,25 @@ int cmdMulti(const Args& args) {
     }
     targets.push_back({*ratio, demand});
   }
+  const auto planStart = std::chrono::steady_clock::now();
   const engine::MultiTargetResult r = engine::runMultiTarget(
       targets, engine::Scheme::kSRS,
       static_cast<unsigned>(args.getU64("mixers", 0)),
       static_cast<unsigned>(args.getU64("jobs", 1)));
+  const auto planNanos = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - planStart)
+          .count());
+  if (args.has("json")) {
+    report::Json out = engine::toJson(r);
+    if (args.has("stats")) {
+      // Wall time is run-to-run nondeterministic, so it only joins the JSON
+      // on explicit request — the default output is byte-stable.
+      out.set("planNanos", report::Json::number(planNanos));
+    }
+    std::cout << out.dump(2);
+    return 0;
+  }
   report::Table table({"metric", "shared forest", "separate engines"});
   table.addRow({"completion Tc", std::to_string(r.completionTime),
                 std::to_string(r.separateCompletionTime)});
@@ -404,6 +437,28 @@ int cmdMulti(const Args& args) {
                 std::to_string(r.separateWaste)});
   std::cout << table.render() << "(" << targets.size()
             << " targets on " << r.mixers << " mixers)\n";
+  if (args.has("stats")) {
+    std::cout << "planned in "
+              << report::fixed(static_cast<double>(planNanos) / 1e6, 2)
+              << " ms";
+    if (obs::MetricsRegistry* m = obs::metrics()) {
+      std::cout
+          << " (shared forest "
+          << report::fixed(static_cast<double>(
+                               m->counter("engine.multi_target.shared_nanos")
+                                   .value()) /
+                               1e6,
+                           2)
+          << " ms, separate baseline "
+          << report::fixed(static_cast<double>(
+                               m->counter("engine.multi_target.separate_nanos")
+                                   .value()) /
+                               1e6,
+                           2)
+          << " ms)";
+    }
+    std::cout << "\n";
+  }
   return 0;
 }
 
@@ -425,18 +480,70 @@ int cmdCorpus(const Args& args) {
   return 0;
 }
 
+// Rejects output paths whose parent directory does not exist, before the
+// command runs — a typo'd --trace path must not cost a full planning run.
+void requireWritableParent(const std::string& key, const std::string& path) {
+  namespace fs = std::filesystem;
+  if (path.empty()) {
+    throw std::invalid_argument("--" + key + ": empty path");
+  }
+  const fs::path parent = fs::path(path).parent_path();
+  if (!parent.empty() && !fs::is_directory(parent)) {
+    throw std::invalid_argument("--" + key + ": directory '" +
+                                parent.string() + "' does not exist");
+  }
+}
+
+void writeTextFile(const std::string& key, const std::string& path,
+                   const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << content << "\n";
+  if (!out) {
+    throw std::invalid_argument("--" + key + ": cannot write '" + path + "'");
+  }
+}
+
+int dispatch(const Args& args) {
+  if (args.command == "plan") return cmdPlan(args, requireRatio(args));
+  if (args.command == "stream") return cmdStream(args, requireRatio(args));
+  if (args.command == "multi") return cmdMulti(args);
+  if (args.command == "dilute") return cmdDilute(args);
+  if (args.command == "chip") return cmdChip(args, requireRatio(args));
+  if (args.command == "corpus") return cmdCorpus(args);
+  return usage();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   try {
     const Args args = parse(argc, argv);
-    if (args.command == "plan") return cmdPlan(args, requireRatio(args));
-    if (args.command == "stream") return cmdStream(args, requireRatio(args));
-    if (args.command == "multi") return cmdMulti(args);
-    if (args.command == "dilute") return cmdDilute(args);
-    if (args.command == "chip") return cmdChip(args, requireRatio(args));
-    if (args.command == "corpus") return cmdCorpus(args);
-    return usage();
+    const std::optional<std::string> tracePath = args.get("trace");
+    const std::optional<std::string> metricsPath = args.get("metrics");
+    if (tracePath.has_value()) requireWritableParent("trace", *tracePath);
+    if (metricsPath.has_value()) requireWritableParent("metrics", *metricsPath);
+
+    // Observability is off (and near-free) unless one of the sinks was
+    // requested; the planner's output is byte-identical either way.
+    std::unique_ptr<obs::Session> session;
+    std::unique_ptr<obs::Scope> scope;
+    if (tracePath.has_value() || metricsPath.has_value()) {
+      session = std::make_unique<obs::Session>();
+      scope = std::make_unique<obs::Scope>(*session);
+    }
+
+    const int rc = dispatch(args);
+
+    if (rc == 0 && session != nullptr) {
+      if (tracePath.has_value()) {
+        writeTextFile("trace", *tracePath, session->trace.toJson().dump(2));
+      }
+      if (metricsPath.has_value()) {
+        writeTextFile("metrics", *metricsPath,
+                      session->metrics.snapshot().dump(2));
+      }
+    }
+    return rc;
   } catch (const std::invalid_argument& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
