@@ -1,20 +1,30 @@
 // Micro-benchmarks (google-benchmark): construction and scheduling
-// throughput of the library's hot paths.
+// throughput of the library's hot paths. After the google-benchmark run,
+// main() takes wall-clock measurements of the parallel GA and the timed
+// router and emits them through the BENCH_<name>.json harness
+// (bench_obs.h), so speedups are diffable across commits.
 #include <benchmark/benchmark.h>
+
+#include <chrono>
 
 #include "analysis/error_model.h"
 #include "chip/executor.h"
 #include "chip/pcr_layout.h"
 #include "chip/router.h"
+#include "chip/simulation.h"
+#include "chip/timed_router.h"
 #include "engine/mdst.h"
 #include "forest/task_forest.h"
 #include "mixgraph/builders.h"
 #include "obs/scope.h"
 #include "protocols/protocols.h"
+#include "runtime/thread_pool.h"
 #include "sched/ga_scheduler.h"
 #include "sched/heterogeneous.h"
 #include "sched/schedulers.h"
 #include "workload/ratio_corpus.h"
+
+#include "bench_obs.h"
 
 namespace {
 
@@ -144,6 +154,46 @@ void BM_ScheduleGA(benchmark::State& state) {
 }
 BENCHMARK(BM_ScheduleGA);
 
+// GA fitness evaluation fanned out over N pool workers; the schedule is
+// byte-identical for every N, only the wall clock moves.
+void BM_ScheduleGAJobs(benchmark::State& state) {
+  const mixgraph::MixingGraph graph = mixgraph::buildMM(bigRatio());
+  const forest::TaskForest f(graph, 64);
+  sched::GaOptions options;
+  options.population = 32;
+  options.generations = 20;
+  runtime::ThreadPool pool(static_cast<unsigned>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sched::scheduleGA(f, 4, options, pool));
+  }
+}
+BENCHMARK(BM_ScheduleGAJobs)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+// One concurrent transport phase on an open 20x20 array: six droplets
+// crossing through the centre, so the occupancy index does real work.
+// range(0) toggles the O(n^2 * makespan) post-routing verification sweep.
+void BM_RoutePhase(benchmark::State& state) {
+  const chip::Layout layout(20, 20);
+  chip::TimedRouterOptions options;
+  options.verifyInterference = state.range(0) != 0;
+  const chip::TimedRouter router(layout, options);
+  // Three droplets travel top-to-bottom, three left-to-right; every
+  // vertical lane crosses every horizontal one, so droplets time-slip
+  // around each other at nine intersections.
+  std::vector<chip::PhaseMove> moves;
+  for (int d = 0; d < 3; ++d) {
+    moves.push_back({{5 * d + 2, 0}, {5 * d + 2, 19},
+                     static_cast<std::uint32_t>(d)});
+    moves.push_back({{0, 5 * d + 2}, {19, 5 * d + 2},
+                     static_cast<std::uint32_t>(d + 3)});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(router.routePhase(moves));
+  }
+}
+BENCHMARK(BM_RoutePhase)->Arg(0)->Arg(1);
+
 void BM_ScheduleHeterogeneous(benchmark::State& state) {
   const mixgraph::MixingGraph graph = mixgraph::buildMM(pcrRatio());
   const forest::TaskForest f(graph, 32);
@@ -242,4 +292,91 @@ void BM_ObsEnabledScheduling(benchmark::State& state) {
 }
 BENCHMARK(BM_ObsEnabledScheduling);
 
+// --- measured speedups, emitted as BENCH_bench_micro.json ----------------
+// Wall-clock gauges for the two hot paths this library parallelized /
+// de-allocated, over the Table-2/3 workloads (the five published protocol
+// forests). Speedup gauges are scaled x1000 (gauges are integers).
+
+std::uint64_t nanosSince(std::chrono::steady_clock::time_point start) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+}
+
+void recordMeasuredSpeedups() {
+  using clock = std::chrono::steady_clock;
+  obs::MetricsRegistry* metrics = obs::metrics();
+  if (metrics == nullptr) return;
+
+  // GA scheduling across the Table-2/3 forests (five published ratios,
+  // D = 32 and 64) at --jobs 1 vs --jobs 8.
+  std::vector<forest::TaskForest> forests;
+  for (const auto& protocol : protocols::publishedProtocols()) {
+    const mixgraph::MixingGraph graph = mixgraph::buildMM(protocol.ratio);
+    forests.emplace_back(graph, 32);
+    forests.emplace_back(graph, 64);
+  }
+  sched::GaOptions options;  // default pop 32 / gens 60
+  std::uint64_t serialNanos = 0;
+  std::uint64_t parallelNanos = 0;
+  for (const unsigned jobs : {1u, 8u}) {
+    runtime::ThreadPool pool(jobs);
+    const auto start = clock::now();
+    for (const forest::TaskForest& f : forests) {
+      benchmark::DoNotOptimize(sched::scheduleGA(f, 4, options, pool));
+    }
+    const std::uint64_t nanos = nanosSince(start);
+    (jobs == 1 ? serialNanos : parallelNanos) = nanos;
+    metrics->gauge(jobs == 1 ? "bench.ga.table23_jobs1_nanos"
+                             : "bench.ga.table23_jobs8_nanos")
+        .set(nanos);
+  }
+  if (parallelNanos > 0) {
+    metrics->gauge("bench.ga.table23_speedup_x1000")
+        .set(serialNanos * 1000 / parallelNanos);
+  }
+
+  // Per-phase router time, with and without the post-routing verification
+  // sweep, on the PCR case study trace.
+  const chip::Layout layout = chip::makePcrLayout();
+  chip::Router router(layout);
+  chip::ChipExecutor executor(layout, router);
+  const mixgraph::MixingGraph graph =
+      mixgraph::buildMM(protocols::pcrMasterMixRatio());
+  const forest::TaskForest f(graph, 20);
+  const sched::Schedule s = sched::scheduleSRS(f, 3);
+  const chip::ExecutionTrace trace = executor.run(f, s);
+  for (const bool verify : {true, false}) {
+    chip::TimedRouterOptions routerOptions;
+    routerOptions.verifyInterference = verify;
+    std::uint64_t phases = 0;
+    const auto start = clock::now();
+    for (int rep = 0; rep < 20; ++rep) {
+      const chip::SimulationResult sim =
+          chip::simulateTrace(layout, trace, routerOptions);
+      phases += sim.phases.size();
+    }
+    const std::uint64_t nanos = nanosSince(start);
+    metrics->gauge(verify ? "bench.router.phase_nanos_verified"
+                          : "bench.router.phase_nanos")
+        .set(nanos / phases);
+  }
+}
+
 }  // namespace
+
+// Custom main (instead of benchmark_main): the obs scope must NOT be active
+// while the BM_Obs* benchmarks run — they measure the disabled path — so the
+// BenchSession is installed only for the measured-speedup section afterwards.
+int main(int argc, char** argv) {
+  // No ReportUnrecognizedArguments: --metrics FILE belongs to BenchSession.
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  {
+    const dmf::bench::BenchSession benchObs("bench_micro", argc, argv);
+    recordMeasuredSpeedups();
+  }
+  return 0;
+}

@@ -2,8 +2,8 @@
 
 #include <algorithm>
 #include <cctype>
+#include <functional>
 #include <optional>
-#include <queue>
 #include <stdexcept>
 
 #include "obs/scope.h"
@@ -60,64 +60,120 @@ PhaseResult TimedRouter::routePhase(std::vector<PhaseMove> moves) const {
                      return manhattan(a.from, a.to) > manhattan(b.from, b.to);
                    });
 
+  const unsigned horizon = options_.horizon;
+  const auto w = static_cast<unsigned>(layout.width());
+  const auto h = static_cast<unsigned>(layout.height());
+  const std::size_t cells = static_cast<std::size_t>(w) * h;
+  const std::size_t states = cells * (horizon + 1);
+
+  // Phase-wide scratch, allocated once and reused by every move and retry.
+  //
+  // moduleGrid flattens Layout::moduleAt (a linear scan over modules) into
+  // one lookup per probe: module id + 1, or 0 for a free cell.
+  std::vector<std::uint32_t> moduleGrid(cells, 0);
+  for (std::uint32_t id = 0; id < layout.moduleCount(); ++id) {
+    const Module& m = layout.module(id);
+    for (int y = m.origin.y; y < m.origin.y + m.height; ++y) {
+      for (int x = m.origin.x; x < m.origin.x + m.width; ++x) {
+        moduleGrid[static_cast<std::size_t>(y) * w +
+                   static_cast<std::size_t>(x)] = id + 1;
+      }
+    }
+  }
+  auto cellIndex = [w](const Cell& c) {
+    return static_cast<std::size_t>(c.y) * w + static_cast<std::size_t>(c.x);
+  };
+
+  // Per-step occupancy index over the committed trajectories: a droplet on
+  // open cell `c` at step `s` sets occupied[s][c]. conflicts() then probes
+  // the 3x3 neighbourhood at steps s-1/s/s+1 — O(1) per node expansion
+  // instead of a scan over every committed trajectory. Steps run to
+  // horizon+1 because the dynamic constraint looks one step past the last
+  // expandable step.
+  std::vector<std::uint8_t> occupied(cells * (horizon + 2), 0);
+  auto commitOccupancy = [&](const Trajectory& traj) {
+    for (unsigned s = 0; s <= horizon + 1; ++s) {
+      const Cell& oc = positionAt(traj, s);
+      if (moduleGrid[cellIndex(oc)] != 0) continue;
+      occupied[s * cells + cellIndex(oc)] = 1;
+    }
+  };
+  // Fluidic constraints apply on open cells only; module walls isolate
+  // droplets physically.
+  auto conflicts = [&](const Cell& c, unsigned step) {
+    if (moduleGrid[cellIndex(c)] != 0) return false;
+    for (unsigned s : {step == 0 ? step : step - 1, step, step + 1}) {
+      const std::uint8_t* slab = occupied.data() + s * cells;
+      const int y0 = c.y > 0 ? c.y - 1 : 0;
+      const int y1 = c.y + 1 < static_cast<int>(h) ? c.y + 1 : c.y;
+      const int x0 = c.x > 0 ? c.x - 1 : 0;
+      const int x1 = c.x + 1 < static_cast<int>(w) ? c.x + 1 : c.x;
+      for (int y = y0; y <= y1; ++y) {
+        for (int x = x0; x <= x1; ++x) {
+          if (slab[static_cast<std::size_t>(y) * w +
+                   static_cast<std::size_t>(x)] != 0) {
+            return true;
+          }
+        }
+      }
+    }
+    return false;
+  };
+
+  // A* scratch shared across moves: `parent[s]` is meaningful only when
+  // stamp[s] carries the current move's epoch, so starting the next move is
+  // one counter bump, not an O(states) refill. The open list is a manual
+  // binary heap over the same reused vector.
+  std::vector<int> parent(states, -2);
+  std::vector<std::uint32_t> stamp(states, 0);
+  std::uint32_t epoch = 0;
+  using Entry = std::pair<unsigned, std::size_t>;  // (f, state)
+  std::vector<Entry> open;
+
   std::string lastError = "no moves";
   for (unsigned attempt = 0; attempt <= options_.retries; ++attempt) {
     std::vector<Trajectory> done;
     done.reserve(moves.size());
+    if (attempt > 0) {
+      std::fill(occupied.begin(), occupied.end(), 0);
+    }
     bool failed = false;
     for (const PhaseMove& move : moves) {
       std::optional<Trajectory> traj = std::nullopt;
       try {
         traj = [&]() -> Trajectory {
-          // Space-time A* against the already-committed trajectories.
-          const auto fromModule = layout.moduleAt(move.from);
-          const auto toModule = layout.moduleAt(move.to);
+          // Space-time A* against the occupancy index.
+          const std::uint32_t fromModule = moduleGrid[cellIndex(move.from)];
+          const std::uint32_t toModule = moduleGrid[cellIndex(move.to)];
           auto passable = [&](const Cell& c) {
             if (c.x < 0 || c.y < 0 || c.x >= layout.width() ||
                 c.y >= layout.height()) {
               return false;
             }
-            const auto occupant = layout.moduleAt(c);
-            return !occupant.has_value() || occupant == fromModule ||
+            const std::uint32_t occupant = moduleGrid[cellIndex(c)];
+            return occupant == 0 || occupant == fromModule ||
                    occupant == toModule;
           };
-          // Fluidic constraints apply on open cells only; module walls
-          // isolate droplets physically.
-          auto conflicts = [&](const Cell& c, unsigned step) {
-            if (layout.moduleAt(c).has_value()) return false;
-            for (const Trajectory& other : done) {
-              for (unsigned s : {step == 0 ? step : step - 1, step, step + 1}) {
-                const Cell& oc = positionAt(other, s);
-                if (layout.moduleAt(oc).has_value()) continue;
-                if (chebyshev(c, oc) <= 1) return true;
-              }
-            }
-            return false;
-          };
 
-          const unsigned horizon = options_.horizon;
-          const auto w = static_cast<unsigned>(layout.width());
-          const auto h = static_cast<unsigned>(layout.height());
-          const std::size_t states =
-              static_cast<std::size_t>(w) * h * (horizon + 1);
-          std::vector<int> parent(states, -2);
+          if (++epoch == 0) {  // stamp wrap: reset and start over at 1
+            std::fill(stamp.begin(), stamp.end(), 0);
+            epoch = 1;
+          }
           auto encode = [&](const Cell& c, unsigned step) {
-            return (static_cast<std::size_t>(step) * h +
-                    static_cast<std::size_t>(c.y)) *
-                       w +
-                   static_cast<std::size_t>(c.x);
+            return static_cast<std::size_t>(step) * cells + cellIndex(c);
           };
-          using Entry = std::pair<unsigned, std::size_t>;  // (f, state)
-          std::priority_queue<Entry, std::vector<Entry>, std::greater<>> open;
+          open.clear();
           const std::size_t start = encode(move.from, 0);
+          stamp[start] = epoch;
           parent[start] = -1;
-          open.push({static_cast<unsigned>(manhattan(move.from, move.to)),
-                     start});
+          open.push_back(
+              {static_cast<unsigned>(manhattan(move.from, move.to)), start});
           std::size_t goalState = states;
           while (!open.empty()) {
-            const auto [f, state] = open.top();
-            open.pop();
-            const unsigned step = static_cast<unsigned>(state / (w * h));
+            std::pop_heap(open.begin(), open.end(), std::greater<>{});
+            const auto [f, state] = open.back();
+            open.pop_back();
+            const unsigned step = static_cast<unsigned>(state / cells);
             const Cell c{static_cast<int>(state % w),
                          static_cast<int>((state / w) % h)};
             if (c == move.to) {
@@ -131,12 +187,14 @@ PhaseResult TimedRouter::routePhase(std::vector<PhaseMove> moves) const {
             for (const Cell& n : next) {
               if (!passable(n)) continue;
               const std::size_t ns = encode(n, step + 1);
-              if (parent[ns] != -2) continue;
+              if (stamp[ns] == epoch) continue;
               if (conflicts(n, step + 1)) continue;
+              stamp[ns] = epoch;
               parent[ns] = static_cast<int>(state);
-              open.push({step + 1 +
-                             static_cast<unsigned>(manhattan(n, move.to)),
-                         ns});
+              open.push_back({step + 1 +
+                                  static_cast<unsigned>(manhattan(n, move.to)),
+                              ns});
+              std::push_heap(open.begin(), open.end(), std::greater<>{});
             }
           }
           if (goalState == states) {
@@ -162,6 +220,7 @@ PhaseResult TimedRouter::routePhase(std::vector<PhaseMove> moves) const {
         failed = true;
         break;
       }
+      commitOccupancy(*traj);
       done.push_back(std::move(*traj));
     }
     if (!failed) {
@@ -171,7 +230,9 @@ PhaseResult TimedRouter::routePhase(std::vector<PhaseMove> moves) const {
         result.makespan = std::max(result.makespan, traj.arrivalStep());
         result.totalActuations += traj.actuations();
       }
-      checkInterference(result.trajectories);
+      if (options_.verifyInterference) {
+        checkInterference(result.trajectories);
+      }
       if (obs::MetricsRegistry* m = obs::metrics()) {
         // A stall is a step on which a droplet held its cell before arrival
         // (waiting out another droplet's reservation).

@@ -56,6 +56,12 @@ struct TimedRouterOptions {
   unsigned horizon = 128;
   /// Number of priority rotations to try before giving up.
   unsigned retries = 8;
+  /// Re-verify every routed phase with the O(n²·makespan) checkInterference
+  /// sweep before returning it. The router's per-step occupancy index already
+  /// enforces both fluidic constraints during the search, so the sweep is a
+  /// belt-and-braces audit: leave it on in tests and debugging, switch it off
+  /// on benchmark/throughput paths.
+  bool verifyInterference = true;
 };
 
 /// Routes sets of simultaneous droplet moves under fluidic constraints.

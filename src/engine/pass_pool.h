@@ -1,52 +1,13 @@
-// A small fixed-size thread pool for fanning independent pass evaluations
-// out across cores. Deterministic by construction: forEach hands out indices
-// through an atomic counter and every index writes only its own result slot,
-// so callers that reduce in index order get bit-identical output for any job
-// count (including 1, which runs inline without spawning threads).
+// Compatibility alias: the pass-evaluation pool grew into the shared
+// runtime::ThreadPool (src/runtime/thread_pool.h), which the GA scheduler
+// and streaming planner now share. Existing engine code and callers keep
+// the PassPool name.
 #pragma once
 
-#include <cstdint>
-#include <functional>
-#include <memory>
-#include <thread>
-#include <vector>
+#include "runtime/thread_pool.h"
 
 namespace dmf::engine {
 
-/// Fixed-size worker pool. `jobs` counts the calling thread: a pool with
-/// jobs == N spawns N-1 workers and the caller participates in forEach, so
-/// jobs <= 1 is pure serial execution with no threads at all.
-class PassPool {
- public:
-  /// `jobs == 0` resolves to the hardware concurrency (at least 1).
-  explicit PassPool(unsigned jobs = 1);
-  ~PassPool();
-
-  PassPool(const PassPool&) = delete;
-  PassPool& operator=(const PassPool&) = delete;
-
-  /// Total workers, calling thread included.
-  [[nodiscard]] unsigned jobs() const noexcept { return jobs_; }
-
-  /// Runs fn(i) for every i in [0, count), spread over the workers; blocks
-  /// until all indices finish. Exceptions thrown by fn are captured and the
-  /// one raised at the lowest index is rethrown after completion, so error
-  /// behaviour is deterministic too.
-  void forEach(std::uint64_t count,
-               const std::function<void(std::uint64_t)>& fn);
-
-  /// Resolves a user-facing jobs request: 0 means hardware concurrency.
-  [[nodiscard]] static unsigned resolveJobs(unsigned requested) noexcept;
-
- private:
-  struct Batch;
-  struct State;
-
-  void workerLoop();
-
-  unsigned jobs_;
-  std::vector<std::thread> workers_;
-  std::unique_ptr<State> state_;
-};
+using PassPool = runtime::ThreadPool;
 
 }  // namespace dmf::engine

@@ -8,10 +8,16 @@
 
 #include "engine/mdst.h"
 
+namespace dmf::runtime {
+class ThreadPool;
+}  // namespace dmf::runtime
+
 namespace dmf::engine {
 
 class PassCache;
-class PassPool;
+/// The streaming planner's worker pool is the shared runtime pool; the
+/// PassPool name survives from when it lived in engine/.
+using PassPool = runtime::ThreadPool;
 
 /// One pass of a streaming plan.
 struct StreamingPass {

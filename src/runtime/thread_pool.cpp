@@ -1,34 +1,54 @@
-#include "engine/pass_pool.h"
+#include "runtime/thread_pool.h"
 
 #include <atomic>
 #include <condition_variable>
 #include <exception>
 #include <limits>
 #include <mutex>
+#include <stdexcept>
 
 #include "obs/scope.h"
 
-namespace dmf::engine {
+namespace dmf::runtime {
+
+namespace {
+
+// The pool whose forEach the current thread is executing a task of, if any.
+// Guards against nested forEach on the same pool, which would deadlock (the
+// draining participant would wait on a batch nobody else can finish).
+thread_local const ThreadPool* tActivePool = nullptr;
+
+struct ActivePoolGuard {
+  explicit ActivePoolGuard(const ThreadPool* pool) : prev(tActivePool) {
+    tActivePool = pool;
+  }
+  ~ActivePoolGuard() { tActivePool = prev; }
+  ActivePoolGuard(const ActivePoolGuard&) = delete;
+  ActivePoolGuard& operator=(const ActivePoolGuard&) = delete;
+  const ThreadPool* prev;
+};
+
+}  // namespace
 
 // One forEach invocation: participants pull indices from `next` until the
 // range is exhausted. All Batch accesses happen inside drain(); a participant
 // only counts itself out (State::active) after drain() returns, which is what
 // makes destroying the stack-allocated Batch safe once active reaches zero.
-struct PassPool::Batch {
+struct ThreadPool::Batch {
   std::uint64_t count = 0;
-  const std::function<void(std::uint64_t)>* fn = nullptr;
+  const std::function<void(std::uint64_t, unsigned)>* fn = nullptr;
   std::atomic<std::uint64_t> next{0};
   // First (lowest-index) exception seen, for deterministic error behaviour.
   std::mutex errorMutex;
   std::exception_ptr error;
   std::uint64_t errorIndex = std::numeric_limits<std::uint64_t>::max();
 
-  void drain() {
+  void drain(unsigned worker) {
     while (true) {
       const std::uint64_t index = next.fetch_add(1, std::memory_order_relaxed);
       if (index >= count) return;
       try {
-        (*fn)(index);
+        (*fn)(index, worker);
       } catch (...) {
         const std::lock_guard<std::mutex> lock(errorMutex);
         if (index < errorIndex) {
@@ -40,7 +60,7 @@ struct PassPool::Batch {
   }
 };
 
-struct PassPool::State {
+struct ThreadPool::State {
   std::mutex mutex;
   std::condition_variable work;  // new batch published, or shutdown
   std::condition_variable done;  // a participant finished draining
@@ -50,15 +70,15 @@ struct PassPool::State {
   bool stop = false;
 };
 
-PassPool::PassPool(unsigned jobs)
+ThreadPool::ThreadPool(unsigned jobs)
     : jobs_(resolveJobs(jobs)), state_(std::make_unique<State>()) {
   workers_.reserve(jobs_ - 1);
   for (unsigned w = 1; w < jobs_; ++w) {
-    workers_.emplace_back([this] { workerLoop(); });
+    workers_.emplace_back([this, w] { workerLoop(w); });
   }
 }
 
-PassPool::~PassPool() {
+ThreadPool::~ThreadPool() {
   {
     const std::lock_guard<std::mutex> lock(state_->mutex);
     state_->stop = true;
@@ -69,13 +89,13 @@ PassPool::~PassPool() {
   }
 }
 
-unsigned PassPool::resolveJobs(unsigned requested) noexcept {
+unsigned ThreadPool::resolveJobs(unsigned requested) noexcept {
   if (requested != 0) return requested;
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : hw;
 }
 
-void PassPool::workerLoop() {
+void ThreadPool::workerLoop(unsigned worker) {
   std::uint64_t seen = 0;
   while (true) {
     Batch* batch = nullptr;
@@ -92,7 +112,8 @@ void PassPool::workerLoop() {
     {
       // One span per worker per batch: the "--jobs N" tasks in the trace.
       const obs::Span span("pool.worker", "pool");
-      batch->drain();
+      const ActivePoolGuard guard(this);
+      batch->drain(worker);
     }
     {
       const std::lock_guard<std::mutex> lock(state_->mutex);
@@ -101,11 +122,17 @@ void PassPool::workerLoop() {
   }
 }
 
-void PassPool::forEach(std::uint64_t count,
-                       const std::function<void(std::uint64_t)>& fn) {
+void ThreadPool::forEachWorker(
+    std::uint64_t count,
+    const std::function<void(std::uint64_t, unsigned)>& fn) {
   if (count == 0) return;
+  if (tActivePool == this) {
+    throw std::logic_error(
+        "ThreadPool: nested forEach on the same pool would deadlock");
+  }
   if (jobs_ <= 1 || count == 1) {
-    for (std::uint64_t i = 0; i < count; ++i) fn(i);
+    const ActivePoolGuard guard(this);
+    for (std::uint64_t i = 0; i < count; ++i) fn(i, 0);
     return;
   }
 
@@ -119,12 +146,13 @@ void PassPool::forEach(std::uint64_t count,
     state_->active = jobs_;  // jobs_ - 1 workers plus this thread
   }
   state_->work.notify_all();
-  obs::count("engine.pool.batches");
-  obs::count("engine.pool.tasks", count);
+  obs::count("runtime.pool.batches");
+  obs::count("runtime.pool.tasks", count);
 
   {
     const obs::Span span("pool.worker", "pool");
-    batch.drain();  // the calling thread works too
+    const ActivePoolGuard guard(this);
+    batch.drain(0);  // the calling thread works too
   }
 
   {
@@ -140,4 +168,10 @@ void PassPool::forEach(std::uint64_t count,
   }
 }
 
-}  // namespace dmf::engine
+void ThreadPool::forEach(std::uint64_t count,
+                         const std::function<void(std::uint64_t)>& fn) {
+  forEachWorker(count,
+                [&fn](std::uint64_t index, unsigned /*worker*/) { fn(index); });
+}
+
+}  // namespace dmf::runtime

@@ -1,11 +1,15 @@
 #include "sched/ga_scheduler.h"
 
 #include <algorithm>
+#include <cstring>
 #include <random>
-#include <set>
 #include <stdexcept>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
+#include "obs/scope.h"
+#include "runtime/thread_pool.h"
 #include "sched/schedulers.h"
 
 namespace dmf::sched {
@@ -18,60 +22,165 @@ using forest::TaskId;
 
 namespace {
 
-// Decodes a random-key chromosome into a schedule: ready tasks run in
+// Lexicographic fitness: completion time, then storage. Smaller is better.
+using Score = std::pair<unsigned, unsigned>;
+
+// Reusable per-worker decode state: one allocation set per worker for the
+// whole GA run instead of one per fitness evaluation. The ready queue is a
+// keyed binary min-heap over (key, task) pairs — same pop order as the
+// std::set it replaces (ties broken by TaskId) without the per-node
+// rebalancing cost.
+struct DecodeScratch {
+  std::vector<unsigned> pending;
+  std::vector<std::vector<TaskId>> arrivals;
+  std::vector<std::pair<double, TaskId>> ready;
+  Schedule schedule;
+};
+
+// Decodes a random-key chromosome into scratch.schedule: ready tasks run in
 // ascending key order, at most `mixers` per cycle.
-Schedule decode(const TaskForest& forest, unsigned mixers,
-                const std::vector<double>& keys) {
-  Schedule s;
+void decodeInto(const TaskForest& forest, unsigned mixers,
+                const std::vector<double>& keys, DecodeScratch& scratch) {
+  Schedule& s = scratch.schedule;
   s.mixerCount = mixers;
   s.scheme = "GA";
+  s.completionTime = 0;
   s.assignments.assign(forest.taskCount(), Assignment{});
 
-  std::vector<unsigned> pending(forest.taskCount(), 0);
-  for (TaskId id = 0; id < forest.taskCount(); ++id) {
+  const std::size_t n = forest.taskCount();
+  scratch.pending.assign(n, 0);
+  for (TaskId id = 0; id < n; ++id) {
     const Task& t = forest.task(id);
-    pending[id] = (t.depLeft != kNoTask ? 1u : 0u) +
-                  (t.depRight != kNoTask ? 1u : 0u);
+    scratch.pending[id] = (t.depLeft != kNoTask ? 1u : 0u) +
+                          (t.depRight != kNoTask ? 1u : 0u);
   }
-  std::set<std::pair<double, TaskId>> ready;
-  std::vector<std::vector<TaskId>> arrivals(2);
-  for (TaskId id = 0; id < forest.taskCount(); ++id) {
-    if (pending[id] == 0) arrivals[1].push_back(id);
+  // Every arrivals bucket is consumed (and cleared) by the loop below, so
+  // the buffers stay empty-but-allocated between decodes.
+  if (scratch.arrivals.size() < 2) scratch.arrivals.resize(2);
+  scratch.ready.clear();
+  auto& ready = scratch.ready;
+  const auto heapGreater = std::greater<std::pair<double, TaskId>>{};
+  for (TaskId id = 0; id < n; ++id) {
+    if (scratch.pending[id] == 0) scratch.arrivals[1].push_back(id);
   }
-  std::size_t remaining = forest.taskCount();
+  std::size_t remaining = n;
   for (unsigned t = 1; remaining > 0; ++t) {
-    if (t < arrivals.size()) {
-      for (TaskId id : arrivals[t]) ready.insert({keys[id], id});
-      arrivals[t].clear();
+    if (t < scratch.arrivals.size()) {
+      for (TaskId id : scratch.arrivals[t]) {
+        ready.emplace_back(keys[id], id);
+        std::push_heap(ready.begin(), ready.end(), heapGreater);
+      }
+      scratch.arrivals[t].clear();
     }
     for (unsigned k = 0; k < mixers && !ready.empty(); ++k) {
-      const TaskId id = ready.begin()->second;
-      ready.erase(ready.begin());
+      std::pop_heap(ready.begin(), ready.end(), heapGreater);
+      const TaskId id = ready.back().second;
+      ready.pop_back();
       s.assignments[id] = Assignment{t, k};
       s.completionTime = t;
       --remaining;
       for (const auto& drop : forest.task(id).out) {
         if (drop.fate != DropletFate::kConsumed) continue;
-        if (--pending[drop.consumer] == 0) {
-          if (arrivals.size() <= t + 1) arrivals.resize(t + 2);
-          arrivals[t + 1].push_back(drop.consumer);
+        if (--scratch.pending[drop.consumer] == 0) {
+          if (scratch.arrivals.size() <= t + 1) {
+            scratch.arrivals.resize(t + 2);
+          }
+          scratch.arrivals[t + 1].push_back(drop.consumer);
         }
       }
     }
   }
-  return s;
 }
 
-// Lexicographic fitness: completion time, then storage. Smaller is better.
-std::pair<unsigned, unsigned> fitness(const TaskForest& forest,
-                                      const Schedule& s) {
-  return {s.completionTime, countStorage(forest, s)};
+Score evaluateWith(const TaskForest& forest, unsigned mixers,
+                   const std::vector<double>& keys, DecodeScratch& scratch) {
+  decodeInto(forest, mixers, keys, scratch);
+  return {scratch.schedule.completionTime,
+          countStorage(forest, scratch.schedule)};
 }
+
+// FNV-1a over the chromosome's key bit patterns — the memo-cache key. The
+// hash is a pure function of the keys, so memo lookups are deterministic
+// for every job count (and a 64-bit collision is vanishingly unlikely).
+std::uint64_t hashKeys(const std::vector<double>& keys) {
+  std::uint64_t hash = 1469598103934665603ull;
+  for (const double key : keys) {
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(key));
+    std::memcpy(&bits, &key, sizeof(bits));
+    for (unsigned byte = 0; byte < 8; ++byte) {
+      hash ^= (bits >> (byte * 8)) & 0xFFu;
+      hash *= 1099511628211ull;
+    }
+  }
+  return hash;
+}
+
+struct Individual {
+  std::vector<double> keys;
+  Score score;
+};
+
+// Scores every individual in [first, population.size()): memo lookups and
+// insertions run serially on the master thread (in index order, so the memo
+// contents are deterministic), only the missed decodes fan out over the
+// pool. Each pool participant reuses its own DecodeScratch.
+class FitnessEvaluator {
+ public:
+  FitnessEvaluator(const TaskForest& forest, unsigned mixers,
+                   runtime::ThreadPool& pool)
+      : forest_(forest), mixers_(mixers), pool_(pool),
+        scratch_(pool.jobs()) {}
+
+  void scoreTail(std::vector<Individual>& population, std::size_t first) {
+    misses_.clear();
+    for (std::size_t i = first; i < population.size(); ++i) {
+      const std::uint64_t hash = hashKeys(population[i].keys);
+      const auto hit = memo_.find(hash);
+      if (hit != memo_.end()) {
+        population[i].score = hit->second;
+        obs::count("sched.ga.memo_hits");
+      } else {
+        misses_.push_back({i, hash});
+        obs::count("sched.ga.memo_misses");
+      }
+    }
+    if (misses_.empty()) return;
+    pool_.forEachWorker(
+        misses_.size(), [this, &population](std::uint64_t m, unsigned worker) {
+          Individual& ind = population[misses_[m].index];
+          ind.score = evaluateWith(forest_, mixers_, ind.keys,
+                                   scratch_[worker]);
+        });
+    for (const Miss& miss : misses_) {
+      memo_.emplace(miss.hash, population[miss.index].score);
+    }
+  }
+
+ private:
+  struct Miss {
+    std::size_t index;
+    std::uint64_t hash;
+  };
+
+  const TaskForest& forest_;
+  unsigned mixers_;
+  runtime::ThreadPool& pool_;
+  std::vector<DecodeScratch> scratch_;
+  std::unordered_map<std::uint64_t, Score> memo_;
+  std::vector<Miss> misses_;
+};
 
 }  // namespace
 
 Schedule scheduleGA(const TaskForest& forest, unsigned mixers,
                     const GaOptions& options) {
+  runtime::ThreadPool pool(runtime::ThreadPool::resolveJobs(options.jobs));
+  return scheduleGA(forest, mixers, options, pool);
+}
+
+Schedule scheduleGA(const TaskForest& forest, unsigned mixers,
+                    const GaOptions& options, runtime::ThreadPool& pool) {
   if (mixers == 0) {
     throw std::invalid_argument("scheduleGA: at least one mixer required");
   }
@@ -86,18 +195,18 @@ Schedule scheduleGA(const TaskForest& forest, unsigned mixers,
     s.scheme = "GA";
     return s;
   }
+  const obs::Span span("sched.ga", "sched");
 
+  // All randomness is drawn here, on the calling thread, in breeding order —
+  // the pool never touches the RNG, which is what keeps the run identical
+  // for every job count.
   std::mt19937_64 rng(options.seed);
   std::uniform_real_distribution<double> uniform(0.0, 1.0);
+  // Unbiased parent index draw (rng() % size would favour small indices).
+  std::uniform_int_distribution<std::size_t> pickParent(
+      0, options.population - 1);
 
-  struct Individual {
-    std::vector<double> keys;
-    std::pair<unsigned, unsigned> score;
-  };
-
-  auto evaluate = [&](const std::vector<double>& keys) {
-    return fitness(forest, decode(forest, mixers, keys));
-  };
+  FitnessEvaluator evaluator(forest, mixers, pool);
 
   std::vector<Individual> population;
   population.reserve(options.population);
@@ -112,13 +221,14 @@ Schedule scheduleGA(const TaskForest& forest, unsigned mixers,
       keys[id] = static_cast<double>(oms.assignments[id].cycle) +
                  1e-6 * static_cast<double>(id);
     }
-    population.push_back({keys, evaluate(keys)});
+    population.push_back({std::move(keys), Score{}});
   }
   while (population.size() < options.population) {
     std::vector<double> keys(n);
     for (double& key : keys) key = uniform(rng);
-    population.push_back({keys, evaluate(keys)});
+    population.push_back({std::move(keys), Score{}});
   }
+  evaluator.scoreTail(population, 0);
 
   auto better = [](const Individual& a, const Individual& b) {
     return a.score < b.score;
@@ -129,9 +239,9 @@ Schedule scheduleGA(const TaskForest& forest, unsigned mixers,
     std::vector<Individual> next(population.begin(),
                                  population.begin() + options.elites);
     auto tournamentPick = [&]() -> const Individual& {
-      std::size_t best = rng() % population.size();
+      std::size_t best = pickParent(rng);
       for (unsigned t = 1; t < options.tournament; ++t) {
-        const std::size_t challenger = rng() % population.size();
+        const std::size_t challenger = pickParent(rng);
         if (population[challenger].score < population[best].score) {
           best = challenger;
         }
@@ -148,14 +258,16 @@ Schedule scheduleGA(const TaskForest& forest, unsigned mixers,
           child[g] = uniform(rng);
         }
       }
-      next.push_back({child, evaluate(child)});
+      next.push_back({std::move(child), Score{}});
     }
+    evaluator.scoreTail(next, options.elites);
     population = std::move(next);
   }
 
   std::sort(population.begin(), population.end(), better);
-  Schedule best = decode(forest, mixers, population.front().keys);
-  return best;
+  DecodeScratch scratch;
+  decodeInto(forest, mixers, population.front().keys, scratch);
+  return std::move(scratch.schedule);
 }
 
 }  // namespace dmf::sched

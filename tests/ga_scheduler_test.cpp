@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "mixgraph/builders.h"
+#include "runtime/thread_pool.h"
 #include "sched/schedulers.h"
 
 namespace dmf::sched {
@@ -53,6 +54,46 @@ TEST(GaScheduler, DeterministicForSeed) {
     EXPECT_EQ(a.assignments[i].cycle, b.assignments[i].cycle);
     EXPECT_EQ(a.assignments[i].mixer, b.assignments[i].mixer);
   }
+}
+
+TEST(GaScheduler, ByteIdenticalAcrossJobs) {
+  // The --jobs guarantee, mirrored from the streaming planner: all RNG runs
+  // on the master thread and fitness results land in index-addressed slots,
+  // so the schedule is identical for every pool width.
+  MixingGraph g = buildMM(pcr());
+  TaskForest f(g, 24);
+  const Schedule base = scheduleGA(f, 3, quickOptions());
+  const auto expectSame = [&](const Schedule& s, const std::string& label) {
+    ASSERT_EQ(s.assignments.size(), base.assignments.size()) << label;
+    for (std::size_t i = 0; i < base.assignments.size(); ++i) {
+      EXPECT_EQ(s.assignments[i].cycle, base.assignments[i].cycle)
+          << label << " task " << i;
+      EXPECT_EQ(s.assignments[i].mixer, base.assignments[i].mixer)
+          << label << " task " << i;
+    }
+    EXPECT_EQ(s.completionTime, base.completionTime) << label;
+  };
+  for (const unsigned jobs : {2u, 4u}) {
+    runtime::ThreadPool pool(jobs);
+    expectSame(scheduleGA(f, 3, quickOptions(), pool),
+               "pool jobs=" + std::to_string(jobs));
+  }
+  GaOptions viaOptions = quickOptions();
+  viaOptions.jobs = 4;
+  expectSame(scheduleGA(f, 3, viaOptions), "options.jobs=4");
+}
+
+TEST(GaScheduler, PinnedGoldenForDefaultSeed) {
+  // Golden for the default seed, pinned so RNG-consuming refactors (like the
+  // tournament modulo-bias fix in PR 3) show up as an explicit diff here
+  // rather than as silent schedule drift. The exact values depend on the
+  // standard library's distributions (libstdc++ on CI).
+  MixingGraph g = buildMM(pcr());
+  TaskForest f(g, 16);
+  const Schedule s = scheduleGA(f, 3, quickOptions());
+  validateOrThrow(f, s);
+  EXPECT_EQ(s.completionTime, 7u);
+  EXPECT_EQ(countStorage(f, s), 4u);
 }
 
 TEST(GaScheduler, DifferentSeedsExploreDifferently) {

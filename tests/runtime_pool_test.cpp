@@ -1,0 +1,111 @@
+// The shared runtime thread pool (promoted from engine::PassPool in PR 3).
+// The basic forEach contract (index coverage, reuse across batches,
+// lowest-index exception, serial inline path) is also exercised under the
+// PassPool alias in streaming_plan_test.cpp; this suite pins the library's
+// own guarantees: worker ids, nested-use rejection, and jobs resolution.
+#include "runtime/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+namespace dmf::runtime {
+namespace {
+
+TEST(ThreadPool, WorkerIdsStayInRange) {
+  ThreadPool pool(4);
+  std::vector<unsigned> worker(5000, 99);
+  pool.forEachWorker(worker.size(), [&](std::uint64_t i, unsigned w) {
+    worker[i] = w;
+  });
+  for (std::size_t i = 0; i < worker.size(); ++i) {
+    ASSERT_LT(worker[i], 4u) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, SerialPoolRunsEverythingOnParticipantZero) {
+  ThreadPool pool(1);
+  std::set<unsigned> seen;
+  pool.forEachWorker(64, [&](std::uint64_t, unsigned w) { seen.insert(w); });
+  EXPECT_EQ(seen, std::set<unsigned>{0u});
+}
+
+TEST(ThreadPool, NestedForEachOnSamePoolThrows) {
+  // A nested batch on the same pool would deadlock (the draining
+  // participant would wait for a batch nobody else can finish), so it is
+  // rejected — on the serial inline path too, keeping behaviour identical
+  // for every job count.
+  for (const unsigned jobs : {1u, 3u}) {
+    ThreadPool pool(jobs);
+    EXPECT_THROW(
+        pool.forEach(1,
+                     [&](std::uint64_t) {
+                       pool.forEach(1, [](std::uint64_t) {});
+                     }),
+        std::logic_error)
+        << "jobs=" << jobs;
+  }
+}
+
+TEST(ThreadPool, NestedForEachOnDifferentPoolsIsAllowed) {
+  ThreadPool outer(2);
+  ThreadPool inner(2);
+  std::atomic<int> total{0};
+  outer.forEach(8, [&](std::uint64_t) {
+    inner.forEach(8, [&](std::uint64_t) {
+      total.fetch_add(1, std::memory_order_relaxed);
+    });
+  });
+  EXPECT_EQ(total.load(), 64);
+}
+
+TEST(ThreadPool, PoolIsReusableAfterNestedRejection) {
+  ThreadPool pool(2);
+  try {
+    pool.forEach(4, [&](std::uint64_t) {
+      pool.forEach(1, [](std::uint64_t) {});
+    });
+    FAIL() << "expected std::logic_error";
+  } catch (const std::logic_error&) {
+  }
+  std::atomic<int> total{0};
+  pool.forEach(100, [&](std::uint64_t) {
+    total.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(total.load(), 100);
+}
+
+TEST(ThreadPool, LowestIndexExceptionWinsOnBatchPath) {
+  ThreadPool pool(4);
+  try {
+    pool.forEach(2000, [](std::uint64_t i) {
+      if (i >= 700) throw std::runtime_error(std::to_string(i));
+    });
+    FAIL() << "expected the batch to rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "700");
+  }
+}
+
+TEST(ThreadPool, InlinePathPropagatesExceptions) {
+  ThreadPool pool(1);
+  EXPECT_THROW(
+      pool.forEach(10,
+                   [](std::uint64_t i) {
+                     if (i == 3) throw std::runtime_error("boom");
+                   }),
+      std::runtime_error);
+}
+
+TEST(ThreadPool, ZeroResolvesToHardwareConcurrency) {
+  EXPECT_GE(ThreadPool::resolveJobs(0), 1u);
+  EXPECT_EQ(ThreadPool::resolveJobs(5), 5u);
+  ThreadPool pool(0);
+  EXPECT_GE(pool.jobs(), 1u);
+}
+
+}  // namespace
+}  // namespace dmf::runtime

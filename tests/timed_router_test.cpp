@@ -87,6 +87,30 @@ TEST(TimedRouter, ImpossiblePhaseThrows) {
                std::runtime_error);
 }
 
+TEST(TimedRouter, VerifyToggleDoesNotChangeRoutes) {
+  // verifyInterference only switches the post-route audit on or off; the
+  // occupancy index drives the search either way, so routes are identical.
+  const Layout layout = openField();
+  TimedRouter audited(layout);
+  TimedRouterOptions fast;
+  fast.verifyInterference = false;
+  TimedRouter unaudited(layout, fast);
+  const std::vector<PhaseMove> moves{PhaseMove{Cell{0, 0}, Cell{11, 11}, 0},
+                                     PhaseMove{Cell{11, 11}, Cell{0, 0}, 1},
+                                     PhaseMove{Cell{11, 0}, Cell{0, 11}, 2}};
+  const PhaseResult a = audited.routePhase(moves);
+  const PhaseResult b = unaudited.routePhase(moves);
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.totalActuations, b.totalActuations);
+  ASSERT_EQ(a.trajectories.size(), b.trajectories.size());
+  for (std::size_t i = 0; i < a.trajectories.size(); ++i) {
+    EXPECT_EQ(a.trajectories[i].tag, b.trajectories[i].tag);
+    EXPECT_EQ(a.trajectories[i].positions, b.trajectories[i].positions);
+  }
+  // The unaudited result still passes the audit when run explicitly.
+  audited.checkInterference(b.trajectories);
+}
+
 TEST(TimedRouter, CheckInterferenceDetectsViolations) {
   const Layout layout = openField();
   TimedRouter router(layout);

@@ -1,0 +1,36 @@
+# ctest helper: the GA schedule and the streaming plan must serialize to
+# byte-identical JSON for every --jobs value. Run as
+#   cmake -DDMFSTREAM=<path-to-binary> -P check_jobs_identical.cmake
+if(NOT DEFINED DMFSTREAM)
+  message(FATAL_ERROR "pass -DDMFSTREAM=<path to dmfstream>")
+endif()
+
+function(run_cli out_var)
+  execute_process(
+    COMMAND ${DMFSTREAM} ${ARGN}
+    OUTPUT_VARIABLE output
+    RESULT_VARIABLE status)
+  if(NOT status EQUAL 0)
+    message(FATAL_ERROR "dmfstream ${ARGN} exited with ${status}")
+  endif()
+  set(${out_var} "${output}" PARENT_SCOPE)
+endfunction()
+
+set(ga_args plan --ratio 2:1:1:1:1:1:9 --demand 20 --scheme GA
+    --ga-pop 24 --ga-gens 15 --ga-seed 7 --json)
+run_cli(ga_jobs1 ${ga_args} --jobs 1)
+foreach(jobs 2 6)
+  run_cli(ga_jobsN ${ga_args} --jobs ${jobs})
+  if(NOT ga_jobs1 STREQUAL ga_jobsN)
+    message(FATAL_ERROR "GA plan JSON differs between --jobs 1 and --jobs ${jobs}")
+  endif()
+endforeach()
+
+set(stream_args stream --ratio 2:1:1:1:1:1:9 --demand 32 --storage 3 --json)
+run_cli(stream_jobs1 ${stream_args} --jobs 1)
+run_cli(stream_jobs4 ${stream_args} --jobs 4)
+if(NOT stream_jobs1 STREQUAL stream_jobs4)
+  message(FATAL_ERROR "streaming plan JSON differs between --jobs 1 and --jobs 4")
+endif()
+
+message(STATUS "GA and streaming JSON byte-identical across --jobs")

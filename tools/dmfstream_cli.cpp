@@ -2,6 +2,7 @@
 //
 //   dmfstream plan   --ratio 2:1:1:1:1:1:9 --demand 20 [--mixers N]
 //                    [--algo MM|RMA|MTCS|RSM] [--scheme MMS|SRS|OMS|GA]
+//                    [--ga-pop N] [--ga-gens N] [--ga-seed S] [--jobs N]
 //                    [--gantt] [--csv]
 //   dmfstream stream --ratio R --demand D --storage Q [--mixers N] [--algo A]
 //   dmfstream dilute --sample a/2^d --demand D [--mixers N]
@@ -91,6 +92,10 @@ commands:
           options: --mixers N (default: Mlb) --algo MM|RMA|MTCS|RSM
                    --scheme MMS|SRS|OMS|GA  --gantt  --csv  --json
                    --split-error EPS (worst-case CF error analysis)
+                   GA tuning: --ga-pop N (population, default 32)
+                   --ga-gens N (generations, default 60) --ga-seed S
+                   --jobs N (parallel fitness evaluation; 0 = all cores;
+                   the schedule is identical for every N)
   stream  multi-pass plan under a storage cap
           --ratio R --demand D --storage Q [--mixers N] [--algo A]
           [--optimize]  (search all pass sizes for minimum total cycles)
@@ -160,11 +165,23 @@ mixgraph::Algorithm parseAlgo(const Args& args) {
 }
 
 sched::Schedule makeSchedule(const forest::TaskForest& forest,
-                             const std::string& scheme, unsigned mixers) {
+                             const std::string& scheme, unsigned mixers,
+                             const Args& args) {
   if (scheme == "MMS") return sched::scheduleMMS(forest, mixers);
   if (scheme == "SRS") return sched::scheduleSRS(forest, mixers);
   if (scheme == "OMS") return sched::scheduleOMS(forest, mixers);
-  if (scheme == "GA") return sched::scheduleGA(forest, mixers);
+  if (scheme == "GA") {
+    sched::GaOptions options;
+    options.population =
+        static_cast<unsigned>(args.getU64("ga-pop", options.population));
+    options.generations =
+        static_cast<unsigned>(args.getU64("ga-gens", options.generations));
+    options.seed = args.getU64("ga-seed", options.seed);
+    // The global --jobs knob fans fitness evaluation out over the shared
+    // runtime pool; the schedule is byte-identical for every value.
+    options.jobs = static_cast<unsigned>(args.getU64("jobs", 1));
+    return sched::scheduleGA(forest, mixers, options);
+  }
   throw std::invalid_argument("--scheme: unknown scheme '" + scheme + "'");
 }
 
@@ -176,7 +193,7 @@ int cmdPlan(const Args& args, const Ratio& ratio) {
   const std::string scheme = args.get("scheme").value_or("SRS");
 
   const forest::TaskForest forest = engine.buildForest(parseAlgo(args), demand);
-  const sched::Schedule schedule = makeSchedule(forest, scheme, mixers);
+  const sched::Schedule schedule = makeSchedule(forest, scheme, mixers, args);
   sched::validateOrThrow(forest, schedule);
   const unsigned storage = sched::countStorage(forest, schedule);
 
