@@ -1,0 +1,122 @@
+// Fault sweep: demand-driven recovery on the paper's PCR mixture under
+// injected faults. For a grid of droplet-loss and split-imbalance rates the
+// harness replays the SRS schedule through the RecoveryEngine (8 seeds per
+// cell) and reports delivery rate, repair rounds, extra mix-splits and the
+// completion-time overhead of recovery — the robustness counterpart of the
+// fault-free tables.
+#include <cstdint>
+#include <iostream>
+
+#include "engine/mdst.h"
+#include "engine/recovery.h"
+#include "fault/fault_injector.h"
+#include "forest/task_forest.h"
+#include "protocols/protocols.h"
+#include "report/table.h"
+#include "sched/schedulers.h"
+
+#include "bench_obs.h"
+
+namespace {
+
+struct CellStats {
+  double delivered = 0.0;
+  double rounds = 0.0;
+  double extraMixSplits = 0.0;
+  double overhead = 0.0;  // completion / baseCompletion
+  unsigned degraded = 0;
+};
+
+constexpr std::uint64_t kSeeds = 8;
+
+CellStats sweepCell(const dmf::forest::TaskForest& forest,
+                    const dmf::sched::Schedule& schedule,
+                    const dmf::engine::RecoveryOptions& base) {
+  CellStats cell;
+  for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+    dmf::engine::RecoveryOptions opts = base;
+    opts.seed = seed;
+    const dmf::engine::RecoveryReport r =
+        dmf::engine::RecoveryEngine(opts).run(forest, schedule);
+    cell.delivered += static_cast<double>(r.delivered);
+    cell.rounds += static_cast<double>(r.roundsUsed);
+    cell.extraMixSplits += static_cast<double>(r.extraMixSplits);
+    cell.overhead += static_cast<double>(r.completionCycle) /
+                     static_cast<double>(r.baseCompletion);
+    if (r.degraded) ++cell.degraded;
+  }
+  const double n = static_cast<double>(kSeeds);
+  cell.delivered /= n;
+  cell.rounds /= n;
+  cell.extraMixSplits /= n;
+  cell.overhead /= n;
+  return cell;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const dmf::bench::BenchSession benchObs("fault_sweep", argc, argv);
+  using namespace dmf;
+
+  engine::MdstEngine engine(protocols::pcrMasterMixRatio());
+  const std::uint64_t demand = 32;
+  const unsigned mixers = 3;
+  const forest::TaskForest forest =
+      engine.buildForest(mixgraph::Algorithm::MM, demand);
+  const sched::Schedule schedule = sched::scheduleSRS(forest, mixers);
+
+  std::cout << "# Fault sweep — PCR master mix, demand " << demand << ", SRS/"
+            << mixers << " mixers, base Tc " << schedule.completionTime
+            << ", " << kSeeds << " seeds per cell\n\n";
+
+  std::cout << "## Droplet loss x split imbalance (eps 0.4, retry budget 4)"
+            << "\n\n";
+  report::Table grid({"loss", "split", "delivered/" + std::to_string(demand),
+                      "rounds", "extra M/S", "Tc ratio", "degraded"});
+  for (double loss : {0.0, 0.05, 0.10, 0.20}) {
+    for (double split : {0.0, 0.25, 0.50}) {
+      engine::RecoveryOptions opts;
+      opts.faults.lossRate = loss;
+      opts.faults.splitRate = split;
+      opts.faults.splitEps = 0.4;
+      opts.retryBudget = 4;
+      const CellStats cell = sweepCell(forest, schedule, opts);
+      grid.addRow({report::fixed(loss, 2), report::fixed(split, 2),
+                   report::fixed(cell.delivered, 1),
+                   report::fixed(cell.rounds, 1),
+                   report::fixed(cell.extraMixSplits, 1),
+                   report::fixed(cell.overhead, 2),
+                   std::to_string(cell.degraded) + "/" +
+                       std::to_string(kSeeds)});
+    }
+  }
+  std::cout << grid.render() << "\n";
+
+  std::cout << "## Retry budget at loss 0.15 (eps 0.4, split 0.3)\n\n";
+  report::Table budget({"budget", "delivered/" + std::to_string(demand),
+                        "rounds", "extra M/S", "Tc ratio", "degraded"});
+  for (unsigned retries : {0u, 1u, 2u, 4u, 8u}) {
+    engine::RecoveryOptions opts;
+    opts.faults.lossRate = 0.15;
+    opts.faults.splitRate = 0.3;
+    opts.faults.splitEps = 0.4;
+    opts.retryBudget = retries;
+    const CellStats cell = sweepCell(forest, schedule, opts);
+    budget.addRow({std::to_string(retries),
+                   report::fixed(cell.delivered, 1),
+                   report::fixed(cell.rounds, 1),
+                   report::fixed(cell.extraMixSplits, 1),
+                   report::fixed(cell.overhead, 2),
+                   std::to_string(cell.degraded) + "/" +
+                       std::to_string(kSeeds)});
+  }
+  std::cout << budget.render()
+            << "\nReading: each repair round re-propagates demand only at "
+               "failed nodes, so the\nextra mix-split count tracks the fault "
+               "count rather than the full forest size;\na small retry "
+               "budget already recovers most targets, and the degraded "
+               "column\nshows where the budget (not the chip) becomes the "
+               "binding constraint.\n";
+  return 0;
+}

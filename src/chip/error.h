@@ -1,0 +1,57 @@
+// Typed chip-execution errors.
+//
+// The executor, timed router and simulator used to throw bare
+// std::runtime_error with a prose message; the recovery layer (and any
+// human reading a log) needs to know *where* in the pipeline execution
+// failed — which phase, at which time step, and which droplet was involved.
+// ChipError carries that context while still deriving from
+// std::runtime_error, so every existing catch site keeps working.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace dmf::chip {
+
+/// A chip-execution failure with structured context.
+class ChipError : public std::runtime_error {
+ public:
+  /// Sentinel for "no specific droplet involved".
+  static constexpr std::uint32_t kNoDroplet = 0xFFFFFFFFu;
+  /// Sentinel for "no specific time step".
+  static constexpr unsigned kNoStep = 0xFFFFFFFFu;
+
+  /// `phase` names the pipeline stage ("park", "route", "simulate", ...);
+  /// `step` is the mix cycle or routing step the failure occurred at;
+  /// `droplet` is the trace/tag id of the droplet involved, when one is.
+  ChipError(std::string phase, unsigned step, const std::string& what,
+            std::uint32_t droplet = kNoDroplet)
+      : std::runtime_error(compose(phase, step, what, droplet)),
+        phase_(std::move(phase)),
+        step_(step),
+        droplet_(droplet) {}
+
+  /// Pipeline stage that failed.
+  [[nodiscard]] const std::string& phase() const noexcept { return phase_; }
+  /// Mix cycle / routing step of the failure; kNoStep when not applicable.
+  [[nodiscard]] unsigned step() const noexcept { return step_; }
+  /// Droplet tag involved; kNoDroplet when not applicable.
+  [[nodiscard]] std::uint32_t droplet() const noexcept { return droplet_; }
+
+ private:
+  static std::string compose(const std::string& phase, unsigned step,
+                             const std::string& what, std::uint32_t droplet) {
+    std::string out = "chip[" + phase;
+    if (step != kNoStep) out += " @" + std::to_string(step);
+    if (droplet != kNoDroplet) out += ", droplet " + std::to_string(droplet);
+    out += "]: " + what;
+    return out;
+  }
+
+  std::string phase_;
+  unsigned step_;
+  std::uint32_t droplet_;
+};
+
+}  // namespace dmf::chip

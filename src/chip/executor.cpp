@@ -4,6 +4,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "chip/error.h"
 #include "obs/scope.h"
 
 namespace dmf::chip {
@@ -151,10 +152,12 @@ ExecutionTrace ChipExecutor::run(const TaskForest& forest,
             }
           }
           if (best == storage_.size()) {
-            throw std::runtime_error(
-                "ChipExecutor: not enough storage modules to park a droplet "
-                "(cycles " +
-                std::to_string(begin) + ".." + std::to_string(end - 1) + ")");
+            throw ChipError(
+                "park", begin,
+                "not enough storage modules to park a droplet (cycles " +
+                    std::to_string(begin) + ".." + std::to_string(end - 1) +
+                    ")",
+                id);
           }
           occupied[best].push_back({begin, end});
           trace.moves.push_back(

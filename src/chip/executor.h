@@ -71,7 +71,8 @@ class ChipExecutor {
   /// and one output module. Throws std::invalid_argument otherwise.
   ChipExecutor(const Layout& layout, Router& router);
 
-  /// Executes and returns the trace. Throws std::runtime_error when the
+  /// Executes and returns the trace. Throws chip::ChipError (derived from
+  /// std::runtime_error, carrying phase/cycle/droplet context) when the
   /// layout's storage modules cannot hold the schedule's parked droplets.
   [[nodiscard]] ExecutionTrace run(const forest::TaskForest& forest,
                                    const sched::Schedule& schedule) const;

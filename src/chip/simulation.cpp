@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <map>
 
+#include "chip/error.h"
+
 namespace dmf::chip {
 
 SimulationResult simulateTrace(const Layout& layout,
@@ -24,7 +26,13 @@ SimulationResult simulateTrace(const Layout& layout,
   for (auto& [cycle, moves] : phases) {
     SimulatedPhase phase;
     phase.cycle = cycle;
-    phase.routing = router.routePhase(std::move(moves));
+    try {
+      phase.routing = router.routePhase(std::move(moves));
+    } catch (const ChipError& e) {
+      // Re-anchor the router's step-level context to the mix cycle whose
+      // transport phase failed — the coordinate recovery reasons in.
+      throw ChipError("simulate", cycle, e.what(), e.droplet());
+    }
     result.totalActuations += phase.routing.totalActuations;
     result.totalSteps += phase.routing.makespan;
     result.maxPhaseMakespan =

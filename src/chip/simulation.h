@@ -30,7 +30,9 @@ struct SimulationResult {
 };
 
 /// Routes every move of `trace` concurrently, one phase per cycle.
-/// Throws std::runtime_error when some phase is unroutable under the options.
+/// Throws chip::ChipError (a std::runtime_error carrying phase "simulate"
+/// and the failing mix cycle) when some phase is unroutable under the
+/// options — including when options.deadCells sever a required path.
 [[nodiscard]] SimulationResult simulateTrace(const Layout& layout,
                                              const ExecutionTrace& trace,
                                              TimedRouterOptions options = {});

@@ -6,6 +6,7 @@
 #include <optional>
 #include <stdexcept>
 
+#include "chip/error.h"
 #include "obs/scope.h"
 
 namespace dmf::chip {
@@ -84,6 +85,27 @@ PhaseResult TimedRouter::routePhase(std::vector<PhaseMove> moves) const {
     return static_cast<std::size_t>(c.y) * w + static_cast<std::size_t>(c.x);
   };
 
+  // Dead electrodes are hard obstacles for every droplet, including module
+  // interiors (a dead mixer cell stops droplets crossing that footprint).
+  std::vector<std::uint8_t> deadGrid(cells, 0);
+  for (const Cell& c : options_.deadCells) {
+    if (c.x < 0 || c.y < 0 || c.x >= layout.width() ||
+        c.y >= layout.height()) {
+      continue;
+    }
+    deadGrid[cellIndex(c)] = 1;
+  }
+  for (const PhaseMove& m : moves) {
+    for (const Cell& c : {m.from, m.to}) {
+      if (deadGrid[cellIndex(c)] != 0) {
+        throw ChipError("route", 0,
+                        "endpoint (" + std::to_string(c.x) + "," +
+                            std::to_string(c.y) + ") sits on a dead electrode",
+                        m.tag);
+      }
+    }
+  }
+
   // Per-step occupancy index over the committed trajectories: a droplet on
   // open cell `c` at step `s` sets occupied[s][c]. conflicts() then probes
   // the 3x3 neighbourhood at steps s-1/s/s+1 — O(1) per node expansion
@@ -150,6 +172,7 @@ PhaseResult TimedRouter::routePhase(std::vector<PhaseMove> moves) const {
                 c.y >= layout.height()) {
               return false;
             }
+            if (deadGrid[cellIndex(c)] != 0) return false;
             const std::uint32_t occupant = moduleGrid[cellIndex(c)];
             return occupant == 0 || occupant == fromModule ||
                    occupant == toModule;
@@ -198,10 +221,11 @@ PhaseResult TimedRouter::routePhase(std::vector<PhaseMove> moves) const {
             }
           }
           if (goalState == states) {
-            throw std::runtime_error("TimedRouter: droplet from (" +
-                                     std::to_string(move.from.x) + "," +
-                                     std::to_string(move.from.y) +
-                                     ") found no interference-free path");
+            throw ChipError("route", horizon,
+                            "droplet from (" + std::to_string(move.from.x) +
+                                "," + std::to_string(move.from.y) +
+                                ") found no interference-free path",
+                            move.tag);
           }
           Trajectory traj2;
           traj2.tag = move.tag;
@@ -256,9 +280,10 @@ PhaseResult TimedRouter::routePhase(std::vector<PhaseMove> moves) const {
       std::rotate(moves.begin(), moves.begin() + 1, moves.end());
     }
   }
-  throw std::runtime_error("TimedRouter: phase unroutable after " +
-                           std::to_string(options_.retries + 1) +
-                           " attempts (" + lastError + ")");
+  throw ChipError("route", ChipError::kNoStep,
+                  "phase unroutable after " +
+                      std::to_string(options_.retries + 1) + " attempts (" +
+                      lastError + ")");
 }
 
 void TimedRouter::checkInterference(

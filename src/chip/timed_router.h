@@ -62,6 +62,11 @@ struct TimedRouterOptions {
   /// belt-and-braces audit: leave it on in tests and debugging, switch it off
   /// on benchmark/throughput paths.
   bool verifyInterference = true;
+  /// Dead (degraded) electrodes: cells no droplet may enter — the fault
+  /// model's permanent electrode failures. Droplets route around them;
+  /// a phase whose endpoint sits on a dead cell is unroutable. Out-of-array
+  /// entries are ignored.
+  std::vector<Cell> deadCells;
 };
 
 /// Routes sets of simultaneous droplet moves under fluidic constraints.
@@ -70,9 +75,11 @@ class TimedRouter {
   explicit TimedRouter(const Layout& layout, TimedRouterOptions options = {});
 
   /// Routes one phase. Module cells are obstacles except each droplet's own
-  /// endpoint modules. Throws std::invalid_argument for out-of-array
-  /// endpoints and std::runtime_error when no interference-free routing is
-  /// found within the options' horizon/retries.
+  /// endpoint modules; dead cells (options.deadCells) are obstacles for
+  /// everyone. Throws std::invalid_argument for out-of-array endpoints and
+  /// chip::ChipError (a std::runtime_error carrying the failing step and
+  /// droplet tag) when no interference-free routing is found within the
+  /// options' horizon/retries.
   [[nodiscard]] PhaseResult routePhase(std::vector<PhaseMove> moves) const;
 
   /// Verifies that a set of trajectories obeys both fluidic constraints and

@@ -126,4 +126,64 @@ Json toJson(const PassCacheStats& stats) {
   return out;
 }
 
+Json toJson(const RecoveryReport& report) {
+  Json out = Json::object();
+  out.set("demand", Json::number(report.demand))
+      .set("delivered", Json::number(report.delivered))
+      .set("shortfall", Json::number(report.shortfall))
+      .set("escapedErrors", Json::number(report.escapedErrors))
+      .set("discarded", Json::number(report.discarded))
+      .set("faultsInjected", Json::number(std::uint64_t{report.faults.size()}))
+      .set("baseCompletion", Json::number(std::uint64_t{report.baseCompletion}))
+      .set("completionCycle",
+           Json::number(std::uint64_t{report.completionCycle}))
+      .set("retryBudget", Json::number(std::uint64_t{report.retryBudget}))
+      .set("roundsUsed", Json::number(std::uint64_t{report.roundsUsed}))
+      .set("extraMixSplits", Json::number(report.extraMixSplits))
+      .set("extraInputDroplets", Json::number(report.extraInputDroplets))
+      .set("extraActuations", Json::number(report.extraActuations))
+      .set("mixersLost", Json::number(std::uint64_t{report.mixersLost}))
+      .set("storageLost", Json::number(std::uint64_t{report.storageLost}))
+      .set("degraded", Json::boolean(report.degraded))
+      .set("degradationReason", Json::string(report.degradationReason));
+  Json faults = Json::array();
+  for (const fault::FaultEvent& e : report.faults) {
+    Json f = Json::object();
+    f.set("kind", Json::string(std::string(fault::faultKindName(e.kind))))
+        .set("cycle", Json::number(std::uint64_t{e.cycle}))
+        .set("detail", Json::string(e.detail));
+    if (e.magnitude > 0.0) f.set("magnitude", Json::number(e.magnitude));
+    faults.push(std::move(f));
+  }
+  out.set("faults", std::move(faults));
+  Json rounds = Json::array();
+  for (const RepairRound& r : report.rounds) {
+    Json round = Json::object();
+    round.set("cycle", Json::number(std::uint64_t{r.cycle}))
+        .set("span", Json::number(std::uint64_t{r.span}))
+        .set("mixSplits", Json::number(r.mixSplits))
+        .set("inputDroplets", Json::number(r.inputDroplets))
+        .set("actuations", Json::number(r.actuations));
+    Json needs = Json::array();
+    for (const forest::NodeDemand& need : r.needs) {
+      Json n = Json::object();
+      n.set("node", Json::number(std::uint64_t{need.node}))
+          .set("count", Json::number(need.count));
+      needs.push(std::move(n));
+    }
+    round.set("needs", std::move(needs));
+    rounds.push(std::move(round));
+  }
+  out.set("rounds", std::move(rounds));
+  Json dead = Json::array();
+  for (const chip::Cell& c : report.deadCells) {
+    Json cell = Json::array();
+    cell.push(Json::number(std::uint64_t{static_cast<unsigned>(c.x)}));
+    cell.push(Json::number(std::uint64_t{static_cast<unsigned>(c.y)}));
+    dead.push(std::move(cell));
+  }
+  out.set("deadCells", std::move(dead));
+  return out;
+}
+
 }  // namespace dmf::engine

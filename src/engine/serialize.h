@@ -5,6 +5,7 @@
 #include "engine/mdst.h"
 #include "engine/multi_target.h"
 #include "engine/pass_cache.h"
+#include "engine/recovery.h"
 #include "engine/streaming.h"
 #include "report/json.h"
 #include "sched/schedule.h"
@@ -30,5 +31,9 @@ namespace dmf::engine {
 /// misses). Timings are wall-clock and therefore run-to-run nondeterministic;
 /// keep them out of outputs that must be byte-stable.
 [[nodiscard]] report::Json toJson(const PassCacheStats& stats);
+
+/// A recovery run: demand coverage, fault trace, and repair-round costs.
+/// Deterministic for a fixed seed/options, so safe in byte-stable outputs.
+[[nodiscard]] report::Json toJson(const RecoveryReport& report);
 
 }  // namespace dmf::engine

@@ -1,0 +1,17 @@
+#include "fault/checkpoint.h"
+
+namespace dmf::fault {
+
+bool isCheckpoint(unsigned cycle, const CheckpointOptions& opts,
+                  unsigned backoffMul) {
+  unsigned interval = opts.everyLevels < 1 ? 1 : opts.everyLevels;
+  if (backoffMul > 1) interval *= backoffMul;
+  return cycle % interval == 0;
+}
+
+bool detectable(unsigned faultCycle, unsigned now,
+                const CheckpointOptions& opts) {
+  return now >= faultCycle + opts.detectionLatency;
+}
+
+}  // namespace dmf::fault

@@ -1,0 +1,42 @@
+// Sensing / checkpoint model for error detection (DESIGN.md §11).
+//
+// A DMF chip cannot observe droplet concentration continuously: sensing
+// happens at checkpoints (optical detectors or capacitive sensors polled
+// between mix-split levels), and a measurement only becomes available after
+// a detection latency. This header models both knobs:
+//
+//  * `everyLevels` — a checkpoint runs after every k-th mix-split cycle.
+//    Coarser granularity is cheaper on-chip but lets a corrupted droplet
+//    contaminate more descendants before it is caught.
+//  * `detectionLatency` — cycles between a fault occurring and the earliest
+//    checkpoint that can flag it (sensor integration + readout time).
+//
+// The recovery engine (engine/recovery.h) additionally doubles the
+// effective checkpoint interval after each repair round — exponential
+// backoff, so a chip that keeps faulting spends progressively less of its
+// time sensing and more of it making forward progress.
+#pragma once
+
+#include <cstdint>
+
+namespace dmf::fault {
+
+/// Sensing granularity and latency.
+struct CheckpointOptions {
+  /// Run a checkpoint after every k-th mix cycle (>= 1).
+  unsigned everyLevels = 1;
+  /// Cycles between a fault firing and the first checkpoint able to see it.
+  unsigned detectionLatency = 0;
+};
+
+/// True when `cycle` (1-based mix cycle just completed) is a checkpoint
+/// under interval `everyLevels * backoffMul`.
+[[nodiscard]] bool isCheckpoint(unsigned cycle, const CheckpointOptions& opts,
+                                unsigned backoffMul);
+
+/// True when a fault that fired at `faultCycle` is visible to a checkpoint
+/// running after cycle `now` (latency elapsed).
+[[nodiscard]] bool detectable(unsigned faultCycle, unsigned now,
+                              const CheckpointOptions& opts);
+
+}  // namespace dmf::fault

@@ -1,0 +1,120 @@
+// Seeded, deterministic fault model for chip execution (DESIGN.md §11).
+//
+// Real DMF biochips fail in well-catalogued ways: electrowetting splits come
+// out volumetrically unbalanced, droplets get stuck on degraded electrodes,
+// dispensers misfire, and dielectric breakdown kills electrodes outright.
+// FaultInjector draws those events from per-fault-class rates with a seeded
+// generator, so an injected run is exactly reproducible: the same spec and
+// seed always yield the same fault sequence, independent of thread count
+// (every draw happens on the caller's serial execution path).
+//
+// The uniform draw is implemented by hand ((x >> 11) * 2^-53) instead of
+// std::bernoulli_distribution so the sequence is identical across standard
+// libraries, the same guarantee style the GA scheduler gives.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "chip/layout.h"
+
+namespace dmf::fault {
+
+/// The fault classes the injector models.
+enum class FaultKind : std::uint8_t {
+  kSplitImbalance,  ///< volumetric (1:1) split error beyond the ideal
+  kDropletLoss,     ///< droplet stuck in transport (never arrives)
+  kDispenseFail,    ///< reservoir misfire (no droplet emitted this cycle)
+  kElectrodeDead,   ///< electrode killed for the rest of the run
+};
+
+/// Short name ("split", "loss", "dispense", "electrode").
+[[nodiscard]] std::string_view faultKindName(FaultKind kind);
+
+/// Per-fault-class rates. All rates are probabilities per opportunity:
+/// per mix-split executed, per droplet transported, per dispense attempt,
+/// per execution cycle respectively.
+struct FaultSpec {
+  /// P(a mix-split's volume split errs) per mix-split.
+  double splitRate = 0.0;
+  /// Worst-case imbalance magnitude when a split errs, as a fraction of the
+  /// unit droplet volume; the drawn imbalance is uniform in (0, splitEps].
+  double splitEps = 0.1;
+  /// P(a transported droplet gets stuck) per non-waste transport.
+  double lossRate = 0.0;
+  /// P(a reservoir dispense misfires) per dispense attempt.
+  double dispenseRate = 0.0;
+  /// P(one electrode dies) per execution cycle.
+  double electrodeRate = 0.0;
+
+  /// True when any rate is positive — the injector can fire at all.
+  [[nodiscard]] bool any() const;
+
+  /// Parses "split=0.02,loss=0.01,dispense=0.005,electrode=0.001,eps=0.15".
+  /// Keys are optional and may come in any order; every rate must be a
+  /// number in [0, 1] (eps in (0, 1]). Throws std::invalid_argument with
+  /// the offending token on malformed input.
+  [[nodiscard]] static FaultSpec parse(const std::string& text);
+
+  /// Renders back to the parse format (only non-default fields).
+  [[nodiscard]] std::string toString() const;
+};
+
+/// One injected fault, as logged in the fault trace.
+struct FaultEvent {
+  FaultKind kind = FaultKind::kSplitImbalance;
+  /// Execution cycle the fault fired at.
+  unsigned cycle = 0;
+  /// Forest task id involved (kNoTask-style sentinel 0xFFFFFFFF if none).
+  std::uint32_t task = 0xFFFFFFFFu;
+  /// Drawn magnitude (imbalance fraction for splits, 0 otherwise).
+  double magnitude = 0.0;
+  /// Human-readable context ("m3.17 split err 0.041", "cell (4,7) died").
+  std::string detail;
+};
+
+/// Deterministic fault source: one instance drives one execution run.
+class FaultInjector {
+ public:
+  FaultInjector(FaultSpec spec, std::uint64_t seed);
+
+  [[nodiscard]] const FaultSpec& spec() const { return spec_; }
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
+
+  /// Draws a split-imbalance fault for one mix-split. On fire, `epsOut`
+  /// receives the drawn imbalance in (0, splitEps].
+  [[nodiscard]] bool splitErrs(double& epsOut);
+  /// Draws a stuck-droplet fault for one transported droplet.
+  [[nodiscard]] bool dropletLost();
+  /// Draws a dispenser misfire for one dispense attempt.
+  [[nodiscard]] bool dispenseFails();
+  /// Draws an electrode death for one execution cycle.
+  [[nodiscard]] bool electrodeDies();
+
+  /// Picks a uniform cell of a `width` x `height` array (the victim of an
+  /// electrode death).
+  [[nodiscard]] chip::Cell pickCell(int width, int height);
+
+  /// Appends to the fault trace and bumps the obs counter
+  /// fault.injected.<kind> when a session is active.
+  void record(FaultEvent event);
+
+  /// The fault trace, in injection order.
+  [[nodiscard]] const std::vector<FaultEvent>& events() const {
+    return events_;
+  }
+  /// Events of one class.
+  [[nodiscard]] std::uint64_t count(FaultKind kind) const;
+
+ private:
+  [[nodiscard]] double draw();  // uniform in [0, 1)
+
+  FaultSpec spec_;
+  std::uint64_t seed_;
+  std::mt19937_64 rng_;
+  std::vector<FaultEvent> events_;
+};
+
+}  // namespace dmf::fault

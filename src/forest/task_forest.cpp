@@ -47,15 +47,57 @@ TaskForest::TaskForest(const MixingGraph& graph,
       throw std::invalid_argument("TaskForest: demands must be positive");
     }
   }
+  demandNodes_ = graph.roots();
+  build();
+}
 
+TaskForest::TaskForest(const MixingGraph& graph,
+                       const std::vector<NodeDemand>& needs)
+    : graph_(&graph) {
+  if (!graph.finalized()) {
+    throw std::invalid_argument("TaskForest: graph must be finalized");
+  }
+  if (needs.empty()) {
+    throw std::invalid_argument("TaskForest: no demand injected");
+  }
+  for (const NodeDemand& need : needs) {
+    if (need.node >= graph.nodeCount()) {
+      throw std::invalid_argument("TaskForest: demand at unknown node " +
+                                  std::to_string(need.node));
+    }
+    if (graph.node(need.node).isLeaf()) {
+      throw std::invalid_argument(
+          "TaskForest: demand at leaf node " + std::to_string(need.node) +
+          " (a leaf droplet is a dispense, not a mix product)");
+    }
+    if (need.count == 0) {
+      throw std::invalid_argument("TaskForest: demands must be positive");
+    }
+    // Duplicate nodes merge at the first occurrence.
+    const auto it =
+        std::find(demandNodes_.begin(), demandNodes_.end(), need.node);
+    if (it == demandNodes_.end()) {
+      demandNodes_.push_back(need.node);
+      demands_.push_back(need.count);
+    } else {
+      demands_[static_cast<std::size_t>(it - demandNodes_.begin())] +=
+          need.count;
+    }
+  }
+  build();
+}
+
+void TaskForest::build() {
+  const MixingGraph& graph = *graph_;
   const std::size_t nodeCount = graph.nodeCount();
   const std::vector<NodeId> topDown = graph.nodesByLevelDesc();
 
-  // Per-node root index (for target-droplet allocation), kNoRoot otherwise.
+  // Per-node demand-point index (for target-droplet allocation), kNoRoot
+  // otherwise. For the classic constructors the demand points are the roots.
   constexpr std::size_t kNoRoot = static_cast<std::size_t>(-1);
   std::vector<std::size_t> rootIndex(nodeCount, kNoRoot);
-  for (std::size_t r = 0; r < graph.roots().size(); ++r) {
-    rootIndex[graph.roots()[r]] = r;
+  for (std::size_t r = 0; r < demandNodes_.size(); ++r) {
+    rootIndex[demandNodes_[r]] = r;
   }
 
   // ---- demand propagation ------------------------------------------------
@@ -67,7 +109,7 @@ TaskForest::TaskForest(const MixingGraph& graph,
   stats_.inputPerFluid.assign(graph.ratio().fluidCount(), 0);
 
   for (std::size_t r = 0; r < demands_.size(); ++r) {
-    need[graph.roots()[r]] += demands_[r];
+    need[demandNodes_[r]] += demands_[r];
   }
   std::uint64_t totalTasks = 0;
   for (NodeId v : topDown) {
@@ -85,7 +127,7 @@ TaskForest::TaskForest(const MixingGraph& graph,
     need[n.left] += execs_[v];
     need[n.right] += execs_[v];
   }
-  for (NodeId root : graph.roots()) {
+  for (NodeId root : demandNodes_) {
     stats_.componentTrees += execs_[root];
   }
   if (totalTasks > kMaxTasks ||
@@ -150,15 +192,16 @@ TaskForest::TaskForest(const MixingGraph& graph,
   }
 
   // ---- component-tree labelling ------------------------------------------
-  // Root instances own trees, numbered across roots in target order; every
-  // other instance belongs to the tree of its first consumer (consumers have
-  // larger ids, so one descending sweep settles everything).
-  std::vector<std::uint32_t> treeBase(graph.roots().size(), 0);
+  // Demand-point instances own trees, numbered across demand points in
+  // target order; every other instance belongs to the tree of its first
+  // consumer (consumers have larger ids, so one descending sweep settles
+  // everything).
+  std::vector<std::uint32_t> treeBase(demandNodes_.size(), 0);
   {
     std::uint32_t base = 0;
-    for (std::size_t r = 0; r < graph.roots().size(); ++r) {
+    for (std::size_t r = 0; r < demandNodes_.size(); ++r) {
       treeBase[r] = base;
-      base += static_cast<std::uint32_t>(execs_[graph.roots()[r]]);
+      base += static_cast<std::uint32_t>(execs_[demandNodes_[r]]);
     }
   }
   for (TaskId id = static_cast<TaskId>(tasks_.size()); id-- > 0;) {

@@ -81,6 +81,15 @@ struct ForestStats {
   std::uint64_t targets = 0;                  ///< the demand D
 };
 
+/// Demand injected at an arbitrary mix node of the base graph. The classic
+/// forest is the special case where every demand sits at a root; error
+/// recovery injects demand mid-graph — a lost or corrupted droplet of node v
+/// is exactly one extra unit of need(v) (see DESIGN.md §11).
+struct NodeDemand {
+  mixgraph::NodeId node = mixgraph::kNoNode;
+  std::uint64_t count = 0;
+};
+
 /// The instantiated mixing forest for one (graph, demand) pair.
 ///
 /// The construction is deterministic: the same graph and demand always yield
@@ -99,12 +108,26 @@ class TaskForest {
   TaskForest(const mixgraph::MixingGraph& graph,
              std::vector<std::uint64_t> demands);
 
+  /// Repair-forest form: demand injected at arbitrary mix nodes (droplets of
+  /// those nodes are emitted as targets). Duplicate nodes merge their counts
+  /// at the first occurrence. Throws std::invalid_argument on an empty list,
+  /// a zero count, an out-of-range id, or a leaf node (a leaf droplet is a
+  /// reservoir dispense, not a mix product).
+  TaskForest(const mixgraph::MixingGraph& graph,
+             const std::vector<NodeDemand>& needs);
+
   [[nodiscard]] const mixgraph::MixingGraph& graph() const { return *graph_; }
   /// Total demand over all targets.
   [[nodiscard]] std::uint64_t demand() const;
-  /// Per-target demands (size 1 for single-target forests).
+  /// Per-demand-point counts (aligned with demandNodes(); size 1 for
+  /// single-target forests).
   [[nodiscard]] const std::vector<std::uint64_t>& demands() const {
     return demands_;
+  }
+  /// The graph nodes that emit target droplets, in demand order. For the
+  /// classic constructors this equals graph().roots().
+  [[nodiscard]] const std::vector<mixgraph::NodeId>& demandNodes() const {
+    return demandNodes_;
   }
 
   [[nodiscard]] std::size_t taskCount() const { return tasks_.size(); }
@@ -141,9 +164,12 @@ class TaskForest {
   [[nodiscard]] std::string toDot() const;
 
  private:
+  void build();
+
   const mixgraph::MixingGraph* graph_;
-  std::vector<std::uint64_t> demands_;  // per graph root
-  std::vector<std::uint64_t> execs_;    // per base-graph node
+  std::vector<std::uint64_t> demands_;          // per demand point
+  std::vector<mixgraph::NodeId> demandNodes_;   // aligned with demands_
+  std::vector<std::uint64_t> execs_;            // per base-graph node
   std::vector<Task> tasks_;
   ForestStats stats_;
 };

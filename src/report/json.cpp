@@ -189,6 +189,20 @@ class Parser {
   }
 
  private:
+  /// Containers deeper than this are rejected rather than risking a stack
+  /// overflow in the recursive descent (each level costs two stack frames).
+  static constexpr int kMaxDepth = 256;
+
+  struct DepthGuard {
+    explicit DepthGuard(Parser& parser) : parser_(parser) {
+      if (++parser_.depth_ > kMaxDepth) parser_.fail("nesting too deep");
+    }
+    ~DepthGuard() { --parser_.depth_; }
+    DepthGuard(const DepthGuard&) = delete;
+    DepthGuard& operator=(const DepthGuard&) = delete;
+    Parser& parser_;
+  };
+
   [[noreturn]] void fail(const std::string& what) const {
     throw std::invalid_argument("Json::parse: " + what + " at offset " +
                                 std::to_string(pos_));
@@ -221,10 +235,14 @@ class Parser {
   Json parseValue() {
     skipSpace();
     switch (peek()) {
-      case '{':
+      case '{': {
+        const DepthGuard guard(*this);
         return parseObject();
-      case '[':
+      }
+      case '[': {
+        const DepthGuard guard(*this);
         return parseArray();
+      }
       case '"':
         return Json::string(parseString());
       case 't':
@@ -393,6 +411,7 @@ class Parser {
   }
 
   const std::string& text_;
+  int depth_ = 0;
   std::size_t pos_ = 0;
 };
 

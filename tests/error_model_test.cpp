@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
 #include <stdexcept>
+#include <vector>
 
 #include "mixgraph/builders.h"
 #include "workload/ratio_corpus.h"
@@ -97,6 +100,135 @@ TEST(ErrorModel, DeeperTreesAccumulateMoreError) {
   const double eDeep =
       targetError(deep, ErrorOptions{0.05, 0.0}).worstConcentration;
   EXPECT_GT(eDeep, eShallow);
+}
+
+// Straight-line reimplementation of the header's recurrence, kept naive on
+// purpose so the production code is checked against independent arithmetic.
+struct NaiveBounds {
+  std::vector<double> volume;
+  std::vector<std::vector<double>> concentration;
+};
+
+NaiveBounds naiveAnalyze(const MixingGraph& g, const ErrorOptions& opt) {
+  NaiveBounds out;
+  out.volume.resize(g.nodeCount(), 0.0);
+  out.concentration.resize(g.nodeCount());
+  const std::size_t fluids = g.ratio().fluidCount();
+  // Children have smaller levels, but node ids are not topologically sorted
+  // in general; iterate until a full pass changes nothing.
+  std::vector<bool> ready(g.nodeCount(), false);
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    for (mixgraph::NodeId v = 0; v < g.nodeCount(); ++v) {
+      if (ready[v]) continue;
+      const mixgraph::Node& n = g.node(v);
+      if (n.isLeaf()) {
+        out.volume[v] = opt.dispenseError;
+        out.concentration[v].assign(fluids, 0.0);
+      } else {
+        if (!ready[n.left] || !ready[n.right]) continue;
+        const double meanW = (out.volume[n.left] + out.volume[n.right]) / 2.0;
+        out.volume[v] = meanW + opt.splitImbalance;
+        out.concentration[v].resize(fluids);
+        for (std::size_t i = 0; i < fluids; ++i) {
+          const double cfL =
+              g.node(n.left).value.concentration(i).toDouble();
+          const double cfR =
+              g.node(n.right).value.concentration(i).toDouble();
+          const double gap = cfL > cfR ? cfL - cfR : cfR - cfL;
+          out.concentration[v][i] = (out.concentration[n.left][i] +
+                                     out.concentration[n.right][i]) /
+                                        2.0 +
+                                    gap / 2.0 * meanW;
+        }
+      }
+      ready[v] = true;
+      progressed = true;
+    }
+  }
+  return out;
+}
+
+TEST(ErrorModel, MatchesIndependentRecurrenceOnTreesAndDags) {
+  const ErrorOptions opt{0.07, 0.03};
+  for (Algorithm algo : {Algorithm::MM, Algorithm::RMA, Algorithm::MTCS}) {
+    const MixingGraph g = buildGraph(Ratio({26, 21, 2, 2, 3, 3, 199}), algo);
+    const auto expected = naiveAnalyze(g, opt);
+    const auto actual = analyzeErrors(g, opt);
+    ASSERT_EQ(actual.size(), g.nodeCount());
+    for (mixgraph::NodeId v = 0; v < g.nodeCount(); ++v) {
+      EXPECT_NEAR(actual[v].volume, expected.volume[v], 1e-12);
+      double worst = 0.0;
+      ASSERT_EQ(actual[v].concentration.size(),
+                expected.concentration[v].size());
+      for (std::size_t i = 0; i < expected.concentration[v].size(); ++i) {
+        EXPECT_NEAR(actual[v].concentration[i], expected.concentration[v][i],
+                    1e-12);
+        worst = std::max(worst, expected.concentration[v][i]);
+      }
+      EXPECT_NEAR(actual[v].worstConcentration, worst, 1e-12);
+    }
+  }
+}
+
+TEST(ErrorModel, RootBoundDominatesEveryMonteCarloRealization) {
+  // The recurrence claims a *worst-case* bound: any concrete assignment of
+  // per-split imbalances in [-eps, +eps] must land within it (to first
+  // order). Exercise 64 deterministic pseudo-random realizations.
+  const MixingGraph g = buildMM(pcr());
+  const double eps = 0.04;
+  const NodeError bound = targetError(g, ErrorOptions{eps, 0.0});
+  std::uint64_t rng = 0x9E3779B97F4A7C15ull;
+  auto next = [&rng]() {
+    rng ^= rng << 13;
+    rng ^= rng >> 7;
+    rng ^= rng << 17;
+    return static_cast<double>(rng >> 11) * 0x1.0p-53;  // [0,1)
+  };
+  const std::size_t fluids = g.ratio().fluidCount();
+  for (int trial = 0; trial < 64; ++trial) {
+    std::vector<double> vol(g.nodeCount(), 0.0);
+    std::vector<std::vector<double>> cfErr(g.nodeCount());
+    std::vector<bool> ready(g.nodeCount(), false);
+    bool progressed = true;
+    while (progressed) {
+      progressed = false;
+      for (mixgraph::NodeId v = 0; v < g.nodeCount(); ++v) {
+        if (ready[v]) continue;
+        const mixgraph::Node& n = g.node(v);
+        if (n.isLeaf()) {
+          cfErr[v].assign(fluids, 0.0);
+        } else {
+          if (!ready[n.left] || !ready[n.right]) continue;
+          // One signed imbalance per split: left gets +delta, right -delta.
+          const double delta = (2.0 * next() - 1.0) * eps;
+          const double a = vol[n.left] + delta;
+          const double b = vol[n.right] - delta;
+          vol[v] = (a + b) / 2.0;
+          cfErr[v].resize(fluids);
+          for (std::size_t i = 0; i < fluids; ++i) {
+            const double cfL =
+                g.node(n.left).value.concentration(i).toDouble();
+            const double cfR =
+                g.node(n.right).value.concentration(i).toDouble();
+            // First-order mixing: (cfL(1+a) + cfR(1+b))/(2+a+b) - (cfL+cfR)/2
+            // = (cfL-cfR)(a-b)/4, plus the inherited averaged errors.
+            cfErr[v][i] = (cfErr[n.left][i] + cfErr[n.right][i]) / 2.0 +
+                          (cfL - cfR) * (a - b) / 4.0;
+          }
+        }
+        ready[v] = true;
+        progressed = true;
+      }
+    }
+    for (std::size_t i = 0; i < fluids; ++i) {
+      const double realized = cfErr[g.root()][i] < 0 ? -cfErr[g.root()][i]
+                                                     : cfErr[g.root()][i];
+      EXPECT_LE(realized, bound.concentration[i] + 1e-12)
+          << "trial " << trial << " fluid " << i;
+    }
+  }
 }
 
 TEST(ErrorModel, AllBuildersStayWithinFirstOrderEnvelope) {

@@ -1,0 +1,149 @@
+#include "fault/fault_injector.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "fault/checkpoint.h"
+
+namespace dmf::fault {
+namespace {
+
+TEST(FaultSpec, ParsesFullSpec) {
+  const FaultSpec spec =
+      FaultSpec::parse("split=0.02,loss=0.01,dispense=0.005,electrode=0.001");
+  EXPECT_DOUBLE_EQ(spec.splitRate, 0.02);
+  EXPECT_DOUBLE_EQ(spec.lossRate, 0.01);
+  EXPECT_DOUBLE_EQ(spec.dispenseRate, 0.005);
+  EXPECT_DOUBLE_EQ(spec.electrodeRate, 0.001);
+  EXPECT_TRUE(spec.any());
+}
+
+TEST(FaultSpec, ParsesPartialSpecInAnyOrder) {
+  const FaultSpec spec = FaultSpec::parse("eps=0.2,split=0.5");
+  EXPECT_DOUBLE_EQ(spec.splitRate, 0.5);
+  EXPECT_DOUBLE_EQ(spec.splitEps, 0.2);
+  EXPECT_DOUBLE_EQ(spec.lossRate, 0.0);
+}
+
+TEST(FaultSpec, EmptySpecIsFaultFree) {
+  const FaultSpec spec = FaultSpec::parse("");
+  EXPECT_FALSE(spec.any());
+}
+
+TEST(FaultSpec, RejectsMalformedInput) {
+  EXPECT_THROW((void)FaultSpec::parse("split"), std::invalid_argument);
+  EXPECT_THROW((void)FaultSpec::parse("split=abc"), std::invalid_argument);
+  EXPECT_THROW((void)FaultSpec::parse("split=0.5x"), std::invalid_argument);
+  EXPECT_THROW((void)FaultSpec::parse("bogus=0.1"), std::invalid_argument);
+  EXPECT_THROW((void)FaultSpec::parse("split=1.5"), std::invalid_argument);
+  EXPECT_THROW((void)FaultSpec::parse("split=-0.1"), std::invalid_argument);
+  EXPECT_THROW((void)FaultSpec::parse("eps=0"), std::invalid_argument);
+}
+
+TEST(FaultSpec, ToStringRoundTrips) {
+  const FaultSpec spec = FaultSpec::parse("split=0.25,eps=0.5,loss=0.125");
+  const FaultSpec again = FaultSpec::parse(spec.toString());
+  EXPECT_DOUBLE_EQ(again.splitRate, spec.splitRate);
+  EXPECT_DOUBLE_EQ(again.splitEps, spec.splitEps);
+  EXPECT_DOUBLE_EQ(again.lossRate, spec.lossRate);
+}
+
+TEST(FaultInjector, DeterministicForSeed) {
+  FaultSpec spec;
+  spec.splitRate = 0.5;
+  spec.lossRate = 0.5;
+  auto sample = [&](std::uint64_t seed) {
+    FaultInjector injector(spec, seed);
+    std::vector<bool> draws;
+    double eps = 0.0;
+    for (int i = 0; i < 256; ++i) {
+      draws.push_back(injector.splitErrs(eps));
+      draws.push_back(injector.dropletLost());
+    }
+    return draws;
+  };
+  EXPECT_EQ(sample(42), sample(42));
+  EXPECT_NE(sample(42), sample(43));
+}
+
+TEST(FaultInjector, SplitMagnitudeWithinEps) {
+  FaultSpec spec;
+  spec.splitRate = 1.0;
+  spec.splitEps = 0.15;
+  FaultInjector injector(spec, 7);
+  for (int i = 0; i < 512; ++i) {
+    double eps = 0.0;
+    ASSERT_TRUE(injector.splitErrs(eps));
+    EXPECT_GT(eps, 0.0);
+    EXPECT_LE(eps, 0.15);
+  }
+}
+
+TEST(FaultInjector, ZeroRatesNeverFire) {
+  FaultInjector injector(FaultSpec{}, 1);
+  double eps = 0.0;
+  for (int i = 0; i < 128; ++i) {
+    EXPECT_FALSE(injector.splitErrs(eps));
+    EXPECT_FALSE(injector.dropletLost());
+    EXPECT_FALSE(injector.dispenseFails());
+    EXPECT_FALSE(injector.electrodeDies());
+  }
+}
+
+TEST(FaultInjector, PickCellStaysOnArray) {
+  FaultSpec spec;
+  spec.electrodeRate = 1.0;
+  FaultInjector injector(spec, 3);
+  for (int i = 0; i < 256; ++i) {
+    const chip::Cell c = injector.pickCell(15, 11);
+    EXPECT_GE(c.x, 0);
+    EXPECT_LT(c.x, 15);
+    EXPECT_GE(c.y, 0);
+    EXPECT_LT(c.y, 11);
+  }
+}
+
+TEST(FaultInjector, RecordKeepsTraceAndCounts) {
+  FaultInjector injector(FaultSpec{}, 1);
+  injector.record(FaultEvent{FaultKind::kDropletLoss, 3, 0, 0.0, "a"});
+  injector.record(FaultEvent{FaultKind::kDropletLoss, 5, 1, 0.0, "b"});
+  injector.record(FaultEvent{FaultKind::kDispenseFail, 5, 2, 0.0, "c"});
+  EXPECT_EQ(injector.events().size(), 3u);
+  EXPECT_EQ(injector.count(FaultKind::kDropletLoss), 2u);
+  EXPECT_EQ(injector.count(FaultKind::kDispenseFail), 1u);
+  EXPECT_EQ(injector.count(FaultKind::kSplitImbalance), 0u);
+}
+
+TEST(FaultKindNames, AreStable) {
+  EXPECT_EQ(faultKindName(FaultKind::kSplitImbalance), "split");
+  EXPECT_EQ(faultKindName(FaultKind::kDropletLoss), "loss");
+  EXPECT_EQ(faultKindName(FaultKind::kDispenseFail), "dispense");
+  EXPECT_EQ(faultKindName(FaultKind::kElectrodeDead), "electrode");
+}
+
+TEST(Checkpoint, GranularityAndBackoff) {
+  CheckpointOptions opts;
+  opts.everyLevels = 2;
+  EXPECT_FALSE(isCheckpoint(1, opts, 1));
+  EXPECT_TRUE(isCheckpoint(2, opts, 1));
+  EXPECT_TRUE(isCheckpoint(4, opts, 1));
+  // Backoff 2x doubles the interval to 4.
+  EXPECT_FALSE(isCheckpoint(2, opts, 2));
+  EXPECT_TRUE(isCheckpoint(4, opts, 2));
+  EXPECT_TRUE(isCheckpoint(8, opts, 2));
+}
+
+TEST(Checkpoint, DetectionLatencyDelaysVisibility) {
+  CheckpointOptions opts;
+  opts.detectionLatency = 3;
+  EXPECT_FALSE(detectable(10, 10, opts));
+  EXPECT_FALSE(detectable(10, 12, opts));
+  EXPECT_TRUE(detectable(10, 13, opts));
+  opts.detectionLatency = 0;
+  EXPECT_TRUE(detectable(10, 10, opts));
+}
+
+}  // namespace
+}  // namespace dmf::fault

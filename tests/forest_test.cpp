@@ -131,6 +131,64 @@ TEST(TaskForest, WasteReuseLinksComponentTrees) {
   EXPECT_TRUE(crossTree);
 }
 
+TEST(TaskForest, NodeDemandAtRootMatchesClassicForest) {
+  MixingGraph g = buildMM(pcr());
+  TaskForest classic(g, 16);
+  TaskForest injected(g, {NodeDemand{g.root(), 16}});
+  EXPECT_EQ(injected.demand(), classic.demand());
+  EXPECT_EQ(injected.stats().mixSplits, classic.stats().mixSplits);
+  EXPECT_EQ(injected.stats().inputPerFluid, classic.stats().inputPerFluid);
+  EXPECT_EQ(injected.taskCount(), classic.taskCount());
+}
+
+TEST(TaskForest, InteriorNodeDemandBuildsOnlyTheSubgraph) {
+  // A repair forest rooted at an interior node must cost strictly less than
+  // the full forest: demand never propagates above the injected node.
+  MixingGraph g = buildMM(pcr());
+  TaskForest full(g, 2);
+  mixgraph::NodeId interior = mixgraph::kNoNode;
+  for (mixgraph::NodeId v = 0; v < g.nodeCount(); ++v) {
+    if (!g.node(v).isLeaf() && v != g.root()) interior = v;
+  }
+  ASSERT_NE(interior, mixgraph::kNoNode);
+  TaskForest repair(g, {NodeDemand{interior, 2}});
+  EXPECT_EQ(repair.demand(), 2u);
+  EXPECT_EQ(repair.demandNodes(), std::vector<mixgraph::NodeId>{interior});
+  EXPECT_LT(repair.stats().mixSplits, full.stats().mixSplits);
+  EXPECT_LT(repair.stats().inputTotal, full.stats().inputTotal);
+  EXPECT_EQ(repair.stats().inputTotal,
+            repair.stats().targets + repair.stats().waste);
+}
+
+TEST(TaskForest, DuplicateNodeDemandsMergeAtFirstOccurrence) {
+  MixingGraph g = buildMM(pcr());
+  const mixgraph::NodeId root = g.root();
+  TaskForest merged(g, {NodeDemand{root, 3}, NodeDemand{root, 5}});
+  TaskForest direct(g, {NodeDemand{root, 8}});
+  EXPECT_EQ(merged.demand(), 8u);
+  EXPECT_EQ(merged.taskCount(), direct.taskCount());
+  EXPECT_EQ(merged.demandNodes().size(), 1u);
+}
+
+TEST(TaskForest, NodeDemandRejectsBadInjectionPoints) {
+  MixingGraph g = buildMM(pcr());
+  mixgraph::NodeId leaf = mixgraph::kNoNode;
+  for (mixgraph::NodeId v = 0; v < g.nodeCount(); ++v) {
+    if (g.node(v).isLeaf()) leaf = v;
+  }
+  ASSERT_NE(leaf, mixgraph::kNoNode);
+  EXPECT_THROW(TaskForest(g, std::vector<NodeDemand>{}),
+               std::invalid_argument);
+  EXPECT_THROW(TaskForest(g, {NodeDemand{g.root(), 0}}),
+               std::invalid_argument);
+  EXPECT_THROW(TaskForest(g, {NodeDemand{leaf, 1}}), std::invalid_argument);
+  EXPECT_THROW(TaskForest(
+                   g, {NodeDemand{static_cast<mixgraph::NodeId>(
+                                      g.nodeCount()),
+                                  1}}),
+               std::invalid_argument);
+}
+
 TEST(TaskForest, MtcsDagForestConservesDroplets) {
   MixingGraph g = buildGraph(Ratio({25, 5, 5, 5, 5, 13, 13, 25, 1, 159}),
                              Algorithm::MTCS);

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <string>
 
 #include "protocols/protocols.h"
 #include "report/json.h"
@@ -54,6 +56,37 @@ TEST(Json, TypeMisuseThrows) {
   EXPECT_THROW(Json::number(std::nan("")), std::invalid_argument);
 }
 
+TEST(Json, ParseRejectsMalformedInput) {
+  EXPECT_THROW(Json::parse(""), std::invalid_argument);
+  EXPECT_THROW(Json::parse("{\"a\":"), std::invalid_argument);
+  EXPECT_THROW(Json::parse("[1,2"), std::invalid_argument);
+  EXPECT_THROW(Json::parse("\"unterminated"), std::invalid_argument);
+  EXPECT_THROW(Json::parse("\"bad escape \\q\""), std::invalid_argument);
+  EXPECT_THROW(Json::parse("\"truncated \\u12\""), std::invalid_argument);
+  EXPECT_THROW(Json::parse("\"bad hex \\u12zz\""), std::invalid_argument);
+  EXPECT_THROW(Json::parse("tru"), std::invalid_argument);
+  EXPECT_THROW(Json::parse("1e999999"), std::invalid_argument);
+  EXPECT_THROW(Json::parse("{} trailing"), std::invalid_argument);
+}
+
+TEST(Json, ParseRejectsExcessiveNesting) {
+  // 256 levels are accepted; 257 must be rejected before the recursive
+  // descent can exhaust the stack.
+  std::string ok(256, '[');
+  ok.append(256, ']');
+  EXPECT_NO_THROW(Json::parse(ok));
+  std::string deepArrays(257, '[');
+  deepArrays.append(257, ']');
+  EXPECT_THROW(Json::parse(deepArrays), std::invalid_argument);
+  std::string deepObjects;
+  for (int i = 0; i < 300; ++i) deepObjects += "{\"k\":";
+  deepObjects += "0";
+  for (int i = 0; i < 300; ++i) deepObjects += "}";
+  EXPECT_THROW(Json::parse(deepObjects), std::invalid_argument);
+  // A pathological input with no closers must fail, not recurse forever.
+  EXPECT_THROW(Json::parse(std::string(100000, '[')), std::invalid_argument);
+}
+
 TEST(Serialize, MdstResultRoundsAllMetrics) {
   engine::MdstEngine engine(protocols::pcrMasterMixRatio());
   engine::MdstRequest request;
@@ -82,6 +115,25 @@ TEST(Serialize, ScheduleListsEveryTaskOnce) {
   EXPECT_NE(json.find("\"fate\":\"target\""), std::string::npos);
   EXPECT_NE(json.find("\"fate\":\"waste\""), std::string::npos);
   EXPECT_NE(json.find("\"scheme\":\"SRS\""), std::string::npos);
+}
+
+TEST(Serialize, FaultFreePipelineOutputIsPinned) {
+  // Regression pin: the serialized plan for the paper's PCR example must
+  // stay byte-identical while fault injection is disabled. If an intentional
+  // format change trips this, re-pin the hash (FNV-1a over dump()).
+  engine::MdstEngine engine(protocols::pcrMasterMixRatio());
+  const forest::TaskForest forest =
+      engine.buildForest(mixgraph::Algorithm::MM, 20);
+  const sched::Schedule schedule = sched::scheduleSRS(forest, 3);
+  const std::string json = engine::toJson(forest, schedule).dump();
+  std::uint64_t hash = 0xCBF29CE484222325ull;
+  for (const char ch : json) {
+    hash ^= static_cast<unsigned char>(ch);
+    hash *= 0x100000001B3ull;
+  }
+  EXPECT_EQ(hash, 0x7CA1A16BD6C4DD56ull)
+      << "serialized schedule changed; first bytes: "
+                          << json.substr(0, 120);
 }
 
 TEST(Serialize, StreamingPlanRoundTrips) {

@@ -33,4 +33,19 @@ if(NOT stream_jobs1 STREQUAL stream_jobs4)
   message(FATAL_ERROR "streaming plan JSON differs between --jobs 1 and --jobs 4")
 endif()
 
-message(STATUS "GA and streaming JSON byte-identical across --jobs")
+# A fault-injected run with a fixed --fault-seed is deterministic too: the
+# replay is serial, so --jobs (which parallelizes planning only) must not
+# change a single byte of the plan + recovery JSON.
+set(inject_args stream --ratio 2:1:1:1:1:1:9 --demand 32 --storage 3 --json
+    --inject split=0.3,eps=0.4,loss=0.1,dispense=0.05 --fault-seed 42
+    --retry-budget 4)
+run_cli(inject_jobs1 ${inject_args} --jobs 1)
+run_cli(inject_jobs4 ${inject_args} --jobs 4)
+if(NOT inject_jobs1 STREQUAL inject_jobs4)
+  message(FATAL_ERROR "injected stream JSON differs between --jobs 1 and --jobs 4")
+endif()
+if(NOT inject_jobs1 MATCHES "\"recovery\"")
+  message(FATAL_ERROR "injected stream JSON lacks the recovery section")
+endif()
+
+message(STATUS "GA, streaming, and injected-recovery JSON byte-identical across --jobs")

@@ -5,6 +5,7 @@
 //                    [--ga-pop N] [--ga-gens N] [--ga-seed S] [--jobs N]
 //                    [--gantt] [--csv]
 //   dmfstream stream --ratio R --demand D --storage Q [--mixers N] [--algo A]
+//                    [--inject SPEC --fault-seed N --retry-budget K]
 //   dmfstream dilute --sample a/2^d --demand D [--mixers N]
 //   dmfstream chip   --ratio R --demand D [--mixers N] [--simulate] [--pins]
 //                    [--wear] [--anneal]
@@ -38,6 +39,7 @@
 #include "engine/mdst.h"
 #include "engine/multi_target.h"
 #include "engine/pass_cache.h"
+#include "engine/recovery.h"
 #include "engine/serialize.h"
 #include "engine/streaming.h"
 #include "mixgraph/builders.h"
@@ -65,14 +67,34 @@ struct Args {
   }
   [[nodiscard]] std::optional<std::string> get(const std::string& key) const {
     auto it = options.find(key);
-    return it == options.end() ? std::nullopt
-                               : std::optional<std::string>(it->second);
+    if (it == options.end()) {
+      // A value-taking option passed bare ("--demand" at the end of the
+      // line) must not silently fall back to a default.
+      if (has(key)) {
+        throw std::invalid_argument("--" + key + ": missing value");
+      }
+      return std::nullopt;
+    }
+    return it->second;
   }
   [[nodiscard]] std::uint64_t getU64(const std::string& key,
                                      std::uint64_t fallback) const {
     const auto text = get(key);
     if (!text.has_value()) return fallback;
     std::uint64_t value = 0;
+    const auto [ptr, ec] =
+        std::from_chars(text->data(), text->data() + text->size(), value);
+    if (ec != std::errc{} || ptr != text->data() + text->size()) {
+      throw std::invalid_argument("--" + key + ": expected a number, got '" +
+                                  *text + "'");
+    }
+    return value;
+  }
+  [[nodiscard]] double getDouble(const std::string& key,
+                                 double fallback) const {
+    const auto text = get(key);
+    if (!text.has_value()) return fallback;
+    double value = 0.0;
     const auto [ptr, ec] =
         std::from_chars(text->data(), text->data() + text->size(), value);
     if (ec != std::errc{} || ptr != text->data() + text->size()) {
@@ -102,6 +124,11 @@ commands:
           [--jobs N]    (parallel candidate evaluation; 0 = all cores)
           [--json]      (machine-readable plan, identical for every --jobs)
           [--stats]     (pass-cache hit/miss and per-stage timings)
+          fault injection + demand-driven recovery:
+          [--inject split=P,eps=E,loss=P,dispense=P,electrode=P]
+          [--fault-seed N (default 1; pass p uses seed N+p)]
+          [--retry-budget K (repair rounds per pass, default 4)]
+          [--checkpoint-every L] [--detect-latency L]
   multi   shared multi-target preparation
           --targets R1;R2;... --demands D1,D2,... [--mixers N] [--jobs N]
           [--json]      (machine-readable shared-vs-separate comparison)
@@ -215,7 +242,7 @@ int cmdPlan(const Args& args, const Ratio& ratio) {
     return 0;
   }
   if (args.get("split-error").has_value()) {
-    const double eps = std::stod(*args.get("split-error"));
+    const double eps = args.getDouble("split-error", 0.0);
     const analysis::NodeError err = analysis::targetError(
         engine.baseGraph(parseAlgo(args)), analysis::ErrorOptions{eps, 0.0});
     table.addRow({"worst CF error @eps=" + *args.get("split-error"),
@@ -246,8 +273,42 @@ int cmdStream(const Args& args, const Ratio& ratio) {
       args.has("optimize") ? planStreamingOptimized(engine, request, cache)
                            : planStreaming(engine, request, cache);
 
+  // --inject replays every pass against the seeded fault model with
+  // demand-driven repair. Pass p uses seed (--fault-seed + p); the whole
+  // replay is serial, so the output is identical for every --jobs value.
+  std::vector<engine::RecoveryReport> recovery;
+  if (args.get("inject").has_value()) {
+    engine::RecoveryOptions ropts;
+    ropts.faults = fault::FaultSpec::parse(*args.get("inject"));
+    ropts.seed = args.getU64("fault-seed", 1);
+    ropts.retryBudget =
+        static_cast<unsigned>(args.getU64("retry-budget", ropts.retryBudget));
+    ropts.checkpoint.everyLevels =
+        static_cast<unsigned>(args.getU64("checkpoint-every", 1));
+    ropts.checkpoint.detectionLatency =
+        static_cast<unsigned>(args.getU64("detect-latency", 0));
+    ropts.storageCap = request.storageCap;
+    recovery.reserve(plan.passes.size());
+    for (std::size_t p = 0; p < plan.passes.size(); ++p) {
+      const forest::TaskForest forest =
+          engine.buildForest(request.algorithm, plan.passes[p].demand);
+      const sched::Schedule schedule =
+          engine::schedule(forest, request.scheme, plan.mixers);
+      engine::RecoveryOptions passOpts = ropts;
+      passOpts.seed = ropts.seed + p;
+      recovery.push_back(engine::RecoveryEngine{passOpts}.run(forest, schedule));
+    }
+  }
+
   if (args.has("json")) {
     report::Json out = engine::toJson(plan);
+    if (!recovery.empty()) {
+      report::Json runs = report::Json::array();
+      for (const engine::RecoveryReport& r : recovery) {
+        runs.push(engine::toJson(r));
+      }
+      out.set("recovery", std::move(runs));
+    }
     if (args.has("stats")) {
       // Stats are nondeterministic (wall times; parallel prefetch shifts the
       // hit/miss split), so they only join the JSON on explicit request —
@@ -273,6 +334,45 @@ int cmdStream(const Args& args, const Ratio& ratio) {
             << plan.totalWaste << " waste, " << plan.totalInput
             << " input droplets (storage cap " << request.storageCap
             << ", peak " << plan.storageUnits << ")\n";
+  if (!recovery.empty()) {
+    report::Table faultTable({"pass", "delivered", "shortfall", "faults",
+                              "repairs", "extra mix-splits", "cycles"});
+    std::uint64_t delivered = 0;
+    std::uint64_t shortfall = 0;
+    std::uint64_t faults = 0;
+    std::uint64_t extraMixSplits = 0;
+    bool degraded = false;
+    for (std::size_t p = 0; p < recovery.size(); ++p) {
+      const engine::RecoveryReport& r = recovery[p];
+      faultTable.addRow(
+          {std::to_string(p + 1),
+           std::to_string(r.delivered) + "/" + std::to_string(r.demand),
+           std::to_string(r.shortfall), std::to_string(r.faults.size()),
+           std::to_string(r.roundsUsed), std::to_string(r.extraMixSplits),
+           std::to_string(r.completionCycle)});
+      delivered += r.delivered;
+      shortfall += r.shortfall;
+      faults += r.faults.size();
+      extraMixSplits += r.extraMixSplits;
+      degraded = degraded || r.degraded;
+    }
+    std::cout << "\nfault injection (--inject "
+              << *args.get("inject") << ", seed "
+              << args.getU64("fault-seed", 1) << "):\n"
+              << faultTable.render() << "recovered " << delivered << "/"
+              << (delivered + shortfall) << " targets, " << faults
+              << " faults, " << extraMixSplits << " extra mix-splits";
+    if (degraded) {
+      std::cout << " — DEGRADED";
+      for (const engine::RecoveryReport& r : recovery) {
+        if (r.degraded) {
+          std::cout << " (" << r.degradationReason << ")";
+          break;
+        }
+      }
+    }
+    std::cout << "\n";
+  }
   if (args.has("stats")) {
     const engine::PassCacheStats stats = cache.stats();
     std::cout << "pass cache: " << stats.hits << " hits, " << stats.misses
