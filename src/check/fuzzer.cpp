@@ -1,0 +1,555 @@
+#include "check/fuzzer.h"
+
+#include <algorithm>
+#include <chrono>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "dmf/errors.h"
+#include "engine/recovery.h"
+#include "engine/serialize.h"
+#include "engine/streaming.h"
+#include "fault/fault_injector.h"
+#include "obs/scope.h"
+#include "sched/ga_scheduler.h"
+#include "sched/heterogeneous.h"
+#include "sched/schedulers.h"
+#include "workload/random_ratios.h"
+
+namespace dmf::check {
+
+namespace {
+
+mixgraph::Algorithm parseAlgorithm(const std::string& name) {
+  if (name == "MM") return mixgraph::Algorithm::MM;
+  if (name == "RMA") return mixgraph::Algorithm::RMA;
+  if (name == "MTCS") return mixgraph::Algorithm::MTCS;
+  if (name == "RSM") return mixgraph::Algorithm::RSM;
+  throw std::invalid_argument("FuzzCase: unknown algorithm \"" + name + "\"");
+}
+
+engine::Scheme parseScheme(const std::string& name) {
+  if (name == "MMS") return engine::Scheme::kMMS;
+  if (name == "SRS") return engine::Scheme::kSRS;
+  if (name == "OMS") return engine::Scheme::kOMS;
+  throw std::invalid_argument("FuzzCase: unknown scheme \"" + name + "\"");
+}
+
+}  // namespace
+
+std::string FuzzCase::ratioString() const {
+  std::string out;
+  for (std::uint64_t p : ratioParts) {
+    if (!out.empty()) out += ':';
+    out += std::to_string(p);
+  }
+  return out;
+}
+
+std::string FuzzCase::toCli() const {
+  return "dmfstream fuzz --replay '" + toJson().dump() + "'";
+}
+
+report::Json FuzzCase::toJson() const {
+  report::Json json = report::Json::object();
+  json.set("ratio", ratioString());
+  json.set("algorithm", std::string(mixgraph::algorithmName(algorithm)));
+  json.set("scheme", std::string(engine::schemeName(scheme)));
+  json.set("demand", demand);
+  json.set("mixers", std::uint64_t{mixers});
+  json.set("storageCap", std::uint64_t{storageCap});
+  json.set("faultSpec", faultSpec);
+  json.set("faultSeed", faultSeed);
+  return json;
+}
+
+FuzzCase FuzzCase::fromJson(const report::Json& json) {
+  if (!json.isObject()) {
+    throw std::invalid_argument("FuzzCase: replay seed must be a JSON object");
+  }
+  FuzzCase c;
+  try {
+    const auto ratio = Ratio::parse(json.at("ratio").asString());
+    if (!ratio.has_value()) {
+      throw std::invalid_argument("FuzzCase: malformed ratio string");
+    }
+    c.ratioParts = ratio->parts();
+    c.algorithm = parseAlgorithm(json.at("algorithm").asString());
+    c.scheme = parseScheme(json.at("scheme").asString());
+    c.demand = json.at("demand").asUint();
+    c.mixers = static_cast<unsigned>(json.at("mixers").asUint());
+    c.storageCap = static_cast<unsigned>(json.at("storageCap").asUint());
+    c.faultSpec = json.at("faultSpec").asString();
+    c.faultSeed = json.at("faultSeed").asUint();
+  } catch (const std::out_of_range& e) {
+    throw std::invalid_argument(std::string("FuzzCase: missing field: ") +
+                                e.what());
+  } catch (const std::logic_error& e) {
+    throw std::invalid_argument(std::string("FuzzCase: bad field type: ") +
+                                e.what());
+  }
+  return c;
+}
+
+std::uint64_t FuzzCase::cost() const {
+  const std::uint64_t sum =
+      std::accumulate(ratioParts.begin(), ratioParts.end(), std::uint64_t{0});
+  return demand * (std::uint64_t{1} << 20) + sum * (std::uint64_t{1} << 12) +
+         ratioParts.size() * (std::uint64_t{1} << 8) +
+         std::uint64_t{mixers} * 16 + std::uint64_t{storageCap} * 4 +
+         (faultSpec.empty() ? 0 : 2) +
+         (algorithm == mixgraph::Algorithm::MM ? 0 : 1);
+}
+
+Fuzzer::Fuzzer(FuzzOptions options) : options_(std::move(options)) {}
+
+FuzzCase Fuzzer::generate(std::mt19937_64& rng) const {
+  FuzzCase c;
+  const unsigned accuracy = 2 + static_cast<unsigned>(rng() % 5);  // d in 2..6
+  const std::uint64_t sum = std::uint64_t{1} << accuracy;
+  const std::size_t parts =
+      2 + static_cast<std::size_t>(
+              rng() % (std::min<std::uint64_t>(6, sum) - 1));
+  workload::RandomRatioGenerator gen(sum, parts, rng());
+  c.ratioParts = gen.next().parts();
+  constexpr mixgraph::Algorithm kAlgos[] = {
+      mixgraph::Algorithm::MM, mixgraph::Algorithm::RMA,
+      mixgraph::Algorithm::MTCS, mixgraph::Algorithm::RSM};
+  c.algorithm = kAlgos[rng() % 4];
+  constexpr engine::Scheme kSchemes[] = {
+      engine::Scheme::kSRS, engine::Scheme::kSRS, engine::Scheme::kSRS,
+      engine::Scheme::kMMS, engine::Scheme::kOMS};
+  c.scheme = kSchemes[rng() % 5];
+  c.demand = 1 + rng() % 48;
+  if (rng() % 4 == 0) {
+    // Snap onto the paper's zero-waste alignment D = p * 2^d.
+    c.demand = (1 + rng() % 3) * sum;
+  }
+  c.mixers = 1 + static_cast<unsigned>(rng() % 5);
+  c.storageCap =
+      rng() % 3 == 0 ? 0 : 1 + static_cast<unsigned>(rng() % 8);
+  if (rng() % 2 == 0) {
+    c.faultSpec.clear();
+  } else {
+    const char* kSpecs[] = {
+        "split=0.05", "loss=0.03", "dispense=0.02",
+        "split=0.04,loss=0.02,eps=0.2",
+        "split=0.02,loss=0.01,dispense=0.01,electrode=0.002"};
+    c.faultSpec = kSpecs[rng() % 5];
+  }
+  c.faultSeed = 1 + rng() % 1000;
+  return c;
+}
+
+namespace {
+
+// One-field tweak of a corpus case (coverage-guided exploration around
+// shapes that were new).
+FuzzCase mutate(FuzzCase c, std::mt19937_64& rng) {
+  switch (rng() % 6) {
+    case 0: {
+      // Signed nudge in [-3, +3]: the obvious `demand + rng() % 7 - 3`
+      // wraps to ~2^64 on a small draw (the exact bug class the fuzzer
+      // hunts — it found this very line on its first long sweep).
+      const auto nudge = static_cast<std::int64_t>(rng() % 7) - 3;
+      const auto demand = static_cast<std::int64_t>(std::min<std::uint64_t>(
+          c.demand, std::uint64_t{1} << 20));
+      c.demand = static_cast<std::uint64_t>(
+          std::max<std::int64_t>(1, demand + nudge));
+      break;
+    }
+    case 1: c.demand = std::min<std::uint64_t>(c.demand * 2, 4096); break;
+    case 2: c.mixers = 1 + static_cast<unsigned>((c.mixers + rng()) % 6);
+            break;
+    case 3: c.storageCap = static_cast<unsigned>((c.storageCap + rng()) % 9);
+            break;
+    case 4: {
+      constexpr mixgraph::Algorithm kAlgos[] = {
+          mixgraph::Algorithm::MM, mixgraph::Algorithm::RMA,
+          mixgraph::Algorithm::MTCS, mixgraph::Algorithm::RSM};
+      c.algorithm = kAlgos[rng() % 4];
+      break;
+    }
+    default: c.faultSeed = 1 + rng() % 1000; break;
+  }
+  return c;
+}
+
+// Coverage proxy: a hash of the structural shape the case exercises. Built
+// from a fresh (cheap) forest so two parameterizations reaching the same
+// forest count once.
+std::uint64_t shapeSignature(const FuzzCase& c) {
+  std::uint64_t h = 1469598103934665603ull;
+  const auto fold = [&h](std::uint64_t v) {
+    h = (h ^ v) * 1099511628211ull;
+  };
+  try {
+    const Ratio ratio(std::vector<std::uint64_t>(c.ratioParts));
+    const mixgraph::MixingGraph graph =
+        mixgraph::buildGraph(ratio, c.algorithm);
+    const forest::TaskForest forest(graph, c.demand);
+    fold(static_cast<std::uint64_t>(c.algorithm));
+    fold(forest.taskCount());
+    fold(forest.depth());
+    fold(forest.stats().waste);
+    fold(forest.stats().componentTrees);
+    fold(c.mixers);
+    fold(c.storageCap == 0 ? 0 : 1 + c.storageCap);
+    fold(c.faultSpec.empty() ? 0 : 1);
+  } catch (const std::exception&) {
+    fold(0xdead);
+  }
+  return h;
+}
+
+std::set<std::string> oracleNames(const std::vector<std::string>& failures) {
+  std::set<std::string> names;
+  for (const std::string& f : failures) {
+    names.insert(f.substr(0, f.find(':')));
+  }
+  return names;
+}
+
+}  // namespace
+
+CheckResult Fuzzer::runCase(const FuzzCase& c) const {
+  CheckResult out;
+  const std::string& scope = options_.scope;
+  const auto inScope = [&scope](const char* stage) {
+    return scope == "all" || scope == stage;
+  };
+  try {
+    const Ratio ratio(std::vector<std::uint64_t>(c.ratioParts));
+    const engine::MdstEngine engine(ratio);
+    const mixgraph::MixingGraph& graph = engine.baseGraph(c.algorithm);
+    const forest::TaskForest forest(graph, c.demand);
+    ++out.checksRun;
+    forest.validateOrThrow();  // production self-check, then the oracles
+    checkForestConservation(forest, out);
+    checkForestWiring(forest, out);
+    checkMixtureCorrectness(forest, out);
+    if (scope == "forest") return out;
+
+    const unsigned mixers = std::max(1u, c.mixers);
+    sched::Schedule srs;
+    if (inScope("sched") || inScope("fault")) {
+      srs = sched::scheduleSRS(forest, mixers);
+    }
+
+    if (inScope("sched")) {
+      const sched::Schedule mms = sched::scheduleMMS(forest, mixers);
+      const sched::Schedule oms = sched::scheduleOMS(forest, mixers);
+      checkScheduledForest(forest, mms, 0, out);
+      checkScheduledForest(forest, srs, 0, out);
+      checkScheduledForest(forest, sched::scheduleSRSGreedy(forest, mixers),
+                           0, out);
+      checkScheduledForest(forest, oms, 0, out);
+      checkSrsContract(forest, srs, mms, out);
+      // Differential: a unit MixerBank must reduce exactly to the paper's
+      // unit-cycle model, so the heterogeneous scheduler and OMS (both
+      // longest-chain list schedulers) must complete at the same cycle.
+      const sched::MixerBank bank = sched::uniformBank(mixers);
+      const sched::Schedule het = sched::scheduleHeterogeneous(forest, bank);
+      ++out.checksRun;
+      try {
+        sched::validateHeterogeneous(forest, het, bank);
+      } catch (const std::logic_error& e) {
+        out.fail("het-oms", std::string("invalid unit-bank schedule: ") +
+                                e.what());
+      }
+      ++out.checksRun;
+      if (het.completionTime != oms.completionTime) {
+        out.fail("het-oms",
+                 "unit MixerBank completes at " +
+                     std::to_string(het.completionTime) + ", OMS at " +
+                     std::to_string(oms.completionTime));
+      }
+      if (c.storageCap > 0) {
+        try {
+          const sched::Schedule capped =
+              sched::scheduleStorageCapped(forest, mixers, c.storageCap);
+          checkScheduledForest(forest, capped, c.storageCap, out);
+        } catch (const InfeasibleError&) {
+          // A too-tight cap is a legal answer, not a finding.
+        }
+      }
+      if (forest.taskCount() <= 64) {
+        sched::GaOptions ga;
+        ga.seed = c.faultSeed;
+        ga.population = 8;
+        ga.generations = 6;
+        ga.elites = 1;
+        checkScheduledForest(forest, sched::scheduleGA(forest, mixers, ga), 0,
+                             out);
+      }
+    }
+
+    if (inScope("stream") && c.storageCap > 0) {
+      engine::StreamingRequest request;
+      request.algorithm = c.algorithm;
+      request.scheme = c.scheme;
+      request.demand = c.demand;
+      request.storageCap = c.storageCap;
+      request.mixers = mixers;
+      request.jobs = 1;
+      try {
+        const engine::StreamingPlan serial =
+            engine::planStreaming(engine, request);
+        engine::StreamingRequest parallelRequest = request;
+        parallelRequest.jobs = 4;
+        const engine::StreamingPlan threaded =
+            engine::planStreaming(engine, parallelRequest);
+        ++out.checksRun;
+        if (engine::toJson(serial).dump() != engine::toJson(threaded).dump()) {
+          out.fail("jobs-identical",
+                   "planStreaming JSON differs between --jobs 1 and 4");
+        }
+        checkStreamingPlan(engine, request, serial, out);
+        const engine::StreamingPlan optimized =
+            engine::planStreamingOptimized(engine, request);
+        checkStreamingPlan(engine, request, optimized, out);
+        ++out.checksRun;
+        if (optimized.totalCycles > serial.totalCycles) {
+          out.fail("stream-optimized",
+                   "optimized plan takes " +
+                       std::to_string(optimized.totalCycles) +
+                       " cycles, plain planStreaming " +
+                       std::to_string(serial.totalCycles));
+        }
+      } catch (const InfeasibleError&) {
+        // Cap below any feasible pass: a legal outcome.
+      }
+    }
+
+    if (inScope("fault")) {
+      engine::RecoveryOptions options;
+      options.seed = c.faultSeed;
+      options.storageCap = c.storageCap;
+      if (!c.faultSpec.empty()) {
+        options.faults = fault::FaultSpec::parse(c.faultSpec);
+      }
+      const engine::RecoveryEngine recovery(options);
+      const engine::RecoveryReport first = recovery.run(forest, srs);
+      ++out.checksRun;
+      if (first.delivered > first.demand ||
+          first.shortfall != first.demand - first.delivered) {
+        out.fail("recovery", "delivered/shortfall do not partition demand");
+      }
+      ++out.checksRun;
+      if (first.roundsUsed != first.rounds.size() ||
+          first.roundsUsed > first.retryBudget) {
+        out.fail("recovery", "round accounting inconsistent");
+      }
+      if (c.faultSpec.empty()) {
+        // Differential: a fault-free replay must reproduce the schedule
+        // exactly — full delivery, no repairs, same completion cycle.
+        ++out.checksRun;
+        if (first.delivered != forest.demand() || !first.rounds.empty() ||
+            !first.faults.empty() ||
+            first.completionCycle != srs.completionTime) {
+          out.fail("replay",
+                   "fault-free recovery replay diverges from the schedule "
+                   "(delivered " +
+                       std::to_string(first.delivered) + "/" +
+                       std::to_string(forest.demand()) + ", completion " +
+                       std::to_string(first.completionCycle) + " vs " +
+                       std::to_string(srs.completionTime) + ", " +
+                       std::to_string(first.rounds.size()) + " rounds)");
+        }
+      } else {
+        // Differential: one seed, two runs, byte-identical reports.
+        const engine::RecoveryReport second = recovery.run(forest, srs);
+        ++out.checksRun;
+        if (engine::toJson(first).dump() != engine::toJson(second).dump()) {
+          out.fail("recovery-determinism",
+                   "two runs with one seed produced different reports");
+        }
+      }
+    }
+  } catch (const InfeasibleError& e) {
+    ++out.checksRun;
+    out.fail("exception", std::string("unguarded InfeasibleError: ") +
+                              e.what());
+  } catch (const std::exception& e) {
+    ++out.checksRun;
+    out.fail("exception", e.what());
+  }
+  return out;
+}
+
+FuzzCase Fuzzer::shrink(
+    const FuzzCase& c, const std::function<bool(const FuzzCase&)>& stillFails,
+    unsigned* stepsOut) {
+  FuzzCase best = c;
+  unsigned steps = 0;
+  bool improved = true;
+  while (improved && steps < 200) {
+    improved = false;
+    std::vector<FuzzCase> candidates;
+    const auto propose = [&](FuzzCase v) {
+      if (v.cost() < best.cost()) candidates.push_back(std::move(v));
+    };
+    for (std::uint64_t d :
+         {std::uint64_t{1}, std::uint64_t{2}, best.demand / 2,
+          best.demand - 1}) {
+      if (d >= 1 && d < best.demand) {
+        FuzzCase v = best;
+        v.demand = d;
+        propose(std::move(v));
+      }
+    }
+    const std::uint64_t sum = std::accumulate(
+        best.ratioParts.begin(), best.ratioParts.end(), std::uint64_t{0});
+    if (best.ratioParts.size() > 2) {
+      for (std::size_t i = 0; i + 1 < best.ratioParts.size(); ++i) {
+        FuzzCase v = best;  // merge part i into its neighbour (sum preserved)
+        v.ratioParts[i + 1] += v.ratioParts[i];
+        v.ratioParts.erase(v.ratioParts.begin() +
+                           static_cast<std::ptrdiff_t>(i));
+        propose(std::move(v));
+      }
+    }
+    if (!(best.ratioParts.size() == 2 && best.ratioParts[0] == 1)) {
+      FuzzCase v = best;
+      v.ratioParts = {1, sum - 1};
+      propose(std::move(v));
+    }
+    if (sum >= 8) {
+      FuzzCase v = best;  // drop one accuracy level
+      v.ratioParts = {1, sum / 2 - 1};
+      propose(std::move(v));
+    }
+    for (unsigned m : {1u, best.mixers / 2, best.mixers - 1}) {
+      if (m >= 1 && m < best.mixers) {
+        FuzzCase v = best;
+        v.mixers = m;
+        propose(std::move(v));
+      }
+    }
+    for (unsigned cap : {0u, best.storageCap / 2}) {
+      if (cap < best.storageCap) {
+        FuzzCase v = best;
+        v.storageCap = cap;
+        propose(std::move(v));
+      }
+    }
+    if (!best.faultSpec.empty()) {
+      FuzzCase v = best;
+      v.faultSpec.clear();
+      propose(std::move(v));
+    }
+    if (best.algorithm != mixgraph::Algorithm::MM) {
+      FuzzCase v = best;
+      v.algorithm = mixgraph::Algorithm::MM;
+      propose(std::move(v));
+    }
+    std::sort(candidates.begin(), candidates.end(),
+              [](const FuzzCase& a, const FuzzCase& b) {
+                return a.cost() < b.cost();
+              });
+    for (FuzzCase& candidate : candidates) {
+      ++steps;
+      if (steps >= 200) break;
+      if (stillFails(candidate)) {
+        best = std::move(candidate);
+        improved = true;
+        break;
+      }
+    }
+  }
+  if (stepsOut != nullptr) *stepsOut = steps;
+  return best;
+}
+
+FuzzReport Fuzzer::run() const {
+  static const std::set<std::string> kScopes = {"all", "forest", "sched",
+                                                "stream", "fault"};
+  if (kScopes.find(options_.scope) == kScopes.end()) {
+    throw std::invalid_argument("Fuzzer: unknown scope \"" + options_.scope +
+                                "\" (all|forest|sched|stream|fault)");
+  }
+  FuzzReport report;
+  std::mt19937_64 rng(options_.seed);
+  const auto start = std::chrono::steady_clock::now();
+  std::set<std::uint64_t> shapes;
+  std::vector<FuzzCase> corpus;
+  for (std::uint64_t i = 0; i < options_.iterations; ++i) {
+    if (options_.timeBudgetSeconds > 0.0) {
+      const std::chrono::duration<double> elapsed =
+          std::chrono::steady_clock::now() - start;
+      if (elapsed.count() >= options_.timeBudgetSeconds) {
+        report.timedOut = true;
+        break;
+      }
+    }
+    FuzzCase c = (!corpus.empty() && rng() % 4 == 0)
+                     ? mutate(corpus[rng() % corpus.size()], rng)
+                     : generate(rng);
+    const auto caseStart = std::chrono::steady_clock::now();
+    const CheckResult result = runCase(c);
+    const auto caseNanos = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - caseStart)
+            .count());
+    obs::count("check.fuzz.cases");
+    obs::count("check.fuzz.oracle_checks", result.checksRun);
+    if (obs::MetricsRegistry* m = obs::metrics()) {
+      m->histogram("check.fuzz.case_nanos",
+                   {100'000, 1'000'000, 10'000'000, 100'000'000})
+          .observe(caseNanos);
+    }
+    ++report.casesRun;
+    report.checksRun += result.checksRun;
+    if (shapes.insert(shapeSignature(c)).second && corpus.size() < 64) {
+      corpus.push_back(c);
+    }
+    if (!result.ok()) {
+      obs::count("check.fuzz.failures");
+      FuzzFinding finding;
+      finding.original = c;
+      finding.iteration = i;
+      const std::set<std::string> names = oracleNames(result.failures);
+      const auto stillFails = [this, &names](const FuzzCase& candidate) {
+        const CheckResult r = runCase(candidate);
+        const std::set<std::string> got = oracleNames(r.failures);
+        return std::any_of(names.begin(), names.end(),
+                           [&got](const std::string& n) {
+                             return got.find(n) != got.end();
+                           });
+      };
+      finding.reproducer = shrink(c, stillFails, &finding.shrinkSteps);
+      finding.failures = runCase(finding.reproducer).failures;
+      report.findings.push_back(std::move(finding));
+    }
+  }
+  report.distinctShapes = shapes.size();
+  return report;
+}
+
+std::string renderReport(const FuzzReport& report) {
+  std::string out = "fuzz: " + std::to_string(report.casesRun) + " cases, " +
+                    std::to_string(report.checksRun) + " oracle checks, " +
+                    std::to_string(report.distinctShapes) +
+                    " distinct forest shapes" +
+                    (report.timedOut ? " (time budget hit)" : "") + "\n";
+  if (report.ok()) {
+    out += "fuzz: all invariants held\n";
+    return out;
+  }
+  out += "fuzz: " + std::to_string(report.findings.size()) + " finding(s)\n";
+  for (const FuzzFinding& f : report.findings) {
+    out += "--- finding at iteration " + std::to_string(f.iteration) +
+           " (shrunk in " + std::to_string(f.shrinkSteps) + " steps)\n";
+    for (const std::string& failure : f.failures) {
+      out += "    " + failure + "\n";
+    }
+    out += "  reproduce: " + f.reproducer.toCli() + "\n";
+    out += "  seed json: " + f.reproducer.toJson().dump() + "\n";
+  }
+  return out;
+}
+
+}  // namespace dmf::check

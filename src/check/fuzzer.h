@@ -1,0 +1,133 @@
+// Seeded coverage-guided differential fuzzing over the whole pipeline
+// (DESIGN.md §12).
+//
+// The fuzzer sweeps (ratio, algorithm, demand, mixers, storageCap,
+// fault-spec) tuples through buildGraph -> TaskForest -> every scheduler ->
+// the streaming planner -> the recovery engine, runs the invariant oracles
+// of oracles.h on each stage, and cross-checks every pair of paths that must
+// agree:
+//
+//  * planStreaming with --jobs 1 vs --jobs 4: byte-identical JSON plans;
+//  * scheduleHeterogeneous on a unit MixerBank vs scheduleOMS: equal
+//    completion time (both are critical-path list schedulers);
+//  * a fault-free RecoveryEngine replay vs the original schedule: full
+//    delivery, no repair rounds, identical completion cycle;
+//  * a repeated faulty recovery run with one seed: byte-identical reports;
+//  * planStreamingOptimized vs planStreaming: never more total cycles.
+//
+// A failing case is shrunk to a minimal reproducer (greedy descent over
+// demand, mixers, cap, ratio, fault spec) and reported as a ready-to-paste
+// CLI invocation plus a JSON seed that `dmfstream fuzz --replay` accepts.
+//
+// Determinism: one run is fully determined by (seed, iterations, scope) —
+// the time budget can only truncate the case sequence, never reorder it.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "check/oracles.h"
+#include "engine/mdst.h"
+#include "mixgraph/builders.h"
+#include "report/json.h"
+
+namespace dmf::check {
+
+/// One generated pipeline configuration — everything needed to reproduce a
+/// finding exactly.
+struct FuzzCase {
+  /// Ratio parts (each >= 1, sum a power of two >= 2).
+  std::vector<std::uint64_t> ratioParts{1, 3};
+  mixgraph::Algorithm algorithm = mixgraph::Algorithm::MM;
+  /// Scheduler the streaming stage plans with.
+  engine::Scheme scheme = engine::Scheme::kSRS;
+  std::uint64_t demand = 2;
+  unsigned mixers = 1;
+  /// 0 = uncapped (the capped-scheduler and streaming stages are skipped).
+  unsigned storageCap = 0;
+  /// FaultSpec::parse format; empty = the fault-free replay differential.
+  std::string faultSpec;
+  std::uint64_t faultSeed = 1;
+
+  /// "a1:a2:...:aN".
+  [[nodiscard]] std::string ratioString() const;
+  /// Ready-to-paste reproducer: `dmfstream fuzz --replay '<json>'`.
+  [[nodiscard]] std::string toCli() const;
+  [[nodiscard]] report::Json toJson() const;
+  /// Inverse of toJson. Throws std::invalid_argument on missing/bad fields.
+  [[nodiscard]] static FuzzCase fromJson(const report::Json& json);
+
+  /// Shrinking order: lexicographic cost a smaller reproducer minimizes.
+  [[nodiscard]] std::uint64_t cost() const;
+};
+
+/// What the fuzz driver sweeps.
+struct FuzzOptions {
+  std::uint64_t seed = 1;
+  std::uint64_t iterations = 200;
+  /// Wall-clock cutoff; 0 = run all iterations.
+  double timeBudgetSeconds = 0.0;
+  /// "all", "forest", "sched", "stream", or "fault" — which pipeline stages
+  /// the oracles cover. Unknown scopes throw std::invalid_argument at run().
+  std::string scope = "all";
+};
+
+/// One confirmed failure, shrunk.
+struct FuzzFinding {
+  FuzzCase original;
+  FuzzCase reproducer;
+  /// Oracle failures of the *reproducer* (superset match with the original's
+  /// oracle names guaranteed by the shrinker).
+  std::vector<std::string> failures;
+  std::uint64_t iteration = 0;
+  unsigned shrinkSteps = 0;
+};
+
+/// Outcome of one fuzz run.
+struct FuzzReport {
+  std::uint64_t casesRun = 0;
+  std::uint64_t checksRun = 0;
+  /// Distinct forest shapes exercised (coverage proxy).
+  std::uint64_t distinctShapes = 0;
+  bool timedOut = false;
+  std::vector<FuzzFinding> findings;
+
+  [[nodiscard]] bool ok() const { return findings.empty(); }
+};
+
+/// The seeded fuzz driver.
+class Fuzzer {
+ public:
+  explicit Fuzzer(FuzzOptions options);
+
+  [[nodiscard]] const FuzzOptions& options() const { return options_; }
+
+  /// Sweeps options().iterations cases; deterministic for a fixed seed.
+  [[nodiscard]] FuzzReport run() const;
+
+  /// Runs every oracle and differential check the scope selects on one case.
+  /// Unexpected exceptions become "exception:" failures; expected
+  /// infeasibility (dmf::InfeasibleError under a tight cap) skips the stage.
+  [[nodiscard]] CheckResult runCase(const FuzzCase& c) const;
+
+  /// Draws the next case from the generator stream.
+  [[nodiscard]] FuzzCase generate(std::mt19937_64& rng) const;
+
+  /// Greedy shrink: repeatedly applies the cheapest simplification that
+  /// still satisfies `stillFails`, until none applies. `stillFails` must be
+  /// true for `c` itself. Exposed with an arbitrary predicate for tests.
+  [[nodiscard]] static FuzzCase shrink(
+      const FuzzCase& c, const std::function<bool(const FuzzCase&)>& stillFails,
+      unsigned* stepsOut = nullptr);
+
+ private:
+  FuzzOptions options_;
+};
+
+/// Human-readable report: per-finding CLI reproducer + JSON seed + failures.
+[[nodiscard]] std::string renderReport(const FuzzReport& report);
+
+}  // namespace dmf::check

@@ -1,0 +1,119 @@
+// Invariant oracles: independent brute-force re-derivations of the paper's
+// guarantees, used by the fuzzer and the property tests as a single source
+// of truth (DESIGN.md §12).
+//
+// Every oracle re-derives its answer from first principles — droplet event
+// simulation, exact DyadicFraction mixture evaluation, memoized longest-path
+// recursion — deliberately NOT by calling the production implementations it
+// cross-checks (sched::validateOrThrow, sched::countStorage, ForestStats).
+// The implementations here favour obvious correctness over speed; they are
+// the referee, not the player.
+//
+// Oracles never throw on a violated invariant: they append a readable
+// description to a CheckResult, so one fuzz case can collect every violation
+// it triggers and the shrinker can match failures by oracle name.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "engine/streaming.h"
+#include "forest/task_forest.h"
+#include "sched/schedule.h"
+
+namespace dmf::check {
+
+/// Accumulated oracle verdicts for one subject. Empty failures == all
+/// invariants held.
+struct CheckResult {
+  /// One entry per violated invariant: "<oracle>: <what went wrong>".
+  std::vector<std::string> failures;
+  /// Total individual assertions evaluated (for throughput accounting).
+  std::uint64_t checksRun = 0;
+
+  [[nodiscard]] bool ok() const { return failures.empty(); }
+  void fail(const std::string& oracle, const std::string& what) {
+    failures.push_back(oracle + ": " + what);
+  }
+  /// All failures joined, one per line (test/CLI reporting).
+  [[nodiscard]] std::string summary() const;
+};
+
+// ---- forest oracles ------------------------------------------------------
+
+/// Droplet conservation re-derived from the task list alone: inputs (kNoTask
+/// operand slots) equal targets + waste (2 in, 2 out per mix-split), target
+/// count equals the demand, per-fluid input tallies match stats(), the
+/// component-tree count matches, and — the paper's zero-waste theorem — a
+/// single-target demand of p * 2^d wastes nothing.
+/// Oracle names: "conservation", "zero-waste".
+void checkForestConservation(const forest::TaskForest& forest,
+                             CheckResult& out);
+
+/// Dependency wiring re-derived edge by edge: every operand producer emits
+/// exactly the consumed droplets its consumers claim, droplet fates are
+/// consistent, and the dependency relation is acyclic (explicit DFS).
+/// Oracle name: "wiring".
+void checkForestWiring(const forest::TaskForest& forest, CheckResult& out);
+
+/// Exact mixture evaluation: every task's composition is recomputed
+/// bottom-up with MixtureValue::mix (exact dyadic arithmetic) from pure
+/// reservoir fluids, compared against the base graph's claimed node value,
+/// and every emitted target droplet must equal the composition of its
+/// demand node. Oracle name: "mixture".
+void checkMixtureCorrectness(const forest::TaskForest& forest,
+                             CheckResult& out);
+
+// ---- schedule oracles ----------------------------------------------------
+
+/// Schedule validity re-derived independently of sched::validateOrThrow:
+/// every task placed once at cycle >= 1, mixer indices in range, no two
+/// tasks in one (cycle, mixer) slot, operands strictly earlier, and
+/// completionTime equal to the last busy cycle. Oracle name: "schedule".
+void checkScheduleValidity(const forest::TaskForest& forest,
+                           const sched::Schedule& s, CheckResult& out);
+
+/// Brute-force peak storage: one +1/-1 event pair per consumed droplet,
+/// prefix-summed over the cycle axis (an independent restatement of
+/// Algorithm 3).
+[[nodiscard]] unsigned storageOracle(const forest::TaskForest& forest,
+                                     const sched::Schedule& s);
+
+/// Cross-checks sched::countStorage against storageOracle.
+/// Oracle name: "storage-count".
+void checkStorageCount(const forest::TaskForest& forest,
+                       const sched::Schedule& s, CheckResult& out);
+
+/// Completion-time lower bounds: the schedule can beat neither the critical
+/// path (longest dependency chain, re-derived by memoized recursion) nor the
+/// width bound ceil(taskCount / mixers). Oracle name: "lower-bound".
+void checkCompletionLowerBounds(const forest::TaskForest& forest,
+                                const sched::Schedule& s, CheckResult& out);
+
+/// The SRS contract (paper section 4.2.2): SRS must never need more storage
+/// than MMS on the same forest and bank. Storage measured by storageOracle
+/// on both sides. Oracle name: "srs-contract".
+void checkSrsContract(const forest::TaskForest& forest,
+                      const sched::Schedule& srs, const sched::Schedule& mms,
+                      CheckResult& out);
+
+/// All schedule oracles at once (validity, storage count, lower bounds) plus
+/// an optional hard storage cap (capped schedulers; pass cap = 0 for
+/// uncapped). Oracle names as above plus "storage-cap".
+void checkScheduledForest(const forest::TaskForest& forest,
+                          const sched::Schedule& s, unsigned storageCap,
+                          CheckResult& out);
+
+// ---- streaming-plan oracles ----------------------------------------------
+
+/// Re-validates a streaming plan end to end: pass demands sum to the
+/// request's demand, every pass re-evaluated from scratch (forest rebuild +
+/// scheduler rerun) matches the recorded cycles/storage/waste/input and fits
+/// the cap, and the plan totals are the sums of the passes.
+/// Oracle name: "stream-plan".
+void checkStreamingPlan(const engine::MdstEngine& engine,
+                        const engine::StreamingRequest& request,
+                        const engine::StreamingPlan& plan, CheckResult& out);
+
+}  // namespace dmf::check

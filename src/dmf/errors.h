@@ -1,0 +1,28 @@
+// Library-wide exception taxonomy.
+//
+// The planners distinguish two failure families and the CLI maps them to
+// distinct exit codes (see tools/dmfstream_cli.cpp):
+//  * std::invalid_argument — the request itself is malformed (exit 1);
+//  * dmf::InfeasibleError  — the request is well-formed but no plan exists
+//    under the given resources, e.g. a storage cap too tight for even a
+//    two-droplet pass (exit 2);
+//  * anything else (std::logic_error in particular) is an internal invariant
+//    violation — a bug, not a user error (exit 3).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace dmf {
+
+/// A well-formed request that no plan can satisfy under the given resource
+/// budget (mixers, storage cap, input budget). Catching this (rather than
+/// every std::runtime_error) lets callers — the CLI, the fuzzer's oracles —
+/// separate "infeasible, by design" from "broken, by bug".
+class InfeasibleError : public std::runtime_error {
+ public:
+  explicit InfeasibleError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+}  // namespace dmf

@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "dmf/errors.h"
 #include "engine/pass_cache.h"
 #include "engine/pass_pool.h"
 #include "obs/scope.h"
@@ -182,7 +183,7 @@ StreamingPlan planStreamingImpl(const MdstEngine& engine,
 
   const std::uint64_t minPass = std::min<std::uint64_t>(demand, 2);
   if (!ctx.feasible(minPass)) {
-    throw std::runtime_error(
+    throw InfeasibleError(
         "planStreaming: even a two-droplet pass exceeds the storage cap of " +
         std::to_string(request.storageCap));
   }
@@ -199,7 +200,7 @@ StreamingPlan planStreamingImpl(const MdstEngine& engine,
         perPass > 1 ? largestFeasibleDescending(ctx, 1, perPass - 1)
                     : std::nullopt;
     if (!smaller.has_value()) {
-      throw std::runtime_error(
+      throw InfeasibleError(
           "planStreaming: no per-pass split fits the storage cap of " +
           std::to_string(request.storageCap));
     }
@@ -274,7 +275,7 @@ StreamingPlan planStreamingOptimizedImpl(const MdstEngine& engine,
     if (perPass == demand) break;
   }
   if (!best.has_value()) {
-    throw std::runtime_error(
+    throw InfeasibleError(
         "planStreamingOptimized: no pass size fits the storage cap of " +
         std::to_string(request.storageCap));
   }

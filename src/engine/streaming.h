@@ -76,8 +76,8 @@ struct StreamingRequest {
 ///    too, and D' shrinks to the next feasible size until the tail fits, so
 ///    no emitted pass ever exceeds storageCap.
 ///
-/// Throws std::runtime_error when even a two-droplet pass exceeds the cap (or
-/// no split satisfies the cap); std::invalid_argument on a zero demand.
+/// Throws dmf::InfeasibleError when even a two-droplet pass exceeds the cap
+/// (or no split satisfies the cap); std::invalid_argument on a zero demand.
 [[nodiscard]] StreamingPlan planStreaming(const MdstEngine& engine,
                                           const StreamingRequest& request);
 

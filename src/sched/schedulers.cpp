@@ -1,6 +1,7 @@
 #include "sched/schedulers.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <deque>
 #include <optional>
 #include <set>
@@ -8,6 +9,8 @@
 #include <tuple>
 #include <utility>
 #include <vector>
+
+#include "dmf/errors.h"
 
 namespace dmf::sched {
 
@@ -350,8 +353,16 @@ std::optional<Schedule> tryStorageCapped(const TaskForest& forest,
   // the hard constraint per cycle is: carried - consumedNow <= cap. Fresh
   // production only becomes storage next cycle; it is admitted up to an
   // optimism window of what the mixer bank could consume back in one cycle.
-  unsigned carried = 0;
-  const unsigned budget = storageCap + window;
+  //
+  // All pressure tests below run in signed 64-bit arithmetic: the inventory
+  // invariant (a cycle never consumes more droplets than it carried in) is
+  // expected to hold for every forest the TaskForest constructors can build,
+  // but an unsigned wrap here would not fail loudly — it would silently turn
+  // the test into always-true/always-false and admit cap-violating batches.
+  // The invariant itself is checked at the end of every cycle.
+  std::int64_t carried = 0;
+  const std::int64_t budget =
+      static_cast<std::int64_t>(storageCap) + window;
   std::size_t remaining = n;
   std::vector<TaskId> batch;
   for (unsigned t = 1; remaining > 0; ++t) {
@@ -361,19 +372,19 @@ std::optional<Schedule> tryStorageCapped(const TaskForest& forest,
     }
 
     batch.clear();
-    unsigned consumedNow = 0;
-    unsigned producedNow = 0;
+    std::int64_t consumedNow = 0;
+    std::int64_t producedNow = 0;
     // Pass 1 — consumers of stored droplets (the Q_int of Algorithm 2), in
     // just-in-time order. Emptying storage takes precedence over everything.
     for (auto it = ready.begin();
          it != ready.end() && batch.size() < mixers;) {
       const TaskId id = it->second;
-      const unsigned cons = storedOperands(id);
+      const std::int64_t cons = storedOperands(id);
       if (cons == 0) {
         ++it;
         continue;
       }
-      const unsigned prod = consumableOuts(id);
+      const std::int64_t prod = consumableOuts(id);
       if (prod > cons &&
           carried - consumedNow - cons + producedNow + prod > budget) {
         ++it;  // net-producing consumer under pressure: stall it
@@ -391,12 +402,11 @@ std::optional<Schedule> tryStorageCapped(const TaskForest& forest,
     for (auto it = ready.begin();
          it != ready.end() && batch.size() < mixers;) {
       const TaskId id = it->second;
-      const unsigned cons = storedOperands(id);
-      if (cons != 0) {
+      if (storedOperands(id) != 0) {
         ++it;
         continue;
       }
-      const unsigned prod = consumableOuts(id);
+      const std::int64_t prod = consumableOuts(id);
       if (carried - consumedNow + producedNow + prod > budget) {
         break;  // strict order among producers
       }
@@ -405,7 +415,16 @@ std::optional<Schedule> tryStorageCapped(const TaskForest& forest,
       it = ready.erase(it);
     }
 
-    if (carried - consumedNow > storageCap) {
+    if (consumedNow > carried) {
+      // A cycle consumed more droplets than it carried in — the readiness
+      // bookkeeping above must make this impossible; wrapping silently in
+      // unsigned arithmetic was the pre-signed failure mode.
+      throw std::logic_error(
+          "tryStorageCapped: cycle consumed more droplets than carried (" +
+          std::to_string(consumedNow) + " > " + std::to_string(carried) +
+          ")");
+    }
+    if (carried - consumedNow > static_cast<std::int64_t>(storageCap)) {
       return std::nullopt;
     }
 
@@ -459,7 +478,7 @@ Schedule scheduleStorageCapped(const TaskForest& forest, unsigned mixers,
     }
   }
   if (!best.has_value()) {
-    throw std::runtime_error(
+    throw InfeasibleError(
         "scheduleStorageCapped: storage cap of " +
         std::to_string(storageCap) + " units is too tight to make progress");
   }
@@ -533,12 +552,19 @@ unsigned criticalPathLength(const TaskForest& forest) {
 
 unsigned minimumMixers(const TaskForest& forest) {
   const unsigned cp = criticalPathLength(forest);
-  for (unsigned m = 1;; ++m) {
+  if (cp == 0) return 1;  // empty forest: any bank completes instantly
+  // No bank smaller than ceil(taskCount / cp) can reach the critical path
+  // (completion >= ceil(taskCount / mixers) > cp below it), so the scan
+  // starts at the width lower bound instead of 1.
+  const auto n = static_cast<unsigned>(forest.taskCount());
+  for (unsigned m = std::max(1u, (n + cp - 1) / cp);; ++m) {
+    // Runaway check first: a failure throws instead of paying one extra
+    // wasted O(n log n) scheduling pass beyond the taskCount ceiling.
+    if (m > n) {
+      throw std::logic_error("minimumMixers: failed to reach critical path");
+    }
     if (scheduleOMS(forest, m).completionTime == cp) {
       return m;
-    }
-    if (m > forest.taskCount()) {
-      throw std::logic_error("minimumMixers: failed to reach critical path");
     }
   }
 }

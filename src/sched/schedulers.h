@@ -34,7 +34,7 @@ namespace dmf::sched {
 /// a cycle only if the droplets parked on chip never exceed `storageCap`
 /// units. Consumers of stored droplets (Type-A/B, highest level first) are
 /// served before fresh dispense mixes (Type-C); mixers idle when admitting
-/// more work would overflow the storage. Throws std::runtime_error when the
+/// more work would overflow the storage. Throws dmf::InfeasibleError when the
 /// cap is too tight to make progress, std::invalid_argument if mixers == 0.
 [[nodiscard]] Schedule scheduleStorageCapped(const forest::TaskForest& forest,
                                              unsigned mixers,

@@ -2,8 +2,9 @@
 
 #include <algorithm>
 #include <bit>
+#include <numeric>
 #include <stdexcept>
-#include <unordered_set>
+#include <unordered_map>
 
 namespace dmf::workload {
 
@@ -20,15 +21,63 @@ RandomRatioGenerator::RandomRatioGenerator(std::uint64_t sum,
   }
 }
 
+namespace {
+
+// k distinct values sampled uniformly from [1, n] by partial Fisher-Yates
+// over the virtual identity array [1..n]: draw j uniform in [i, n-1], swap
+// slot i with slot j, emit slot i. Only the touched slots live in a hash
+// map, so the cost is O(k) regardless of n — rejection sampling (the old
+// implementation) degenerates into a coupon-collector stall as k approaches
+// n (k == n never terminates in reasonable time for large n).
+std::vector<std::uint64_t> sampleSparse(std::uint64_t n, std::uint64_t k,
+                                        std::mt19937_64& rng) {
+  std::unordered_map<std::uint64_t, std::uint64_t> slot;
+  slot.reserve(static_cast<std::size_t>(2 * k));
+  const auto read = [&slot](std::uint64_t i) {
+    const auto it = slot.find(i);
+    return it == slot.end() ? i + 1 : it->second;  // identity is [1..n]
+  };
+  std::vector<std::uint64_t> picks;
+  picks.reserve(static_cast<std::size_t>(k));
+  for (std::uint64_t i = 0; i < k; ++i) {
+    std::uniform_int_distribution<std::uint64_t> dist(i, n - 1);
+    const std::uint64_t j = dist(rng);
+    const std::uint64_t vi = read(i);
+    const std::uint64_t vj = read(j);
+    slot[j] = vi;
+    slot[i] = vj;
+    picks.push_back(vj);
+  }
+  return picks;
+}
+
+// Dense variant for k close to n (then n <= 2k is small enough to
+// materialize): a plain partial shuffle of [1..n], taking the first k.
+std::vector<std::uint64_t> sampleDense(std::uint64_t n, std::uint64_t k,
+                                       std::mt19937_64& rng) {
+  std::vector<std::uint64_t> values(static_cast<std::size_t>(n));
+  std::iota(values.begin(), values.end(), std::uint64_t{1});
+  for (std::uint64_t i = 0; i < k; ++i) {
+    std::uniform_int_distribution<std::uint64_t> dist(i, n - 1);
+    std::swap(values[static_cast<std::size_t>(i)],
+              values[static_cast<std::size_t>(dist(rng))]);
+  }
+  values.resize(static_cast<std::size_t>(k));
+  return values;
+}
+
+}  // namespace
+
 Ratio RandomRatioGenerator::next() {
   // Stars and bars: choose parts-1 distinct cut points in [1, sum-1]; the
-  // gaps between consecutive cuts are the parts.
-  std::unordered_set<std::uint64_t> cutSet;
-  std::uniform_int_distribution<std::uint64_t> dist(1, sum_ - 1);
-  while (cutSet.size() < parts_ - 1) {
-    cutSet.insert(dist(rng_));
-  }
-  std::vector<std::uint64_t> cuts(cutSet.begin(), cutSet.end());
+  // gaps between consecutive cuts are the parts. The cut set is drawn
+  // without replacement (partial Fisher-Yates), so every draw costs O(parts)
+  // even when parts == sum — the case where the previous rejection sampler
+  // stalled on the coupon-collector tail.
+  const std::uint64_t n = sum_ - 1;
+  const std::uint64_t k = parts_ - 1;
+  std::vector<std::uint64_t> cuts =
+      2 * k >= n ? sampleDense(n, k, rng_) : sampleSparse(n, k, rng_);
   std::sort(cuts.begin(), cuts.end());
   std::vector<std::uint64_t> partsVec;
   partsVec.reserve(parts_);

@@ -11,7 +11,9 @@ namespace dmf::workload {
 
 /// Deterministic (seeded) generator of uniformly random compositions: ratios
 /// of exactly N parts summing to L, every part >= 1, drawn uniformly from
-/// all such ordered compositions (stars-and-bars sampling).
+/// all such ordered compositions (stars-and-bars with the cut set sampled
+/// without replacement — partial Fisher-Yates — so a draw costs O(N) even
+/// when N approaches L; N == L is exact and instant).
 class RandomRatioGenerator {
  public:
   /// Throws std::invalid_argument unless L is a power of two >= 2 and

@@ -1,0 +1,249 @@
+// The checker checked: the oracle library must accept everything the
+// pipeline produces and reject hand-corrupted artifacts, and the fuzz
+// driver must be deterministic, round-trippable, and able to shrink.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <functional>
+
+#include "check/fuzzer.h"
+#include "check/oracles.h"
+#include "engine/mdst.h"
+#include "engine/streaming.h"
+#include "mixgraph/builders.h"
+#include "sched/schedulers.h"
+
+namespace dmf {
+namespace {
+
+using check::CheckResult;
+using check::FuzzCase;
+using check::Fuzzer;
+using check::FuzzOptions;
+using forest::TaskForest;
+using mixgraph::Algorithm;
+
+TaskForest makeForest(Algorithm algo, std::uint64_t demand) {
+  static const Ratio kRatio{2, 1, 1, 1, 1, 1, 9};
+  // The graphs are cached per algorithm so repeated tests stay cheap.
+  static engine::MdstEngine engine(kRatio);
+  return engine.buildForest(algo, demand);
+}
+
+TEST(CheckOracles, CleanForestPassesEveryOracle) {
+  for (Algorithm algo : {Algorithm::MM, Algorithm::RMA, Algorithm::MTCS,
+                         Algorithm::RSM}) {
+    const TaskForest f = makeForest(algo, 20);
+    CheckResult out;
+    check::checkForestConservation(f, out);
+    check::checkForestWiring(f, out);
+    check::checkMixtureCorrectness(f, out);
+    EXPECT_TRUE(out.ok()) << out.summary();
+    EXPECT_GT(out.checksRun, 0u);
+  }
+}
+
+TEST(CheckOracles, StorageOracleMatchesAlgorithm3) {
+  const TaskForest f = makeForest(Algorithm::MM, 26);
+  for (unsigned mixers : {1u, 2u, 4u}) {
+    for (const sched::Schedule& s :
+         {sched::scheduleMMS(f, mixers), sched::scheduleSRS(f, mixers),
+          sched::scheduleOMS(f, mixers)}) {
+      EXPECT_EQ(check::storageOracle(f, s), sched::countStorage(f, s))
+          << s.scheme << " M=" << mixers;
+    }
+  }
+}
+
+TEST(CheckOracles, ScheduleOracleAcceptsValidSchedules) {
+  const TaskForest f = makeForest(Algorithm::RMA, 14);
+  const sched::Schedule srs = sched::scheduleSRS(f, 3);
+  const sched::Schedule mms = sched::scheduleMMS(f, 3);
+  CheckResult out;
+  check::checkScheduledForest(f, srs, 0, out);
+  check::checkSrsContract(f, srs, mms, out);
+  EXPECT_TRUE(out.ok()) << out.summary();
+}
+
+TEST(CheckOracles, ScheduleOracleRejectsPrecedenceViolation) {
+  const TaskForest f = makeForest(Algorithm::MM, 8);
+  sched::Schedule s = sched::scheduleSRS(f, 2);
+  // Yank a dependent task back to cycle 1: its operands now arrive late.
+  for (forest::TaskId id = 0; id < f.taskCount(); ++id) {
+    if (f.task(id).depLeft != forest::kNoTask) {
+      s.assignments[id].cycle = 1;
+      break;
+    }
+  }
+  CheckResult out;
+  check::checkScheduleValidity(f, s, out);
+  EXPECT_FALSE(out.ok());
+}
+
+TEST(CheckOracles, ScheduleOracleRejectsDoubleBookedMixer) {
+  const TaskForest f = makeForest(Algorithm::MM, 8);
+  sched::Schedule s = sched::scheduleMMS(f, 2);
+  ASSERT_GE(f.taskCount(), 2u);
+  s.assignments[1] = s.assignments[0];  // two tasks, one (cycle, mixer) slot
+  CheckResult out;
+  check::checkScheduleValidity(f, s, out);
+  EXPECT_FALSE(out.ok());
+}
+
+TEST(CheckOracles, StreamingPlanOracleAcceptsAndRejects) {
+  const Ratio ratio{2, 1, 1, 1, 1, 1, 9};
+  const engine::MdstEngine engine(ratio);
+  engine::StreamingRequest request;
+  request.demand = 32;
+  request.storageCap = 3;
+  const engine::StreamingPlan plan = engine::planStreaming(engine, request);
+  {
+    CheckResult out;
+    check::checkStreamingPlan(engine, request, plan, out);
+    EXPECT_TRUE(out.ok()) << out.summary();
+  }
+  {
+    engine::StreamingPlan corrupted = plan;
+    corrupted.totalCycles += 1;
+    CheckResult out;
+    check::checkStreamingPlan(engine, request, corrupted, out);
+    EXPECT_FALSE(out.ok());
+  }
+}
+
+TEST(CheckFuzzer, CaseJsonRoundTrip) {
+  FuzzCase c;
+  c.ratioParts = {2, 1, 1, 1, 1, 1, 9};
+  c.algorithm = Algorithm::MTCS;
+  c.scheme = engine::Scheme::kOMS;
+  c.demand = 17;
+  c.mixers = 3;
+  c.storageCap = 5;
+  c.faultSpec = "loss=0.1";
+  c.faultSeed = 99;
+  const FuzzCase back = FuzzCase::fromJson(c.toJson());
+  EXPECT_EQ(back.ratioParts, c.ratioParts);
+  EXPECT_EQ(back.algorithm, c.algorithm);
+  EXPECT_EQ(back.scheme, c.scheme);
+  EXPECT_EQ(back.demand, c.demand);
+  EXPECT_EQ(back.mixers, c.mixers);
+  EXPECT_EQ(back.storageCap, c.storageCap);
+  EXPECT_EQ(back.faultSpec, c.faultSpec);
+  EXPECT_EQ(back.faultSeed, c.faultSeed);
+  EXPECT_NE(c.toCli().find("fuzz --replay"), std::string::npos);
+}
+
+TEST(CheckFuzzer, FromJsonRejectsMissingFields) {
+  EXPECT_THROW(
+      (void)FuzzCase::fromJson(report::Json::parse(R"({"ratio":"3:1"})")),
+      std::invalid_argument);
+  EXPECT_THROW((void)FuzzCase::fromJson(report::Json::parse("[1,2]")),
+               std::invalid_argument);
+}
+
+TEST(CheckFuzzer, RunCaseCleanOnKnownGoodCase) {
+  FuzzCase c;
+  c.ratioParts = {2, 1, 1, 1, 1, 1, 9};
+  c.demand = 12;
+  c.mixers = 3;
+  c.storageCap = 4;
+  c.faultSpec = "split=0.05,loss=0.02";
+  const Fuzzer fuzzer(FuzzOptions{});
+  const CheckResult result = fuzzer.runCase(c);
+  EXPECT_TRUE(result.ok()) << result.summary();
+  EXPECT_GT(result.checksRun, 100u);
+}
+
+TEST(CheckFuzzer, AbsurdDemandSurfacesAsFindingNotCrash) {
+  // The shrunken reproducer of the first real sweep finding: a mutator
+  // unsigned-underflow drove demand to ~2^64. The library's overflow guard
+  // must turn that into a reported failure, never UB or a crash.
+  const FuzzCase c = FuzzCase::fromJson(report::Json::parse(
+      R"({"ratio":"3:3:2","algorithm":"RSM","scheme":"SRS",
+          "demand":18446744073709551548,"mixers":1,"storageCap":2,
+          "faultSpec":"","faultSeed":614})"));
+  const Fuzzer fuzzer(FuzzOptions{});
+  const CheckResult result = fuzzer.runCase(c);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.failures.front().find("exception"), std::string::npos);
+}
+
+TEST(CheckFuzzer, DeterministicForSeed) {
+  FuzzOptions options;
+  options.seed = 5;
+  options.iterations = 40;
+  const check::FuzzReport first = Fuzzer(options).run();
+  const check::FuzzReport second = Fuzzer(options).run();
+  EXPECT_EQ(first.casesRun, second.casesRun);
+  EXPECT_EQ(first.checksRun, second.checksRun);
+  EXPECT_EQ(first.distinctShapes, second.distinctShapes);
+  EXPECT_EQ(first.findings.size(), second.findings.size());
+  EXPECT_TRUE(first.ok()) << check::renderReport(first);
+}
+
+TEST(CheckFuzzer, ScopesRestrictTheOracleSet) {
+  FuzzOptions options;
+  options.seed = 3;
+  options.iterations = 15;
+  options.scope = "forest";
+  const check::FuzzReport forestOnly = Fuzzer(options).run();
+  options.scope = "all";
+  const check::FuzzReport all = Fuzzer(options).run();
+  EXPECT_TRUE(forestOnly.ok()) << check::renderReport(forestOnly);
+  EXPECT_TRUE(all.ok()) << check::renderReport(all);
+  EXPECT_LT(forestOnly.checksRun, all.checksRun);
+}
+
+TEST(CheckFuzzer, UnknownScopeThrows) {
+  FuzzOptions options;
+  options.scope = "bogus";
+  EXPECT_THROW((void)Fuzzer(options).run(), std::invalid_argument);
+}
+
+TEST(CheckFuzzer, TimeBudgetTruncatesButNeverReorders) {
+  FuzzOptions options;
+  options.seed = 9;
+  options.iterations = 100000;
+  options.timeBudgetSeconds = 0.2;
+  const check::FuzzReport report = Fuzzer(options).run();
+  EXPECT_TRUE(report.timedOut);
+  EXPECT_LT(report.casesRun, options.iterations);
+  EXPECT_TRUE(report.ok()) << check::renderReport(report);
+}
+
+TEST(CheckFuzzer, ShrinkFindsTheMinimalDemand) {
+  FuzzCase c;
+  c.ratioParts = {2, 1, 1, 1, 1, 1, 9};
+  c.algorithm = Algorithm::MTCS;
+  c.demand = 48;
+  c.mixers = 4;
+  c.storageCap = 6;
+  c.faultSpec = "loss=0.1";
+  // Synthetic predicate: "fails" whenever demand >= 10. The shrinker must
+  // land exactly on 10 and strip every irrelevant field on the way.
+  unsigned steps = 0;
+  const FuzzCase shrunk = Fuzzer::shrink(
+      c, [](const FuzzCase& v) { return v.demand >= 10; }, &steps);
+  EXPECT_EQ(shrunk.demand, 10u);
+  EXPECT_EQ(shrunk.mixers, 1u);
+  EXPECT_EQ(shrunk.storageCap, 0u);
+  EXPECT_TRUE(shrunk.faultSpec.empty());
+  EXPECT_EQ(shrunk.algorithm, Algorithm::MM);
+  EXPECT_EQ(shrunk.ratioParts.size(), 2u);
+  EXPECT_GT(steps, 0u);
+}
+
+TEST(CheckFuzzer, ShrinkKeepsTheOriginalWhenNothingSmallerFails) {
+  FuzzCase c;
+  c.ratioParts = {1, 3};
+  c.demand = 1;
+  c.mixers = 1;
+  c.storageCap = 0;
+  const FuzzCase shrunk =
+      Fuzzer::shrink(c, [](const FuzzCase&) { return true; });
+  EXPECT_EQ(shrunk.demand, 1u);
+  EXPECT_EQ(shrunk.cost(), c.cost());
+}
+
+}  // namespace
+}  // namespace dmf

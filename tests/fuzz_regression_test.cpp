@@ -1,0 +1,153 @@
+// Checked-in shrunken reproducers for the edge-case bugs the differential
+// fuzzing work flushed out (DESIGN.md §12). Each test documents the pre-fix
+// failure mode and fails (or hangs) when the fix regresses.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+
+#include "check/oracles.h"
+#include "dmf/errors.h"
+#include "engine/mdst.h"
+#include "engine/streaming.h"
+#include "mixgraph/builders.h"
+#include "sched/schedulers.h"
+#include "workload/random_ratios.h"
+
+namespace dmf {
+namespace {
+
+using forest::TaskForest;
+using mixgraph::Algorithm;
+
+// --- RandomRatioGenerator coupon-collector stall -------------------------
+// Pre-fix, next() drew stars-and-bars cut points by rejection sampling into
+// a std::set; as parts approached sum the accept probability collapsed and
+// parts == sum never terminated in reasonable time. The partial
+// Fisher-Yates rewrite makes every draw O(parts).
+
+TEST(CheckRegression, RandomRatioFullPartsReturnsInstantly) {
+  // parts == sum: the only composition is all ones. Pre-fix this was a
+  // multi-hour coupon-collector walk; now it must come back immediately.
+  constexpr std::uint64_t kSum = std::uint64_t{1} << 20;
+  workload::RandomRatioGenerator gen(kSum, kSum, 7);
+  const Ratio ratio = gen.next();
+  EXPECT_EQ(ratio.fluidCount(), kSum);
+  EXPECT_TRUE(std::all_of(ratio.parts().begin(), ratio.parts().end(),
+                          [](std::uint64_t p) { return p == 1; }));
+}
+
+TEST(CheckRegression, RandomRatioNearFullPartsReturnsInstantly) {
+  constexpr std::uint64_t kSum = std::uint64_t{1} << 16;
+  workload::RandomRatioGenerator gen(kSum, kSum - 1, 11);
+  const Ratio ratio = gen.next();
+  EXPECT_EQ(ratio.fluidCount(), kSum - 1);
+  EXPECT_EQ(std::count(ratio.parts().begin(), ratio.parts().end(), 2), 1);
+}
+
+TEST(CheckRegression, RandomRatioGoldenValuesForSeed42) {
+  // Pins the post-fix draw stream: seeded sweeps (property tests, fuzz CI)
+  // must stay reproducible across refactors of the sampler.
+  workload::RandomRatioGenerator gen(32, 5, 42);
+  EXPECT_EQ(gen.next().toString(), "1:6:14:3:8");
+  EXPECT_EQ(gen.next().toString(), "4:10:5:10:3");
+  EXPECT_EQ(gen.next().toString(), "3:6:4:5:14");
+}
+
+// --- tryStorageCapped unsigned-underflow hazards -------------------------
+// Pre-fix, the per-cycle admission loop tracked carried/consumed/budget in
+// unsigned arithmetic with subtractions like `carried - consumedNow` whose
+// operands came from two different admission passes; a bookkeeping slip
+// would wrap to ~2^32 and admit everything. The fix computes in int64 and
+// asserts the consumed <= carried invariant outright.
+
+TEST(CheckRegression, StorageCappedLadderNeverWrapsOrOverflowsCap) {
+  const Ratio ratio{2, 1, 1, 1, 1, 1, 9};
+  const engine::MdstEngine engine(ratio);
+  for (Algorithm algo : {Algorithm::MM, Algorithm::RMA, Algorithm::MTCS}) {
+    const TaskForest f = engine.buildForest(algo, 26);
+    for (unsigned mixers : {1u, 2u, 4u}) {
+      for (unsigned cap = 1; cap <= 10; ++cap) {
+        try {
+          const sched::Schedule s =
+              sched::scheduleStorageCapped(f, mixers, cap);
+          // A wrap would admit every task at once: the storage oracle (an
+          // independent event-pair recount) must stay within the cap.
+          check::CheckResult out;
+          check::checkScheduledForest(f, s, cap, out);
+          EXPECT_TRUE(out.ok()) << "algo " << mixgraph::algorithmName(algo)
+                                << " M=" << mixers << " cap=" << cap << "\n"
+                                << out.summary();
+        } catch (const InfeasibleError&) {
+          // A cap too tight for progress is the documented answer.
+        }
+      }
+    }
+  }
+}
+
+TEST(CheckRegression, StorageCappedThrowsTypedInfeasibleError) {
+  const mixgraph::MixingGraph g =
+      mixgraph::buildMM(Ratio{2, 1, 1, 1, 1, 1, 9});
+  const TaskForest f(g, 8);
+  // Cap 0 with one mixer cannot park the droplets a lone Type-A chain
+  // needs. The throw must be the typed InfeasibleError (CLI exit 2), not a
+  // generic runtime_error (which would now map to exit 3, "internal").
+  EXPECT_THROW((void)sched::scheduleStorageCapped(f, 1, 0), InfeasibleError);
+}
+
+TEST(CheckRegression, PlanStreamingThrowsTypedInfeasibleError) {
+  // Eight equal fluids build a balanced depth-3 tree: even a two-droplet
+  // pass on one mixer must park two intermediates, so cap 1 is infeasible.
+  const engine::MdstEngine engine(Ratio{1, 1, 1, 1, 1, 1, 1, 1});
+  engine::StreamingRequest request;
+  request.demand = 32;
+  request.storageCap = 1;
+  request.mixers = 1;
+  EXPECT_THROW((void)engine::planStreaming(engine, request), InfeasibleError);
+  EXPECT_THROW((void)engine::planStreamingOptimized(engine, request),
+               InfeasibleError);
+}
+
+// --- minimumMixers runaway scan ------------------------------------------
+// Pre-fix, the scan started at M=1 (wasting a full OMS schedule per mixer
+// count below the width bound ceil(n/cp)) and only checked the runaway
+// guard *after* scheduling. The fix starts at the width lower bound and
+// guards before scheduling.
+
+TEST(CheckRegression, MinimumMixersIsExactlyMinimal) {
+  const Ratio ratio{2, 1, 1, 1, 1, 1, 9};
+  const engine::MdstEngine engine(ratio);
+  for (Algorithm algo : {Algorithm::MM, Algorithm::MTCS}) {
+    for (std::uint64_t demand : {1u, 2u, 9u, 16u, 40u}) {
+      const TaskForest f = engine.buildForest(algo, demand);
+      const unsigned cp = sched::criticalPathLength(f);
+      const unsigned m = sched::minimumMixers(f);
+      EXPECT_EQ(sched::scheduleOMS(f, m).completionTime, cp)
+          << "demand " << demand;
+      if (m > 1) {
+        EXPECT_GT(sched::scheduleOMS(f, m - 1).completionTime, cp)
+            << "demand " << demand;
+      }
+      // The width bound the fixed scan starts from can never exceed the
+      // answer.
+      EXPECT_GE(m, std::max<std::uint64_t>(1, (f.taskCount() + cp - 1) / cp))
+          << "demand " << demand;
+    }
+  }
+}
+
+TEST(CheckRegression, MinimumMixersLargeWideForestStaysFast) {
+  // 512 droplets of a 7-fluid ratio: hundreds of tasks over a short
+  // critical path. The pre-fix scan from M=1 re-scheduled the forest for
+  // every mixer count below the width bound; post-fix the first probe is
+  // already at the bound, so this completes in milliseconds.
+  const engine::MdstEngine engine(Ratio{2, 1, 1, 1, 1, 1, 9});
+  const TaskForest f = engine.buildForest(Algorithm::MM, 512);
+  const unsigned m = sched::minimumMixers(f);
+  EXPECT_EQ(sched::scheduleOMS(f, m).completionTime,
+            sched::criticalPathLength(f));
+}
+
+}  // namespace
+}  // namespace dmf

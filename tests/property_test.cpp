@@ -3,6 +3,8 @@
 // the paper's examples.
 #include <gtest/gtest.h>
 
+#include "check/oracles.h"
+#include "dmf/errors.h"
 #include "engine/baseline.h"
 #include "engine/mdst.h"
 #include "forest/task_forest.h"
@@ -36,7 +38,8 @@ TEST_P(RandomRatioPropertyTest, ForestInvariantsHold) {
     const Ratio ratio = gen.next();
     // A pseudo-random demand in [1, 64].
     const std::uint64_t demand = demandGen.next().part(0);
-    for (Algorithm algo : {Algorithm::MM, Algorithm::RMA, Algorithm::MTCS}) {
+    for (Algorithm algo : {Algorithm::MM, Algorithm::RMA, Algorithm::MTCS,
+                           Algorithm::RSM}) {
       const MixingGraph g = buildGraph(ratio, algo);
       const TaskForest f(g, demand);
       // Conservation and bookkeeping.
@@ -46,6 +49,15 @@ TEST_P(RandomRatioPropertyTest, ForestInvariantsHold) {
       // Waste is bounded by one droplet per distinct mix node plus the odd
       // surplus target.
       EXPECT_LE(f.stats().waste, g.internalCount() + 1) << ratio.toString();
+      // The independent re-derivations of src/check must agree too:
+      // conservation from the task list, wiring edge by edge, and every
+      // composition re-evaluated in exact dyadic arithmetic.
+      check::CheckResult oracle;
+      check::checkForestConservation(f, oracle);
+      check::checkForestWiring(f, oracle);
+      check::checkMixtureCorrectness(f, oracle);
+      EXPECT_TRUE(oracle.ok())
+          << ratio.toString() << " D=" << demand << "\n" << oracle.summary();
     }
   }
 }
@@ -64,6 +76,14 @@ TEST_P(RandomRatioPropertyTest, SchedulersStayValidAndOrdered) {
       sched::validateOrThrow(f, mms);
       sched::validateOrThrow(f, srs);
       sched::validateOrThrow(f, oms);
+      // The oracle library's independent re-derivation of validity, storage
+      // counting and the SRS contract must agree with the production checks.
+      check::CheckResult oracle;
+      check::checkScheduledForest(f, mms, 0, oracle);
+      check::checkScheduledForest(f, oms, 0, oracle);
+      check::checkSrsContract(f, srs, mms, oracle);
+      EXPECT_TRUE(oracle.ok())
+          << ratio.toString() << " M=" << mixers << "\n" << oracle.summary();
       // The paper's SRS contract, point-wise.
       EXPECT_LE(sched::countStorage(f, srs), sched::countStorage(f, mms))
           << ratio.toString() << " M=" << mixers;
@@ -74,6 +94,69 @@ TEST_P(RandomRatioPropertyTest, SchedulersStayValidAndOrdered) {
       EXPECT_GE(mms.completionTime, lower);
       EXPECT_GE(oms.completionTime, lower);
     }
+  }
+}
+
+TEST_P(RandomRatioPropertyTest, StorageCapLadderStaysWithinCap) {
+  workload::RandomRatioGenerator gen(GetParam().sum, GetParam().fluids,
+                                     GetParam().seed + 17);
+  for (int trial = 0; trial < 3; ++trial) {
+    const Ratio ratio = gen.next();
+    const MixingGraph g = mixgraph::buildMM(ratio);
+    const TaskForest f(g, 18);
+    for (unsigned mixers : {1u, 2u}) {
+      unsigned previous = 0;
+      bool previousFeasible = false;
+      for (unsigned cap = 1; cap <= 8; ++cap) {
+        try {
+          const sched::Schedule s =
+              sched::scheduleStorageCapped(f, mixers, cap);
+          check::CheckResult oracle;
+          check::checkScheduledForest(f, s, cap, oracle);
+          EXPECT_TRUE(oracle.ok()) << ratio.toString() << " M=" << mixers
+                                   << " cap=" << cap << "\n"
+                                   << oracle.summary();
+          // Relaxing the cap can never make the schedule slower.
+          if (previousFeasible) {
+            EXPECT_LE(s.completionTime, previous)
+                << ratio.toString() << " M=" << mixers << " cap=" << cap;
+          }
+          previous = s.completionTime;
+          previousFeasible = true;
+        } catch (const InfeasibleError&) {
+          // A feasible cap can never become infeasible by loosening it.
+          EXPECT_FALSE(previousFeasible)
+              << ratio.toString() << " M=" << mixers << " cap=" << cap;
+        }
+      }
+    }
+  }
+}
+
+TEST_P(RandomRatioPropertyTest, DilutionSpecialCaseMatchesTwoFluidRatio) {
+  // N = 2 dilution is Min-Mix restricted to {sample, buffer}: the graph must
+  // carry the exact dyadic target and pass every forest oracle.
+  workload::RandomRatioGenerator numeratorGen(64, 2, GetParam().seed + 23);
+  for (unsigned accuracy : {3u, 5u, 7u}) {
+    const std::uint64_t scale = std::uint64_t{1} << accuracy;
+    // A pseudo-random numerator in [1, scale - 1].
+    const std::uint64_t numerator =
+        1 + numeratorGen.next().part(0) % (scale - 1);
+    const MixingGraph dilution = mixgraph::buildDilution(numerator, accuracy);
+    const Ratio expected({numerator, scale - numerator});
+    EXPECT_EQ(dilution.ratio().toString(), expected.toString())
+        << "numerator " << numerator << " accuracy " << accuracy;
+    // Structurally it is exactly Min-Mix on the two-fluid ratio.
+    const MixingGraph viaMinMix = buildGraph(expected, Algorithm::MM);
+    EXPECT_EQ(dilution.internalCount(), viaMinMix.internalCount());
+    EXPECT_EQ(dilution.leafCount(), viaMinMix.leafCount());
+    EXPECT_EQ(dilution.depth(), viaMinMix.depth());
+    const TaskForest f(dilution, 6);
+    check::CheckResult oracle;
+    check::checkForestConservation(f, oracle);
+    check::checkForestWiring(f, oracle);
+    check::checkMixtureCorrectness(f, oracle);
+    EXPECT_TRUE(oracle.ok()) << oracle.summary();
   }
 }
 

@@ -1,0 +1,24 @@
+# ctest helper: assert the documented exit-code taxonomy exactly (ctest's
+# WILL_FAIL only distinguishes zero from nonzero). Run as
+#   cmake -DDMFSTREAM=<binary> -DEXPECT=<code> "-DARGS=<arg;list>"
+#         -P check_exit_code.cmake
+if(NOT DEFINED DMFSTREAM OR NOT DEFINED EXPECT OR NOT DEFINED ARGS)
+  message(FATAL_ERROR "pass -DDMFSTREAM=, -DEXPECT= and -DARGS=")
+endif()
+
+execute_process(
+  COMMAND ${DMFSTREAM} ${ARGS}
+  OUTPUT_VARIABLE stdout
+  ERROR_VARIABLE stderr
+  RESULT_VARIABLE status)
+if(NOT status EQUAL ${EXPECT})
+  message(FATAL_ERROR
+    "dmfstream ${ARGS} exited with ${status}, expected ${EXPECT}\n"
+    "stdout: ${stdout}\nstderr: ${stderr}")
+endif()
+if(DEFINED PATTERN AND NOT "${stdout}${stderr}" MATCHES "${PATTERN}")
+  message(FATAL_ERROR
+    "dmfstream ${ARGS}: output does not match '${PATTERN}'\n"
+    "stdout: ${stdout}\nstderr: ${stderr}")
+endif()
+message(STATUS "dmfstream ${ARGS} -> exit ${status} (as documented)")

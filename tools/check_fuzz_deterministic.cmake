@@ -1,0 +1,24 @@
+# ctest helper: two fuzz runs with one seed must print byte-identical
+# reports (case stream, oracle-check counts, shape coverage). Run as
+#   cmake -DDMFSTREAM=<path-to-binary> -P check_fuzz_deterministic.cmake
+if(NOT DEFINED DMFSTREAM)
+  message(FATAL_ERROR "pass -DDMFSTREAM=<path to dmfstream>")
+endif()
+
+function(run_fuzz out_var)
+  execute_process(
+    COMMAND ${DMFSTREAM} fuzz --iters 40 --seed 7
+    OUTPUT_VARIABLE output
+    RESULT_VARIABLE status)
+  if(NOT status EQUAL 0)
+    message(FATAL_ERROR "dmfstream fuzz exited with ${status}:\n${output}")
+  endif()
+  set(${out_var} "${output}" PARENT_SCOPE)
+endfunction()
+
+run_fuzz(first)
+run_fuzz(second)
+if(NOT first STREQUAL second)
+  message(FATAL_ERROR "fuzz reports differ between two runs of one seed")
+endif()
+message(STATUS "fuzz report byte-identical across runs: ${first}")

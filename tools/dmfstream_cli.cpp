@@ -10,11 +10,16 @@
 //   dmfstream chip   --ratio R --demand D [--mixers N] [--simulate] [--pins]
 //                    [--wear] [--anneal]
 //   dmfstream corpus [--sum L] [--min-fluids N] [--max-fluids N]
+//   dmfstream fuzz   [--iters N] [--seed S] [--time-budget SECONDS]
+//                    [--scope all|forest|sched|stream|fault]
+//                    [--replay JSON]
 //
 // Any command also accepts --trace FILE (Chrome trace-event JSON, loadable
 // in Perfetto / chrome://tracing) and --metrics FILE (metrics snapshot).
 //
-// Exit code 0 on success, 1 on usage errors, 2 on infeasible requests.
+// Exit codes: 0 success, 1 usage error, 2 infeasible request
+// (dmf::InfeasibleError — e.g. a storage cap too tight for any pass),
+// 3 internal error (an invariant the library itself broke), 4 fuzz findings.
 #include <charconv>
 #include <chrono>
 #include <filesystem>
@@ -27,6 +32,8 @@
 #include <vector>
 
 #include "analysis/error_model.h"
+#include "check/fuzzer.h"
+#include "dmf/errors.h"
 #include "chip/contamination.h"
 #include "chip/executor.h"
 #include "chip/pcr_layout.h"
@@ -139,6 +146,13 @@ commands:
                    --contamination (residue/wash analysis)
   corpus  describe the evaluation ratio corpus [--sum L]
           [--min-fluids N] [--max-fluids N]
+  fuzz    differential-oracle fuzzing of the whole pipeline
+          [--iters N (default 200)] [--seed S (default 1; deterministic)]
+          [--time-budget SECONDS (0 = run all iterations)]
+          [--scope all|forest|sched|stream|fault]
+          [--replay JSON]  (re-run one shrunken reproducer seed)
+          exit 0 when every invariant held, 4 with findings (each printed
+          as a ready-to-paste --replay invocation plus its JSON seed)
 
 global options (any command):
   --trace FILE    write a Chrome trace-event JSON (open in Perfetto or
@@ -579,6 +593,33 @@ int cmdMulti(const Args& args) {
   return 0;
 }
 
+int cmdFuzz(const Args& args) {
+  check::FuzzOptions options;
+  options.seed = args.getU64("seed", 1);
+  options.iterations = args.getU64("iters", 200);
+  options.timeBudgetSeconds = args.getDouble("time-budget", 0.0);
+  options.scope = args.get("scope").value_or("all");
+  const check::Fuzzer fuzzer(options);
+
+  if (const auto seedJson = args.get("replay"); seedJson.has_value()) {
+    const check::FuzzCase c =
+        check::FuzzCase::fromJson(report::Json::parse(*seedJson));
+    const check::CheckResult result = fuzzer.runCase(c);
+    std::cout << "replay: " << c.toJson().dump() << "\n"
+              << "replay: " << result.checksRun << " oracle checks\n";
+    if (result.ok()) {
+      std::cout << "replay: all invariants held\n";
+      return 0;
+    }
+    std::cout << result.summary();
+    return 4;
+  }
+
+  const check::FuzzReport report = fuzzer.run();
+  std::cout << check::renderReport(report);
+  return report.ok() ? 0 : 4;
+}
+
 int cmdCorpus(const Args& args) {
   const std::uint64_t sum = args.getU64("sum", 32);
   const std::size_t minN =
@@ -627,6 +668,7 @@ int dispatch(const Args& args) {
   if (args.command == "dilute") return cmdDilute(args);
   if (args.command == "chip") return cmdChip(args, requireRatio(args));
   if (args.command == "corpus") return cmdCorpus(args);
+  if (args.command == "fuzz") return cmdFuzz(args);
   return usage();
 }
 
@@ -664,8 +706,15 @@ int main(int argc, char** argv) {
   } catch (const std::invalid_argument& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
-  } catch (const std::exception& e) {
+  } catch (const dmf::InfeasibleError& e) {
+    // A well-formed request the hardware budget cannot satisfy — the one
+    // documented "try different parameters" outcome (exit 2).
     std::cerr << "infeasible: " << e.what() << "\n";
     return 2;
+  } catch (const std::exception& e) {
+    // Anything else (logic_error and friends) is a bug in the library, not
+    // in the request; keep it distinguishable for scripts and CI.
+    std::cerr << "internal error: " << e.what() << "\n";
+    return 3;
   }
 }
