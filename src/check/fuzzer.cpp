@@ -17,6 +17,7 @@
 #include "sched/ga_scheduler.h"
 #include "sched/heterogeneous.h"
 #include "sched/schedulers.h"
+#include "server/service.h"
 #include "workload/random_ratios.h"
 
 namespace dmf::check {
@@ -324,6 +325,59 @@ CheckResult Fuzzer::runCase(const FuzzCase& c) const {
       }
     }
 
+    if (inScope("server") && c.storageCap > 0) {
+      // Differential: the serving layer must be a transparent cache over
+      // the library — cold response == warm (cached) response == the
+      // direct planStreaming dump, byte for byte, with the cache keyed by
+      // the reduced ratio.
+      server::PlanService service{server::ServiceOptions{}};
+      report::Json line = report::Json::object();
+      line.set("op", std::string("plan"))
+          .set("ratio", ratio.toString())
+          .set("demand", c.demand)
+          .set("storage", std::uint64_t{c.storageCap})
+          .set("mixers", std::uint64_t{mixers})
+          .set("algo", std::string(mixgraph::algorithmName(c.algorithm)))
+          .set("scheme", std::string(engine::schemeName(c.scheme)));
+      const std::string request = line.dump();
+      const report::Json cold = report::Json::parse(service.handle(request));
+      const report::Json warm = report::Json::parse(service.handle(request));
+      ++out.checksRun;
+      if (cold.at("ok").asBool() != warm.at("ok").asBool()) {
+        out.fail("server-cache",
+                 "cold and warm responses disagree on feasibility");
+      } else if (cold.at("ok").asBool()) {
+        if (cold.at("source").asString() != "planned" ||
+            warm.at("source").asString() != "cache") {
+          out.fail("server-cache",
+                   "expected planned-then-cache, got " +
+                       cold.at("source").asString() + " then " +
+                       warm.at("source").asString());
+        }
+        ++out.checksRun;
+        if (cold.at("plan").dump() != warm.at("plan").dump()) {
+          out.fail("server-cache",
+                   "cache hit is not byte-identical to the cold plan");
+        }
+        const engine::MdstEngine reducedEngine(ratio.reduced());
+        engine::StreamingRequest direct;
+        direct.algorithm = c.algorithm;
+        direct.scheme = c.scheme;
+        direct.demand = c.demand;
+        direct.storageCap = c.storageCap;
+        direct.mixers = mixers;
+        direct.jobs = 1;
+        ++out.checksRun;
+        if (cold.at("plan").dump() !=
+            engine::toJson(engine::planStreaming(reducedEngine, direct))
+                .dump()) {
+          out.fail("server-engine",
+                   "served plan differs from the direct planStreaming dump");
+        }
+      }
+      // Infeasible either way is legal — the cap can be below any pass.
+    }
+
     if (inScope("fault")) {
       engine::RecoveryOptions options;
       options.seed = c.faultSeed;
@@ -465,11 +519,11 @@ FuzzCase Fuzzer::shrink(
 }
 
 FuzzReport Fuzzer::run() const {
-  static const std::set<std::string> kScopes = {"all", "forest", "sched",
-                                                "stream", "fault"};
+  static const std::set<std::string> kScopes = {
+      "all", "forest", "sched", "stream", "fault", "server"};
   if (kScopes.find(options_.scope) == kScopes.end()) {
     throw std::invalid_argument("Fuzzer: unknown scope \"" + options_.scope +
-                                "\" (all|forest|sched|stream|fault)");
+                                "\" (all|forest|sched|stream|fault|server)");
   }
   FuzzReport report;
   std::mt19937_64 rng(options_.seed);

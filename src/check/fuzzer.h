@@ -70,8 +70,10 @@ struct FuzzOptions {
   std::uint64_t iterations = 200;
   /// Wall-clock cutoff; 0 = run all iterations.
   double timeBudgetSeconds = 0.0;
-  /// "all", "forest", "sched", "stream", or "fault" — which pipeline stages
-  /// the oracles cover. Unknown scopes throw std::invalid_argument at run().
+  /// "all", "forest", "sched", "stream", "fault", or "server" — which
+  /// pipeline stages the oracles cover ("server" cross-checks cached
+  /// vs fresh plans for byte-identity through the serving layer). Unknown
+  /// scopes throw std::invalid_argument at run().
   std::string scope = "all";
 };
 

@@ -1,9 +1,12 @@
 #include "dmf/ratio.h"
 
+#include <algorithm>
 #include <bit>
 #include <charconv>
 #include <limits>
 #include <stdexcept>
+
+#include "dmf/fraction.h"
 
 namespace dmf {
 
@@ -46,6 +49,31 @@ std::size_t Ratio::popcountSum() const {
 double Ratio::concentration(std::size_t i) const {
   return static_cast<double>(parts_[i]) / static_cast<double>(sum_);
 }
+
+Ratio Ratio::reduced() const {
+  // Each fluid's concentration a_i / 2^d in canonical dyadic form; the
+  // largest canonical exponent is the reduced ratio's accuracy level, and
+  // re-scaling every fraction to it recovers the smallest integer parts.
+  std::vector<DyadicFraction> concentrations;
+  concentrations.reserve(parts_.size());
+  unsigned depth = 0;
+  for (std::uint64_t part : parts_) {
+    concentrations.emplace_back(part, accuracy_);
+    depth = std::max(depth, concentrations.back().exponent());
+  }
+  // All-integral concentrations only happen for the two-fluid 1:1 ratio
+  // family (x:x reduces to 1:1, sum 2, depth 1); depth 0 would make an
+  // invalid ratio-sum of 1.
+  depth = std::max(depth, 1u);
+  std::vector<std::uint64_t> reducedParts;
+  reducedParts.reserve(parts_.size());
+  for (const DyadicFraction& c : concentrations) {
+    reducedParts.push_back(c.numeratorAtScale(depth));
+  }
+  return Ratio(std::move(reducedParts));
+}
+
+bool Ratio::isReduced() const { return reduced().parts_ == parts_; }
 
 std::string Ratio::toString() const {
   std::string out;

@@ -48,6 +48,18 @@ class Ratio {
   /// reporting only; the library's mix model is exact).
   [[nodiscard]] double concentration(std::size_t i) const;
 
+  /// The ratio in normal form: every part divided by the overall gcd, so
+  /// e.g. 2:4:2 reduces to 1:2:1. Computed through the per-fluid
+  /// concentrations a_i / 2^d as canonical DyadicFractions — two ratios
+  /// describe the same mixture iff their reduced forms are equal, which is
+  /// what cache keys over requests must compare. The gcd of parts summing
+  /// to 2^d is itself a power of two, so the reduced sum stays a power of
+  /// two and the result is always a valid Ratio.
+  [[nodiscard]] Ratio reduced() const;
+
+  /// True when no smaller equivalent ratio exists (reduced() == *this).
+  [[nodiscard]] bool isReduced() const;
+
   /// "a1:a2:...:aN".
   [[nodiscard]] std::string toString() const;
 

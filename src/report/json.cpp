@@ -303,6 +303,25 @@ class Parser {
     }
   }
 
+  unsigned parseHex4() {
+    if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+    unsigned code = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char hex = text_[pos_++];
+      code <<= 4;
+      if (hex >= '0' && hex <= '9') {
+        code |= static_cast<unsigned>(hex - '0');
+      } else if (hex >= 'a' && hex <= 'f') {
+        code |= static_cast<unsigned>(hex - 'a' + 10);
+      } else if (hex >= 'A' && hex <= 'F') {
+        code |= static_cast<unsigned>(hex - 'A' + 10);
+      } else {
+        fail("bad \\u escape digit");
+      }
+    }
+    return code;
+  }
+
   std::string parseString() {
     expect('"');
     std::string out;
@@ -342,30 +361,40 @@ class Parser {
           out += '\f';
           break;
         case 'u': {
-          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
-          unsigned code = 0;
-          for (int i = 0; i < 4; ++i) {
-            const char hex = text_[pos_++];
-            code <<= 4;
-            if (hex >= '0' && hex <= '9') {
-              code |= static_cast<unsigned>(hex - '0');
-            } else if (hex >= 'a' && hex <= 'f') {
-              code |= static_cast<unsigned>(hex - 'a' + 10);
-            } else if (hex >= 'A' && hex <= 'F') {
-              code |= static_cast<unsigned>(hex - 'A' + 10);
-            } else {
-              fail("bad \\u escape digit");
-            }
+          unsigned code = parseHex4();
+          // Surrogate halves are not code points. A high surrogate must be
+          // followed by a \u low surrogate (the pair decodes to one
+          // supplementary-plane character); anything else — a lone high,
+          // a lone low, a high followed by a non-surrogate — is malformed
+          // input, not something to smuggle through as CESU-8. The daemon
+          // parses untrusted request bodies with this function.
+          if (code >= 0xDC00 && code <= 0xDFFF) {
+            fail("unpaired low surrogate in \\u escape");
           }
-          // The writer only emits \u00xx for control bytes; decode the BMP
-          // point as UTF-8 for completeness.
+          if (code >= 0xD800 && code <= 0xDBFF) {
+            if (pos_ + 2 > text_.size() || text_[pos_] != '\\' ||
+                text_[pos_ + 1] != 'u') {
+              fail("high surrogate not followed by \\u low surrogate");
+            }
+            pos_ += 2;
+            const unsigned low = parseHex4();
+            if (low < 0xDC00 || low > 0xDFFF) {
+              fail("high surrogate not followed by a low surrogate");
+            }
+            code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+          }
           if (code < 0x80) {
             out += static_cast<char>(code);
           } else if (code < 0x800) {
             out += static_cast<char>(0xC0 | (code >> 6));
             out += static_cast<char>(0x80 | (code & 0x3F));
-          } else {
+          } else if (code < 0x10000) {
             out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xF0 | (code >> 18));
+            out += static_cast<char>(0x80 | ((code >> 12) & 0x3F));
             out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
             out += static_cast<char>(0x80 | (code & 0x3F));
           }
@@ -375,6 +404,39 @@ class Parser {
           fail("unknown escape");
       }
     }
+  }
+
+  /// RFC 8259 number grammar: -? (0 | [1-9][0-9]*) frac? exp?. std::stod
+  /// would happily take "+5", ".5", "1." and "0x1p3" — the daemon parses
+  /// untrusted request bodies, so anything the grammar does not produce is
+  /// rejected here instead of leniently coerced.
+  [[nodiscard]] static bool matchesNumberGrammar(const std::string& token) {
+    std::size_t i = 0;
+    const auto digits = [&token, &i]() {
+      const std::size_t first = i;
+      while (i < token.size() &&
+             std::isdigit(static_cast<unsigned char>(token[i])) != 0) {
+        ++i;
+      }
+      return i > first;
+    };
+    if (i < token.size() && token[i] == '-') ++i;
+    if (i >= token.size()) return false;
+    if (token[i] == '0') {
+      ++i;  // no leading zeros: "0" may only be followed by '.' or exponent
+    } else if (!digits()) {
+      return false;
+    }
+    if (i < token.size() && token[i] == '.') {
+      ++i;
+      if (!digits()) return false;
+    }
+    if (i < token.size() && (token[i] == 'e' || token[i] == 'E')) {
+      ++i;
+      if (i < token.size() && (token[i] == '+' || token[i] == '-')) ++i;
+      if (!digits()) return false;
+    }
+    return i == token.size();
   }
 
   Json parseNumber() {
@@ -388,6 +450,7 @@ class Parser {
     }
     if (pos_ == start) fail("expected a value");
     const std::string token = text_.substr(start, pos_ - start);
+    if (!matchesNumberGrammar(token)) fail("malformed number");
     const bool integral =
         token.find_first_of(".eE") == std::string::npos && token[0] != '-';
     if (integral) {

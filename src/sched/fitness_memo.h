@@ -1,0 +1,92 @@
+// Collision-safe memo for chromosome fitness scores.
+//
+// The GA's fitness memo is addressed by a 64-bit FNV-1a hash of the
+// chromosome's key bit patterns. A bare hash match must never be trusted:
+// two distinct chromosomes that collide would silently share one score and
+// the GA would breed on a fiction. Every lookup therefore compares the
+// stored key vector before reusing a score, and a colliding insert chains a
+// second entry under the same hash instead of overwriting the first.
+//
+// The hash function is a template parameter so tests can force collisions
+// (a constant hash degrades the memo to a checked linear scan — scores must
+// still come back exact).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <unordered_map>
+#include <vector>
+
+namespace dmf::sched {
+
+/// FNV-1a over the chromosome's key bit patterns. A pure function of the
+/// keys, so memo lookups are deterministic for every job count.
+inline std::uint64_t hashChromosomeKeys(const std::vector<double>& keys) {
+  std::uint64_t hash = 1469598103934665603ull;
+  for (const double key : keys) {
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(key));
+    std::memcpy(&bits, &key, sizeof(bits));
+    for (unsigned byte = 0; byte < 8; ++byte) {
+      hash ^= (bits >> (byte * 8)) & 0xFFu;
+      hash *= 1099511628211ull;
+    }
+  }
+  return hash;
+}
+
+/// Hash-addressed map from chromosome keys to a fitness value, with the full
+/// key vector stored alongside each value and compared on every hit.
+template <typename Value>
+class FitnessMemo {
+ public:
+  using HashFn = std::uint64_t (*)(const std::vector<double>&);
+
+  explicit FitnessMemo(HashFn hash = &hashChromosomeKeys) : hash_(hash) {}
+
+  /// The memoized value for exactly these keys, or nullptr. A hash match
+  /// whose stored keys differ is counted as a collision and reported as a
+  /// miss — the caller re-scores, never inherits the colliding score.
+  [[nodiscard]] const Value* find(const std::vector<double>& keys) {
+    const auto bucket = buckets_.find(hash_(keys));
+    if (bucket == buckets_.end()) return nullptr;
+    for (const Entry& entry : bucket->second) {
+      if (entry.keys == keys) return &entry.value;
+    }
+    ++collisions_;
+    return nullptr;
+  }
+
+  /// Records a score. A duplicate insert of the same keys keeps the first
+  /// value (scores are pure functions of the keys, so they cannot differ).
+  void insert(const std::vector<double>& keys, Value value) {
+    auto& bucket = buckets_[hash_(keys)];
+    for (const Entry& entry : bucket) {
+      if (entry.keys == keys) return;
+    }
+    bucket.push_back(Entry{keys, std::move(value)});
+  }
+
+  /// Distinct chromosomes stored.
+  [[nodiscard]] std::size_t size() const {
+    std::size_t total = 0;
+    for (const auto& [hash, bucket] : buckets_) total += bucket.size();
+    return total;
+  }
+
+  /// Lookups whose hash matched but whose keys did not — each one is a
+  /// wrong score the pre-fix memo would have returned.
+  [[nodiscard]] std::uint64_t collisions() const { return collisions_; }
+
+ private:
+  struct Entry {
+    std::vector<double> keys;
+    Value value;
+  };
+
+  HashFn hash_;
+  std::unordered_map<std::uint64_t, std::vector<Entry>> buckets_;
+  std::uint64_t collisions_ = 0;
+};
+
+}  // namespace dmf::sched

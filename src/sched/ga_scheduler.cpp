@@ -1,15 +1,14 @@
 #include "sched/ga_scheduler.h"
 
 #include <algorithm>
-#include <cstring>
 #include <random>
 #include <stdexcept>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "obs/scope.h"
 #include "runtime/thread_pool.h"
+#include "sched/fitness_memo.h"
 #include "sched/schedulers.h"
 
 namespace dmf::sched {
@@ -99,23 +98,6 @@ Score evaluateWith(const TaskForest& forest, unsigned mixers,
           countStorage(forest, scratch.schedule)};
 }
 
-// FNV-1a over the chromosome's key bit patterns — the memo-cache key. The
-// hash is a pure function of the keys, so memo lookups are deterministic
-// for every job count (and a 64-bit collision is vanishingly unlikely).
-std::uint64_t hashKeys(const std::vector<double>& keys) {
-  std::uint64_t hash = 1469598103934665603ull;
-  for (const double key : keys) {
-    std::uint64_t bits = 0;
-    static_assert(sizeof(bits) == sizeof(key));
-    std::memcpy(&bits, &key, sizeof(bits));
-    for (unsigned byte = 0; byte < 8; ++byte) {
-      hash ^= (bits >> (byte * 8)) & 0xFFu;
-      hash *= 1099511628211ull;
-    }
-  }
-  return hash;
-}
-
 struct Individual {
   std::vector<double> keys;
   Score score;
@@ -134,41 +116,42 @@ class FitnessEvaluator {
 
   void scoreTail(std::vector<Individual>& population, std::size_t first) {
     misses_.clear();
+    const std::uint64_t collisionsBefore = memo_.collisions();
     for (std::size_t i = first; i < population.size(); ++i) {
-      const std::uint64_t hash = hashKeys(population[i].keys);
-      const auto hit = memo_.find(hash);
-      if (hit != memo_.end()) {
-        population[i].score = hit->second;
+      // The memo compares the full key vector on a hash hit — a colliding
+      // chromosome re-scores instead of inheriting the wrong fitness.
+      if (const Score* hit = memo_.find(population[i].keys)) {
+        population[i].score = *hit;
         obs::count("sched.ga.memo_hits");
       } else {
-        misses_.push_back({i, hash});
+        misses_.push_back(i);
         obs::count("sched.ga.memo_misses");
       }
+    }
+    if (const std::uint64_t c = memo_.collisions() - collisionsBefore) {
+      obs::count("sched.ga.memo_collisions", c);
     }
     if (misses_.empty()) return;
     pool_.forEachWorker(
         misses_.size(), [this, &population](std::uint64_t m, unsigned worker) {
-          Individual& ind = population[misses_[m].index];
+          Individual& ind = population[misses_[m]];
           ind.score = evaluateWith(forest_, mixers_, ind.keys,
                                    scratch_[worker]);
         });
-    for (const Miss& miss : misses_) {
-      memo_.emplace(miss.hash, population[miss.index].score);
+    // Insertions stay serial and in index order on the master thread, so
+    // the memo contents are deterministic for every job count.
+    for (const std::size_t index : misses_) {
+      memo_.insert(population[index].keys, population[index].score);
     }
   }
 
  private:
-  struct Miss {
-    std::size_t index;
-    std::uint64_t hash;
-  };
-
   const TaskForest& forest_;
   unsigned mixers_;
   runtime::ThreadPool& pool_;
   std::vector<DecodeScratch> scratch_;
-  std::unordered_map<std::uint64_t, Score> memo_;
-  std::vector<Miss> misses_;
+  FitnessMemo<Score> memo_;
+  std::vector<std::size_t> misses_;
 };
 
 }  // namespace

@@ -1,0 +1,126 @@
+#include "server/canonical.h"
+
+#include <limits>
+#include <stdexcept>
+
+namespace dmf::server {
+
+namespace {
+
+using report::Json;
+
+/// A required or defaulted unsigned field with a range check.
+std::uint64_t uintField(const Json& json, const std::string& name,
+                        std::uint64_t fallback, std::uint64_t min,
+                        std::uint64_t max) {
+  if (!json.contains(name)) return fallback;
+  std::uint64_t value = 0;
+  try {
+    value = json.at(name).asUint();
+  } catch (const std::logic_error&) {
+    throw std::invalid_argument("request field \"" + name +
+                                "\" must be an unsigned integer");
+  }
+  if (value < min || value > max) {
+    throw std::invalid_argument("request field \"" + name + "\" out of range");
+  }
+  return value;
+}
+
+std::string stringField(const Json& json, const std::string& name,
+                        const std::string& fallback) {
+  if (!json.contains(name)) return fallback;
+  try {
+    return json.at(name).asString();
+  } catch (const std::logic_error&) {
+    throw std::invalid_argument("request field \"" + name +
+                                "\" must be a string");
+  }
+}
+
+}  // namespace
+
+mixgraph::Algorithm parseAlgorithm(const std::string& name) {
+  if (name == "MM") return mixgraph::Algorithm::MM;
+  if (name == "RMA") return mixgraph::Algorithm::RMA;
+  if (name == "MTCS") return mixgraph::Algorithm::MTCS;
+  if (name == "RSM") return mixgraph::Algorithm::RSM;
+  throw std::invalid_argument("unknown algorithm \"" + name +
+                              "\" (MM|RMA|MTCS|RSM)");
+}
+
+engine::Scheme parseScheme(const std::string& name) {
+  if (name == "MMS") return engine::Scheme::kMMS;
+  if (name == "SRS") return engine::Scheme::kSRS;
+  if (name == "OMS") return engine::Scheme::kOMS;
+  throw std::invalid_argument("unknown scheme \"" + name + "\" (MMS|SRS|OMS)");
+}
+
+PlanRequest PlanRequest::fromJson(const Json& json) {
+  if (!json.isObject()) {
+    throw std::invalid_argument("request must be a JSON object");
+  }
+  if (!json.contains("ratio")) {
+    throw std::invalid_argument("request needs a \"ratio\" field");
+  }
+  PlanRequest request;
+  const std::string ratioText = stringField(json, "ratio", "");
+  const auto ratio = Ratio::parse(ratioText);
+  if (!ratio.has_value()) {
+    throw std::invalid_argument("malformed ratio \"" + ratioText + "\"");
+  }
+  request.ratio = *ratio;
+  if (!json.contains("demand")) {
+    throw std::invalid_argument("request needs a \"demand\" field");
+  }
+  request.demand =
+      uintField(json, "demand", 0, 1,
+                std::numeric_limits<std::uint64_t>::max() - 1);
+  request.storageCap = static_cast<unsigned>(
+      uintField(json, "storage", 4, 1, std::numeric_limits<unsigned>::max()));
+  request.mixers = static_cast<unsigned>(
+      uintField(json, "mixers", 0, 0, std::numeric_limits<unsigned>::max()));
+  request.algorithm = parseAlgorithm(stringField(json, "algo", "MM"));
+  request.scheme = parseScheme(stringField(json, "scheme", "SRS"));
+  if (json.contains("optimize")) {
+    try {
+      request.optimize = json.at("optimize").asBool();
+    } catch (const std::logic_error&) {
+      throw std::invalid_argument(
+          "request field \"optimize\" must be a boolean");
+    }
+  }
+  return request;
+}
+
+CanonicalRequest canonicalize(const PlanRequest& request) {
+  CanonicalRequest canonical;
+  // The normal-form reduction (through DyadicFraction concentrations) is
+  // what keys 2:4:2 and 1:2:1 to one cache entry: the mixtures are
+  // identical, so the plans must be too — planning always runs on the
+  // reduced ratio.
+  canonical.ratio = request.ratio.reduced();
+  canonical.algorithm = request.algorithm;
+  canonical.scheme = request.scheme;
+  canonical.demand = request.demand;
+  canonical.storageCap = request.storageCap;
+  canonical.mixers = request.mixers;
+  canonical.optimize = request.optimize;
+  return canonical;
+}
+
+std::string CanonicalRequest::key() const {
+  std::string out = "v1|ratio=";
+  out += ratio.toString();
+  out += "|algo=";
+  out += mixgraph::algorithmName(algorithm);
+  out += "|scheme=";
+  out += engine::schemeName(scheme);
+  out += "|d=" + std::to_string(demand);
+  out += "|cap=" + std::to_string(storageCap);
+  out += "|mc=" + std::to_string(mixers);
+  out += std::string("|opt=") + (optimize ? "1" : "0");
+  return out;
+}
+
+}  // namespace dmf::server

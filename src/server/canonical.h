@@ -1,0 +1,71 @@
+// Canonicalized plan requests — the cache key of the plan-as-a-service
+// daemon (DESIGN.md §13).
+//
+// Two wire requests that describe the same preparation must hit one cache
+// entry: ratios are reduced to normal form through dmf::DyadicFraction
+// (2:4:2 and 1:2:1 are the same mixture), every defaulted field is made
+// explicit, and the canonical key is a versioned, human-readable string of
+// the full request tuple (ratio normal form, algorithm, scheme, mixers Mc,
+// storage cap, demand, optimize). The key is the *entire* identity: caches
+// compare keys, never bare hashes of them.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "dmf/ratio.h"
+#include "engine/mdst.h"
+#include "mixgraph/builders.h"
+#include "report/json.h"
+
+namespace dmf::server {
+
+/// A plan request as received on the wire (one line-delimited JSON object).
+///
+/// Required fields: "ratio" ("a1:a2:...:aN") and "demand" (>= 1).
+/// Optional: "storage" (cap, default 4), "algo" (MM|RMA|MTCS|RSM, default
+/// MM), "scheme" (MMS|SRS|OMS, default SRS), "mixers" (0 = engine default),
+/// "optimize" (bool, default false — exhaustive pass-size search).
+struct PlanRequest {
+  Ratio ratio{1, 1};
+  mixgraph::Algorithm algorithm = mixgraph::Algorithm::MM;
+  engine::Scheme scheme = engine::Scheme::kSRS;
+  std::uint64_t demand = 2;
+  unsigned storageCap = 4;
+  unsigned mixers = 0;
+  bool optimize = false;
+
+  /// Parses and validates a request object. Throws std::invalid_argument
+  /// with a pointed message on any missing, mistyped, or out-of-range
+  /// field (the service turns that into an error response, never a crash).
+  [[nodiscard]] static PlanRequest fromJson(const report::Json& json);
+};
+
+/// The same request with the ratio in reduced normal form. Planning always
+/// runs on the canonical form, so every equivalent wire request receives a
+/// byte-identical response.
+struct CanonicalRequest {
+  Ratio ratio{1, 1};
+  mixgraph::Algorithm algorithm = mixgraph::Algorithm::MM;
+  engine::Scheme scheme = engine::Scheme::kSRS;
+  std::uint64_t demand = 2;
+  unsigned storageCap = 4;
+  unsigned mixers = 0;
+  bool optimize = false;
+
+  /// The cache key: "v1|ratio=...|algo=...|scheme=...|d=...|cap=...|mc=...
+  /// |opt=...". Equal keys iff equal canonical requests.
+  [[nodiscard]] std::string key() const;
+};
+
+/// Reduces the ratio (via its DyadicFraction concentrations) and fixes the
+/// field tuple — the only path from a wire request to a cache key.
+[[nodiscard]] CanonicalRequest canonicalize(const PlanRequest& request);
+
+/// "MM"/"RMA"/"MTCS"/"RSM" -> Algorithm. Throws std::invalid_argument.
+[[nodiscard]] mixgraph::Algorithm parseAlgorithm(const std::string& name);
+
+/// "MMS"/"SRS"/"OMS" -> Scheme. Throws std::invalid_argument.
+[[nodiscard]] engine::Scheme parseScheme(const std::string& name);
+
+}  // namespace dmf::server

@@ -1,0 +1,159 @@
+#include "server/plan_cache.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "obs/scope.h"
+#include "report/json.h"
+
+namespace dmf::server {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::uint64_t fnv1a(const std::string& text) {
+  std::uint64_t hash = 1469598103934665603ull;
+  for (const char ch : text) {
+    hash ^= static_cast<unsigned char>(ch);
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+std::string hex(std::uint64_t value) {
+  static const char* kDigits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kDigits[value & 0xF];
+    value >>= 4;
+  }
+  return out;
+}
+
+}  // namespace
+
+PlanCache::PlanCache(Options options) : options_(std::move(options)) {
+  if (options_.capacity == 0) {
+    throw std::invalid_argument("PlanCache: capacity must be at least 1");
+  }
+  if (!options_.dir.empty()) {
+    const fs::path dir(options_.dir);
+    const fs::path parent = dir.parent_path();
+    if (!parent.empty() && !fs::is_directory(parent)) {
+      throw std::invalid_argument("PlanCache: parent directory '" +
+                                  parent.string() + "' does not exist");
+    }
+    std::error_code ec;
+    fs::create_directories(dir, ec);
+    if (ec || !fs::is_directory(dir)) {
+      throw std::invalid_argument("PlanCache: cannot create cache dir '" +
+                                  options_.dir + "'");
+    }
+  }
+}
+
+std::optional<std::string> PlanCache::get(const std::string& key) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = index_.find(key);
+    if (it != index_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second);  // promote to MRU
+      ++stats_.hits;
+      obs::count("server.cache.hit");
+      return it->second->second;
+    }
+  }
+  // Disk I/O runs outside the lock; a racing fill of the same key is
+  // resolved by put()'s duplicate rule (first value wins).
+  if (!options_.dir.empty()) {
+    if (auto plan = loadFromDisk(key)) {
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.diskHits;
+      }
+      obs::count("server.cache.disk_hit");
+      put(key, *plan);
+      return plan;
+    }
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.misses;
+  obs::count("server.cache.miss");
+  return std::nullopt;
+}
+
+void PlanCache::put(const std::string& key, const std::string& plan) {
+  bool evicted = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = index_.find(key);
+    if (it != index_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second);
+      return;  // first value wins; a re-put only refreshes recency
+    }
+    lru_.emplace_front(key, plan);
+    index_[key] = lru_.begin();
+    if (lru_.size() > options_.capacity) {
+      index_.erase(lru_.back().first);
+      lru_.pop_back();
+      ++stats_.evictions;
+      evicted = true;
+    }
+    stats_.size = lru_.size();
+  }
+  if (evicted) obs::count("server.cache.evict");
+  if (!options_.dir.empty()) storeToDisk(key, plan);
+}
+
+PlanCache::Stats PlanCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Stats out = stats_;
+  out.size = lru_.size();
+  return out;
+}
+
+std::string PlanCache::diskPath(const std::string& key) const {
+  return (fs::path(options_.dir) / (hex(fnv1a(key)) + ".plan.json")).string();
+}
+
+std::optional<std::string> PlanCache::loadFromDisk(
+    const std::string& key) const {
+  std::ifstream in(diskPath(key), std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  try {
+    const report::Json entry = report::Json::parse(buffer.str());
+    // The file name is only a hash of the key; the key stored inside the
+    // file is the identity. A mismatch (hash collision, stale or corrupted
+    // file) is a miss, never someone else's plan.
+    if (!entry.isObject() || !entry.contains("key") ||
+        entry.at("key").asString() != key) {
+      return std::nullopt;
+    }
+    return entry.at("plan").asString();
+  } catch (const std::exception&) {
+    return std::nullopt;  // unreadable entries degrade to a miss
+  }
+}
+
+void PlanCache::storeToDisk(const std::string& key,
+                            const std::string& plan) const {
+  report::Json entry = report::Json::object();
+  entry.set("key", key).set("plan", plan);
+  const std::string path = diskPath(key);
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    out << entry.dump();
+    if (!out) return;  // a failed write only loses persistence, not service
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);  // atomic publish on POSIX
+  if (ec) fs::remove(tmp, ec);
+}
+
+}  // namespace dmf::server

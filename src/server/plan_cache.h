@@ -1,0 +1,76 @@
+// Two-tier plan cache: an in-memory LRU of serialized plans plus an
+// optional on-disk persistent tier (DESIGN.md §13).
+//
+// Values are the exact response bytes (the dumped plan JSON), so a cache
+// hit is byte-identical to the cold computation that filled it — including
+// across a daemon restart through the disk tier.
+//
+// Keys are canonical request strings (server/canonical.h) and are always
+// compared in full: the disk tier addresses files by a 64-bit FNV-1a of the
+// key but stores the key inside the file and verifies it on load, so a hash
+// collision degrades to a miss, never to the wrong plan (the same rule the
+// GA fitness memo follows).
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+namespace dmf::server {
+
+class PlanCache {
+ public:
+  struct Options {
+    /// In-memory entries kept (least-recently-used evicted first).
+    std::size_t capacity = 256;
+    /// Persistent tier directory; empty = memory only. The directory itself
+    /// is created on demand, but its parent must exist.
+    std::string dir;
+  };
+
+  /// Point-in-time counters (monotonic; reads are cheap).
+  struct Stats {
+    std::uint64_t hits = 0;      ///< memory-tier hits
+    std::uint64_t diskHits = 0;  ///< disk-tier hits (promoted to memory)
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::size_t size = 0;  ///< current memory-tier entries
+  };
+
+  /// Throws std::invalid_argument when the persistent tier cannot be set up
+  /// (missing parent directory) or capacity is zero.
+  explicit PlanCache(Options options);
+
+  /// The cached plan bytes for exactly this key, or nullopt. Checks memory
+  /// first, then the disk tier (a disk hit is promoted into memory). Emits
+  /// server.cache.hit / server.cache.disk_hit / server.cache.miss counters.
+  [[nodiscard]] std::optional<std::string> get(const std::string& key);
+
+  /// Stores plan bytes under a key (memory + disk tier when configured).
+  /// A duplicate put keeps the first value — plans are pure functions of
+  /// the canonical key, so they cannot legitimately differ.
+  void put(const std::string& key, const std::string& plan);
+
+  [[nodiscard]] Stats stats() const;
+  [[nodiscard]] std::size_t capacity() const { return options_.capacity; }
+
+ private:
+  [[nodiscard]] std::optional<std::string> loadFromDisk(
+      const std::string& key) const;
+  void storeToDisk(const std::string& key, const std::string& plan) const;
+  [[nodiscard]] std::string diskPath(const std::string& key) const;
+
+  Options options_;
+  mutable std::mutex mutex_;
+  /// Front = most recently used. Entries are (key, plan bytes).
+  std::list<std::pair<std::string, std::string>> lru_;
+  std::unordered_map<std::string,
+                     std::list<std::pair<std::string, std::string>>::iterator>
+      index_;
+  Stats stats_;
+};
+
+}  // namespace dmf::server

@@ -1,0 +1,265 @@
+#include "server/service.h"
+
+#include <chrono>
+#include <stdexcept>
+#include <utility>
+
+#include "dmf/errors.h"
+#include "engine/serialize.h"
+#include "engine/streaming.h"
+#include "obs/scope.h"
+#include "report/json.h"
+
+namespace dmf::server {
+
+using report::Json;
+
+// ---------------------------------------------------------------------------
+// AdmissionQueue
+
+AdmissionQueue::AdmissionQueue(runtime::ThreadPool& pool)
+    : pool_(pool), dispatcher_([this] { drainLoop(); }) {}
+
+AdmissionQueue::~AdmissionQueue() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  wake_.notify_all();
+  dispatcher_.join();
+}
+
+void AdmissionQueue::submit(std::function<void()> job) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    pending_.push_back(std::move(job));
+    obs::gaugeMax("server.queue.depth", pending_.size());
+  }
+  wake_.notify_one();
+}
+
+void AdmissionQueue::drainLoop() {
+  for (;;) {
+    std::vector<std::function<void()>> batch;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [this] { return stopping_ || !pending_.empty(); });
+      if (pending_.empty()) return;  // stopping with nothing left to run
+      batch.swap(pending_);
+    }
+    obs::count("server.queue.batches");
+    // One batch = one forEach over the shared pool: everything admitted
+    // together fans out together; arrivals during the batch form the next.
+    pool_.forEach(batch.size(),
+                  [&batch](std::uint64_t i) { batch[i](); });
+  }
+}
+
+// ---------------------------------------------------------------------------
+// PlanService
+
+PlanService::PlanService(const ServiceOptions& options)
+    : options_(options),
+      cache_(PlanCache::Options{options.cacheSize, options.cacheDir}),
+      pool_(runtime::ThreadPool::resolveJobs(options.jobs)),
+      queue_(pool_) {}
+
+PlanService::~PlanService() = default;
+
+std::string PlanService::handle(const std::string& line, bool* shutdown) {
+  const auto start = std::chrono::steady_clock::now();
+  std::string response;
+  try {
+    response = dispatch(line, shutdown);
+  } catch (const std::exception& e) {
+    // dispatch() already maps every expected failure; this is the backstop
+    // that keeps the socket loop alive no matter what.
+    response = errorResponse("internal", e.what());
+  } catch (...) {
+    response = errorResponse("internal", "unknown error");
+  }
+  if (obs::MetricsRegistry* m = obs::metrics()) {
+    const auto nanos = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count());
+    m->histogram("server.request_nanos",
+                 {1'000, 10'000, 100'000, 1'000'000, 10'000'000, 100'000'000,
+                  1'000'000'000})
+        .observe(nanos);
+  }
+  obs::count("server.requests");
+  return response;
+}
+
+std::string PlanService::dispatch(const std::string& line, bool* shutdown) {
+  Json request = Json::object();
+  try {
+    request = Json::parse(line);
+  } catch (const std::invalid_argument& e) {
+    return errorResponse("parse", e.what());
+  }
+  if (!request.isObject()) {
+    return errorResponse("parse", "request must be a JSON object");
+  }
+  std::string op = "plan";
+  if (request.contains("op")) {
+    try {
+      op = request.at("op").asString();
+    } catch (const std::logic_error&) {
+      return errorResponse("request", "\"op\" must be a string");
+    }
+  }
+  if (op == "ping") {
+    return "{\"ok\":true,\"op\":\"ping\"}";
+  }
+  if (op == "shutdown") {
+    if (shutdown != nullptr) *shutdown = true;
+    return "{\"ok\":true,\"op\":\"shutdown\"}";
+  }
+  if (op == "stats") {
+    const PlanCache::Stats stats = cache_.stats();
+    Json out = Json::object();
+    out.set("ok", Json::boolean(true)).set("op", std::string("stats"));
+    Json cacheJson = Json::object();
+    cacheJson.set("hits", stats.hits)
+        .set("diskHits", stats.diskHits)
+        .set("misses", stats.misses)
+        .set("evictions", stats.evictions)
+        .set("size", std::uint64_t{stats.size})
+        .set("capacity", std::uint64_t{cache_.capacity()});
+    out.set("cache", std::move(cacheJson))
+        .set("planned", planned())
+        .set("coalesced", coalesced());
+    return out.dump();
+  }
+  if (op == "plan") {
+    return handlePlan(request);
+  }
+  return errorResponse("request", "unknown op \"" + op +
+                                      "\" (plan|ping|stats|shutdown)");
+}
+
+std::string PlanService::handlePlan(const Json& request) {
+  PlanRequest parsed;
+  try {
+    parsed = PlanRequest::fromJson(request);
+  } catch (const std::invalid_argument& e) {
+    return errorResponse("request", e.what());
+  }
+  const CanonicalRequest canonical = canonicalize(parsed);
+  const std::string key = canonical.key();
+
+  if (const auto hit = cache_.get(key)) {
+    return planResponse("cache", key, *hit);
+  }
+
+  // Coalesce: exactly one leader per key computes; everyone else arriving
+  // while it is in flight waits on the same future.
+  std::shared_future<Outcome> future;
+  std::promise<Outcome> promise;
+  bool leader = false;
+  {
+    std::lock_guard<std::mutex> lock(inflightMutex_);
+    const auto it = inflight_.find(key);
+    if (it == inflight_.end()) {
+      future = promise.get_future().share();
+      inflight_.emplace(key, future);
+      leader = true;
+    } else {
+      future = it->second;
+    }
+  }
+  if (!leader) {
+    coalesced_.fetch_add(1, std::memory_order_relaxed);
+    obs::count("server.coalesce");
+    return outcomeResponse("coalesced", key, future.get());
+  }
+
+  // The leader publishes through the cache *before* retiring the in-flight
+  // entry, so a request arriving between the two sees one or the other,
+  // never a re-plan.
+  auto task = std::make_shared<std::promise<Outcome>>(std::move(promise));
+  queue_.submit([this, canonical, key, task] {
+    Outcome outcome = compute(canonical);
+    if (outcome.ok) cache_.put(key, outcome.plan);
+    {
+      std::lock_guard<std::mutex> lock(inflightMutex_);
+      inflight_.erase(key);
+    }
+    task->set_value(std::move(outcome));
+  });
+  return outcomeResponse("planned", key, future.get());
+}
+
+PlanService::Outcome PlanService::compute(const CanonicalRequest& request) {
+  planned_.fetch_add(1, std::memory_order_relaxed);
+  obs::count("server.planned");
+  if (options_.computeDelayNanosForTest > 0) {
+    std::this_thread::sleep_for(
+        std::chrono::nanoseconds(options_.computeDelayNanosForTest));
+  }
+  Outcome outcome;
+  try {
+    const engine::MdstEngine engine(request.ratio);
+    engine::StreamingRequest streaming;
+    streaming.algorithm = request.algorithm;
+    streaming.scheme = request.scheme;
+    streaming.demand = request.demand;
+    streaming.storageCap = request.storageCap;
+    streaming.mixers = request.mixers;
+    // Serial inside one computation: the admission queue already fans
+    // distinct requests over the pool, and nesting the same pool would be
+    // rejected by ThreadPool.
+    streaming.jobs = 1;
+    const engine::StreamingPlan plan =
+        request.optimize ? engine::planStreamingOptimized(engine, streaming)
+                         : engine::planStreaming(engine, streaming);
+    outcome.ok = true;
+    outcome.plan = engine::toJson(plan).dump();
+  } catch (const InfeasibleError& e) {
+    outcome.kind = "infeasible";
+    outcome.error = e.what();
+  } catch (const std::invalid_argument& e) {
+    outcome.kind = "request";
+    outcome.error = e.what();
+  } catch (const std::exception& e) {
+    outcome.kind = "internal";
+    outcome.error = e.what();
+  }
+  return outcome;
+}
+
+std::string PlanService::planResponse(const char* source,
+                                      const std::string& key,
+                                      const std::string& plan) {
+  // The plan bytes are spliced in verbatim — what the cache stores is
+  // exactly what every response carries, so hits are byte-identical to the
+  // cold computation by construction.
+  std::string out = "{\"ok\":true,\"source\":\"";
+  out += source;
+  out += "\",\"key\":\"";
+  out += report::jsonEscape(key);
+  out += "\",\"plan\":";
+  out += plan;
+  out += "}";
+  return out;
+}
+
+std::string PlanService::errorResponse(const std::string& kind,
+                                       const std::string& error) {
+  Json out = Json::object();
+  out.set("ok", Json::boolean(false))
+      .set("kind", kind)
+      .set("error", error);
+  return out.dump();
+}
+
+std::string PlanService::outcomeResponse(const char* source,
+                                         const std::string& key,
+                                         const Outcome& outcome) {
+  if (outcome.ok) return planResponse(source, key, outcome.plan);
+  return errorResponse(outcome.kind, outcome.error);
+}
+
+}  // namespace dmf::server

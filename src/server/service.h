@@ -1,0 +1,137 @@
+// The plan service behind `dmfstream serve` (DESIGN.md §13): parses one
+// line-delimited JSON request, canonicalizes it, and answers from a
+// two-tier plan cache, coalescing concurrent identical requests onto one
+// computation.
+//
+// Request pipeline per line:
+//   parse -> canonicalize -> cache get (hit: respond in microseconds)
+//         -> coalescing map (in-flight identical request: wait on its
+//            future — second arrival never re-plans)
+//         -> admission queue (leader enqueues; batches drain over the
+//            shared runtime::ThreadPool; each plan computes serially so
+//            cross-request parallelism never nests the pool)
+//
+// handle() never throws: malformed input, infeasible requests and internal
+// errors all become {"ok":false,...} responses — nothing propagates across
+// the socket loop.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "runtime/thread_pool.h"
+#include "server/canonical.h"
+#include "server/plan_cache.h"
+
+namespace dmf::server {
+
+struct ServiceOptions {
+  /// In-memory plan-cache entries.
+  std::size_t cacheSize = 256;
+  /// Persistent cache tier directory; empty = memory only.
+  std::string cacheDir;
+  /// Admission-queue fan-out: plan computations for distinct requests run
+  /// concurrently over this many workers (0 = hardware concurrency). Each
+  /// computation is serial inside, so responses are byte-identical for
+  /// every value.
+  unsigned jobs = 1;
+  /// Test-only: stretch every cold computation by this many nanoseconds to
+  /// make coalescing windows deterministic. 0 in production.
+  std::uint64_t computeDelayNanosForTest = 0;
+};
+
+/// Batches submitted jobs and drains each batch over the shared pool. The
+/// dispatcher thread is the only pool caller, so jobs themselves may not
+/// touch the pool (nested same-pool use is rejected by ThreadPool anyway).
+class AdmissionQueue {
+ public:
+  explicit AdmissionQueue(runtime::ThreadPool& pool);
+  ~AdmissionQueue();
+
+  AdmissionQueue(const AdmissionQueue&) = delete;
+  AdmissionQueue& operator=(const AdmissionQueue&) = delete;
+
+  /// Enqueues a job; it runs on a pool worker in admission order. Jobs must
+  /// not throw (they fulfill promises instead).
+  void submit(std::function<void()> job);
+
+ private:
+  void drainLoop();
+
+  runtime::ThreadPool& pool_;
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::vector<std::function<void()>> pending_;
+  bool stopping_ = false;
+  std::thread dispatcher_;
+};
+
+class PlanService {
+ public:
+  /// Throws std::invalid_argument on unusable options (e.g. a cache dir
+  /// whose parent does not exist).
+  explicit PlanService(const ServiceOptions& options);
+  ~PlanService();
+
+  PlanService(const PlanService&) = delete;
+  PlanService& operator=(const PlanService&) = delete;
+
+  /// Handles one request line and returns one response line (no trailing
+  /// newline). Never throws. Sets *shutdown when the request was a
+  /// {"op":"shutdown"} — the caller owns what that means.
+  [[nodiscard]] std::string handle(const std::string& line,
+                                   bool* shutdown = nullptr);
+
+  [[nodiscard]] const PlanCache& cache() const { return cache_; }
+  /// Cold plan computations actually executed (cache misses that led).
+  [[nodiscard]] std::uint64_t planned() const {
+    return planned_.load(std::memory_order_relaxed);
+  }
+  /// Requests that waited on an identical in-flight computation.
+  [[nodiscard]] std::uint64_t coalesced() const {
+    return coalesced_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  /// What one computation resolves to — either plan bytes or an error.
+  struct Outcome {
+    bool ok = false;
+    std::string plan;   ///< dumped plan JSON when ok
+    std::string kind;   ///< error taxonomy: request|infeasible|internal
+    std::string error;  ///< human-readable message when !ok
+  };
+
+  [[nodiscard]] std::string dispatch(const std::string& line, bool* shutdown);
+  [[nodiscard]] std::string handlePlan(const report::Json& request);
+  [[nodiscard]] Outcome compute(const CanonicalRequest& request);
+  [[nodiscard]] static std::string planResponse(const char* source,
+                                                const std::string& key,
+                                                const std::string& plan);
+  [[nodiscard]] static std::string errorResponse(const std::string& kind,
+                                                 const std::string& error);
+  [[nodiscard]] static std::string outcomeResponse(const char* source,
+                                                   const std::string& key,
+                                                   const Outcome& outcome);
+
+  ServiceOptions options_;
+  PlanCache cache_;
+  runtime::ThreadPool pool_;
+  AdmissionQueue queue_;  // after pool_: drains onto it, destroyed first
+
+  std::mutex inflightMutex_;
+  std::unordered_map<std::string, std::shared_future<Outcome>> inflight_;
+
+  std::atomic<std::uint64_t> planned_{0};
+  std::atomic<std::uint64_t> coalesced_{0};
+};
+
+}  // namespace dmf::server

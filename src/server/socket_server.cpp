@@ -1,0 +1,200 @@
+#include "server/socket_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <utility>
+
+#include "obs/scope.h"
+#include "server/service.h"
+
+namespace dmf::server {
+
+namespace {
+
+void closeFd(int fd) {
+  if (fd >= 0) ::close(fd);
+}
+
+/// Writes the whole buffer, riding out EINTR and partial writes.
+bool writeAll(int fd, const char* data, std::size_t size) {
+  std::size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n = ::send(fd, data + sent, size - sent, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+SocketServer::SocketServer(PlanService& service,
+                           const SocketServerOptions& options)
+    : service_(service) {
+  listenFd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listenFd_ < 0) {
+    throw std::runtime_error("SocketServer: socket() failed: " +
+                             std::string(std::strerror(errno)));
+  }
+  const int one = 1;
+  ::setsockopt(listenFd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(options.port);
+  if (::bind(listenFd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    const std::string reason = std::strerror(errno);
+    closeFd(listenFd_);
+    listenFd_ = -1;
+    throw std::runtime_error("SocketServer: cannot bind 127.0.0.1:" +
+                             std::to_string(options.port) + ": " + reason);
+  }
+  if (::listen(listenFd_, SOMAXCONN) != 0) {
+    const std::string reason = std::strerror(errno);
+    closeFd(listenFd_);
+    listenFd_ = -1;
+    throw std::runtime_error("SocketServer: listen() failed: " + reason);
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(listenFd_, reinterpret_cast<sockaddr*>(&bound), &len) ==
+      0) {
+    port_ = ntohs(bound.sin_port);
+  }
+}
+
+SocketServer::~SocketServer() {
+  stop();
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(threadsMutex_);
+    threads.swap(threads_);
+  }
+  for (std::thread& t : threads) {
+    if (t.joinable()) t.join();
+  }
+  closeFd(listenFd_);
+  listenFd_ = -1;
+}
+
+void SocketServer::run() {
+  for (;;) {
+    const int fd = ::accept(listenFd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // stop() shut the listen socket down (or it broke) — drain
+    }
+    if (stopping_.load(std::memory_order_acquire)) {
+      closeFd(fd);
+      break;
+    }
+    obs::count("server.connections");
+    std::lock_guard<std::mutex> lock(threadsMutex_);
+    threads_.emplace_back([this, fd] { serveConnection(fd); });
+  }
+  // Join what is there; late connection threads are joined by ~SocketServer.
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(threadsMutex_);
+    threads.swap(threads_);
+  }
+  for (std::thread& t : threads) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void SocketServer::stop() {
+  if (stopping_.exchange(true, std::memory_order_acq_rel)) return;
+  // Shutting down the listening socket pops accept() out with an error,
+  // which is the loop's exit signal.
+  if (listenFd_ >= 0) ::shutdown(listenFd_, SHUT_RDWR);
+}
+
+void SocketServer::serveConnection(int fd) {
+  std::string pending;
+  char buffer[4096];
+  bool shutdownRequested = false;
+  for (;;) {
+    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;  // peer closed (or error): connection is done
+    pending.append(buffer, static_cast<std::size_t>(n));
+    std::size_t newline;
+    while ((newline = pending.find('\n')) != std::string::npos) {
+      std::string line = pending.substr(0, newline);
+      pending.erase(0, newline + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.empty()) continue;  // blank lines are keepalive noise
+      const std::string response = service_.handle(line, &shutdownRequested);
+      if (!writeAll(fd, response.data(), response.size()) ||
+          !writeAll(fd, "\n", 1)) {
+        closeFd(fd);
+        return;
+      }
+      if (shutdownRequested) {
+        closeFd(fd);
+        stop();
+        return;
+      }
+    }
+  }
+  closeFd(fd);
+}
+
+bool driveLines(unsigned short port, std::istream& in, std::ostream& out) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return false;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    closeFd(fd);
+    return false;
+  }
+  std::string line;
+  bool ok = true;
+  while (ok && std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (!writeAll(fd, line.data(), line.size()) || !writeAll(fd, "\n", 1)) {
+      ok = false;
+      break;
+    }
+    // Read exactly one response line per request.
+    std::string response;
+    char ch;
+    for (;;) {
+      const ssize_t n = ::recv(fd, &ch, 1, 0);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) {
+        ok = false;
+        break;
+      }
+      if (ch == '\n') break;
+      response.push_back(ch);
+    }
+    if (!ok) break;
+    out << response << '\n';
+    // After a shutdown acknowledgement the server hangs up; remaining
+    // driver lines (there should be none) would only see a dead socket.
+    if (response.find("\"op\":\"shutdown\"") != std::string::npos) break;
+  }
+  closeFd(fd);
+  return ok;
+}
+
+}  // namespace dmf::server

@@ -1,0 +1,66 @@
+// Line-delimited JSON over a local TCP socket — the wire face of
+// `dmfstream serve` (DESIGN.md §13).
+//
+// The server binds 127.0.0.1 only (plan serving is a local sidecar, not an
+// internet endpoint), accepts any number of connections, and answers one
+// response line per request line. All request handling goes through
+// PlanService::handle, which never throws — a malformed line gets an error
+// response and the connection stays up.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace dmf::server {
+
+class PlanService;
+
+struct SocketServerOptions {
+  /// TCP port on 127.0.0.1; 0 = ephemeral (read the bound port back with
+  /// port()).
+  unsigned short port = 0;
+};
+
+class SocketServer {
+ public:
+  /// Binds and listens immediately. Throws std::runtime_error when the
+  /// socket cannot be created or bound (port in use, no permission).
+  SocketServer(PlanService& service, const SocketServerOptions& options);
+  ~SocketServer();
+
+  SocketServer(const SocketServer&) = delete;
+  SocketServer& operator=(const SocketServer&) = delete;
+
+  /// The bound port (resolves an ephemeral request).
+  [[nodiscard]] unsigned short port() const { return port_; }
+
+  /// Accept loop: blocks until stop() is called or a {"op":"shutdown"}
+  /// request arrives. Joins every connection thread before returning.
+  void run();
+
+  /// Thread-safe: wakes the accept loop and begins draining.
+  void stop();
+
+ private:
+  void serveConnection(int fd);
+
+  PlanService& service_;
+  int listenFd_ = -1;
+  unsigned short port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::mutex threadsMutex_;
+  std::vector<std::thread> threads_;
+};
+
+/// Test/CI driver: connects to 127.0.0.1:port, sends every line of `in` as
+/// one request, and writes each response line to `out`. Returns false on
+/// connect/IO failure. Stops early (successfully) after a shutdown
+/// response, mirroring what the server does.
+bool driveLines(unsigned short port, std::istream& in, std::ostream& out);
+
+}  // namespace dmf::server

@@ -72,5 +72,37 @@ TEST(Ratio, EqualityIsStructural) {
   EXPECT_NE(Ratio({1, 3}), Ratio({3, 1}));  // order matters (fluid identity)
 }
 
+TEST(Ratio, ReducedDropsCommonPowerOfTwo) {
+  // The canonical cache key depends on this: 2:4:2 and 1:2:1 describe the
+  // same mixture and must reduce to the same normal form.
+  EXPECT_EQ(Ratio({2, 4, 2}).reduced(), Ratio({1, 2, 1}));
+  EXPECT_EQ(Ratio({8, 16, 8}).reduced(), Ratio({1, 2, 1}));
+  EXPECT_EQ(Ratio({4, 4}).reduced(), Ratio({1, 1}));
+  EXPECT_EQ(Ratio({6, 2}).reduced(), Ratio({3, 1}));
+  EXPECT_EQ(Ratio({4, 8, 4, 16}).reduced(), Ratio({1, 2, 1, 4}));
+}
+
+TEST(Ratio, ReducedIsIdentityOnNormalForms) {
+  // An odd part pins the scale: nothing to cancel.
+  EXPECT_EQ(Ratio({2, 1, 1, 1, 1, 1, 9}).reduced(),
+            Ratio({2, 1, 1, 1, 1, 1, 9}));
+  EXPECT_EQ(Ratio({1, 1}).reduced(), Ratio({1, 1}));
+  EXPECT_EQ(Ratio({3, 1}).reduced(), Ratio({3, 1}));
+}
+
+TEST(Ratio, ReducedIsIdempotent) {
+  const Ratio r({12, 4, 16});
+  EXPECT_EQ(r.reduced(), Ratio({3, 1, 4}));
+  EXPECT_EQ(r.reduced().reduced(), r.reduced());
+}
+
+TEST(Ratio, IsReducedMatchesReduced) {
+  EXPECT_FALSE(Ratio({2, 4, 2}).isReduced());
+  EXPECT_FALSE(Ratio({4, 4}).isReduced());
+  EXPECT_TRUE(Ratio({1, 2, 1}).isReduced());
+  EXPECT_TRUE(Ratio({1, 1}).isReduced());
+  EXPECT_TRUE(Ratio({2, 1, 1, 1, 1, 1, 9}).isReduced());
+}
+
 }  // namespace
 }  // namespace dmf

@@ -69,6 +69,66 @@ TEST(Json, ParseRejectsMalformedInput) {
   EXPECT_THROW(Json::parse("{} trailing"), std::invalid_argument);
 }
 
+TEST(Json, ParseRejectsTrailingGarbage) {
+  // A daemon reading line-delimited JSON must treat "one value plus
+  // anything else" as malformed, not silently take the prefix.
+  EXPECT_THROW(Json::parse("{} x"), std::invalid_argument);
+  EXPECT_THROW(Json::parse("1 2"), std::invalid_argument);
+  EXPECT_THROW(Json::parse("true false"), std::invalid_argument);
+  EXPECT_THROW(Json::parse("[1] [2]"), std::invalid_argument);
+  EXPECT_THROW(Json::parse("\"a\"\"b\""), std::invalid_argument);
+  // Trailing whitespace (including the \r of a CRLF line) is fine.
+  EXPECT_NO_THROW(Json::parse("{} \t\r\n"));
+}
+
+TEST(Json, ParseRejectsMalformedUnicodeEscapes) {
+  // Lone surrogate halves are not scalar values (RFC 8259 §8.2).
+  EXPECT_THROW(Json::parse("\"\\uD800\""), std::invalid_argument);
+  EXPECT_THROW(Json::parse("\"\\uDC00\""), std::invalid_argument);
+  EXPECT_THROW(Json::parse("\"\\uD83Dx\""), std::invalid_argument);
+  EXPECT_THROW(Json::parse("\"\\uD83D\\n\""), std::invalid_argument);
+  // A high surrogate followed by a non-low \u escape is equally broken.
+  EXPECT_THROW(Json::parse("\"\\uD83D\\u0041\""), std::invalid_argument);
+  EXPECT_THROW(Json::parse("\"\\uD83D\\uD83D\""), std::invalid_argument);
+}
+
+TEST(Json, ParseDecodesSurrogatePairs) {
+  // U+1F600 as a surrogate pair must decode to its 4-byte UTF-8 form.
+  const Json emoji = Json::parse("\"\\uD83D\\uDE00\"");
+  EXPECT_EQ(emoji.asString(), "\xF0\x9F\x98\x80");
+  // BMP escapes keep working alongside.
+  EXPECT_EQ(Json::parse("\"\\u00E9\"").asString(), "\xC3\xA9");
+  EXPECT_EQ(Json::parse("\"\\u0041\"").asString(), "A");
+}
+
+TEST(Json, ParseRejectsNonGrammarNumbers) {
+  // RFC 8259 number grammar: no leading +, no leading zeros, no bare
+  // dot/exponent. strtod accepts all of these, the grammar does not.
+  EXPECT_THROW(Json::parse("+5"), std::invalid_argument);
+  EXPECT_THROW(Json::parse("05"), std::invalid_argument);
+  EXPECT_THROW(Json::parse("-05"), std::invalid_argument);
+  EXPECT_THROW(Json::parse("5."), std::invalid_argument);
+  EXPECT_THROW(Json::parse(".5"), std::invalid_argument);
+  EXPECT_THROW(Json::parse("-"), std::invalid_argument);
+  EXPECT_THROW(Json::parse("1e"), std::invalid_argument);
+  EXPECT_THROW(Json::parse("1e+"), std::invalid_argument);
+  EXPECT_THROW(Json::parse("0x10"), std::invalid_argument);
+  EXPECT_THROW(Json::parse("1.2.3"), std::invalid_argument);
+  EXPECT_THROW(Json::parse("[01]"), std::invalid_argument);
+}
+
+TEST(Json, ParseAcceptsGrammarNumbers) {
+  EXPECT_EQ(Json::parse("0").asUint(), 0u);
+  EXPECT_DOUBLE_EQ(Json::parse("-0").asDouble(), 0.0);
+  EXPECT_EQ(Json::parse("42").asUint(), 42u);
+  EXPECT_DOUBLE_EQ(Json::parse("0.25").asDouble(), 0.25);
+  // The writer emits %.10g forms like 1e+06 — the parser must take its own
+  // output back (round-trip), including exponents with an explicit sign.
+  EXPECT_DOUBLE_EQ(Json::parse("1e+06").asDouble(), 1e6);
+  EXPECT_DOUBLE_EQ(Json::parse("1E-2").asDouble(), 0.01);
+  EXPECT_DOUBLE_EQ(Json::parse("-2.5e3").asDouble(), -2500.0);
+}
+
 TEST(Json, ParseRejectsExcessiveNesting) {
   // 256 levels are accepted; 257 must be rejected before the recursive
   // descent can exhaust the stack.

@@ -1,0 +1,416 @@
+// Plan-as-a-service tests (DESIGN.md §13): canonical request keying, the
+// two-tier LRU plan cache, request coalescing, socket round trips, and the
+// byte-identity guarantees (cache hit == cold plan == direct engine dump,
+// for every --jobs value).
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/mdst.h"
+#include "engine/serialize.h"
+#include "engine/streaming.h"
+#include "obs/scope.h"
+#include "report/json.h"
+#include "server/canonical.h"
+#include "server/plan_cache.h"
+#include "server/service.h"
+#include "server/socket_server.h"
+
+namespace dmf::server {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// A fresh per-test scratch directory under the system temp dir.
+class TempDir {
+ public:
+  explicit TempDir(const std::string& tag) {
+    path_ = (fs::temp_directory_path() /
+             ("dmf_server_test_" + tag + "_" +
+              std::to_string(static_cast<unsigned long>(::getpid()))))
+                .string();
+    fs::remove_all(path_);
+    fs::create_directories(path_);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path_, ec);
+  }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+std::string planLine(const std::string& ratio, std::uint64_t demand,
+                     unsigned storage) {
+  return "{\"op\":\"plan\",\"ratio\":\"" + ratio +
+         "\",\"demand\":" + std::to_string(demand) +
+         ",\"storage\":" + std::to_string(storage) + "}";
+}
+
+/// The "plan" payload of a response, as raw bytes.
+std::string planBytes(const std::string& response) {
+  const report::Json json = report::Json::parse(response);
+  EXPECT_TRUE(json.at("ok").asBool()) << response;
+  return json.at("plan").dump();
+}
+
+std::string sourceOf(const std::string& response) {
+  return report::Json::parse(response).at("source").asString();
+}
+
+// --------------------------------------------------------------------------
+// Canonical request keying (satellite: 2:4:2 == 1:2:1).
+
+CanonicalRequest canonicalOf(const std::string& line) {
+  return canonicalize(PlanRequest::fromJson(report::Json::parse(line)));
+}
+
+TEST(ServerCanonical, GoldenKeyFormat) {
+  const CanonicalRequest c = canonicalOf(
+      "{\"ratio\":\"2:1:1:1:1:1:9\",\"demand\":20,\"storage\":4,"
+      "\"algo\":\"MM\",\"scheme\":\"SRS\",\"mixers\":3}");
+  EXPECT_EQ(c.key(),
+            "v1|ratio=2:1:1:1:1:1:9|algo=MM|scheme=SRS|d=20|cap=4|mc=3|opt=0");
+}
+
+TEST(ServerCanonical, EquivalentRatiosShareOneKey) {
+  const std::string a =
+      canonicalOf("{\"ratio\":\"2:4:2\",\"demand\":4}").key();
+  const std::string b =
+      canonicalOf("{\"ratio\":\"1:2:1\",\"demand\":4}").key();
+  const std::string c =
+      canonicalOf("{\"ratio\":\"8:16:8\",\"demand\":4}").key();
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(b, c);
+  EXPECT_EQ(a, "v1|ratio=1:2:1|algo=MM|scheme=SRS|d=4|cap=4|mc=0|opt=0");
+}
+
+TEST(ServerCanonical, DistinctRequestsGetDistinctKeys) {
+  const std::string base = canonicalOf(
+      "{\"ratio\":\"3:1\",\"demand\":8}").key();
+  EXPECT_NE(canonicalOf("{\"ratio\":\"3:1\",\"demand\":9}").key(), base);
+  EXPECT_NE(canonicalOf("{\"ratio\":\"3:1\",\"demand\":8,\"storage\":5}")
+                .key(),
+            base);
+  EXPECT_NE(canonicalOf(
+                "{\"ratio\":\"3:1\",\"demand\":8,\"algo\":\"RMA\"}").key(),
+            base);
+  EXPECT_NE(canonicalOf(
+                "{\"ratio\":\"3:1\",\"demand\":8,\"optimize\":true}").key(),
+            base);
+  EXPECT_NE(canonicalOf("{\"ratio\":\"1:3\",\"demand\":8}").key(), base);
+}
+
+TEST(ServerCanonical, RejectsMalformedRequests) {
+  EXPECT_THROW(canonicalOf("{\"demand\":4}"), std::invalid_argument);
+  EXPECT_THROW(canonicalOf("{\"ratio\":\"3:1\"}"), std::invalid_argument);
+  EXPECT_THROW(canonicalOf("{\"ratio\":\"3:4\",\"demand\":4}"),
+               std::invalid_argument);
+  EXPECT_THROW(canonicalOf("{\"ratio\":\"3:1\",\"demand\":0}"),
+               std::invalid_argument);
+  EXPECT_THROW(canonicalOf("{\"ratio\":\"3:1\",\"demand\":4,\"storage\":0}"),
+               std::invalid_argument);
+  EXPECT_THROW(
+      canonicalOf("{\"ratio\":\"3:1\",\"demand\":4,\"scheme\":\"XX\"}"),
+      std::invalid_argument);
+  EXPECT_THROW(
+      canonicalOf("{\"ratio\":\"3:1\",\"demand\":4,\"algo\":\"XX\"}"),
+      std::invalid_argument);
+  EXPECT_THROW(canonicalOf("{\"ratio\":3,\"demand\":4}"),
+               std::invalid_argument);
+}
+
+// --------------------------------------------------------------------------
+// PlanCache: LRU order, eviction, first-value-wins, persistent tier.
+
+TEST(PlanCache, EvictsLeastRecentlyUsed) {
+  PlanCache cache(PlanCache::Options{2, ""});
+  cache.put("a", "plan-a");
+  cache.put("b", "plan-b");
+  ASSERT_TRUE(cache.get("a").has_value());  // a is now MRU, b is LRU
+  cache.put("c", "plan-c");                 // evicts b
+  EXPECT_TRUE(cache.get("a").has_value());
+  EXPECT_FALSE(cache.get("b").has_value());
+  EXPECT_TRUE(cache.get("c").has_value());
+  const PlanCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.size, 2u);
+}
+
+TEST(PlanCache, DuplicatePutKeepsFirstValue) {
+  PlanCache cache(PlanCache::Options{4, ""});
+  cache.put("k", "first");
+  cache.put("k", "second");
+  EXPECT_EQ(cache.get("k").value(), "first");
+}
+
+TEST(PlanCache, RejectsBadOptions) {
+  EXPECT_THROW(PlanCache(PlanCache::Options{0, ""}), std::invalid_argument);
+  EXPECT_THROW(
+      PlanCache(PlanCache::Options{4, "/nonexistent-dir-for-test/cache"}),
+      std::invalid_argument);
+}
+
+TEST(PlanCache, PersistentTierSurvivesRestartByteIdentically) {
+  TempDir dir("cache_tier");
+  const std::string plan = "{\"totalCycles\":7,\"passes\":[1,2,3]}";
+  {
+    PlanCache cache(PlanCache::Options{4, dir.path()});
+    cache.put("key-1", plan);
+  }
+  PlanCache reborn(PlanCache::Options{4, dir.path()});
+  const auto hit = reborn.get("key-1");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, plan);  // byte-identical through the disk round trip
+  EXPECT_EQ(reborn.stats().diskHits, 1u);
+  // Promoted into memory: the second get is a memory hit.
+  (void)reborn.get("key-1");
+  EXPECT_EQ(reborn.stats().hits, 1u);
+}
+
+TEST(PlanCache, CorruptDiskEntryDegradesToMiss) {
+  TempDir dir("cache_corrupt");
+  {
+    PlanCache cache(PlanCache::Options{4, dir.path()});
+    cache.put("key-1", "{\"a\":1}");
+  }
+  for (const auto& entry : fs::directory_iterator(dir.path())) {
+    std::ofstream(entry.path(), std::ios::trunc) << "not json";
+  }
+  PlanCache reborn(PlanCache::Options{4, dir.path()});
+  EXPECT_FALSE(reborn.get("key-1").has_value());
+  EXPECT_EQ(reborn.stats().misses, 1u);
+}
+
+TEST(PlanCache, DiskEntryForDifferentKeyIsNotServed) {
+  // The file name is a hash; the key inside is the identity. Swap the key
+  // field and the entry must degrade to a miss, not serve the wrong plan.
+  TempDir dir("cache_wrongkey");
+  {
+    PlanCache cache(PlanCache::Options{4, dir.path()});
+    cache.put("key-1", "{\"a\":1}");
+  }
+  for (const auto& entry : fs::directory_iterator(dir.path())) {
+    report::Json doc = report::Json::object();
+    doc.set("key", std::string("key-OTHER")).set("plan", std::string("{}"));
+    std::ofstream(entry.path(), std::ios::trunc) << doc.dump();
+  }
+  PlanCache reborn(PlanCache::Options{4, dir.path()});
+  EXPECT_FALSE(reborn.get("key-1").has_value());
+}
+
+// --------------------------------------------------------------------------
+// PlanService: caching, coalescing, error taxonomy, determinism.
+
+TEST(ServerService, CacheHitIsByteIdenticalToColdPlan) {
+  PlanService service(ServiceOptions{});
+  const std::string line = planLine("2:1:1:1:1:1:9", 32, 3);
+  const std::string cold = service.handle(line);
+  const std::string warm = service.handle(line);
+  EXPECT_EQ(sourceOf(cold), "planned");
+  EXPECT_EQ(sourceOf(warm), "cache");
+  EXPECT_EQ(planBytes(cold), planBytes(warm));
+
+  // ...and identical to what the engine library produces directly.
+  const engine::MdstEngine engine(Ratio({2, 1, 1, 1, 1, 1, 9}));
+  engine::StreamingRequest request;
+  request.demand = 32;
+  request.storageCap = 3;
+  const engine::StreamingPlan plan = engine::planStreaming(engine, request);
+  EXPECT_EQ(planBytes(cold), engine::toJson(plan).dump());
+}
+
+TEST(ServerService, EquivalentRatiosHitOneEntry) {
+  PlanService service(ServiceOptions{});
+  const std::string cold = service.handle(planLine("2:4:2", 4, 4));
+  const std::string warm = service.handle(planLine("1:2:1", 4, 4));
+  EXPECT_EQ(sourceOf(cold), "planned");
+  EXPECT_EQ(sourceOf(warm), "cache");
+  EXPECT_EQ(planBytes(cold), planBytes(warm));
+  EXPECT_EQ(service.planned(), 1u);
+  EXPECT_EQ(service.cache().stats().size, 1u);
+}
+
+TEST(ServerService, ResponsesAreIdenticalForEveryJobsValue) {
+  const std::vector<std::string> lines = {
+      planLine("2:1:1:1:1:1:9", 32, 3), planLine("3:1", 8, 3),
+      planLine("7:3:3:3", 40, 4), planLine("1:2:1", 6, 4)};
+  std::vector<std::string> baseline;
+  for (unsigned jobs : {1u, 4u}) {
+    ServiceOptions options;
+    options.jobs = jobs;
+    PlanService service(options);
+    std::vector<std::string> responses;
+    for (const std::string& line : lines) {
+      responses.push_back(service.handle(line));
+    }
+    if (baseline.empty()) {
+      baseline = responses;
+    } else {
+      EXPECT_EQ(responses, baseline) << "jobs=" << jobs;
+    }
+  }
+}
+
+TEST(ServerService, MalformedLinesNeverThrowAndKeepTaxonomy) {
+  PlanService service(ServiceOptions{});
+  auto kindOf = [&](const std::string& line) {
+    const std::string response = service.handle(line);
+    const report::Json json = report::Json::parse(response);
+    EXPECT_FALSE(json.at("ok").asBool());
+    return json.at("kind").asString();
+  };
+  EXPECT_EQ(kindOf("not json"), "parse");
+  EXPECT_EQ(kindOf("{} trailing"), "parse");
+  EXPECT_EQ(kindOf("[1,2,3]"), "parse");
+  EXPECT_EQ(kindOf("{\"op\":\"nope\"}"), "request");
+  EXPECT_EQ(kindOf("{\"op\":\"plan\"}"), "request");
+  EXPECT_EQ(kindOf("{\"op\":\"plan\",\"ratio\":\"3:4\",\"demand\":4}"),
+            "request");
+  EXPECT_EQ(kindOf("{\"op\":\"plan\",\"ratio\":\"1:1:1:1:1:1:1:1\","
+                   "\"demand\":32,\"storage\":1,\"mixers\":1}"),
+            "infeasible");
+}
+
+TEST(ServerService, InfeasibleOutcomesAreNotCached) {
+  PlanService service(ServiceOptions{});
+  const std::string line =
+      "{\"op\":\"plan\",\"ratio\":\"1:1:1:1:1:1:1:1\",\"demand\":32,"
+      "\"storage\":1,\"mixers\":1}";
+  (void)service.handle(line);
+  (void)service.handle(line);
+  EXPECT_EQ(service.cache().stats().size, 0u);
+  EXPECT_EQ(service.planned(), 2u);  // recomputed (and refused) both times
+}
+
+TEST(ServerService, CoalescesConcurrentIdenticalRequests) {
+  obs::Session session;
+  obs::Scope scope(session);
+  ServiceOptions options;
+  options.jobs = 4;
+  // Stretch the computation so every thread arrives inside the in-flight
+  // window of the first.
+  options.computeDelayNanosForTest = 50'000'000;  // 50 ms
+  PlanService service(options);
+  const std::string line = planLine("2:1:1:1:1:1:9", 16, 3);
+  constexpr int kClients = 8;
+  std::vector<std::string> responses(kClients);
+  {
+    std::vector<std::thread> clients;
+    clients.reserve(kClients);
+    for (int i = 0; i < kClients; ++i) {
+      clients.emplace_back(
+          [&service, &responses, &line, i] {
+            responses[static_cast<std::size_t>(i)] = service.handle(line);
+          });
+    }
+    for (std::thread& t : clients) t.join();
+  }
+  // Exactly one computation ran; every other client either coalesced onto
+  // it or (having arrived after publication) hit the cache.
+  EXPECT_EQ(service.planned(), 1u);
+  EXPECT_EQ(service.coalesced() + service.cache().stats().hits,
+            static_cast<std::uint64_t>(kClients - 1));
+  EXPECT_GE(service.coalesced(), 1u);
+  EXPECT_EQ(session.metrics.counter("server.coalesce").value(),
+            service.coalesced());
+  for (const std::string& response : responses) {
+    EXPECT_EQ(planBytes(response), planBytes(responses[0]));
+  }
+}
+
+TEST(ServerService, PersistentTierAnswersAfterRestartWithoutReplanning) {
+  TempDir dir("service_restart");
+  const std::string line = planLine("2:1:1:1:1:1:9", 32, 3);
+  std::string cold;
+  {
+    ServiceOptions options;
+    options.cacheDir = dir.path();
+    PlanService service(options);
+    cold = service.handle(line);
+    EXPECT_EQ(sourceOf(cold), "planned");
+  }
+  ServiceOptions options;
+  options.cacheDir = dir.path();
+  PlanService reborn(options);
+  const std::string warm = reborn.handle(line);
+  EXPECT_EQ(sourceOf(warm), "cache");
+  EXPECT_EQ(planBytes(warm), planBytes(cold));
+  EXPECT_EQ(reborn.planned(), 0u);  // nothing recomputed across the restart
+}
+
+TEST(ServerService, OpsPingStatsShutdown) {
+  PlanService service(ServiceOptions{});
+  bool shutdown = false;
+  EXPECT_EQ(service.handle("{\"op\":\"ping\"}", &shutdown),
+            "{\"ok\":true,\"op\":\"ping\"}");
+  EXPECT_FALSE(shutdown);
+  (void)service.handle(planLine("3:1", 4, 4));
+  const report::Json stats =
+      report::Json::parse(service.handle("{\"op\":\"stats\"}"));
+  EXPECT_TRUE(stats.at("ok").asBool());
+  EXPECT_EQ(stats.at("planned").asUint(), 1u);
+  EXPECT_EQ(stats.at("cache").at("size").asUint(), 1u);
+  EXPECT_EQ(service.handle("{\"op\":\"shutdown\"}", &shutdown),
+            "{\"ok\":true,\"op\":\"shutdown\"}");
+  EXPECT_TRUE(shutdown);
+}
+
+// --------------------------------------------------------------------------
+// SocketServer: a real TCP round trip, including shutdown-by-request.
+
+TEST(ServerSocket, RoundTripsRequestsOverTcp) {
+  PlanService service(ServiceOptions{});
+  SocketServer socket(service, SocketServerOptions{0});
+  ASSERT_GT(socket.port(), 0);
+  std::thread serverThread([&socket] { socket.run(); });
+
+  std::istringstream in(planLine("3:1", 8, 3) + "\n" +
+                        planLine("3:1", 8, 3) + "\n" +
+                        "{\"op\":\"shutdown\"}\n");
+  std::ostringstream out;
+  EXPECT_TRUE(driveLines(socket.port(), in, out));
+  socket.stop();
+  serverThread.join();
+
+  std::vector<std::string> responses;
+  std::istringstream lines(out.str());
+  for (std::string line; std::getline(lines, line);) {
+    responses.push_back(line);
+  }
+  ASSERT_EQ(responses.size(), 3u);
+  EXPECT_EQ(sourceOf(responses[0]), "planned");
+  EXPECT_EQ(sourceOf(responses[1]), "cache");
+  EXPECT_EQ(planBytes(responses[0]), planBytes(responses[1]));
+  EXPECT_EQ(responses[2], "{\"ok\":true,\"op\":\"shutdown\"}");
+}
+
+TEST(ServerSocket, MalformedLinesKeepTheConnectionAlive) {
+  PlanService service(ServiceOptions{});
+  SocketServer socket(service, SocketServerOptions{0});
+  std::thread serverThread([&socket] { socket.run(); });
+
+  std::istringstream in("garbage\n{\"op\":\"ping\"}\n{\"op\":\"shutdown\"}\n");
+  std::ostringstream out;
+  EXPECT_TRUE(driveLines(socket.port(), in, out));
+  socket.stop();
+  serverThread.join();
+
+  const std::string text = out.str();
+  EXPECT_NE(text.find("\"kind\":\"parse\""), std::string::npos);
+  EXPECT_NE(text.find("{\"ok\":true,\"op\":\"ping\"}"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dmf::server

@@ -1,0 +1,113 @@
+# ctest helper: end-to-end smoke of `dmfstream serve` over a real socket.
+# Drives a request mix through --drive, checks the response stream, and
+# pins serve determinism: stdout is byte-identical across runs and across
+# --jobs values (the bound ephemeral port goes to stderr, never stdout).
+# Run as
+#   cmake -DDMFSTREAM=<path-to-binary> -DWORKDIR=<scratch dir> -P check_server_smoke.cmake
+if(NOT DEFINED DMFSTREAM)
+  message(FATAL_ERROR "pass -DDMFSTREAM=<path to dmfstream>")
+endif()
+if(NOT DEFINED WORKDIR)
+  message(FATAL_ERROR "pass -DWORKDIR=<scratch directory>")
+endif()
+
+file(MAKE_DIRECTORY ${WORKDIR})
+set(mix ${WORKDIR}/serve_requests.txt)
+# The mix covers: ping, a cold plan, its exact repeat (cache hit), the
+# 2:4:2 vs 1:2:1 canonicalization pair, a malformed line, an unknown op,
+# an infeasible request, stats-free determinism, and shutdown last.
+file(WRITE ${mix} "{\"op\":\"ping\"}
+{\"op\":\"plan\",\"ratio\":\"2:1:1:1:1:1:9\",\"demand\":32,\"storage\":3}
+{\"op\":\"plan\",\"ratio\":\"2:1:1:1:1:1:9\",\"demand\":32,\"storage\":3}
+{\"op\":\"plan\",\"ratio\":\"2:4:2\",\"demand\":4,\"storage\":4}
+{\"op\":\"plan\",\"ratio\":\"1:2:1\",\"demand\":4,\"storage\":4}
+this is not json
+{\"op\":\"bogus\"}
+{\"op\":\"plan\",\"ratio\":\"1:1:1:1:1:1:1:1\",\"demand\":32,\"storage\":1,\"mixers\":1}
+{\"op\":\"shutdown\"}
+")
+
+function(run_serve out_var)
+  execute_process(
+    COMMAND ${DMFSTREAM} serve --port 0 --drive ${mix} ${ARGN}
+    OUTPUT_VARIABLE output
+    ERROR_VARIABLE errout
+    RESULT_VARIABLE status)
+  if(NOT status EQUAL 0)
+    message(FATAL_ERROR "dmfstream serve exited with ${status}: ${errout}")
+  endif()
+  if(NOT errout MATCHES "listening on 127.0.0.1:")
+    message(FATAL_ERROR "serve did not announce its port on stderr")
+  endif()
+  if(output MATCHES "listening on")
+    message(FATAL_ERROR "the listening line leaked onto stdout")
+  endif()
+  set(${out_var} "${output}" PARENT_SCOPE)
+endfunction()
+
+run_serve(first)
+
+# Response-stream shape.
+if(NOT first MATCHES "\"op\":\"ping\"")
+  message(FATAL_ERROR "no ping response")
+endif()
+if(NOT first MATCHES "\"source\":\"planned\"")
+  message(FATAL_ERROR "no cold (planned) response")
+endif()
+if(NOT first MATCHES "\"source\":\"cache\"")
+  message(FATAL_ERROR "repeat request was not served from the cache")
+endif()
+if(NOT first MATCHES "ratio=1:2:1")
+  message(FATAL_ERROR "2:4:2 was not canonicalized to the 1:2:1 key")
+endif()
+if(first MATCHES "ratio=2:4:2")
+  message(FATAL_ERROR "a non-reduced ratio leaked into a cache key")
+endif()
+if(NOT first MATCHES "\"kind\":\"parse\"")
+  message(FATAL_ERROR "malformed line did not produce a parse error")
+endif()
+if(NOT first MATCHES "\"kind\":\"request\"")
+  message(FATAL_ERROR "unknown op did not produce a request error")
+endif()
+if(NOT first MATCHES "\"kind\":\"infeasible\"")
+  message(FATAL_ERROR "infeasible request did not report as infeasible")
+endif()
+if(NOT first MATCHES "\"op\":\"shutdown\"")
+  message(FATAL_ERROR "no shutdown acknowledgement")
+endif()
+
+# One request line in, one response line out: 9 lines total.
+string(REGEX MATCHALL "\n" newlines "${first}")
+list(LENGTH newlines lines)
+if(NOT lines EQUAL 9)
+  message(FATAL_ERROR "expected 9 response lines, got ${lines}")
+endif()
+
+# Determinism: a second run, and runs under --jobs 4 and with a persistent
+# cache tier, must produce byte-identical stdout.
+run_serve(second)
+if(NOT first STREQUAL second)
+  message(FATAL_ERROR "two serve runs differ on stdout")
+endif()
+run_serve(jobs4 --jobs 4)
+if(NOT first STREQUAL jobs4)
+  message(FATAL_ERROR "serve stdout differs between --jobs 1 and --jobs 4")
+endif()
+file(REMOVE_RECURSE ${WORKDIR}/serve_cache)
+run_serve(disk1 --cache-dir ${WORKDIR}/serve_cache)
+if(NOT first STREQUAL disk1)
+  message(FATAL_ERROR "serve stdout differs with a persistent cache tier")
+endif()
+# The restarted daemon answers every plan from the disk tier: nothing is
+# recomputed ("planned" disappears), and the plan payloads are byte-for-byte
+# what the cold run produced — only the source tag flips to "cache".
+run_serve(disk2 --cache-dir ${WORKDIR}/serve_cache)
+if(disk2 MATCHES "\"source\":\"planned\"")
+  message(FATAL_ERROR "restarted daemon recomputed a plan the disk tier had")
+endif()
+string(REPLACE "\"source\":\"planned\"" "\"source\":\"cache\"" first_as_hits "${first}")
+if(NOT first_as_hits STREQUAL disk2)
+  message(FATAL_ERROR "disk-tier responses are not byte-identical to the cold run's plans")
+endif()
+
+message(STATUS "serve smoke: responses correct, stdout byte-identical across runs, --jobs, and cache-tier restarts")

@@ -11,8 +11,10 @@
 //                    [--wear] [--anneal]
 //   dmfstream corpus [--sum L] [--min-fluids N] [--max-fluids N]
 //   dmfstream fuzz   [--iters N] [--seed S] [--time-budget SECONDS]
-//                    [--scope all|forest|sched|stream|fault]
+//                    [--scope all|forest|sched|stream|fault|server]
 //                    [--replay JSON]
+//   dmfstream serve  [--port P] [--cache-size N] [--cache-dir DIR]
+//                    [--jobs N] [--drive FILE]
 //
 // Any command also accepts --trace FILE (Chrome trace-event JSON, loadable
 // in Perfetto / chrome://tracing) and --metrics FILE (metrics snapshot).
@@ -29,6 +31,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "analysis/error_model.h"
@@ -55,6 +58,8 @@
 #include "sched/ga_scheduler.h"
 #include "sched/gantt.h"
 #include "sched/schedulers.h"
+#include "server/service.h"
+#include "server/socket_server.h"
 #include "workload/ratio_corpus.h"
 
 namespace {
@@ -149,10 +154,22 @@ commands:
   fuzz    differential-oracle fuzzing of the whole pipeline
           [--iters N (default 200)] [--seed S (default 1; deterministic)]
           [--time-budget SECONDS (0 = run all iterations)]
-          [--scope all|forest|sched|stream|fault]
+          [--scope all|forest|sched|stream|fault|server]
           [--replay JSON]  (re-run one shrunken reproducer seed)
           exit 0 when every invariant held, 4 with findings (each printed
           as a ready-to-paste --replay invocation plus its JSON seed)
+  serve   plan-as-a-service daemon: line-delimited JSON over a local
+          TCP socket (127.0.0.1), with a canonical plan cache
+          [--port P (default 0 = ephemeral; bound port goes to stderr)]
+          [--cache-size N (in-memory plans kept, default 256)]
+          [--cache-dir DIR (persistent cache tier; survives restarts)]
+          [--jobs N (concurrent plan computations; 0 = all cores;
+          responses are byte-identical for every N)]
+          [--drive FILE (send FILE's request lines, print responses to
+          stdout, then exit — for tests and scripting)]
+          requests: {"op":"plan","ratio":"2:1:1:1:1:1:9","demand":20,
+          "storage":4} plus optional algo/scheme/mixers/optimize; other
+          ops: ping, stats, shutdown
 
 global options (any command):
   --trace FILE    write a Chrome trace-event JSON (open in Perfetto or
@@ -620,6 +637,42 @@ int cmdFuzz(const Args& args) {
   return report.ok() ? 0 : 4;
 }
 
+int cmdServe(const Args& args) {
+  const std::uint64_t port = args.getU64("port", 0);
+  if (port > 65535) {
+    throw std::invalid_argument("--port: must be 0..65535, got " +
+                                std::to_string(port));
+  }
+  server::ServiceOptions options;
+  options.cacheSize = static_cast<std::size_t>(args.getU64("cache-size", 256));
+  options.cacheDir = args.get("cache-dir").value_or("");
+  options.jobs = static_cast<unsigned>(args.getU64("jobs", 1));
+  server::PlanService service(options);
+  server::SocketServer socket(
+      service, server::SocketServerOptions{static_cast<unsigned short>(port)});
+  // The bound port goes to stderr: ephemeral ports differ run to run, and
+  // stdout must stay byte-deterministic (the serve smoke test diffs it).
+  std::cerr << "listening on 127.0.0.1:" << socket.port() << "\n";
+
+  if (const auto drivePath = args.get("drive"); drivePath.has_value()) {
+    std::ifstream in(*drivePath);
+    if (!in) {
+      throw std::invalid_argument("--drive: cannot read '" + *drivePath + "'");
+    }
+    std::thread serverThread([&socket] { socket.run(); });
+    const bool ok = server::driveLines(socket.port(), in, std::cout);
+    socket.stop();
+    serverThread.join();
+    if (!ok) {
+      throw std::runtime_error("serve --drive: connection to 127.0.0.1:" +
+                               std::to_string(socket.port()) + " failed");
+    }
+    return 0;
+  }
+  socket.run();  // blocks until a {"op":"shutdown"} request (or a signal)
+  return 0;
+}
+
 int cmdCorpus(const Args& args) {
   const std::uint64_t sum = args.getU64("sum", 32);
   const std::size_t minN =
@@ -669,6 +722,7 @@ int dispatch(const Args& args) {
   if (args.command == "chip") return cmdChip(args, requireRatio(args));
   if (args.command == "corpus") return cmdCorpus(args);
   if (args.command == "fuzz") return cmdFuzz(args);
+  if (args.command == "serve") return cmdServe(args);
   return usage();
 }
 
