@@ -5,7 +5,10 @@
 // (bench_obs.h), so speedups are diffable across commits.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
+#include <string>
+#include <vector>
 
 #include "analysis/error_model.h"
 #include "chip/executor.h"
@@ -16,8 +19,10 @@
 #include "engine/mdst.h"
 #include "forest/task_forest.h"
 #include "mixgraph/builders.h"
+#include "obs/log.h"
 #include "obs/scope.h"
 #include "protocols/protocols.h"
+#include "server/service.h"
 #include "runtime/thread_pool.h"
 #include "sched/ga_scheduler.h"
 #include "sched/heterogeneous.h"
@@ -292,17 +297,75 @@ void BM_ObsEnabledScheduling(benchmark::State& state) {
 }
 BENCHMARK(BM_ObsEnabledScheduling);
 
-// --- measured speedups, emitted as BENCH_bench_micro.json ----------------
-// Wall-clock gauges for the two hot paths this library parallelized /
-// de-allocated, over the Table-2/3 workloads (the five published protocol
-// forests). Speedup gauges are scaled x1000 (gauges are integers).
-
 std::uint64_t nanosSince(std::chrono::steady_clock::time_point start) {
   return static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(
           std::chrono::steady_clock::now() - start)
           .count());
 }
+
+// --- obs overhead budget (DESIGN.md §14) ----------------------------------
+// With no session and no logger installed, the instrumentation a cache hit
+// passes through (request + probe spans, counters, the request-latency
+// histogram check, a debug log line) must cost < 2% of the hit p50. This
+// runs BEFORE BenchSession installs its scope — it measures the true
+// disabled path — and the bound is asserted: a regression fails bench_micro
+// with a nonzero exit, not just a slower number in a JSON nobody reads.
+
+struct ObsOverheadResult {
+  double hookBundleNanos = 0.0;  ///< disabled-path cost of one hit's hooks
+  std::uint64_t hitP50Nanos = 0;
+  double overheadPct = 0.0;
+};
+
+ObsOverheadResult measureObsOverhead() {
+  using clock = std::chrono::steady_clock;
+  ObsOverheadResult result;
+
+  // One iteration is a superset of the hooks on the real hit path: two
+  // spans, three counters, the metrics/log-level checks, one log line.
+  constexpr std::uint64_t kIters = 1'000'000;
+  const auto hookStart = clock::now();
+  for (std::uint64_t i = 0; i < kIters; ++i) {
+    const obs::Span request("bench.request", "server");
+    const obs::Span probe("bench.probe", "server");
+    obs::count("bench.requests");
+    obs::count("bench.cache.mem_hit");
+    obs::count("bench.extra");
+    benchmark::DoNotOptimize(obs::metrics());
+    benchmark::DoNotOptimize(obs::logEnabled(obs::LogLevel::kDebug));
+    obs::LogLine(obs::LogLevel::kDebug, "bench.request");
+  }
+  result.hookBundleNanos =
+      static_cast<double>(nanosSince(hookStart)) / kIters;
+
+  // Hit p50 of a real in-process PlanService, observability fully off.
+  server::PlanService service{server::ServiceOptions{}};
+  const std::string line =
+      "{\"op\":\"plan\",\"ratio\":\"2:1:1:1:1:1:9\",\"demand\":20,"
+      "\"storage\":3}";
+  (void)service.handle(line);  // fill the cache
+  std::vector<std::uint64_t> samples;
+  samples.reserve(3000);
+  for (int i = 0; i < 3000; ++i) {
+    const auto start = clock::now();
+    (void)service.handle(line);
+    samples.push_back(nanosSince(start));
+  }
+  std::sort(samples.begin(), samples.end());
+  result.hitP50Nanos = samples[samples.size() / 2];
+  result.overheadPct = result.hitP50Nanos == 0
+                           ? 0.0
+                           : result.hookBundleNanos /
+                                 static_cast<double>(result.hitP50Nanos) *
+                                 100.0;
+  return result;
+}
+
+// --- measured speedups, emitted as BENCH_bench_micro.json ----------------
+// Wall-clock gauges for the two hot paths this library parallelized /
+// de-allocated, over the Table-2/3 workloads (the five published protocol
+// forests). Speedup gauges are scaled x1000 (gauges are integers).
 
 void recordMeasuredSpeedups() {
   using clock = std::chrono::steady_clock;
@@ -374,9 +437,28 @@ int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  // Disabled-path overhead: measured while no session/logger exists, then
+  // asserted. The gauges land in the JSON afterwards (x1000: integers).
+  const ObsOverheadResult overhead = measureObsOverhead();
+  std::cout << "obs overhead: hook bundle " << overhead.hookBundleNanos
+            << " ns, hit p50 " << overhead.hitP50Nanos << " ns -> "
+            << overhead.overheadPct << "% (budget 2%)\n";
+  int rc = 0;
+  if (overhead.overheadPct >= 2.0) {
+    std::cerr << "FAIL: disabled-path obs overhead " << overhead.overheadPct
+              << "% exceeds the 2% budget\n";
+    rc = 1;
+  }
   {
     const dmf::bench::BenchSession benchObs("bench_micro", argc, argv);
     recordMeasuredSpeedups();
+    if (dmf::obs::MetricsRegistry* m = dmf::obs::metrics()) {
+      m->gauge("bench.obs.hook_bundle_nanos_x1000")
+          .set(static_cast<std::uint64_t>(overhead.hookBundleNanos * 1000.0));
+      m->gauge("bench.obs.hit_p50_nanos").set(overhead.hitP50Nanos);
+      m->gauge("bench.obs.hit_overhead_pct_x1000")
+          .set(static_cast<std::uint64_t>(overhead.overheadPct * 1000.0));
+    }
   }
-  return 0;
+  return rc;
 }

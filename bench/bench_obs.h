@@ -20,6 +20,9 @@ class BenchSession {
   explicit BenchSession(const std::string& name, int argc = 0,
                         char** argv = nullptr)
       : path_("BENCH_" + name + ".json"), scope_(session_) {
+    // Metrics-only: this harness never writes the trace, so recording span
+    // events during a benchmark would only burn time and memory.
+    session_.traceEnabled = false;
     for (int i = 1; i + 1 < argc; ++i) {
       if (std::string(argv[i]) == "--metrics") path_ = argv[i + 1];
     }

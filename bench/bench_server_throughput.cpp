@@ -9,7 +9,7 @@
 //   server.bench.cold.p50_nanos / p99_nanos
 //   server.bench.hit.p50_nanos / p99_nanos   (the <100us p50 target)
 //   server.bench.sustained.requests_per_sec
-// plus the serving layer's own counters (server.cache.hit/miss,
+// plus the serving layer's own counters (server.cache.mem_hit/miss,
 // server.coalesce, server.request_nanos histogram).
 #include <algorithm>
 #include <atomic>

@@ -13,6 +13,7 @@
 #include "engine/serialize.h"
 #include "engine/streaming.h"
 #include "fault/fault_injector.h"
+#include "obs/log.h"
 #include "obs/scope.h"
 #include "sched/ga_scheduler.h"
 #include "sched/heterogeneous.h"
@@ -576,6 +577,17 @@ FuzzReport Fuzzer::run() const {
       };
       finding.reproducer = shrink(c, stillFails, &finding.shrinkSteps);
       finding.failures = runCase(finding.reproducer).failures;
+      {
+        std::string oracles;
+        for (const std::string& n : oracleNames(finding.failures)) {
+          if (!oracles.empty()) oracles += ",";
+          oracles += n;
+        }
+        obs::LogLine(obs::LogLevel::kError, "check.fuzz.finding")
+            .num("iteration", finding.iteration)
+            .num("shrink_steps", finding.shrinkSteps)
+            .str("oracles", oracles);
+      }
       report.findings.push_back(std::move(finding));
     }
   }

@@ -45,6 +45,10 @@ TimedRouter::TimedRouter(const Layout& layout, TimedRouterOptions options)
     : layout_(&layout), options_(options) {}
 
 PhaseResult TimedRouter::routePhase(std::vector<PhaseMove> moves) const {
+  obs::Span span("chip.route_phase", "chip");
+  if (obs::tracer() != nullptr) {
+    span.arg("moves", std::to_string(moves.size()));
+  }
   const Layout& layout = *layout_;
   for (const PhaseMove& m : moves) {
     for (const Cell& c : {m.from, m.to}) {

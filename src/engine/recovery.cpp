@@ -9,6 +9,7 @@
 #include "analysis/error_model.h"
 #include "chip/executor.h"
 #include "chip/router.h"
+#include "obs/log.h"
 #include "obs/scope.h"
 #include "sched/schedulers.h"
 
@@ -214,7 +215,11 @@ RecoveryReport RecoveryEngine::run(const forest::TaskForest& forest,
 
   auto degrade = [&](const std::string& reason) {
     report.degraded = true;
-    if (report.degradationReason.empty()) report.degradationReason = reason;
+    if (report.degradationReason.empty()) {
+      report.degradationReason = reason;
+      obs::LogLine(obs::LogLevel::kWarn, "recovery.degrade")
+          .str("reason", reason);
+    }
   };
 
   // Flags one repair need and (lazily) lets the next checkpoint splice it.
@@ -503,6 +508,12 @@ RecoveryReport RecoveryEngine::run(const forest::TaskForest& forest,
             report.extraActuations += round.actuations;
             obs::count("recovery.rounds");
             obs::count("recovery.repair_mixsplits", round.mixSplits);
+            obs::LogLine(obs::LogLevel::kInfo, "recovery.splice")
+                .num("cycle", cycle)
+                .num("round", report.roundsUsed)
+                .num("mix_splits", round.mixSplits)
+                .num("input_droplets", round.inputDroplets)
+                .num("span_cycles", round.span);
             if (backoffMul < (1u << 15)) backoffMul *= 2;
             report.rounds.push_back(std::move(round));
           } else {

@@ -1,0 +1,172 @@
+#include "obs/log.h"
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <mutex>
+#include <stdexcept>
+
+#include "obs/scope.h"
+#include "report/json.h"
+
+namespace dmf::obs {
+
+const char* logLevelName(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "debug";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kWarn:
+      return "warn";
+    case LogLevel::kError:
+      return "error";
+    case LogLevel::kOff:
+      return "off";
+  }
+  return "unknown";
+}
+
+LogLevel parseLogLevel(const std::string& name) {
+  if (name == "debug") return LogLevel::kDebug;
+  if (name == "info") return LogLevel::kInfo;
+  if (name == "warn") return LogLevel::kWarn;
+  if (name == "error") return LogLevel::kError;
+  if (name == "off") return LogLevel::kOff;
+  throw std::invalid_argument(
+      "log level: expected debug|info|warn|error|off, got '" + name + "'");
+}
+
+struct Logger::Impl {
+  std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  std::mutex mutex;
+  std::ofstream file;  // unopened = stderr sink
+};
+
+Logger::Logger(const Options& options)
+    : options_(options), impl_(new Impl()) {
+  if (!options_.path.empty()) {
+    impl_->file.open(options_.path, std::ios::binary | std::ios::trunc);
+    if (!impl_->file) {
+      delete impl_;
+      throw std::invalid_argument("Logger: cannot open log file '" +
+                                  options_.path + "'");
+    }
+  }
+}
+
+Logger::~Logger() { delete impl_; }
+
+std::uint64_t Logger::nowNanos() const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - impl_->epoch)
+          .count());
+}
+
+void Logger::write(const std::string& line) {
+  const std::lock_guard<std::mutex> lock(impl_->mutex);
+  if (impl_->file.is_open()) {
+    impl_->file << line << '\n';
+    impl_->file.flush();
+  } else {
+    std::cerr << line << '\n';
+  }
+  lines_.fetch_add(1, std::memory_order_relaxed);
+}
+
+namespace detail {
+std::atomic<int> g_logThreshold{static_cast<int>(LogLevel::kOff)};
+std::atomic<Logger*> g_logger{nullptr};
+}  // namespace detail
+
+LogScope::LogScope(Logger& logger) {
+  Logger* expected = nullptr;
+  if (!detail::g_logger.compare_exchange_strong(expected, &logger,
+                                                std::memory_order_acq_rel)) {
+    throw std::logic_error("obs::LogScope: a logger is already installed");
+  }
+  detail::g_logThreshold.store(static_cast<int>(logger.level()),
+                               std::memory_order_release);
+}
+
+LogScope::~LogScope() {
+  detail::g_logThreshold.store(static_cast<int>(LogLevel::kOff),
+                               std::memory_order_release);
+  detail::g_logger.store(nullptr, std::memory_order_release);
+}
+
+LogLine::LogLine(LogLevel level, const char* event)
+    : logger_(loggerFor(level)) {
+  if (logger_ == nullptr) return;
+  buffer_.reserve(128);
+  buffer_ += "{";
+  if (logger_->timestamps()) {
+    buffer_ += "\"ts\":";
+    buffer_ += std::to_string(logger_->nowNanos());
+    buffer_ += ",";
+  }
+  buffer_ += "\"level\":\"";
+  buffer_ += logLevelName(level);
+  buffer_ += "\",\"event\":\"";
+  buffer_ += report::jsonEscape(event);
+  buffer_ += "\"";
+}
+
+LogLine::~LogLine() {
+  if (logger_ == nullptr) return;
+  // Trace correlation last, in a fixed order: a record emitted inside a
+  // request span carries that request's identity.
+  const SpanContext context = currentContext();
+  if (context.valid()) {
+    buffer_ += ",\"trace_id\":";
+    buffer_ += std::to_string(context.traceId);
+    buffer_ += ",\"span_id\":";
+    buffer_ += std::to_string(context.spanId);
+  }
+  buffer_ += "}";
+  logger_->write(buffer_);
+}
+
+LogLine& LogLine::str(const char* key, std::string_view value) {
+  if (logger_ == nullptr) return *this;
+  buffer_ += ",\"";
+  buffer_ += key;
+  buffer_ += "\":\"";
+  buffer_ += report::jsonEscape(std::string(value));
+  buffer_ += "\"";
+  return *this;
+}
+
+LogLine& LogLine::num(const char* key, std::uint64_t value) {
+  if (logger_ == nullptr) return *this;
+  buffer_ += ",\"";
+  buffer_ += key;
+  buffer_ += "\":";
+  buffer_ += std::to_string(value);
+  return *this;
+}
+
+LogLine& LogLine::real(const char* key, double value) {
+  if (logger_ == nullptr) return *this;
+  char text[32];
+  std::snprintf(text, sizeof(text), "%.6g", value);
+  buffer_ += ",\"";
+  buffer_ += key;
+  buffer_ += "\":";
+  buffer_ += text;
+  return *this;
+}
+
+LogLine& LogLine::boolean(const char* key, bool value) {
+  if (logger_ == nullptr) return *this;
+  buffer_ += ",\"";
+  buffer_ += key;
+  buffer_ += "\":";
+  buffer_ += value ? "true" : "false";
+  return *this;
+}
+
+}  // namespace dmf::obs

@@ -1,0 +1,132 @@
+// Leveled, structured JSON-lines logging (DESIGN.md §14).
+//
+// One log record is one JSON object on one line, written atomically to the
+// sink (a file or stderr). Field order is deterministic: the fixed head
+// ("ts" when stamping is on, "level", "event"), then caller fields in call
+// order, then trace correlation ("trace_id"/"span_id") when the calling
+// thread has an open span — so a log line joins the Chrome trace of the
+// request that emitted it.
+//
+// The disabled path follows the same contract as obs::Scope: no logger
+// installed (or a record below the threshold) costs one relaxed atomic load
+// and a branch — no clock read, no allocation, no lock. Call sites build a
+// LogLine unconditionally; every field call no-ops when it is inert.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace dmf::obs {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+  kOff = 4,  ///< threshold value only — no record carries this level
+};
+
+/// "debug" / "info" / "warn" / "error" / "off".
+[[nodiscard]] const char* logLevelName(LogLevel level) noexcept;
+
+/// Parses a level name (as accepted by --log-level). Throws
+/// std::invalid_argument on anything else.
+[[nodiscard]] LogLevel parseLogLevel(const std::string& name);
+
+/// A JSON-lines sink. Writes are mutex-serialized whole lines, flushed per
+/// record, so concurrent threads never interleave fields.
+class Logger {
+ public:
+  struct Options {
+    LogLevel level = LogLevel::kInfo;
+    /// Sink path; empty = stderr. The parent directory must exist.
+    std::string path;
+    /// Stamp each record with "ts" (nanoseconds since logger creation).
+    /// Off makes output byte-deterministic for tests and goldens.
+    bool timestamps = true;
+  };
+
+  /// Throws std::invalid_argument when the sink cannot be opened.
+  explicit Logger(const Options& options);
+  ~Logger();
+
+  Logger(const Logger&) = delete;
+  Logger& operator=(const Logger&) = delete;
+
+  [[nodiscard]] LogLevel level() const noexcept { return options_.level; }
+  [[nodiscard]] bool timestamps() const noexcept {
+    return options_.timestamps;
+  }
+  /// Nanoseconds since this logger was constructed.
+  [[nodiscard]] std::uint64_t nowNanos() const;
+  [[nodiscard]] std::uint64_t linesWritten() const noexcept {
+    return lines_.load(std::memory_order_relaxed);
+  }
+
+  /// Writes one complete record line (no trailing newline in `line`).
+  void write(const std::string& line);
+
+ private:
+  struct Impl;
+  Options options_;
+  Impl* impl_;
+  std::atomic<std::uint64_t> lines_{0};
+};
+
+namespace detail {
+/// Threshold of the installed logger; kOff when none. One relaxed load
+/// decides the disabled path.
+extern std::atomic<int> g_logThreshold;
+extern std::atomic<Logger*> g_logger;
+}  // namespace detail
+
+/// True when a record at `level` would be written.
+[[nodiscard]] inline bool logEnabled(LogLevel level) noexcept {
+  return static_cast<int>(level) >=
+         detail::g_logThreshold.load(std::memory_order_relaxed);
+}
+
+/// The installed logger if `level` passes its threshold, else nullptr.
+[[nodiscard]] inline Logger* loggerFor(LogLevel level) noexcept {
+  if (!logEnabled(level)) return nullptr;
+  return detail::g_logger.load(std::memory_order_acquire);
+}
+
+/// RAII installer, mirroring obs::Scope: the logger is globally visible
+/// between construction and destruction. Throws std::logic_error when a
+/// logger is already installed.
+class LogScope {
+ public:
+  explicit LogScope(Logger& logger);
+  ~LogScope();
+
+  LogScope(const LogScope&) = delete;
+  LogScope& operator=(const LogScope&) = delete;
+};
+
+/// One structured record, emitted on destruction. Inert (single relaxed
+/// load, no allocation) when no logger accepts the level.
+///
+///   obs::LogLine(obs::LogLevel::kInfo, "server.request")
+///       .str("op", op).num("nanos", nanos);
+class LogLine {
+ public:
+  LogLine(LogLevel level, const char* event);
+  ~LogLine();
+
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  LogLine& str(const char* key, std::string_view value);
+  LogLine& num(const char* key, std::uint64_t value);
+  LogLine& real(const char* key, double value);
+  LogLine& boolean(const char* key, bool value);
+
+ private:
+  Logger* logger_;
+  std::string buffer_;
+};
+
+}  // namespace dmf::obs

@@ -20,6 +20,48 @@ Histogram::Histogram(std::vector<std::uint64_t> bounds)
   }
 }
 
+double Histogram::quantile(double q) const {
+  std::vector<std::uint64_t> counts(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) counts[i] = bucketCount(i);
+  return histogramQuantile(bounds_, counts, q);
+}
+
+double histogramQuantile(const std::vector<std::uint64_t>& bounds,
+                         const std::vector<std::uint64_t>& counts,
+                         double q) {
+  if (counts.size() != bounds.size() + 1) {
+    throw std::invalid_argument(
+        "histogramQuantile: counts must have bounds.size() + 1 entries");
+  }
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : counts) total += c;
+  if (total == 0) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  // The rank of the q-quantile observation, 1-based: the nearest-rank
+  // definition, so q=0.5 of {1..4} targets rank 2.
+  const double rank = std::max(1.0, q * static_cast<double>(total));
+
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const double inBucket = static_cast<double>(counts[i]);
+    if (inBucket == 0.0) continue;
+    if (cumulative + inBucket >= rank) {
+      if (i == bounds.size()) {
+        // Overflow bucket: no upper edge to interpolate toward. Clamp to
+        // the last finite bound (a known underestimate, documented).
+        return static_cast<double>(bounds.back());
+      }
+      const double lower =
+          i == 0 ? 0.0 : static_cast<double>(bounds[i - 1]);
+      const double upper = static_cast<double>(bounds[i]);
+      const double fraction = (rank - cumulative) / inBucket;
+      return lower + (upper - lower) * fraction;
+    }
+    cumulative += inBucket;
+  }
+  return static_cast<double>(bounds.back());
+}
+
 void Histogram::observe(std::uint64_t value) noexcept {
   const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
   const std::size_t bucket =

@@ -86,6 +86,9 @@ class Histogram {
     return sum_.load(std::memory_order_relaxed);
   }
 
+  /// Estimated q-quantile (q in [0,1]) — see histogramQuantile below.
+  [[nodiscard]] double quantile(double q) const;
+
  private:
   std::vector<std::uint64_t> bounds_;
   std::unique_ptr<std::atomic<std::uint64_t>[]> counts_;  // bounds.size() + 1
@@ -121,5 +124,16 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
 };
+
+/// Estimated q-quantile of a fixed-bucket histogram, by linear interpolation
+/// within the bucket holding the target rank. Bucket i spans
+/// (bounds[i-1], bounds[i]] (the first bucket starts at 0) and observations
+/// are assumed uniform within it; the overflow bucket has no upper edge, so
+/// any rank landing there clamps to the last bound. `counts` must have
+/// bounds.size() + 1 entries (the snapshot layout). Returns 0 for an empty
+/// histogram; q is clamped to [0, 1].
+[[nodiscard]] double histogramQuantile(const std::vector<std::uint64_t>& bounds,
+                                       const std::vector<std::uint64_t>& counts,
+                                       double q);
 
 }  // namespace dmf::obs

@@ -1,0 +1,104 @@
+#include "obs/prometheus.h"
+
+#include <cstdio>
+#include <stdexcept>
+#include <vector>
+
+namespace dmf::obs {
+
+namespace {
+
+/// Prometheus metric names match [a-zA-Z_:][a-zA-Z0-9_:]*; instrument names
+/// here are dotted ("server.cache.mem_hit"), so map every other byte to '_'
+/// and anchor under the exporter prefix.
+std::string sanitize(const std::string& name) {
+  std::string out = "dmf_";
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+std::string formatDouble(double value) {
+  char text[64];
+  std::snprintf(text, sizeof(text), "%.17g", value);
+  return text;
+}
+
+void renderScalarSection(const report::Json& section, const char* type,
+                         const std::string& suffix, std::string& out) {
+  for (const std::string& name : section.keys()) {
+    const std::string metric = sanitize(name) + suffix;
+    out += "# TYPE " + metric + " " + type + "\n";
+    out += metric + " " + std::to_string(section.at(name).asUint()) + "\n";
+  }
+}
+
+}  // namespace
+
+std::string prometheusText(const report::Json& snapshot) {
+  if (!snapshot.isObject() || !snapshot.contains("counters") ||
+      !snapshot.contains("gauges") || !snapshot.contains("histograms")) {
+    throw std::invalid_argument(
+        "prometheusText: expected a metrics snapshot object with "
+        "counters/gauges/histograms sections");
+  }
+
+  std::string out;
+  renderScalarSection(snapshot.at("counters"), "counter", "_total", out);
+  renderScalarSection(snapshot.at("gauges"), "gauge", "", out);
+
+  const report::Json& histograms = snapshot.at("histograms");
+  for (const std::string& name : histograms.keys()) {
+    const report::Json& h = histograms.at(name);
+    const report::Json& boundsJson = h.at("bounds");
+    const report::Json& countsJson = h.at("counts");
+    std::vector<std::uint64_t> bounds(boundsJson.size());
+    std::vector<std::uint64_t> counts(countsJson.size());
+    for (std::size_t i = 0; i < bounds.size(); ++i) {
+      bounds[i] = boundsJson.at(i).asUint();
+    }
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      counts[i] = countsJson.at(i).asUint();
+    }
+    if (counts.size() != bounds.size() + 1) {
+      throw std::invalid_argument(
+          "prometheusText: histogram '" + name +
+          "' counts must have bounds.size() + 1 entries");
+    }
+
+    const std::string metric = sanitize(name);
+    out += "# TYPE " + metric + " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < bounds.size(); ++i) {
+      cumulative += counts[i];
+      out += metric + "_bucket{le=\"" + std::to_string(bounds[i]) + "\"} " +
+             std::to_string(cumulative) + "\n";
+    }
+    cumulative += counts.back();
+    out += metric + "_bucket{le=\"+Inf\"} " + std::to_string(cumulative) + "\n";
+    out += metric + "_sum " + std::to_string(h.at("sum").asUint()) + "\n";
+    out += metric + "_count " + std::to_string(h.at("count").asUint()) + "\n";
+
+    // Derived quantile gauges: scrape-friendly estimates so dashboards get
+    // p50/p95/p99 without PromQL histogram_quantile over raw buckets.
+    static constexpr struct {
+      const char* suffix;
+      double q;
+    } kQuantiles[] = {{"_p50", 0.50}, {"_p95", 0.95}, {"_p99", 0.99}};
+    for (const auto& [suffix, q] : kQuantiles) {
+      out += "# TYPE " + metric + suffix + " gauge\n";
+      out += metric + suffix + " " +
+             formatDouble(histogramQuantile(bounds, counts, q)) + "\n";
+    }
+  }
+  return out;
+}
+
+std::string prometheusText(const MetricsRegistry& registry) {
+  return prometheusText(registry.snapshot());
+}
+
+}  // namespace dmf::obs

@@ -1,0 +1,28 @@
+// Prometheus text exposition (version 0.0.4) of a metrics snapshot
+// (DESIGN.md §14).
+//
+// Works from the MetricsRegistry::snapshot() JSON shape, so the same
+// renderer serves a live registry (`dmfstream stats --port P`), a snapshot
+// file written by --metrics, and the BENCH_*.json blobs. Instrument names
+// are sanitized to the Prometheus grammar (dots become underscores) under a
+// "dmf_" prefix; counters get the conventional "_total" suffix; histograms
+// render cumulative "_bucket{le=...}" series plus "_sum"/"_count" and
+// derived p50/p95/p99 gauges estimated by linear interpolation within the
+// fixed buckets (obs::histogramQuantile).
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.h"
+#include "report/json.h"
+
+namespace dmf::obs {
+
+/// Renders a snapshot (the MetricsRegistry::snapshot() shape) as Prometheus
+/// text. Throws std::invalid_argument when the JSON is not snapshot-shaped.
+[[nodiscard]] std::string prometheusText(const report::Json& snapshot);
+
+/// Convenience: snapshot + render in one step.
+[[nodiscard]] std::string prometheusText(const MetricsRegistry& registry);
+
+}  // namespace dmf::obs

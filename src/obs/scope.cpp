@@ -6,6 +6,11 @@ namespace dmf::obs {
 
 namespace detail {
 std::atomic<Session*> g_session{nullptr};
+
+SpanContext& currentContextSlot() noexcept {
+  thread_local SpanContext tContext;
+  return tContext;
+}
 }  // namespace detail
 
 Scope::Scope(Session& session) {

@@ -23,10 +23,18 @@ namespace dmf::obs {
 struct Session {
   MetricsRegistry metrics;
   TraceRecorder trace;
+  /// When false the session collects metrics only: tracer() reports off and
+  /// spans are not recorded. A long-running daemon keeps live counters for
+  /// scraping without accumulating trace events forever.
+  bool traceEnabled = true;
 };
 
 namespace detail {
 extern std::atomic<Session*> g_session;
+
+/// The calling thread's innermost active span context ({0,0} when none).
+/// Thread-local storage lives in scope.cpp; access is branch-free.
+[[nodiscard]] SpanContext& currentContextSlot() noexcept;
 }  // namespace detail
 
 /// RAII installer: the session is globally visible between construction and
@@ -51,10 +59,11 @@ class Scope {
   return s == nullptr ? nullptr : &s->metrics;
 }
 
-/// The active session's trace recorder, or nullptr when observability is off.
+/// The active session's trace recorder, or nullptr when observability is off
+/// (or the session is metrics-only).
 [[nodiscard]] inline TraceRecorder* tracer() noexcept {
   Session* s = detail::g_session.load(std::memory_order_acquire);
-  return s == nullptr ? nullptr : &s->trace;
+  return s == nullptr || !s->traceEnabled ? nullptr : &s->trace;
 }
 
 /// Bumps a named counter in the active registry; no-op when disabled.
@@ -72,32 +81,88 @@ inline void gaugeSet(const char* name, std::uint64_t value) {
   if (MetricsRegistry* m = metrics()) m->gauge(name).set(value);
 }
 
+/// The calling thread's innermost active span context. Zero ids when no span
+/// is open (or tracing is off). Capture this before handing work to another
+/// thread and adopt it there with a ContextGuard, so the worker's spans
+/// splice into the originating request's trace.
+[[nodiscard]] inline SpanContext currentContext() noexcept {
+  return detail::currentContextSlot();
+}
+
+/// RAII adoption of a span context on the current thread (cross-thread
+/// propagation: request thread -> pool worker, coalescing leader -> queued
+/// computation). Restores the previous context on destruction. Safe (and
+/// near-free) when tracing is off — it only swaps two thread-local words.
+class ContextGuard {
+ public:
+  explicit ContextGuard(const SpanContext& adopt) noexcept
+      : previous_(detail::currentContextSlot()) {
+    detail::currentContextSlot() = adopt;
+  }
+  ~ContextGuard() { detail::currentContextSlot() = previous_; }
+
+  ContextGuard(const ContextGuard&) = delete;
+  ContextGuard& operator=(const ContextGuard&) = delete;
+
+ private:
+  SpanContext previous_;
+};
+
 /// RAII wall-clock span on the calling thread's trace track. Latches the
 /// recorder at construction: when tracing is off this is two null checks and
 /// no clock read.
+///
+/// With tracing on, every Span is a node in the request tree: it adopts the
+/// thread's current context as its parent (a fresh trace id when there is
+/// none), installs itself as the current context for its lifetime, and
+/// records trace/span/parent ids with the event.
 class Span {
  public:
   explicit Span(const char* name, const char* category = "engine") noexcept
-      : recorder_(tracer()),
-        name_(name),
-        category_(category),
-        start_(recorder_ == nullptr ? 0 : recorder_->nowNanos()) {}
+      : recorder_(tracer()), name_(name), category_(category) {
+    if (recorder_ != nullptr) {
+      start_ = recorder_->nowNanos();
+      SpanContext& current = detail::currentContextSlot();
+      parent_ = current;
+      context_.traceId =
+          parent_.traceId != 0 ? parent_.traceId : recorder_->newId();
+      context_.spanId = recorder_->newId();
+      current = context_;
+    }
+  }
 
   ~Span() {
     if (recorder_ != nullptr) {
+      detail::currentContextSlot() = parent_;
       recorder_->completeEvent(name_, category_, start_,
-                               recorder_->nowNanos() - start_);
+                               recorder_->nowNanos() - start_, context_,
+                               parent_.spanId, std::move(args_));
     }
   }
 
   Span(const Span&) = delete;
   Span& operator=(const Span&) = delete;
 
+  /// This span's identity (zero ids when tracing is off).
+  [[nodiscard]] const SpanContext& context() const noexcept {
+    return context_;
+  }
+
+  /// Attaches a string argument to the recorded event (no-op when tracing
+  /// is off — callers may build the value behind `if (obs::tracer())`).
+  Span& arg(const char* key, std::string value) {
+    if (recorder_ != nullptr) args_.emplace_back(key, std::move(value));
+    return *this;
+  }
+
  private:
   TraceRecorder* recorder_;
   const char* name_;
   const char* category_;
-  std::uint64_t start_;
+  std::uint64_t start_ = 0;
+  SpanContext context_;
+  SpanContext parent_;
+  std::vector<std::pair<std::string, std::string>> args_;
 };
 
 }  // namespace dmf::obs

@@ -26,7 +26,19 @@ void TraceRecorder::completeEvent(
     std::vector<std::pair<std::string, std::string>> args) {
   const std::lock_guard<std::mutex> lock(mutex_);
   events_.push_back(TraceEvent{std::move(name), std::move(category), 'X',
+                               startNanos, durationNanos, 1, threadTrack(), 0,
+                               0, 0, std::move(args)});
+}
+
+void TraceRecorder::completeEvent(
+    std::string name, std::string category, std::uint64_t startNanos,
+    std::uint64_t durationNanos, const SpanContext& context,
+    std::uint64_t parentSpanId,
+    std::vector<std::pair<std::string, std::string>> args) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  events_.push_back(TraceEvent{std::move(name), std::move(category), 'X',
                                startNanos, durationNanos, 1, threadTrack(),
+                               context.traceId, context.spanId, parentSpanId,
                                std::move(args)});
 }
 
@@ -36,7 +48,7 @@ void TraceRecorder::instantEvent(
   const std::uint64_t now = nowNanos();
   const std::lock_guard<std::mutex> lock(mutex_);
   events_.push_back(TraceEvent{std::move(name), std::move(category), 'i', now,
-                               0, 1, threadTrack(), std::move(args)});
+                               0, 1, threadTrack(), 0, 0, 0, std::move(args)});
 }
 
 void TraceRecorder::modelEvent(
@@ -46,8 +58,8 @@ void TraceRecorder::modelEvent(
   const std::lock_guard<std::mutex> lock(mutex_);
   // Model time: one schedule cycle renders as one microsecond.
   events_.push_back(TraceEvent{std::move(name), std::move(category), 'X',
-                               start * 1000, duration * 1000, 2, track,
-                               std::move(args)});
+                               start * 1000, duration * 1000, 2, track, 0, 0,
+                               0, std::move(args)});
 }
 
 std::size_t TraceRecorder::eventCount() const {
@@ -97,8 +109,15 @@ report::Json TraceRecorder::toJson() const {
     if (e.phase == 'i') event.set("s", std::string("t"));
     event.set("pid", std::uint64_t{e.pid});
     event.set("tid", std::uint64_t{e.tid});
-    if (!e.args.empty()) {
+    if (e.spanId != 0 || !e.args.empty()) {
       report::Json args = report::Json::object();
+      // Span identity first, in a fixed order, so one request's lifecycle is
+      // greppable by "trace_id":N across every thread track.
+      if (e.spanId != 0) {
+        args.set("trace_id", e.traceId);
+        args.set("span_id", e.spanId);
+        if (e.parentSpanId != 0) args.set("parent_span_id", e.parentSpanId);
+      }
       for (const auto& [key, value] : e.args) args.set(key, value);
       event.set("args", std::move(args));
     }

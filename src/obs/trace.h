@@ -10,6 +10,7 @@
 //    (the streaming plan rendered as a Gantt chart, one track per pass).
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <map>
@@ -23,6 +24,18 @@
 
 namespace dmf::obs {
 
+/// Request-scoped span identity (distributed-tracing style). A root span
+/// starts a new trace (fresh traceId); children inherit the traceId and
+/// record their parent's spanId. Ids are allocated from one atomic counter
+/// per recorder, so they are small, unique, and stable within a trace file.
+/// A zero id means "none" (event recorded outside any span context).
+struct SpanContext {
+  std::uint64_t traceId = 0;
+  std::uint64_t spanId = 0;
+
+  [[nodiscard]] bool valid() const noexcept { return spanId != 0; }
+};
+
 /// One recorded trace event (already resolved to a thread-track id).
 struct TraceEvent {
   std::string name;
@@ -32,6 +45,9 @@ struct TraceEvent {
   std::uint64_t durationNanos = 0;
   std::uint32_t pid = 1;          ///< 1 = wall clock, 2 = model time
   std::uint32_t tid = 0;
+  std::uint64_t traceId = 0;      ///< 0 = outside any request context
+  std::uint64_t spanId = 0;
+  std::uint64_t parentSpanId = 0;
   /// Extra string arguments rendered into the event's "args" object.
   std::vector<std::pair<std::string, std::string>> args;
 };
@@ -46,12 +62,26 @@ class TraceRecorder {
   /// Nanoseconds elapsed since this recorder was constructed.
   [[nodiscard]] std::uint64_t nowNanos() const;
 
+  /// Allocates a fresh nonzero id (trace or span — one sequence serves
+  /// both). Lock-free; ids are dense in allocation order.
+  [[nodiscard]] std::uint64_t newId() noexcept {
+    return nextId_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+
   /// Records a complete span [startNanos, startNanos + durationNanos) on the
   /// calling thread's wall-clock track.
   void completeEvent(
       std::string name, std::string category, std::uint64_t startNanos,
       std::uint64_t durationNanos,
       std::vector<std::pair<std::string, std::string>> args = {});
+
+  /// Records a complete span carrying its span context: the event's
+  /// trace/span/parent ids are rendered into the trace-file args, so one
+  /// request's full lifecycle is greppable by trace id across threads.
+  void completeEvent(std::string name, std::string category,
+                     std::uint64_t startNanos, std::uint64_t durationNanos,
+                     const SpanContext& context, std::uint64_t parentSpanId,
+                     std::vector<std::pair<std::string, std::string>> args);
 
   /// Records an instant event "now" on the calling thread's track.
   void instantEvent(std::string name, std::string category,
@@ -76,6 +106,7 @@ class TraceRecorder {
   std::uint32_t threadTrack();
 
   std::chrono::steady_clock::time_point epoch_;
+  std::atomic<std::uint64_t> nextId_{0};
   mutable std::mutex mutex_;
   std::vector<TraceEvent> events_;
   std::map<std::thread::id, std::uint32_t> threadIds_;

@@ -37,6 +37,10 @@ struct ActivePoolGuard {
 struct ThreadPool::Batch {
   std::uint64_t count = 0;
   const std::function<void(std::uint64_t, unsigned)>* fn = nullptr;
+  // The submitting thread's span context: workers adopt it so their spans
+  // splice into the originating request's trace (zero ids when tracing is
+  // off or the caller has no open span).
+  obs::SpanContext context;
   std::atomic<std::uint64_t> next{0};
   // First (lowest-index) exception seen, for deterministic error behaviour.
   std::mutex errorMutex;
@@ -110,7 +114,9 @@ void ThreadPool::workerLoop(unsigned worker) {
       batch = state_->batch;
     }
     {
-      // One span per worker per batch: the "--jobs N" tasks in the trace.
+      // One span per worker per batch: the "--jobs N" tasks in the trace,
+      // parented onto the submitting thread's span via the batch context.
+      const obs::ContextGuard context(batch->context);
       const obs::Span span("pool.worker", "pool");
       const ActivePoolGuard guard(this);
       batch->drain(worker);
@@ -139,6 +145,7 @@ void ThreadPool::forEachWorker(
   Batch batch;
   batch.count = count;
   batch.fn = &fn;
+  batch.context = obs::currentContext();
   {
     const std::lock_guard<std::mutex> lock(state_->mutex);
     state_->batch = &batch;

@@ -55,14 +55,17 @@ PlanCache::PlanCache(Options options) : options_(std::move(options)) {
   }
 }
 
-std::optional<std::string> PlanCache::get(const std::string& key) {
+std::optional<std::string> PlanCache::get(const std::string& key,
+                                          const char** tierOut) {
+  if (tierOut != nullptr) *tierOut = "miss";
   {
     std::lock_guard<std::mutex> lock(mutex_);
     const auto it = index_.find(key);
     if (it != index_.end()) {
       lru_.splice(lru_.begin(), lru_, it->second);  // promote to MRU
       ++stats_.hits;
-      obs::count("server.cache.hit");
+      obs::count("server.cache.mem_hit");
+      if (tierOut != nullptr) *tierOut = "memory";
       return it->second->second;
     }
   }
@@ -75,6 +78,7 @@ std::optional<std::string> PlanCache::get(const std::string& key) {
         ++stats_.diskHits;
       }
       obs::count("server.cache.disk_hit");
+      if (tierOut != nullptr) *tierOut = "disk";
       put(key, *plan);
       return plan;
     }

@@ -46,8 +46,11 @@ class PlanCache {
 
   /// The cached plan bytes for exactly this key, or nullopt. Checks memory
   /// first, then the disk tier (a disk hit is promoted into memory). Emits
-  /// server.cache.hit / server.cache.disk_hit / server.cache.miss counters.
-  [[nodiscard]] std::optional<std::string> get(const std::string& key);
+  /// server.cache.mem_hit / server.cache.disk_hit / server.cache.miss
+  /// counters. When `tierOut` is non-null it receives the tier consulted:
+  /// a static "memory" / "disk" / "miss" string (for span annotation).
+  [[nodiscard]] std::optional<std::string> get(const std::string& key,
+                                               const char** tierOut = nullptr);
 
   /// Stores plan bytes under a key (memory + disk tier when configured).
   /// A duplicate put keeps the first value — plans are pure functions of

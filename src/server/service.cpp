@@ -7,6 +7,7 @@
 #include "dmf/errors.h"
 #include "engine/serialize.h"
 #include "engine/streaming.h"
+#include "obs/log.h"
 #include "obs/scope.h"
 #include "report/json.h"
 
@@ -48,6 +49,8 @@ void AdmissionQueue::drainLoop() {
       batch.swap(pending_);
     }
     obs::count("server.queue.batches");
+    obs::LogLine(obs::LogLevel::kDebug, "server.admission.batch")
+        .num("jobs", batch.size());
     // One batch = one forEach over the shared pool: everything admitted
     // together fans out together; arrivals during the batch form the next.
     pool_.forEach(batch.size(),
@@ -67,10 +70,15 @@ PlanService::PlanService(const ServiceOptions& options)
 PlanService::~PlanService() = default;
 
 std::string PlanService::handle(const std::string& line, bool* shutdown) {
+  // The root span of this request's trace: everything downstream — cache
+  // probe, coalesce wait, the queued computation (via ContextGuard), engine
+  // and pool-worker spans — shares its trace id.
+  obs::Span span("server.request", "server");
+  requests_.fetch_add(1, std::memory_order_relaxed);
   const auto start = std::chrono::steady_clock::now();
   std::string response;
   try {
-    response = dispatch(line, shutdown);
+    response = dispatch(line, shutdown, span);
   } catch (const std::exception& e) {
     // dispatch() already maps every expected failure; this is the backstop
     // that keeps the socket loop alive no matter what.
@@ -78,21 +86,29 @@ std::string PlanService::handle(const std::string& line, bool* shutdown) {
   } catch (...) {
     response = errorResponse("internal", "unknown error");
   }
-  if (obs::MetricsRegistry* m = obs::metrics()) {
+  if (obs::metrics() != nullptr ||
+      obs::logEnabled(obs::LogLevel::kDebug)) {
     const auto nanos = static_cast<std::uint64_t>(
         std::chrono::duration_cast<std::chrono::nanoseconds>(
             std::chrono::steady_clock::now() - start)
             .count());
-    m->histogram("server.request_nanos",
-                 {1'000, 10'000, 100'000, 1'000'000, 10'000'000, 100'000'000,
-                  1'000'000'000})
-        .observe(nanos);
+    if (obs::MetricsRegistry* m = obs::metrics()) {
+      m->histogram("server.request_nanos",
+                   {1'000, 10'000, 100'000, 1'000'000, 10'000'000,
+                    100'000'000, 1'000'000'000})
+          .observe(nanos);
+    }
+    obs::LogLine(obs::LogLevel::kDebug, "server.request")
+        .num("bytes_in", line.size())
+        .num("bytes_out", response.size())
+        .num("nanos", nanos);
   }
   obs::count("server.requests");
   return response;
 }
 
-std::string PlanService::dispatch(const std::string& line, bool* shutdown) {
+std::string PlanService::dispatch(const std::string& line, bool* shutdown,
+                                  obs::Span& span) {
   Json request = Json::object();
   try {
     request = Json::parse(line);
@@ -110,11 +126,13 @@ std::string PlanService::dispatch(const std::string& line, bool* shutdown) {
       return errorResponse("request", "\"op\" must be a string");
     }
   }
+  if (obs::tracer() != nullptr) span.arg("op", op);
   if (op == "ping") {
     return "{\"ok\":true,\"op\":\"ping\"}";
   }
   if (op == "shutdown") {
     if (shutdown != nullptr) *shutdown = true;
+    logShutdown();
     return "{\"ok\":true,\"op\":\"shutdown\"}";
   }
   if (op == "stats") {
@@ -129,18 +147,26 @@ std::string PlanService::dispatch(const std::string& line, bool* shutdown) {
         .set("size", std::uint64_t{stats.size})
         .set("capacity", std::uint64_t{cache_.capacity()});
     out.set("cache", std::move(cacheJson))
+        .set("requests", requests())
         .set("planned", planned())
-        .set("coalesced", coalesced());
+        .set("coalesced", coalesced())
+        .set("modelCycles", modelCycles());
+    // With an observability session installed the full instrument snapshot
+    // rides along, so `dmfstream stats --port P` can render Prometheus text
+    // from a live daemon.
+    if (obs::MetricsRegistry* m = obs::metrics()) {
+      out.set("metrics", m->snapshot());
+    }
     return out.dump();
   }
   if (op == "plan") {
-    return handlePlan(request);
+    return handlePlan(request, span);
   }
   return errorResponse("request", "unknown op \"" + op +
                                       "\" (plan|ping|stats|shutdown)");
 }
 
-std::string PlanService::handlePlan(const Json& request) {
+std::string PlanService::handlePlan(const Json& request, obs::Span& span) {
   PlanRequest parsed;
   try {
     parsed = PlanRequest::fromJson(request);
@@ -150,13 +176,20 @@ std::string PlanService::handlePlan(const Json& request) {
   const CanonicalRequest canonical = canonicalize(parsed);
   const std::string key = canonical.key();
 
-  if (const auto hit = cache_.get(key)) {
-    return planResponse("cache", key, *hit);
+  {
+    const char* tier = "miss";
+    obs::Span probe("server.cache.probe", "server");
+    const auto hit = cache_.get(key, &tier);
+    if (obs::tracer() != nullptr) probe.arg("tier", tier);
+    if (hit) {
+      return planResponse("cache", key, *hit);
+    }
   }
 
   // Coalesce: exactly one leader per key computes; everyone else arriving
   // while it is in flight waits on the same future.
   std::shared_future<Outcome> future;
+  obs::SpanContext leaderContext;
   std::promise<Outcome> promise;
   bool leader = false;
   {
@@ -164,15 +197,24 @@ std::string PlanService::handlePlan(const Json& request) {
     const auto it = inflight_.find(key);
     if (it == inflight_.end()) {
       future = promise.get_future().share();
-      inflight_.emplace(key, future);
+      inflight_.emplace(key, Inflight{future, span.context()});
       leader = true;
     } else {
-      future = it->second;
+      future = it->second.future;
+      leaderContext = it->second.leader;
     }
   }
   if (!leader) {
     coalesced_.fetch_add(1, std::memory_order_relaxed);
     obs::count("server.coalesce");
+    // The follower's wait is a span of its own trace, annotated with the
+    // identity of the leader span it piggybacks on — the trace viewer can
+    // join the two requests on these ids.
+    obs::Span wait("server.coalesce.wait", "server");
+    if (obs::tracer() != nullptr) {
+      wait.arg("leader_trace", std::to_string(leaderContext.traceId));
+      wait.arg("leader_span", std::to_string(leaderContext.spanId));
+    }
     return outcomeResponse("coalesced", key, future.get());
   }
 
@@ -180,8 +222,17 @@ std::string PlanService::handlePlan(const Json& request) {
   // entry, so a request arriving between the two sees one or the other,
   // never a re-plan.
   auto task = std::make_shared<std::promise<Outcome>>(std::move(promise));
-  queue_.submit([this, canonical, key, task] {
-    Outcome outcome = compute(canonical);
+  const obs::SpanContext requestContext = span.context();
+  queue_.submit([this, canonical, key, task, requestContext] {
+    // Adopt the leader request's context: the computation runs on a pool
+    // worker, but its spans (engine, scheduler, router) splice into the
+    // request's trace.
+    const obs::ContextGuard adopt(requestContext);
+    Outcome outcome;
+    {
+      const obs::Span computeSpan("server.compute", "server");
+      outcome = compute(canonical);
+    }
     if (outcome.ok) cache_.put(key, outcome.plan);
     {
       std::lock_guard<std::mutex> lock(inflightMutex_);
@@ -217,6 +268,7 @@ PlanService::Outcome PlanService::compute(const CanonicalRequest& request) {
                          : engine::planStreaming(engine, streaming);
     outcome.ok = true;
     outcome.plan = engine::toJson(plan).dump();
+    modelCycles_.fetch_add(plan.totalCycles, std::memory_order_relaxed);
   } catch (const InfeasibleError& e) {
     outcome.kind = "infeasible";
     outcome.error = e.what();
@@ -253,6 +305,30 @@ std::string PlanService::errorResponse(const std::string& kind,
       .set("kind", kind)
       .set("error", error);
   return out.dump();
+}
+
+void PlanService::logShutdown() const {
+  if (!obs::logEnabled(obs::LogLevel::kInfo)) return;
+  const PlanCache::Stats stats = cache_.stats();
+  const std::uint64_t lookups = stats.hits + stats.diskHits + stats.misses;
+  const double hitRatio =
+      lookups == 0 ? 0.0
+                   : static_cast<double>(stats.hits + stats.diskHits) /
+                         static_cast<double>(lookups);
+  const auto uptime = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - started_)
+          .count());
+  obs::LogLine(obs::LogLevel::kInfo, "server.shutdown")
+      .num("requests", requests())
+      .num("planned", planned())
+      .num("coalesced", coalesced())
+      .num("cache_mem_hits", stats.hits)
+      .num("cache_disk_hits", stats.diskHits)
+      .num("cache_misses", stats.misses)
+      .real("hit_ratio", hitRatio)
+      .num("model_cycles", modelCycles())
+      .num("uptime_nanos", uptime);
 }
 
 std::string PlanService::outcomeResponse(const char* source,

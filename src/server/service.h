@@ -17,6 +17,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -28,6 +29,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/scope.h"
 #include "runtime/thread_pool.h"
 #include "server/canonical.h"
 #include "server/plan_cache.h"
@@ -92,6 +94,10 @@ class PlanService {
                                    bool* shutdown = nullptr);
 
   [[nodiscard]] const PlanCache& cache() const { return cache_; }
+  /// Requests handled (every line, including errors and control ops).
+  [[nodiscard]] std::uint64_t requests() const {
+    return requests_.load(std::memory_order_relaxed);
+  }
   /// Cold plan computations actually executed (cache misses that led).
   [[nodiscard]] std::uint64_t planned() const {
     return planned_.load(std::memory_order_relaxed);
@@ -99,6 +105,11 @@ class PlanService {
   /// Requests that waited on an identical in-flight computation.
   [[nodiscard]] std::uint64_t coalesced() const {
     return coalesced_.load(std::memory_order_relaxed);
+  }
+  /// Sum of totalCycles over every cold-computed plan (the model work this
+  /// service has actually performed, as opposed to served from cache).
+  [[nodiscard]] std::uint64_t modelCycles() const {
+    return modelCycles_.load(std::memory_order_relaxed);
   }
 
  private:
@@ -110,9 +121,20 @@ class PlanService {
     std::string error;  ///< human-readable message when !ok
   };
 
-  [[nodiscard]] std::string dispatch(const std::string& line, bool* shutdown);
-  [[nodiscard]] std::string handlePlan(const report::Json& request);
+  /// One in-flight computation: the future everyone waits on plus the
+  /// leader request's span context, so a coalesced follower can name the
+  /// trace it piggybacked on.
+  struct Inflight {
+    std::shared_future<Outcome> future;
+    obs::SpanContext leader;
+  };
+
+  [[nodiscard]] std::string dispatch(const std::string& line, bool* shutdown,
+                                     obs::Span& span);
+  [[nodiscard]] std::string handlePlan(const report::Json& request,
+                                       obs::Span& span);
   [[nodiscard]] Outcome compute(const CanonicalRequest& request);
+  void logShutdown() const;
   [[nodiscard]] static std::string planResponse(const char* source,
                                                 const std::string& key,
                                                 const std::string& plan);
@@ -128,10 +150,14 @@ class PlanService {
   AdmissionQueue queue_;  // after pool_: drains onto it, destroyed first
 
   std::mutex inflightMutex_;
-  std::unordered_map<std::string, std::shared_future<Outcome>> inflight_;
+  std::unordered_map<std::string, Inflight> inflight_;
 
+  std::chrono::steady_clock::time_point started_ =
+      std::chrono::steady_clock::now();
+  std::atomic<std::uint64_t> requests_{0};
   std::atomic<std::uint64_t> planned_{0};
   std::atomic<std::uint64_t> coalesced_{0};
+  std::atomic<std::uint64_t> modelCycles_{0};
 };
 
 }  // namespace dmf::server

@@ -12,6 +12,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/log.h"
 #include "obs/scope.h"
 #include "server/service.h"
 
@@ -102,6 +103,8 @@ void SocketServer::run() {
       break;
     }
     obs::count("server.connections");
+    obs::LogLine(obs::LogLevel::kDebug, "server.connection.accept")
+        .num("fd", static_cast<std::uint64_t>(fd));
     std::lock_guard<std::mutex> lock(threadsMutex_);
     threads_.emplace_back([this, fd] { serveConnection(fd); });
   }

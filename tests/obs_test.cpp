@@ -13,6 +13,7 @@
 #include "engine/serialize.h"
 #include "engine/streaming.h"
 #include "obs/metrics.h"
+#include "obs/prometheus.h"
 #include "obs/scope.h"
 #include "obs/trace.h"
 #include "report/json.h"
@@ -117,6 +118,82 @@ TEST(ObsMetricsTest, ConcurrentCounterIncrementsAreLossless) {
   EXPECT_EQ(registry.gauge("watermark").value(), kIncrements - 1);
   EXPECT_EQ(registry.histogram("spread", {1000, 10000}).count(),
             std::uint64_t{kThreads} * kIncrements);
+}
+
+// Quantile pins: the exact nearest-rank + linear-interpolation arithmetic
+// the Prometheus exporter's derived p50/p95/p99 gauges depend on.
+TEST(ObsMetricsTest, QuantileInterpolatesWithinOneBucket) {
+  // Four observations, all inside the first bucket (0, 10].
+  const std::vector<std::uint64_t> bounds{10, 20};
+  const std::vector<std::uint64_t> counts{4, 0, 0};
+  // p50 targets rank 2 of 4; 2/4 of the way through (0, 10].
+  EXPECT_DOUBLE_EQ(histogramQuantile(bounds, counts, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(histogramQuantile(bounds, counts, 0.99), 9.9);
+  // q=0 clamps the rank to 1 (the minimum observation's bucket share).
+  EXPECT_DOUBLE_EQ(histogramQuantile(bounds, counts, 0.0), 2.5);
+}
+
+TEST(ObsMetricsTest, QuantileCrossesBuckets) {
+  const std::vector<std::uint64_t> bounds{100, 200, 300};
+  const std::vector<std::uint64_t> counts{1, 1, 1, 0};
+  // Rank 1.5 of 3 lands halfway through the second bucket (100, 200].
+  EXPECT_DOUBLE_EQ(histogramQuantile(bounds, counts, 0.5), 150.0);
+  // Rank 2.97 lands 97% through the third bucket (200, 300].
+  EXPECT_DOUBLE_EQ(histogramQuantile(bounds, counts, 0.99), 297.0);
+}
+
+TEST(ObsMetricsTest, QuantileClampsOverflowToLastBound) {
+  const std::vector<std::uint64_t> bounds{10};
+  const std::vector<std::uint64_t> counts{0, 5};
+  EXPECT_DOUBLE_EQ(histogramQuantile(bounds, counts, 0.5), 10.0);
+  EXPECT_DOUBLE_EQ(histogramQuantile(bounds, counts, 0.99), 10.0);
+}
+
+TEST(ObsMetricsTest, QuantileEdgeCases) {
+  const std::vector<std::uint64_t> bounds{10};
+  EXPECT_DOUBLE_EQ(histogramQuantile(bounds, {0, 0}, 0.5), 0.0);  // empty
+  EXPECT_THROW(histogramQuantile(bounds, {1, 2, 3}, 0.5),
+               std::invalid_argument);  // counts/bounds size mismatch
+  Histogram h({10, 20});
+  for (const std::uint64_t v : {1, 2, 3, 4}) h.observe(v);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 5.0);  // member delegates to the free fn
+}
+
+// Golden rendering: exposition-format text is an external contract (scrape
+// configs and dashboards parse it), so pin the exact bytes.
+TEST(ObsPrometheusTest, RendersSnapshotAsExpositionText) {
+  MetricsRegistry registry;
+  registry.counter("cache.hit").add(4);
+  registry.gauge("queue.depth").set(7);
+  Histogram& lat = registry.histogram("lat", {10, 20});
+  lat.observe(5);
+  lat.observe(15);
+  lat.observe(25);
+
+  EXPECT_EQ(prometheusText(registry),
+            "# TYPE dmf_cache_hit_total counter\n"
+            "dmf_cache_hit_total 4\n"
+            "# TYPE dmf_queue_depth gauge\n"
+            "dmf_queue_depth 7\n"
+            "# TYPE dmf_lat histogram\n"
+            "dmf_lat_bucket{le=\"10\"} 1\n"
+            "dmf_lat_bucket{le=\"20\"} 2\n"
+            "dmf_lat_bucket{le=\"+Inf\"} 3\n"
+            "dmf_lat_sum 45\n"
+            "dmf_lat_count 3\n"
+            "# TYPE dmf_lat_p50 gauge\n"
+            "dmf_lat_p50 15\n"
+            "# TYPE dmf_lat_p95 gauge\n"
+            "dmf_lat_p95 20\n"
+            "# TYPE dmf_lat_p99 gauge\n"
+            "dmf_lat_p99 20\n");
+}
+
+TEST(ObsPrometheusTest, RejectsNonSnapshotJson) {
+  EXPECT_THROW(prometheusText(report::Json::parse("{\"x\": 1}")),
+               std::invalid_argument);
+  EXPECT_THROW(prometheusText(report::Json::parse("[1, 2]")),
+               std::invalid_argument);
 }
 
 TEST(ObsTraceTest, TraceJsonIsWellFormedAndPerfettoShaped) {

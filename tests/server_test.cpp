@@ -6,9 +6,12 @@
 
 #include <unistd.h>
 
+#include <cstdint>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <map>
+#include <set>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -365,6 +368,170 @@ TEST(ServerService, OpsPingStatsShutdown) {
   EXPECT_EQ(service.handle("{\"op\":\"shutdown\"}", &shutdown),
             "{\"ok\":true,\"op\":\"shutdown\"}");
   EXPECT_TRUE(shutdown);
+}
+
+// --------------------------------------------------------------------------
+// Observability (DESIGN.md §14): split cache-tier counters, the stats op's
+// metrics snapshot, and one-trace-per-request span trees including the
+// coalesced follower's reference to its leader.
+
+TEST(ServerService, StatsCarriesMetricsSnapshotWhenSessionInstalled) {
+  {
+    PlanService bare(ServiceOptions{});
+    const report::Json stats =
+        report::Json::parse(bare.handle("{\"op\":\"stats\"}"));
+    EXPECT_FALSE(stats.contains("metrics"));  // no session, no snapshot
+    EXPECT_EQ(stats.at("requests").asUint(), 1u);
+  }
+  obs::Session session;
+  obs::Scope scope(session);
+  PlanService service(ServiceOptions{});
+  (void)service.handle(planLine("3:1", 4, 4));
+  const report::Json stats =
+      report::Json::parse(service.handle("{\"op\":\"stats\"}"));
+  EXPECT_EQ(stats.at("requests").asUint(), 2u);
+  EXPECT_EQ(stats.at("planned").asUint(), 1u);
+  EXPECT_EQ(stats.at("coalesced").asUint(), 0u);
+  EXPECT_EQ(stats.at("modelCycles").asUint(), service.modelCycles());
+  EXPECT_GT(service.modelCycles(), 0u);
+  ASSERT_TRUE(stats.contains("metrics"));
+  const report::Json& metrics = stats.at("metrics");
+  EXPECT_GE(metrics.at("counters").at("server.requests").asUint(), 1u);
+  EXPECT_TRUE(metrics.at("histograms").contains("server.request_nanos"));
+}
+
+TEST(ServerService, CacheTierCountersSplitMemoryAndDisk) {
+  TempDir dir("tier_counters");
+  obs::Session session;
+  obs::Scope scope(session);
+  const std::string line = planLine("2:1:1:1:1:1:9", 16, 3);
+  {
+    ServiceOptions options;
+    options.cacheDir = dir.path();
+    PlanService service(options);
+    (void)service.handle(line);  // miss -> planned
+    (void)service.handle(line);  // memory hit
+  }
+  EXPECT_EQ(session.metrics.counter("server.cache.miss").value(), 1u);
+  EXPECT_EQ(session.metrics.counter("server.cache.mem_hit").value(), 1u);
+  EXPECT_EQ(session.metrics.counter("server.cache.disk_hit").value(), 0u);
+  ServiceOptions options;
+  options.cacheDir = dir.path();
+  PlanService reborn(options);
+  (void)reborn.handle(line);  // memory cold after restart -> disk tier
+  EXPECT_EQ(session.metrics.counter("server.cache.disk_hit").value(), 1u);
+  EXPECT_EQ(session.metrics.counter("server.cache.miss").value(), 1u);
+}
+
+/// Span identity parsed back out of a recorded trace.
+struct ParsedSpan {
+  std::string name;
+  std::uint64_t traceId = 0;
+  std::uint64_t spanId = 0;
+  std::uint64_t parentSpanId = 0;
+  std::uint64_t leaderTrace = 0;
+  std::uint64_t leaderSpan = 0;
+};
+
+std::vector<ParsedSpan> parseSpans(const obs::TraceRecorder& recorder) {
+  const report::Json trace = report::Json::parse(recorder.toJson().dump(2));
+  std::vector<ParsedSpan> spans;
+  const report::Json& events = trace.at("traceEvents");
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const report::Json& e = events.at(i);
+    if (e.at("ph").asString() != "X" || !e.contains("args")) continue;
+    const report::Json& args = e.at("args");
+    if (!args.contains("span_id")) continue;
+    ParsedSpan span;
+    span.name = e.at("name").asString();
+    span.traceId = args.at("trace_id").asUint();
+    span.spanId = args.at("span_id").asUint();
+    if (args.contains("parent_span_id")) {
+      span.parentSpanId = args.at("parent_span_id").asUint();
+    }
+    if (args.contains("leader_trace")) {
+      span.leaderTrace =
+          std::stoull(args.at("leader_trace").asString());
+      span.leaderSpan = std::stoull(args.at("leader_span").asString());
+    }
+    spans.push_back(span);
+  }
+  return spans;
+}
+
+TEST(ServerService, ColdRequestSpansFormOneTrace) {
+  obs::Session session;
+  {
+    obs::Scope scope(session);
+    PlanService service(ServiceOptions{});
+    (void)service.handle(planLine("3:1", 8, 3));
+  }
+  const std::vector<ParsedSpan> spans = parseSpans(session.trace);
+  const ParsedSpan* root = nullptr;
+  for (const ParsedSpan& span : spans) {
+    if (span.name == "server.request") root = &span;
+  }
+  ASSERT_NE(root, nullptr);
+  EXPECT_EQ(root->parentSpanId, 0u);
+  // Every span of the request — probe, compute, engine internals spliced
+  // across the admission queue — carries the root's trace id.
+  std::set<std::string> names;
+  for (const ParsedSpan& span : spans) {
+    EXPECT_EQ(span.traceId, root->traceId) << span.name;
+    names.insert(span.name);
+  }
+  EXPECT_TRUE(names.count("server.cache.probe"));
+  EXPECT_TRUE(names.count("server.compute"));
+  EXPECT_TRUE(names.count("engine.plan_streaming"));
+}
+
+TEST(ServerService, CoalescedFollowersReferenceTheLeaderTrace) {
+  obs::Session session;
+  std::uint64_t coalesced = 0;
+  {
+    obs::Scope scope(session);
+    ServiceOptions options;
+    options.jobs = 4;
+    options.computeDelayNanosForTest = 50'000'000;  // 50 ms
+    PlanService service(options);
+    const std::string line = planLine("2:1:1:1:1:1:9", 16, 3);
+    constexpr int kClients = 8;
+    std::vector<std::thread> clients;
+    clients.reserve(kClients);
+    for (int i = 0; i < kClients; ++i) {
+      clients.emplace_back([&service, &line] { (void)service.handle(line); });
+    }
+    for (std::thread& t : clients) t.join();
+    coalesced = service.coalesced();
+  }
+  ASSERT_GE(coalesced, 1u);
+
+  const std::vector<ParsedSpan> spans = parseSpans(session.trace);
+  // The leader is the request trace that ran the computation.
+  std::uint64_t leaderTrace = 0;
+  for (const ParsedSpan& span : spans) {
+    if (span.name == "server.compute") leaderTrace = span.traceId;
+  }
+  ASSERT_NE(leaderTrace, 0u);
+  std::map<std::uint64_t, const ParsedSpan*> requestsByTrace;
+  for (const ParsedSpan& span : spans) {
+    if (span.name == "server.request") {
+      requestsByTrace.emplace(span.traceId, &span);
+    }
+  }
+  std::size_t waits = 0;
+  for (const ParsedSpan& span : spans) {
+    if (span.name != "server.coalesce.wait") continue;
+    ++waits;
+    // The wait belongs to the follower's own trace...
+    EXPECT_NE(span.traceId, leaderTrace);
+    // ...and names the leader's request root, joinable in the trace file.
+    EXPECT_EQ(span.leaderTrace, leaderTrace);
+    const auto leader = requestsByTrace.find(span.leaderTrace);
+    ASSERT_NE(leader, requestsByTrace.end());
+    EXPECT_EQ(span.leaderSpan, leader->second->spanId);
+  }
+  EXPECT_EQ(waits, coalesced);
 }
 
 // --------------------------------------------------------------------------

@@ -1,0 +1,39 @@
+# Runs a bench binary, then gates its BENCH_*.json metrics snapshot against
+# a checked-in baseline with the perf_gate tool (DESIGN.md §14).
+#
+#   cmake -DPERF_GATE=<perf_gate exe> -DBENCH_BIN=<bench exe>
+#         [-DBENCH_ARGS=<;-list of extra bench args>]
+#         -DMETRICS=<snapshot output path> -DBASELINE=<baseline json>
+#         -P check_perf_gate.cmake
+#
+# The gate exits 4 on any regression beyond tolerance; this driver turns
+# that (or any other nonzero code) into a ctest failure with the gate's
+# comparison table in the log. Checked-in baselines carry deliberate
+# headroom — CI machines vary — so a trip here means a real regression,
+# not noise; check_perf_gate_selftest.cmake proves the trip wire works.
+foreach(var PERF_GATE BENCH_BIN METRICS BASELINE)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "check_perf_gate: -D${var}= is required")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND ${BENCH_BIN} ${BENCH_ARGS} --metrics ${METRICS}
+  RESULT_VARIABLE bench_rc
+  OUTPUT_VARIABLE bench_out
+  ERROR_VARIABLE bench_err)
+if(NOT bench_rc EQUAL 0)
+  message(FATAL_ERROR "check_perf_gate: bench exited ${bench_rc}\n"
+          "stdout:\n${bench_out}\nstderr:\n${bench_err}")
+endif()
+
+execute_process(
+  COMMAND ${PERF_GATE} --bench ${METRICS} --baseline ${BASELINE}
+  RESULT_VARIABLE gate_rc
+  OUTPUT_VARIABLE gate_out
+  ERROR_VARIABLE gate_err)
+message(STATUS "perf_gate output:\n${gate_out}")
+if(NOT gate_rc EQUAL 0)
+  message(FATAL_ERROR "check_perf_gate: perf_gate exited ${gate_rc} "
+          "(4 = regression beyond tolerance)\n${gate_err}")
+endif()

@@ -1,0 +1,75 @@
+# Proves the perf gate actually trips: synthesizes a bench snapshot whose
+# gauges sit exactly at their baselines (default 15% tolerance), then checks
+#   1. the gate passes as-is (exit 0),
+#   2. a synthetic 20% regression (--inflate 20) fails with exit 4,
+#   3. a baseline naming a gauge the bench never emitted fails with exit 4,
+#   4. an unreadable bench file is a usage error (exit 1), and
+#   5. --refresh rewrites baselines so the same degraded run then passes.
+#
+#   cmake -DPERF_GATE=<perf_gate exe> -DWORKDIR=<scratch dir>
+#         -P check_perf_gate_selftest.cmake
+#
+# This runs against synthetic data on purpose: the checked-in baselines in
+# bench/baselines/ carry machine-variance headroom, so only an exact-at-
+# baseline snapshot can demonstrate the 20%-past-15%-tolerance trip wire
+# deterministically on any machine.
+foreach(var PERF_GATE WORKDIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "check_perf_gate_selftest: -D${var}= is required")
+  endif()
+endforeach()
+file(MAKE_DIRECTORY ${WORKDIR})
+
+function(run_gate label expect_rc expect_pattern)
+  execute_process(
+    COMMAND ${PERF_GATE} ${ARGN}
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+  if(NOT rc EQUAL ${expect_rc})
+    message(FATAL_ERROR "selftest '${label}': expected exit ${expect_rc}, "
+            "got ${rc}\nstdout:\n${out}\nstderr:\n${err}")
+  endif()
+  if(NOT "${out}${err}" MATCHES "${expect_pattern}")
+    message(FATAL_ERROR "selftest '${label}': output did not match "
+            "\"${expect_pattern}\"\nstdout:\n${out}\nstderr:\n${err}")
+  endif()
+  message(STATUS "selftest '${label}': exit ${rc} as expected")
+endfunction()
+
+file(WRITE ${WORKDIR}/bench.json [[
+{"gauges": {"demo.latency_nanos": 1000,
+            "demo.requests_per_sec": 5000}}
+]])
+file(WRITE ${WORKDIR}/baseline.json [[
+{"bench": "selftest",
+ "entries": [{"gauge": "demo.latency_nanos", "baseline": 1000,
+              "direction": "below"},
+             {"gauge": "demo.requests_per_sec", "baseline": 5000,
+              "direction": "above"}]}
+]])
+
+run_gate(at_baseline_passes 0 "2 gauge\\(s\\) within tolerance"
+  --bench ${WORKDIR}/bench.json --baseline ${WORKDIR}/baseline.json)
+run_gate(inflated_20pct_trips 4 "REGRESSION"
+  --bench ${WORKDIR}/bench.json --baseline ${WORKDIR}/baseline.json
+  --inflate 20)
+run_gate(unreadable_bench_is_usage_error 1 "cannot read"
+  --bench ${WORKDIR}/no-such-file.json --baseline ${WORKDIR}/baseline.json)
+
+file(WRITE ${WORKDIR}/baseline_missing.json [[
+{"entries": [{"gauge": "demo.never_emitted", "baseline": 7}]}
+]])
+run_gate(missing_gauge_trips 4 "MISSING"
+  --bench ${WORKDIR}/bench.json --baseline ${WORKDIR}/baseline_missing.json)
+
+# Refresh workflow: re-pin baselines at the degraded values, after which the
+# same degraded snapshot passes the refreshed gate.
+configure_file(${WORKDIR}/baseline.json ${WORKDIR}/baseline_refresh.json
+               COPYONLY)
+run_gate(refresh_rewrites_baselines 0 "baselines refreshed"
+  --bench ${WORKDIR}/bench.json --baseline ${WORKDIR}/baseline_refresh.json
+  --inflate 20 --refresh)
+run_gate(refreshed_baseline_passes 0 "within tolerance"
+  --bench ${WORKDIR}/bench.json --baseline ${WORKDIR}/baseline_refresh.json
+  --inflate 20)

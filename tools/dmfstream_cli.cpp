@@ -15,9 +15,13 @@
 //                    [--replay JSON]
 //   dmfstream serve  [--port P] [--cache-size N] [--cache-dir DIR]
 //                    [--jobs N] [--drive FILE]
+//   dmfstream stats  (--from FILE | --port P) [--format prometheus|json]
 //
 // Any command also accepts --trace FILE (Chrome trace-event JSON, loadable
-// in Perfetto / chrome://tracing) and --metrics FILE (metrics snapshot).
+// in Perfetto / chrome://tracing), --metrics FILE (metrics snapshot), and
+// --log-level debug|info|warn|error|off / --log-file FILE (structured
+// JSON-lines logging; serve defaults to info on stderr, everything else
+// to off).
 //
 // Exit codes: 0 success, 1 usage error, 2 infeasible request
 // (dmf::InfeasibleError — e.g. a storage cap too tight for any pass),
@@ -30,6 +34,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -53,6 +58,8 @@
 #include "engine/serialize.h"
 #include "engine/streaming.h"
 #include "mixgraph/builders.h"
+#include "obs/log.h"
+#include "obs/prometheus.h"
 #include "obs/scope.h"
 #include "report/table.h"
 #include "sched/ga_scheduler.h"
@@ -170,14 +177,25 @@ commands:
           requests: {"op":"plan","ratio":"2:1:1:1:1:1:9","demand":20,
           "storage":4} plus optional algo/scheme/mixers/optimize; other
           ops: ping, stats, shutdown
+  stats   render a metrics snapshot in Prometheus text exposition format
+          (counters as _total, histograms as cumulative _bucket series
+          plus derived p50/p95/p99 gauges)
+          --from FILE  (a --metrics snapshot written by any command)
+          --port P     (scrape a live `dmfstream serve` daemon's stats op)
+          [--format prometheus|json (default prometheus)]
 
 global options (any command):
   --trace FILE    write a Chrome trace-event JSON (open in Perfetto or
                   chrome://tracing); spans cover forest build, scheduling,
                   storage counting, streaming passes, worker tasks, and
-                  chip-executor batches
+                  chip-executor batches; every span carries trace/span/
+                  parent ids, so one server request reads as one tree
   --metrics FILE  write a JSON snapshot of all counters, gauges, and
                   histograms collected during the run
+  --log-level L   structured JSON-lines logging threshold:
+                  debug|info|warn|error|off (serve defaults to info,
+                  every other command to off)
+  --log-file F    log sink (default stderr); one JSON object per line
 )";
   return 1;
 }
@@ -643,6 +661,17 @@ int cmdServe(const Args& args) {
     throw std::invalid_argument("--port: must be 0..65535, got " +
                                 std::to_string(port));
   }
+  // The daemon always keeps a live metrics registry so `dmfstream stats
+  // --port P` can scrape it. Without --trace/--metrics (no session from
+  // main()) the session is metrics-only: counters are bounded, whereas
+  // trace events would accumulate for the daemon's whole lifetime.
+  std::unique_ptr<obs::Session> session;
+  std::unique_ptr<obs::Scope> scope;
+  if (!obs::enabled()) {
+    session = std::make_unique<obs::Session>();
+    session->traceEnabled = false;
+    scope = std::make_unique<obs::Scope>(*session);
+  }
   server::ServiceOptions options;
   options.cacheSize = static_cast<std::size_t>(args.getU64("cache-size", 256));
   options.cacheDir = args.get("cache-dir").value_or("");
@@ -670,6 +699,60 @@ int cmdServe(const Args& args) {
     return 0;
   }
   socket.run();  // blocks until a {"op":"shutdown"} request (or a signal)
+  return 0;
+}
+
+int cmdStats(const Args& args) {
+  const std::string format = args.get("format").value_or("prometheus");
+  if (format != "prometheus" && format != "json") {
+    throw std::invalid_argument("--format: expected prometheus|json, got '" +
+                                format + "'");
+  }
+  report::Json snapshot = report::Json::object();
+  if (const auto from = args.get("from"); from.has_value()) {
+    std::ifstream in(*from, std::ios::binary);
+    if (!in) {
+      throw std::invalid_argument("--from: cannot read '" + *from + "'");
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    snapshot = report::Json::parse(buffer.str());
+  } else if (args.get("port").has_value()) {
+    const std::uint64_t port = args.getU64("port", 0);
+    if (port == 0 || port > 65535) {
+      throw std::invalid_argument("--port: must be 1..65535, got " +
+                                  std::to_string(port));
+    }
+    std::istringstream request("{\"op\":\"stats\"}\n");
+    std::ostringstream response;
+    if (!server::driveLines(static_cast<unsigned short>(port), request,
+                            response)) {
+      throw std::runtime_error("stats: connection to 127.0.0.1:" +
+                               std::to_string(port) + " failed");
+    }
+    std::string line = response.str();
+    if (const auto newline = line.find('\n'); newline != std::string::npos) {
+      line.resize(newline);
+    }
+    const report::Json reply = report::Json::parse(line);
+    if (!reply.contains("ok") || !reply.at("ok").asBool()) {
+      throw std::runtime_error("stats: daemon replied with an error: " + line);
+    }
+    if (!reply.contains("metrics")) {
+      throw std::runtime_error(
+          "stats: the daemon reported no metrics section");
+    }
+    snapshot = reply.at("metrics");
+  } else {
+    throw std::invalid_argument(
+        "stats needs --from FILE (a --metrics snapshot) or --port P (a live "
+        "serve daemon)");
+  }
+  if (format == "json") {
+    std::cout << snapshot.dump(2) << "\n";
+    return 0;
+  }
+  std::cout << obs::prometheusText(snapshot);
   return 0;
 }
 
@@ -723,6 +806,7 @@ int dispatch(const Args& args) {
   if (args.command == "corpus") return cmdCorpus(args);
   if (args.command == "fuzz") return cmdFuzz(args);
   if (args.command == "serve") return cmdServe(args);
+  if (args.command == "stats") return cmdStats(args);
   return usage();
 }
 
@@ -735,6 +819,30 @@ int main(int argc, char** argv) {
     const std::optional<std::string> metricsPath = args.get("metrics");
     if (tracePath.has_value()) requireWritableParent("trace", *tracePath);
     if (metricsPath.has_value()) requireWritableParent("metrics", *metricsPath);
+
+    // Structured logging: serve defaults to info (its shutdown summary and
+    // repair splices matter operationally); every other command defaults to
+    // off, keeping the disabled path near-free and stdout untouched (logs
+    // go to stderr or --log-file).
+    const std::string defaultLevel =
+        args.command == "serve" ? "info" : "off";
+    obs::LogLevel logLevel;
+    try {
+      logLevel = obs::parseLogLevel(args.get("log-level").value_or(defaultLevel));
+    } catch (const std::exception& e) {
+      throw std::invalid_argument(std::string("--log-level: ") + e.what());
+    }
+    const std::optional<std::string> logPath = args.get("log-file");
+    if (logPath.has_value()) requireWritableParent("log-file", *logPath);
+    std::unique_ptr<obs::Logger> logger;
+    std::unique_ptr<obs::LogScope> logScope;
+    if (logLevel != obs::LogLevel::kOff) {
+      obs::Logger::Options logOptions;
+      logOptions.level = logLevel;
+      logOptions.path = logPath.value_or("");
+      logger = std::make_unique<obs::Logger>(logOptions);
+      logScope = std::make_unique<obs::LogScope>(*logger);
+    }
 
     // Observability is off (and near-free) unless one of the sinks was
     // requested; the planner's output is byte-identical either way.

@@ -1,0 +1,208 @@
+// perf_gate — the enforced perf-regression gate (DESIGN.md §14).
+//
+//   perf_gate --bench BENCH_x.json --baseline bench/baselines/x.json
+//             [--inflate PCT] [--refresh]
+//
+// The baseline file pins expectations for gauges a bench binary emitted
+// through bench_obs.h:
+//
+//   {"bench": "bench_micro",
+//    "entries": [{"gauge": "bench.obs.hit_overhead_pct_x1000",
+//                 "baseline": 600, "tolerance_pct": 100,
+//                 "direction": "below"}, ...]}
+//
+// direction "below" (latencies, overheads): measured must stay under
+// baseline * (1 + tolerance_pct/100). direction "above" (throughputs):
+// measured must stay over baseline * (1 - tolerance_pct/100).
+// tolerance_pct defaults to 15.
+//
+// --inflate PCT degrades every measured value by PCT percent (raises
+// "below" gauges, lowers "above" gauges) before comparing — the self-test
+// hook proving the gate actually trips on a synthetic regression.
+// --refresh rewrites the baseline file's values from the measured gauges
+// (tolerances and directions are kept) — the documented workflow after an
+// intentional perf change; commit the diff.
+//
+// Exit codes follow the repo taxonomy: 0 within tolerance, 1 usage /
+// unreadable input, 4 regression findings.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "report/json.h"
+
+namespace {
+
+using dmf::report::Json;
+
+struct Options {
+  std::string benchPath;
+  std::string baselinePath;
+  double inflatePct = 0.0;
+  bool refresh = false;
+};
+
+int usage() {
+  std::cerr << "usage: perf_gate --bench BENCH.json --baseline BASELINE.json"
+               " [--inflate PCT] [--refresh]\n";
+  return 1;
+}
+
+Json loadJson(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::invalid_argument("cannot read '" + path + "'");
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return Json::parse(buffer.str());
+}
+
+/// A gauge (or counter — the sections share a namespace) from a bench
+/// metrics snapshot.
+std::optional<std::uint64_t> lookup(const Json& snapshot,
+                                    const std::string& name) {
+  for (const char* section : {"gauges", "counters"}) {
+    if (snapshot.contains(section) && snapshot.at(section).contains(name)) {
+      return snapshot.at(section).at(name).asUint();
+    }
+  }
+  return std::nullopt;
+}
+
+std::string formatRow(const std::string& gauge, double baseline,
+                      double measured, double limit, const char* verdict) {
+  char line[256];
+  std::snprintf(line, sizeof(line), "%-44s baseline %14.0f  measured %14.0f"
+                "  limit %14.0f  %s",
+                gauge.c_str(), baseline, measured, limit, verdict);
+  return line;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> std::string {
+      if (i + 1 >= argc) throw std::invalid_argument(arg + ": missing value");
+      return argv[++i];
+    };
+    try {
+      if (arg == "--bench") {
+        options.benchPath = value();
+      } else if (arg == "--baseline") {
+        options.baselinePath = value();
+      } else if (arg == "--inflate") {
+        options.inflatePct = std::stod(value());
+      } else if (arg == "--refresh") {
+        options.refresh = true;
+      } else {
+        std::cerr << "error: unknown argument '" << arg << "'\n";
+        return usage();
+      }
+    } catch (const std::exception& e) {
+      std::cerr << "error: " << e.what() << "\n";
+      return usage();
+    }
+  }
+  if (options.benchPath.empty() || options.baselinePath.empty()) {
+    return usage();
+  }
+
+  try {
+    const Json bench = loadJson(options.benchPath);
+    Json baseline = loadJson(options.baselinePath);
+    if (!baseline.isObject() || !baseline.contains("entries") ||
+        !baseline.at("entries").isArray()) {
+      throw std::invalid_argument("baseline '" + options.baselinePath +
+                                  "': expected {\"entries\": [...]}");
+    }
+
+    const Json& entries = baseline.at("entries");
+    unsigned failures = 0;
+    Json refreshed = Json::array();
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+      const Json& entry = entries.at(i);
+      const std::string gauge = entry.at("gauge").asString();
+      const double base = entry.at("baseline").asDouble();
+      const double tolerance = entry.contains("tolerance_pct")
+                                   ? entry.at("tolerance_pct").asDouble()
+                                   : 15.0;
+      const std::string direction = entry.contains("direction")
+                                        ? entry.at("direction").asString()
+                                        : "below";
+      if (direction != "below" && direction != "above") {
+        throw std::invalid_argument("baseline entry '" + gauge +
+                                    "': direction must be below|above");
+      }
+
+      const auto found = lookup(bench, gauge);
+      if (!found.has_value()) {
+        std::cout << gauge << ": MISSING from " << options.benchPath << "\n";
+        ++failures;
+        continue;
+      }
+      double measured = static_cast<double>(*found);
+      // The self-test hook: degrade in whichever direction is "worse".
+      measured *= direction == "below" ? 1.0 + options.inflatePct / 100.0
+                                       : 1.0 - options.inflatePct / 100.0;
+
+      if (options.refresh) {
+        Json updated = Json::object();
+        updated.set("gauge", gauge)
+            .set("baseline", static_cast<std::uint64_t>(measured))
+            .set("tolerance_pct", tolerance)
+            .set("direction", direction);
+        refreshed.push(std::move(updated));
+        continue;
+      }
+
+      const bool below = direction == "below";
+      const double limit = below ? base * (1.0 + tolerance / 100.0)
+                                 : base * (1.0 - tolerance / 100.0);
+      const bool ok = below ? measured <= limit : measured >= limit;
+      std::cout << formatRow(gauge, base, measured, limit,
+                             ok ? "ok" : "REGRESSION")
+                << "\n";
+      if (!ok) ++failures;
+    }
+
+    if (options.refresh) {
+      Json out = Json::object();
+      if (baseline.contains("bench")) {
+        out.set("bench", baseline.at("bench").asString());
+      }
+      out.set("entries", std::move(refreshed));
+      std::ofstream file(options.baselinePath,
+                         std::ios::binary | std::ios::trunc);
+      file << out.dump(2) << "\n";
+      if (!file) {
+        throw std::invalid_argument("cannot write '" + options.baselinePath +
+                                    "'");
+      }
+      std::cout << "baselines refreshed from " << options.benchPath
+                << " -> " << options.baselinePath << " (commit the diff)\n";
+      return 0;
+    }
+
+    if (failures > 0) {
+      std::cerr << failures << " gauge(s) regressed beyond tolerance; if "
+                   "intentional, refresh with:\n  perf_gate --bench "
+                << options.benchPath << " --baseline " << options.baselinePath
+                << " --refresh\n";
+      return 4;
+    }
+    std::cout << "perf gate: " << entries.size()
+              << " gauge(s) within tolerance\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
