@@ -44,7 +44,7 @@ int main() {
     sched::validateHeterogeneous(forest, s, spec.bank);
     std::uint64_t busy = 0;
     for (forest::TaskId id = 0; id < forest.taskCount(); ++id) {
-      busy += spec.bank.cyclesPerMix[s.assignments[id].mixer];
+      busy += spec.bank.cyclesPerMix[s.mixers[id]];
     }
     table.addRow({spec.name, std::to_string(s.completionTime),
                   std::to_string(

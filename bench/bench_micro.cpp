@@ -17,12 +17,15 @@
 #include "chip/simulation.h"
 #include "chip/timed_router.h"
 #include "engine/mdst.h"
+#include "engine/pass_cache.h"
+#include "engine/streaming.h"
 #include "forest/task_forest.h"
 #include "mixgraph/builders.h"
 #include "obs/log.h"
 #include "obs/scope.h"
 #include "protocols/protocols.h"
 #include "server/service.h"
+#include "runtime/arena.h"
 #include "runtime/thread_pool.h"
 #include "sched/ga_scheduler.h"
 #include "sched/heterogeneous.h"
@@ -124,6 +127,38 @@ void BM_EndToEndEngine(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_EndToEndEngine);
+
+// One memoizable pass evaluation (forest -> schedule -> storage count), the
+// unit of work every streaming-planner sweep repeats per candidate demand.
+void BM_EvaluatePass(benchmark::State& state) {
+  const engine::MdstEngine engine(pcrRatio());
+  const auto demand = static_cast<std::uint64_t>(state.range(0));
+  (void)engine.baseGraph(mixgraph::Algorithm::MM);  // lazy build up front
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine::evaluatePass(
+        engine, mixgraph::Algorithm::MM, engine::Scheme::kSRS, 3, demand));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_EvaluatePass)->Range(8, 128)->Complexity();
+
+// A full cold demand ladder [1, N] through the batched path — the optimized
+// streaming planner's dominant cost. The cache is fresh every iteration, so
+// every rung computes.
+void BM_DemandLadder(benchmark::State& state) {
+  const engine::MdstEngine engine(pcrRatio());
+  const auto top = static_cast<std::uint64_t>(state.range(0));
+  std::vector<std::uint64_t> demands;
+  for (std::uint64_t d = 1; d <= top; ++d) demands.push_back(d);
+  for (auto _ : state) {
+    engine::PassCache cache;
+    benchmark::DoNotOptimize(cache.evaluateLadder(
+        engine, mixgraph::Algorithm::MM, engine::Scheme::kSRS, 3, demands));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_DemandLadder)->Range(32, 128)->Unit(benchmark::kMillisecond)
+    ->Complexity();
 
 void BM_RouterCostMatrix(benchmark::State& state) {
   const chip::Layout layout = chip::makePcrLayout();
@@ -398,6 +433,61 @@ void recordMeasuredSpeedups() {
   if (parallelNanos > 0) {
     metrics->gauge("bench.ga.table23_speedup_x1000")
         .set(serialNanos * 1000 / parallelNanos);
+  }
+
+  // Demand-ladder sweep (the optimized streaming planner's hot loop): the
+  // full candidate range [1, 128] on the PCR ratio, scalar per-demand
+  // evaluation vs one batched sweep, plus the end-to-end optimized plan.
+  {
+    const engine::MdstEngine engine(pcrRatio());
+    std::vector<std::uint64_t> demands;
+    for (std::uint64_t d = 1; d <= 128; ++d) demands.push_back(d);
+    {
+      engine::PassCache cache;
+      const auto start = clock::now();
+      for (const std::uint64_t d : demands) {
+        benchmark::DoNotOptimize(cache.evaluate(
+            engine, mixgraph::Algorithm::MM, engine::Scheme::kSRS, 3, d));
+      }
+      metrics->gauge("bench.ladder.demand128_scalar_nanos")
+          .set(nanosSince(start));
+    }
+    {
+      engine::PassCache cache;
+      const auto start = clock::now();
+      benchmark::DoNotOptimize(cache.evaluateLadder(
+          engine, mixgraph::Algorithm::MM, engine::Scheme::kSRS, 3, demands));
+      metrics->gauge("bench.ladder.demand128_nanos").set(nanosSince(start));
+    }
+    {
+      engine::StreamingRequest request;
+      request.scheme = engine::Scheme::kSRS;
+      request.demand = 128;
+      request.storageCap = 4;
+      request.jobs = 1;
+      const auto start = clock::now();
+      benchmark::DoNotOptimize(engine::planStreamingOptimized(engine,
+                                                              request));
+      metrics->gauge("bench.ladder.plan128_nanos").set(nanosSince(start));
+    }
+    // Allocation-count gauge: after one warm-up sweep the thread's scratch
+    // arena (and every thread_local scheduler buffer) is sized for the
+    // ladder, so a second full sweep must add ZERO fresh chunks. The pinned
+    // baseline is 0 with no tolerance — any steady-state allocation on the
+    // hot path trips the perf gate.
+    {
+      engine::PassCache warm;
+      benchmark::DoNotOptimize(warm.evaluateLadder(
+          engine, mixgraph::Algorithm::MM, engine::Scheme::kSRS, 3, demands));
+      const std::uint64_t before = runtime::scratchArena().chunkAllocations();
+      engine::PassCache cold;
+      benchmark::DoNotOptimize(cold.evaluateLadder(
+          engine, mixgraph::Algorithm::MM, engine::Scheme::kSRS, 3, demands));
+      metrics->gauge("bench.arena.ladder_chunk_delta")
+          .set(runtime::scratchArena().chunkAllocations() - before);
+      metrics->gauge("bench.arena.bytes_reserved")
+          .set(runtime::scratchArena().bytesReserved());
+    }
   }
 
   // Per-phase router time, with and without the post-routing verification

@@ -310,40 +310,40 @@ void checkScheduleValidity(const TaskForest& forest, const sched::Schedule& s,
   const char* kOracle = "schedule";
   const std::size_t n = forest.taskCount();
   ++out.checksRun;
-  if (s.assignments.size() != n) {
-    out.fail(kOracle, "assignment count " +
-                          std::to_string(s.assignments.size()) +
+  if (s.size() != n) {
+    out.fail(kOracle, "assignment count " + std::to_string(s.size()) +
                           " != task count " + std::to_string(n));
     return;
   }
   std::set<std::pair<unsigned, unsigned>> slots;
   unsigned last = 0;
   for (TaskId id = 0; id < n; ++id) {
-    const sched::Assignment& a = s.assignments[id];
+    const unsigned cycle = s.cycles[id];
+    const unsigned mixer = s.mixers[id];
     ++out.checksRun;
-    if (a.cycle == 0) {
+    if (cycle == 0) {
       out.fail(kOracle, "task " + std::to_string(id) + " unscheduled");
       continue;
     }
-    if (a.mixer >= s.mixerCount) {
+    if (mixer >= s.mixerCount) {
       out.fail(kOracle, "task " + std::to_string(id) + " on mixer " +
-                            std::to_string(a.mixer) + " of a " +
+                            std::to_string(mixer) + " of a " +
                             std::to_string(s.mixerCount) + "-mixer bank");
     }
-    if (!slots.insert({a.cycle, a.mixer}).second) {
+    if (!slots.insert({cycle, mixer}).second) {
       out.fail(kOracle, "two mix-splits share cycle " +
-                            std::to_string(a.cycle) + " mixer " +
-                            std::to_string(a.mixer));
+                            std::to_string(cycle) + " mixer " +
+                            std::to_string(mixer));
     }
     const Task& t = forest.task(id);
     for (TaskId dep : {t.depLeft, t.depRight}) {
       if (dep == kNoTask || dep >= n) continue;
-      if (s.assignments[dep].cycle >= a.cycle) {
+      if (s.cycles[dep] >= cycle) {
         out.fail(kOracle, "operand of task " + std::to_string(id) +
                               " not produced strictly earlier");
       }
     }
-    last = std::max(last, a.cycle);
+    last = std::max(last, cycle);
   }
   expectEq(out, kOracle, "completionTime == last busy cycle",
            s.completionTime, last);
@@ -353,15 +353,15 @@ unsigned storageOracle(const TaskForest& forest, const sched::Schedule& s) {
   // One +1 event the cycle after production, one -1 event at the consumption
   // cycle, per consumed droplet; peak of the prefix sum is the answer.
   unsigned horizon = 0;
-  for (const sched::Assignment& a : s.assignments) {
-    horizon = std::max(horizon, a.cycle);
+  for (const unsigned cycle : s.cycles) {
+    horizon = std::max(horizon, cycle);
   }
   std::vector<std::int64_t> delta(horizon + 2, 0);
   for (TaskId id = 0; id < forest.taskCount(); ++id) {
-    const unsigned produced = s.assignments[id].cycle;
+    const unsigned produced = s.cycles[id];
     for (const auto& drop : forest.task(id).out) {
       if (drop.fate != DropletFate::kConsumed) continue;
-      const unsigned consumed = s.assignments[drop.consumer].cycle;
+      const unsigned consumed = s.cycles[drop.consumer];
       if (consumed > produced + 1) {
         delta[produced + 1] += 1;
         delta[consumed] -= 1;

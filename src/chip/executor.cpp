@@ -73,9 +73,9 @@ ExecutionTrace ChipExecutor::run(const TaskForest& forest,
       storage_.size());
 
   auto mixerOf = [&](TaskId id) {
-    return mixers_[schedule.assignments[id].mixer];
+    return mixers_[schedule.mixers[id]];
   };
-  auto cycleOf = [&](TaskId id) { return schedule.assignments[id].cycle; };
+  auto cycleOf = [&](TaskId id) { return schedule.cycles[id]; };
 
   auto nearest = [&](ModuleId from, const std::vector<ModuleId>& pool) {
     ModuleId best = pool.front();

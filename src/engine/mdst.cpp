@@ -45,23 +45,32 @@ void recordScheduleObservability(const TaskForest& forest,
 
   // Per-level utilization: tasks of one forest level over the mixer-cycles
   // spanned by that level's busy window (Fig. 3's "how full is each wave").
+  // Levels are dense small integers, so a flat vector indexed by level
+  // replaces the std::map this used — same ascending observation order.
   struct LevelSpan {
     std::uint64_t tasks = 0;
     unsigned first = 0;
     unsigned last = 0;
   };
-  std::map<unsigned, LevelSpan> levels;
+  const std::vector<unsigned>& taskLevels = forest.taskLevels();
+  std::vector<LevelSpan> levels;
   for (forest::TaskId id = 0; id < forest.taskCount(); ++id) {
-    const unsigned cycle = s.assignments[id].cycle;
-    auto [it, inserted] =
-        levels.try_emplace(forest.task(id).level, LevelSpan{0, cycle, cycle});
-    it->second.tasks += 1;
-    it->second.first = std::min(it->second.first, cycle);
-    it->second.last = std::max(it->second.last, cycle);
+    const unsigned cycle = s.cycles[id];
+    const unsigned level = taskLevels[id];
+    if (levels.size() <= level) levels.resize(level + 1);
+    LevelSpan& span = levels[level];
+    if (span.tasks == 0) {
+      span.first = cycle;
+      span.last = cycle;
+    }
+    span.tasks += 1;
+    span.first = std::min(span.first, cycle);
+    span.last = std::max(span.last, cycle);
   }
   obs::Histogram& perLevel = m->histogram(
       "sched.level_utilization_pct", {10, 20, 30, 40, 50, 60, 70, 80, 90, 100});
-  for (const auto& [level, span] : levels) {
+  for (const LevelSpan& span : levels) {
+    if (span.tasks == 0) continue;
     const std::uint64_t window =
         std::uint64_t{span.last - span.first + 1} * s.mixerCount;
     perLevel.observe(span.tasks * 100 / window);

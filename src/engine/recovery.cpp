@@ -117,7 +117,7 @@ std::uint32_t spliceTasks(RunState& state, const forest::TaskForest& forest,
     RtTask rt;
     rt.forest = &forest;
     rt.id = id;
-    rt.planned = offset + schedule.assignments[id].cycle;
+    rt.planned = offset + schedule.cycles[id];
     rt.round = round;
     const mixgraph::Node& node = graph.node(t.node);
     const forest::TaskId deps[2] = {t.depLeft, t.depRight};
@@ -181,7 +181,7 @@ RecoveryEngine::RecoveryEngine(RecoveryOptions options)
 
 RecoveryReport RecoveryEngine::run(const forest::TaskForest& forest,
                                    const sched::Schedule& schedule) const {
-  if (schedule.assignments.size() != forest.taskCount()) {
+  if (schedule.size() != forest.taskCount()) {
     throw std::invalid_argument(
         "recovery: schedule does not match the forest");
   }

@@ -38,10 +38,8 @@ Json toJson(const forest::TaskForest& forest,
         .set("label", Json::string(forest.taskLabel(id)))
         .set("tree", Json::number(std::uint64_t{t.tree}))
         .set("level", Json::number(std::uint64_t{t.level}))
-        .set("cycle",
-             Json::number(std::uint64_t{schedule.assignments[id].cycle}))
-        .set("mixer",
-             Json::number(std::uint64_t{schedule.assignments[id].mixer}));
+        .set("cycle", Json::number(std::uint64_t{schedule.cycles[id]}))
+        .set("mixer", Json::number(std::uint64_t{schedule.mixers[id]}));
     Json outputs = Json::array();
     for (const forest::OutputDroplet& drop : t.out) {
       Json droplet = Json::object();

@@ -51,6 +51,7 @@ StreamingPlan assemblePlan(std::uint64_t perPass, unsigned mixers,
   StreamingPlan plan;
   plan.perPassDemand = perPass;
   plan.mixers = mixers;
+  plan.passes.reserve(fullPasses + (remainder.has_value() ? 1 : 0));
   for (std::uint64_t i = 0; i < fullPasses; ++i) {
     plan.passes.push_back(full);
   }
@@ -81,14 +82,31 @@ struct PlanContext {
   [[nodiscard]] bool feasible(std::uint64_t demand) const {
     return eval(demand).storageUnits <= request.storageCap;
   }
-  /// Warms the cache for a batch of candidate demands in parallel. Purely a
-  /// wall-time optimization: every decision below re-reads through eval(),
-  /// whose results are a function of the key alone, so plans are identical
-  /// with any job count.
+  /// Warms the cache for a batch of candidate demands in one ladder sweep.
+  /// Purely a wall-time optimization: every decision below re-reads through
+  /// eval(), whose results are a function of the key alone, so plans are
+  /// identical with any job count. Gated on a real pool because a serial
+  /// prefetch would evaluate candidates the descending scan may never reach.
   void prefetch(const std::vector<std::uint64_t>& demands) const {
     if (pool.jobs() <= 1 || demands.size() <= 1) return;
-    pool.forEach(demands.size(),
-                 [this, &demands](std::uint64_t i) { (void)eval(demands[i]); });
+    (void)cache.evaluateLadder(engine, request.algorithm, request.scheme,
+                               mixers, demands, &pool);
+  }
+  /// Warms the cache for the full candidate range [1, demand] — the
+  /// optimized planner's reduction visits every candidate, so a serial warm
+  /// does no extra work and the batched sweep does it with one lock
+  /// round-trip and one base-graph resolution per chunk instead of per
+  /// demand. Chunked to bound the index buffer on astronomical demands.
+  void warmRange(std::uint64_t demand) const {
+    constexpr std::uint64_t kChunk = 4096;
+    std::vector<std::uint64_t> batch;
+    for (std::uint64_t base = 1; base <= demand; base += kChunk) {
+      const std::uint64_t count = std::min(kChunk, demand - base + 1);
+      batch.resize(count);
+      for (std::uint64_t i = 0; i < count; ++i) batch[i] = base + i;
+      (void)cache.evaluateLadder(engine, request.algorithm, request.scheme,
+                                 mixers, batch, &pool);
+    }
   }
 };
 
@@ -105,6 +123,7 @@ std::optional<std::uint64_t> largestFeasibleDescending(const PlanContext& ctx,
     const std::uint64_t low =
         (high - floor + 1 > chunk) ? high - chunk + 1 : floor;
     std::vector<std::uint64_t> batch;
+    batch.reserve(high - low + 1);
     for (std::uint64_t d = high;; --d) {
       batch.push_back(d);
       if (d == low) break;
@@ -239,11 +258,11 @@ StreamingPlan planStreamingOptimizedImpl(const MdstEngine& engine,
   const PlanContext ctx{engine, request, mixers, cache, pool};
 
   // Every candidate D' in [1, D] gets evaluated (and every remainder demand
-  // D mod D' < D is one of them), so warm the whole range in parallel before
-  // the serial reduction.
-  if (pool.jobs() > 1) {
-    pool.forEach(demand, [&ctx](std::uint64_t i) { (void)ctx.eval(i + 1); });
-  }
+  // D mod D' < D is one of them), so warm the whole range with batched
+  // ladder sweeps before the serial reduction — worthwhile even serially,
+  // since the sweep amortizes the cache lock and base-graph lookup that the
+  // reduction below would otherwise pay once per candidate.
+  ctx.warmRange(demand);
 
   std::optional<StreamingPlan> best;
   for (std::uint64_t perPass = 1;; ++perPass) {

@@ -5,6 +5,8 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "runtime/arena.h"
+
 namespace dmf::forest {
 
 namespace {
@@ -92,16 +94,24 @@ void TaskForest::build() {
   const std::size_t nodeCount = graph.nodeCount();
   const std::vector<NodeId> topDown = graph.nodesByLevelDesc();
 
+  // All build-time temporaries live in the per-thread scratch arena; a
+  // demand-ladder sweep re-building forests back to back touches the same
+  // warm chunks instead of hitting the system allocator per build.
+  runtime::ArenaScope scratch(runtime::scratchArena());
+  runtime::Arena& arena = scratch.arena();
+
   // Per-node demand-point index (for target-droplet allocation), kNoRoot
   // otherwise. For the classic constructors the demand points are the roots.
   constexpr std::size_t kNoRoot = static_cast<std::size_t>(-1);
-  std::vector<std::size_t> rootIndex(nodeCount, kNoRoot);
+  std::size_t* rootIndex = arena.allocate<std::size_t>(nodeCount);
+  std::fill_n(rootIndex, nodeCount, kNoRoot);
   for (std::size_t r = 0; r < demandNodes_.size(); ++r) {
     rootIndex[demandNodes_[r]] = r;
   }
 
   // ---- demand propagation ------------------------------------------------
-  std::vector<std::uint64_t> need(nodeCount, 0);
+  std::uint64_t* need = arena.allocate<std::uint64_t>(nodeCount);
+  std::fill_n(need, nodeCount, 0);
   execs_.assign(nodeCount, 0);
   stats_ = ForestStats{};
   stats_.targets =
@@ -137,7 +147,8 @@ void TaskForest::build() {
   }
 
   // ---- task instantiation (level-ascending id order) ---------------------
-  std::vector<TaskId> taskBase(nodeCount, kNoTask);
+  TaskId* taskBase = arena.allocate<TaskId>(nodeCount);
+  std::fill_n(taskBase, nodeCount, kNoTask);
   tasks_.reserve(static_cast<std::size_t>(totalTasks));
   for (auto it = topDown.rbegin(); it != topDown.rend(); ++it) {
     const NodeId v = *it;
@@ -196,7 +207,8 @@ void TaskForest::build() {
   // target order; every other instance belongs to the tree of its first
   // consumer (consumers have larger ids, so one descending sweep settles
   // everything).
-  std::vector<std::uint32_t> treeBase(demandNodes_.size(), 0);
+  std::uint32_t* treeBase = arena.allocate<std::uint32_t>(demandNodes_.size());
+  std::fill_n(treeBase, demandNodes_.size(), 0);
   {
     std::uint32_t base = 0;
     for (std::size_t r = 0; r < demandNodes_.size(); ++r) {
@@ -218,7 +230,35 @@ void TaskForest::build() {
     }
   }
 
+  buildSoaViews();
   validateOrThrow();
+}
+
+void TaskForest::buildSoaViews() {
+  const std::size_t n = tasks_.size();
+  levels_.resize(n);
+  depLeft_.resize(n);
+  depRight_.resize(n);
+  outConsumer_.resize(2 * n);
+  outFate_.resize(2 * n);
+  initialPending_.resize(n);
+  consumedOuts_.resize(n);
+  for (std::size_t id = 0; id < n; ++id) {
+    const Task& t = tasks_[id];
+    levels_[id] = t.level;
+    depLeft_[id] = t.depLeft;
+    depRight_[id] = t.depRight;
+    initialPending_[id] = static_cast<std::uint8_t>(
+        (t.depLeft != kNoTask ? 1 : 0) + (t.depRight != kNoTask ? 1 : 0));
+    std::uint8_t consumed = 0;
+    for (std::size_t s = 0; s < 2; ++s) {
+      outConsumer_[2 * id + s] = t.out[s].consumer;
+      outFate_[2 * id + s] = static_cast<std::uint8_t>(t.out[s].fate);
+      consumed = static_cast<std::uint8_t>(
+          consumed + (t.out[s].fate == DropletFate::kConsumed ? 1 : 0));
+    }
+    consumedOuts_[id] = consumed;
+  }
 }
 
 std::uint64_t TaskForest::demand() const { return stats_.targets; }

@@ -134,6 +134,41 @@ class TaskForest {
   [[nodiscard]] const Task& task(TaskId id) const { return tasks_[id]; }
   [[nodiscard]] const std::vector<Task>& tasks() const { return tasks_; }
 
+  // ---- structure-of-arrays views ----------------------------------------
+  // Hot-loop mirrors of the Task fields, built once at construction so the
+  // schedulers and storage counters sweep flat parallel arrays instead of
+  // chasing 48-byte structs. Indexing: per-task arrays by TaskId; per-droplet
+  // arrays by 2 * TaskId + slot.
+
+  /// Paper-figure level per task.
+  [[nodiscard]] const std::vector<unsigned>& taskLevels() const {
+    return levels_;
+  }
+  /// Left/right operand producer per task (kNoTask for dispenses).
+  [[nodiscard]] const std::vector<TaskId>& depLefts() const {
+    return depLeft_;
+  }
+  [[nodiscard]] const std::vector<TaskId>& depRights() const {
+    return depRight_;
+  }
+  /// Consumer of droplet (2 * id + slot); kNoTask unless consumed.
+  [[nodiscard]] const std::vector<TaskId>& outConsumers() const {
+    return outConsumer_;
+  }
+  /// DropletFate of droplet (2 * id + slot), as its underlying byte.
+  [[nodiscard]] const std::vector<std::uint8_t>& outFates() const {
+    return outFate_;
+  }
+  /// Number of task-produced operands per task (0..2) — the ready-queue
+  /// pending count every list scheduler starts from.
+  [[nodiscard]] const std::vector<std::uint8_t>& initialPending() const {
+    return initialPending_;
+  }
+  /// Number of consumed output droplets per task (0..2).
+  [[nodiscard]] const std::vector<std::uint8_t>& consumedOutCounts() const {
+    return consumedOuts_;
+  }
+
   /// Depth of the forest — component-tree roots sit at this level.
   [[nodiscard]] unsigned depth() const;
 
@@ -165,12 +200,21 @@ class TaskForest {
 
  private:
   void build();
+  void buildSoaViews();
 
   const mixgraph::MixingGraph* graph_;
   std::vector<std::uint64_t> demands_;          // per demand point
   std::vector<mixgraph::NodeId> demandNodes_;   // aligned with demands_
   std::vector<std::uint64_t> execs_;            // per base-graph node
   std::vector<Task> tasks_;
+  // SoA mirrors of tasks_ (see the accessor block above).
+  std::vector<unsigned> levels_;
+  std::vector<TaskId> depLeft_;
+  std::vector<TaskId> depRight_;
+  std::vector<TaskId> outConsumer_;
+  std::vector<std::uint8_t> outFate_;
+  std::vector<std::uint8_t> initialPending_;
+  std::vector<std::uint8_t> consumedOuts_;
   ForestStats stats_;
 };
 

@@ -1,0 +1,54 @@
+#include "runtime/arena.h"
+
+#include <algorithm>
+
+#include "obs/scope.h"
+
+namespace dmf::runtime {
+
+Arena::Arena(std::size_t firstChunkBytes)
+    : firstChunkBytes_(std::max<std::size_t>(firstChunkBytes, 256)) {}
+
+void Arena::addChunk(std::size_t atLeast) {
+  // Geometric growth (doubling, capped) keeps the chunk count logarithmic
+  // in the high-water mark while bounding per-chunk waste.
+  std::size_t size = chunks_.empty()
+                         ? firstChunkBytes_
+                         : std::min(chunks_.back().size * 2, kMaxChunk);
+  size = std::max(size, atLeast);
+  Chunk chunk;
+  chunk.data = std::make_unique<std::byte[]>(size);
+  chunk.size = size;
+  chunks_.push_back(std::move(chunk));
+  bytesReserved_ += size;
+  ++chunkAllocations_;
+  obs::count("runtime.arena.chunks", 1);
+  obs::count("runtime.arena.bytes", size);
+}
+
+void* Arena::allocateBytes(std::size_t bytes, std::size_t align) {
+  if (bytes == 0) bytes = 1;
+  for (;;) {
+    if (current_ < chunks_.size()) {
+      Chunk& chunk = chunks_[current_];
+      const std::size_t aligned = (used_ + align - 1) & ~(align - 1);
+      if (aligned + bytes <= chunk.size) {
+        used_ = aligned + bytes;
+        return chunk.data.get() + aligned;
+      }
+      // Doesn't fit here: move on. Retained chunks after current_ are
+      // revisited before any fresh allocation.
+      ++current_;
+      used_ = 0;
+      continue;
+    }
+    addChunk(bytes + align);
+  }
+}
+
+Arena& scratchArena() {
+  thread_local Arena arena;
+  return arena;
+}
+
+}  // namespace dmf::runtime

@@ -1,0 +1,142 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <vector>
+
+namespace dmf::runtime {
+
+/// Chunked bump allocator for per-plan scratch. Allocation is a pointer
+/// bump; freeing is wholesale via `release(mark())` or `reset()`. Chunks
+/// are retained across resets, so steady-state reuse performs zero system
+/// allocations — the property the `runtime.arena.*` obs counters and the
+/// bench allocation gauge pin down.
+///
+/// Not thread-safe; use one arena per thread (see `scratchArena()`).
+class Arena {
+ public:
+  /// Rewind token. Valid only for the arena that produced it, and only
+  /// while every later marker has already been released (stack order).
+  struct Marker {
+    std::size_t chunk = 0;
+    std::size_t used = 0;
+  };
+
+  explicit Arena(std::size_t firstChunkBytes = kDefaultFirstChunk);
+  ~Arena() = default;
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Returns `bytes` of storage aligned to `align` (power of two). The
+  /// memory is uninitialized and lives until the enclosing marker is
+  /// released or the arena is reset.
+  void* allocateBytes(std::size_t bytes, std::size_t align);
+
+  /// Typed convenience: uninitialized storage for `count` objects of T.
+  template <typename T>
+  T* allocate(std::size_t count) {
+    return static_cast<T*>(allocateBytes(count * sizeof(T), alignof(T)));
+  }
+
+  [[nodiscard]] Marker mark() const { return {current_, used_}; }
+
+  /// Rewinds to `m`, keeping every chunk for reuse.
+  void release(const Marker& m) {
+    current_ = m.chunk;
+    used_ = m.used;
+  }
+
+  /// Rewinds to empty, keeping every chunk for reuse.
+  void reset() {
+    current_ = 0;
+    used_ = 0;
+  }
+
+  /// Chunks currently owned (never shrinks).
+  [[nodiscard]] std::size_t chunkCount() const { return chunks_.size(); }
+  /// Total bytes reserved from the system over the arena's lifetime.
+  [[nodiscard]] std::size_t bytesReserved() const { return bytesReserved_; }
+  /// Number of fresh system allocations ever performed. A warm arena that
+  /// stops growing holds this constant — the bench gauge asserts exactly
+  /// that on the demand-ladder sweep.
+  [[nodiscard]] std::uint64_t chunkAllocations() const {
+    return chunkAllocations_;
+  }
+
+  static constexpr std::size_t kDefaultFirstChunk = 64 * 1024;
+  static constexpr std::size_t kMaxChunk = 4 * 1024 * 1024;
+
+ private:
+  struct Chunk {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size = 0;
+  };
+
+  void addChunk(std::size_t atLeast);
+
+  std::vector<Chunk> chunks_;
+  std::size_t current_ = 0;  ///< Index of the chunk being bumped.
+  std::size_t used_ = 0;     ///< Bytes consumed in chunks_[current_].
+  std::size_t firstChunkBytes_;
+  std::size_t bytesReserved_ = 0;
+  std::uint64_t chunkAllocations_ = 0;
+};
+
+/// RAII marker: everything allocated from `arena` inside the scope is
+/// released (wholesale, no destructors) when the scope ends. Scopes must
+/// nest in stack order.
+class ArenaScope {
+ public:
+  explicit ArenaScope(Arena& arena) : arena_(arena), marker_(arena.mark()) {}
+  ~ArenaScope() { arena_.release(marker_); }
+
+  ArenaScope(const ArenaScope&) = delete;
+  ArenaScope& operator=(const ArenaScope&) = delete;
+
+  Arena& arena() { return arena_; }
+
+ private:
+  Arena& arena_;
+  Arena::Marker marker_;
+};
+
+/// std::allocator adapter so standard containers can live in an arena.
+/// `deallocate` is a no-op: storage is reclaimed by the enclosing
+/// ArenaScope, so only use for containers that die inside one scope.
+template <typename T>
+class ArenaAllocator {
+ public:
+  using value_type = T;
+
+  explicit ArenaAllocator(Arena& arena) noexcept : arena_(&arena) {}
+  template <typename U>
+  ArenaAllocator(const ArenaAllocator<U>& other) noexcept
+      : arena_(other.arena_) {}
+
+  T* allocate(std::size_t n) { return arena_->allocate<T>(n); }
+  void deallocate(T*, std::size_t) noexcept {}
+
+  template <typename U>
+  bool operator==(const ArenaAllocator<U>& other) const noexcept {
+    return arena_ == other.arena_;
+  }
+  template <typename U>
+  bool operator!=(const ArenaAllocator<U>& other) const noexcept {
+    return arena_ != other.arena_;
+  }
+
+  Arena* arena_;
+};
+
+template <typename T>
+using ArenaVector = std::vector<T, ArenaAllocator<T>>;
+
+/// Per-thread scratch arena shared by forest construction and scheduler
+/// scratch. Thread-local, so pool workers never contend; callers bracket
+/// their usage with ArenaScope and leak nothing to the next caller.
+Arena& scratchArena();
+
+}  // namespace dmf::runtime

@@ -44,15 +44,11 @@ void decodeInto(const TaskForest& forest, unsigned mixers,
   s.mixerCount = mixers;
   s.scheme = "GA";
   s.completionTime = 0;
-  s.assignments.assign(forest.taskCount(), Assignment{});
-
   const std::size_t n = forest.taskCount();
-  scratch.pending.assign(n, 0);
-  for (TaskId id = 0; id < n; ++id) {
-    const Task& t = forest.task(id);
-    scratch.pending[id] = (t.depLeft != kNoTask ? 1u : 0u) +
-                          (t.depRight != kNoTask ? 1u : 0u);
-  }
+  s.reset(n);
+
+  const std::vector<std::uint8_t>& initialPending = forest.initialPending();
+  scratch.pending.assign(initialPending.begin(), initialPending.end());
   // Every arrivals bucket is consumed (and cleared) by the loop below, so
   // the buffers stay empty-but-allocated between decodes.
   if (scratch.arrivals.size() < 2) scratch.arrivals.resize(2);
@@ -62,6 +58,7 @@ void decodeInto(const TaskForest& forest, unsigned mixers,
   for (TaskId id = 0; id < n; ++id) {
     if (scratch.pending[id] == 0) scratch.arrivals[1].push_back(id);
   }
+  const std::vector<TaskId>& consumers = forest.outConsumers();
   std::size_t remaining = n;
   for (unsigned t = 1; remaining > 0; ++t) {
     if (t < scratch.arrivals.size()) {
@@ -75,16 +72,17 @@ void decodeInto(const TaskForest& forest, unsigned mixers,
       std::pop_heap(ready.begin(), ready.end(), heapGreater);
       const TaskId id = ready.back().second;
       ready.pop_back();
-      s.assignments[id] = Assignment{t, k};
+      s.place(id, t, k);
       s.completionTime = t;
       --remaining;
-      for (const auto& drop : forest.task(id).out) {
-        if (drop.fate != DropletFate::kConsumed) continue;
-        if (--scratch.pending[drop.consumer] == 0) {
+      for (unsigned slot = 0; slot < 2; ++slot) {
+        const TaskId consumer = consumers[2 * id + slot];
+        if (consumer == kNoTask) continue;
+        if (--scratch.pending[consumer] == 0) {
           if (scratch.arrivals.size() <= t + 1) {
             scratch.arrivals.resize(t + 2);
           }
-          scratch.arrivals[t + 1].push_back(drop.consumer);
+          scratch.arrivals[t + 1].push_back(consumer);
         }
       }
     }
@@ -201,7 +199,7 @@ Schedule scheduleGA(const TaskForest& forest, unsigned mixers,
     const Schedule oms = scheduleOMS(forest, mixers);
     std::vector<double> keys(n);
     for (TaskId id = 0; id < n; ++id) {
-      keys[id] = static_cast<double>(oms.assignments[id].cycle) +
+      keys[id] = static_cast<double>(oms.cycles[id]) +
                  1e-6 * static_cast<double>(id);
     }
     population.push_back({std::move(keys), Score{}});

@@ -25,10 +25,9 @@ std::string renderGantt(const TaskForest& forest, const Schedule& s) {
       s.mixerCount, std::vector<std::string>(tc + 1));
   std::size_t width = 5;
   for (TaskId id = 0; id < forest.taskCount(); ++id) {
-    const Assignment& a = s.assignments[id];
     std::string label = forest.taskLabel(id);
     width = std::max(width, label.size() + 1);
-    cells[a.mixer][a.cycle] = std::move(label);
+    cells[s.mixers[id]][s.cycles[id]] = std::move(label);
   }
 
   const std::vector<unsigned> storage = storageProfile(forest, s);

@@ -1,15 +1,14 @@
 #include "sched/heterogeneous.h"
 
 #include <algorithm>
+#include <cstdint>
+#include <functional>
 #include <map>
-#include <set>
 #include <stdexcept>
 
 namespace dmf::sched {
 
-using forest::DropletFate;
 using forest::kNoTask;
-using forest::Task;
 using forest::TaskForest;
 using forest::TaskId;
 
@@ -31,26 +30,25 @@ Schedule scheduleHeterogeneous(const TaskForest& forest,
   Schedule s;
   s.mixerCount = static_cast<unsigned>(bank.size());
   s.scheme = "HET";
-  s.assignments.assign(forest.taskCount(), Assignment{});
-  if (forest.taskCount() == 0) return s;
   const std::size_t n = forest.taskCount();
+  s.reset(n);
+  if (n == 0) return s;
+
+  const std::vector<TaskId>& consumers = forest.outConsumers();
 
   // Longest remaining dependency chain first (Hu priority).
   std::vector<unsigned> colevel(n, 1);
   for (TaskId id = static_cast<TaskId>(n); id-- > 0;) {
-    for (const auto& drop : forest.task(id).out) {
-      if (drop.fate == DropletFate::kConsumed) {
-        colevel[id] = std::max(colevel[id], colevel[drop.consumer] + 1);
+    for (unsigned slot = 0; slot < 2; ++slot) {
+      const TaskId consumer = consumers[2 * id + slot];
+      if (consumer != kNoTask) {
+        colevel[id] = std::max(colevel[id], colevel[consumer] + 1);
       }
     }
   }
 
-  std::vector<unsigned> pending(n, 0);
-  for (TaskId id = 0; id < n; ++id) {
-    const Task& t = forest.task(id);
-    pending[id] = (t.depLeft != kNoTask ? 1u : 0u) +
-                  (t.depRight != kNoTask ? 1u : 0u);
-  }
+  const std::vector<std::uint8_t>& initialPending = forest.initialPending();
+  std::vector<unsigned> pending(initialPending.begin(), initialPending.end());
   std::map<unsigned, std::vector<TaskId>> arrivals;
   // Earliest cycle a task may start: one past the latest operand finish
   // (operands can finish out of scheduling order on a mixed bank).
@@ -67,31 +65,37 @@ Schedule scheduleHeterogeneous(const TaskForest& forest,
   });
   std::vector<unsigned> freeAt(bank.size(), 1);
 
-  std::set<std::pair<int, TaskId>> ready;
+  // Min-heap over packed (colevel desc, id asc) keys; unique keys make the
+  // pop order identical to the std::set this replaces.
+  std::vector<std::uint64_t> ready;
+  const auto heapGreater = std::greater<std::uint64_t>{};
   std::size_t remaining = n;
   for (unsigned t = 1; remaining > 0; ++t) {
     const auto it = arrivals.find(t);
     if (it != arrivals.end()) {
       for (TaskId id : it->second) {
-        ready.insert({-static_cast<int>(colevel[id]), id});
+        ready.push_back(((0xFFFFFFFFull - colevel[id]) << 32) | id);
+        std::push_heap(ready.begin(), ready.end(), heapGreater);
       }
       arrivals.erase(it);
     }
     for (unsigned m : order) {
       if (ready.empty()) break;
       if (freeAt[m] > t) continue;
-      const TaskId id = ready.begin()->second;
-      ready.erase(ready.begin());
-      s.assignments[id] = Assignment{t, m};
+      std::pop_heap(ready.begin(), ready.end(), heapGreater);
+      const auto id = static_cast<TaskId>(ready.back() & 0xFFFFFFFFull);
+      ready.pop_back();
+      s.place(id, t, m);
       const unsigned finish = t + bank.cyclesPerMix[m] - 1;
       freeAt[m] = finish + 1;
       s.completionTime = std::max(s.completionTime, finish);
       --remaining;
-      for (const auto& drop : forest.task(id).out) {
-        if (drop.fate != DropletFate::kConsumed) continue;
-        readyAt[drop.consumer] = std::max(readyAt[drop.consumer], finish + 1);
-        if (--pending[drop.consumer] == 0) {
-          arrivals[readyAt[drop.consumer]].push_back(drop.consumer);
+      for (unsigned slot = 0; slot < 2; ++slot) {
+        const TaskId consumer = consumers[2 * id + slot];
+        if (consumer == kNoTask) continue;
+        readyAt[consumer] = std::max(readyAt[consumer], finish + 1);
+        if (--pending[consumer] == 0) {
+          arrivals[readyAt[consumer]].push_back(consumer);
         }
       }
     }
@@ -103,29 +107,30 @@ Schedule scheduleHeterogeneous(const TaskForest& forest,
 }
 
 unsigned finishCycle(const Schedule& s, const MixerBank& bank, TaskId id) {
-  const Assignment& a = s.assignments[id];
-  return a.cycle + bank.cyclesPerMix[a.mixer] - 1;
+  return s.cycles[id] + bank.cyclesPerMix[s.mixers[id]] - 1;
 }
 
 void validateHeterogeneous(const TaskForest& forest, const Schedule& s,
                            const MixerBank& bank) {
-  if (s.assignments.size() != forest.taskCount()) {
+  if (s.size() != forest.taskCount()) {
     throw std::logic_error("validateHeterogeneous: assignment count mismatch");
   }
   // Per-mixer occupancy intervals must be disjoint.
   std::vector<std::vector<std::pair<unsigned, unsigned>>> busy(bank.size());
+  const std::vector<TaskId>& depLeft = forest.depLefts();
+  const std::vector<TaskId>& depRight = forest.depRights();
   for (TaskId id = 0; id < forest.taskCount(); ++id) {
-    const Assignment& a = s.assignments[id];
-    if (a.cycle == 0) {
+    const unsigned cycle = s.cycles[id];
+    const unsigned mixer = s.mixers[id];
+    if (cycle == 0) {
       throw std::logic_error("validateHeterogeneous: unscheduled task");
     }
-    if (a.mixer >= bank.size()) {
+    if (mixer >= bank.size()) {
       throw std::logic_error("validateHeterogeneous: mixer out of range");
     }
-    busy[a.mixer].push_back({a.cycle, finishCycle(s, bank, id)});
-    const Task& t = forest.task(id);
-    for (TaskId dep : {t.depLeft, t.depRight}) {
-      if (dep != kNoTask && finishCycle(s, bank, dep) >= a.cycle) {
+    busy[mixer].push_back({cycle, finishCycle(s, bank, id)});
+    for (TaskId dep : {depLeft[id], depRight[id]}) {
+      if (dep != kNoTask && finishCycle(s, bank, dep) >= cycle) {
         throw std::logic_error(
             "validateHeterogeneous: operand not ready at task " +
             std::to_string(id));
@@ -145,19 +150,30 @@ void validateHeterogeneous(const TaskForest& forest, const Schedule& s,
 
 unsigned countStorageHeterogeneous(const TaskForest& forest,
                                    const Schedule& s, const MixerBank& bank) {
-  std::vector<unsigned> storage(s.completionTime + 2, 0);
-  unsigned peak = 0;
+  // Difference array over cycles (+1 the cycle after the producing mix
+  // finishes, -1 at consumption), prefix-summed for the peak — identical to
+  // the old per-gap increment loop in O(n + T).
+  std::vector<std::int32_t> delta(s.completionTime + 2, 0);
+  const std::vector<TaskId>& consumers = forest.outConsumers();
   for (TaskId id = 0; id < forest.taskCount(); ++id) {
     const unsigned produced = finishCycle(s, bank, id);
-    for (const auto& drop : forest.task(id).out) {
-      if (drop.fate != DropletFate::kConsumed) continue;
-      const unsigned consumed = s.assignments[drop.consumer].cycle;
-      for (unsigned i = produced + 1; i < consumed; ++i) {
-        peak = std::max(peak, ++storage[i]);
+    for (unsigned slot = 0; slot < 2; ++slot) {
+      const TaskId consumer = consumers[2 * id + slot];
+      if (consumer == kNoTask) continue;
+      const unsigned consumed = s.cycles[consumer];
+      if (consumed > produced + 1) {
+        ++delta[produced + 1];
+        --delta[consumed];
       }
     }
   }
-  return peak;
+  std::int32_t occupancy = 0;
+  std::int32_t peak = 0;
+  for (std::size_t t = 0; t < delta.size(); ++t) {
+    occupancy += delta[t];
+    peak = std::max(peak, occupancy);
+  }
+  return static_cast<unsigned>(peak);
 }
 
 }  // namespace dmf::sched

@@ -2,11 +2,10 @@
 
 #include <algorithm>
 #include <cstdint>
-#include <deque>
+#include <functional>
+#include <iterator>
 #include <optional>
-#include <set>
 #include <stdexcept>
-#include <tuple>
 #include <utility>
 #include <vector>
 
@@ -14,14 +13,37 @@
 
 namespace dmf::sched {
 
-using forest::DropletFate;
 using forest::kNoTask;
 using forest::OperandClass;
-using forest::Task;
 using forest::TaskForest;
 using forest::TaskId;
 
 namespace {
+
+// The ready queues below are binary min-heaps over packed 64-bit keys
+// (priority in the high half, TaskId in the low half). Every key is unique,
+// so the pop sequence is identical to iterating the std::set the previous
+// implementation used — same schedules, no per-node allocation.
+constexpr std::uint64_t kIdMask = 0xFFFFFFFFull;
+
+inline void heapPush(std::vector<std::uint64_t>& heap, std::uint64_t key) {
+  heap.push_back(key);
+  std::push_heap(heap.begin(), heap.end(), std::greater<>());
+}
+
+inline std::uint64_t heapPop(std::vector<std::uint64_t>& heap) {
+  std::pop_heap(heap.begin(), heap.end(), std::greater<>());
+  const std::uint64_t key = heap.back();
+  heap.pop_back();
+  return key;
+}
+
+/// Resets a reusable arrivals table (cycle -> tasks becoming schedulable)
+/// without giving back the inner vectors' capacity.
+void resetArrivals(std::vector<std::vector<TaskId>>& arrivals) {
+  for (auto& slot : arrivals) slot.clear();
+  if (arrivals.size() < 2) arrivals.resize(2);
+}
 
 // Shared list-scheduling driver. A Policy receives the tasks that become
 // schedulable at the current cycle (add) and yields at most `capacity` tasks
@@ -36,24 +58,31 @@ Schedule runListScheduler(const TaskForest& forest, unsigned mixers,
   Schedule s;
   s.mixerCount = mixers;
   s.scheme = std::move(name);
-  s.assignments.assign(forest.taskCount(), Assignment{});
-  if (forest.taskCount() == 0) return s;
+  const std::size_t n = forest.taskCount();
+  s.reset(n);
+  if (n == 0) return s;
 
-  std::vector<unsigned> pending(forest.taskCount(), 0);
-  for (TaskId id = 0; id < forest.taskCount(); ++id) {
-    const Task& t = forest.task(id);
-    pending[id] = (t.depLeft != kNoTask ? 1u : 0u) +
-                  (t.depRight != kNoTask ? 1u : 0u);
-  }
+  struct Scratch {
+    std::vector<unsigned> pending;
+    std::vector<std::vector<TaskId>> arrivals;
+    std::vector<TaskId> batch;
+  };
+  static thread_local Scratch scratch;
+  std::vector<unsigned>& pending = scratch.pending;
+  std::vector<std::vector<TaskId>>& arrivals = scratch.arrivals;
+  std::vector<TaskId>& batch = scratch.batch;
+
+  const std::vector<std::uint8_t>& initialPending = forest.initialPending();
+  pending.assign(initialPending.begin(), initialPending.end());
 
   // arrivals[t] = tasks that become schedulable at cycle t (1-based).
-  std::vector<std::vector<TaskId>> arrivals(2);
-  for (TaskId id = 0; id < forest.taskCount(); ++id) {
+  resetArrivals(arrivals);
+  for (TaskId id = 0; id < n; ++id) {
     if (pending[id] == 0) arrivals[1].push_back(id);
   }
 
-  std::size_t remaining = forest.taskCount();
-  std::vector<TaskId> batch;
+  const std::vector<TaskId>& consumers = forest.outConsumers();
+  std::size_t remaining = n;
   for (unsigned t = 1; remaining > 0; ++t) {
     if (t < arrivals.size()) {
       policy.add(arrivals[t]);
@@ -64,13 +93,14 @@ Schedule runListScheduler(const TaskForest& forest, unsigned mixers,
     // Mixers are assigned in increasing index order (paper Algorithms 1/2).
     for (unsigned k = 0; k < batch.size(); ++k) {
       const TaskId id = batch[k];
-      s.assignments[id] = Assignment{t, k};
+      s.place(id, t, k);
       --remaining;
-      for (const auto& drop : forest.task(id).out) {
-        if (drop.fate != DropletFate::kConsumed) continue;
-        if (--pending[drop.consumer] == 0) {
+      for (unsigned slot = 0; slot < 2; ++slot) {
+        const TaskId consumer = consumers[2 * id + slot];
+        if (consumer == kNoTask) continue;
+        if (--pending[consumer] == 0) {
           if (arrivals.size() <= t + 1) arrivals.resize(t + 2);
-          arrivals[t + 1].push_back(drop.consumer);
+          arrivals[t + 1].push_back(consumer);
         }
       }
     }
@@ -86,27 +116,30 @@ Schedule runListScheduler(const TaskForest& forest, unsigned mixers,
 // ascending ("from level l upwards"), ties by task id.
 class MmsPolicy {
  public:
-  explicit MmsPolicy(const TaskForest& forest) : forest_(&forest) {}
+  explicit MmsPolicy(const TaskForest& forest)
+      : levels_(&forest.taskLevels()) {}
 
   void add(std::vector<TaskId>& arrivals) {
     std::sort(arrivals.begin(), arrivals.end(), [this](TaskId a, TaskId b) {
-      const unsigned la = forest_->task(a).level;
-      const unsigned lb = forest_->task(b).level;
+      const unsigned la = (*levels_)[a];
+      const unsigned lb = (*levels_)[b];
       return la != lb ? la < lb : a < b;
     });
     queue_.insert(queue_.end(), arrivals.begin(), arrivals.end());
   }
 
   void take(unsigned capacity, std::vector<TaskId>& out) {
-    while (capacity-- > 0 && !queue_.empty()) {
-      out.push_back(queue_.front());
-      queue_.pop_front();
+    while (capacity-- > 0 && head_ < queue_.size()) {
+      out.push_back(queue_[head_++]);
     }
   }
 
  private:
-  const TaskForest* forest_;
-  std::deque<TaskId> queue_;
+  const std::vector<unsigned>* levels_;
+  // FIFO as a flat vector with a read cursor instead of a deque: every task
+  // enters exactly once, so the backlog is bounded by the task count.
+  std::vector<TaskId> queue_;
+  std::size_t head_ = 0;
 };
 
 // Literal Algorithm 2 policy: Q_int (Type-A/B, highest level first) is served
@@ -118,12 +151,13 @@ class SrsGreedyPolicy {
   explicit SrsGreedyPolicy(const TaskForest& forest) : forest_(&forest) {}
 
   void add(std::vector<TaskId>& arrivals) {
+    const std::vector<unsigned>& levels = forest_->taskLevels();
     for (TaskId id : arrivals) {
-      const Task& t = forest_->task(id);
-      if (t.operandClass == OperandClass::kTypeC) {
-        qLeaf_.insert({static_cast<int>(t.level), id});
+      const auto level = std::uint64_t{levels[id]};
+      if (forest_->task(id).operandClass == OperandClass::kTypeC) {
+        heapPush(qLeaf_, (level << 32) | id);  // lowest level first
       } else {
-        qInt_.insert({-static_cast<int>(t.level), id});
+        heapPush(qInt_, ((kIdMask - level) << 32) | id);  // highest first
       }
     }
   }
@@ -131,22 +165,20 @@ class SrsGreedyPolicy {
   void take(unsigned capacity, std::vector<TaskId>& out) {
     const std::size_t intNodes = qInt_.size();
     for (unsigned k = 0; k < capacity && !qInt_.empty(); ++k) {
-      out.push_back(qInt_.begin()->second);
-      qInt_.erase(qInt_.begin());
+      out.push_back(static_cast<TaskId>(heapPop(qInt_) & kIdMask));
     }
     if (capacity > intNodes) {
       unsigned leafBudget = capacity - static_cast<unsigned>(intNodes);
       while (leafBudget-- > 0 && !qLeaf_.empty()) {
-        out.push_back(qLeaf_.begin()->second);
-        qLeaf_.erase(qLeaf_.begin());
+        out.push_back(static_cast<TaskId>(heapPop(qLeaf_) & kIdMask));
       }
     }
   }
 
  private:
   const TaskForest* forest_;
-  std::set<std::pair<int, TaskId>> qInt_;
-  std::set<std::pair<int, TaskId>> qLeaf_;
+  std::vector<std::uint64_t> qInt_;
+  std::vector<std::uint64_t> qLeaf_;
 };
 
 // Hu / critical-path policy: longest path to an emitted droplet first.
@@ -157,20 +189,19 @@ class OmsPolicy {
 
   void add(std::vector<TaskId>& arrivals) {
     for (TaskId id : arrivals) {
-      queue_.insert({-static_cast<int>(colevel_[id]), id});
+      heapPush(queue_, ((kIdMask - std::uint64_t{colevel_[id]}) << 32) | id);
     }
   }
 
   void take(unsigned capacity, std::vector<TaskId>& out) {
     while (capacity-- > 0 && !queue_.empty()) {
-      out.push_back(queue_.begin()->second);
-      queue_.erase(queue_.begin());
+      out.push_back(static_cast<TaskId>(heapPop(queue_) & kIdMask));
     }
   }
 
  private:
   std::vector<unsigned> colevel_;
-  std::set<std::pair<int, TaskId>> queue_;
+  std::vector<std::uint64_t> queue_;
 };
 
 // colevel(v) = length of the longest dependency chain starting at v
@@ -178,10 +209,12 @@ class OmsPolicy {
 // ids and one descending sweep suffices.
 std::vector<unsigned> computeColevels(const TaskForest& forest) {
   std::vector<unsigned> colevel(forest.taskCount(), 1);
+  const std::vector<TaskId>& consumers = forest.outConsumers();
   for (TaskId id = static_cast<TaskId>(forest.taskCount()); id-- > 0;) {
-    for (const auto& drop : forest.task(id).out) {
-      if (drop.fate == DropletFate::kConsumed) {
-        colevel[id] = std::max(colevel[id], colevel[drop.consumer] + 1);
+    for (unsigned slot = 0; slot < 2; ++slot) {
+      const TaskId consumer = consumers[2 * id + slot];
+      if (consumer != kNoTask) {
+        colevel[id] = std::max(colevel[id], colevel[consumer] + 1);
       }
     }
   }
@@ -208,8 +241,9 @@ Schedule scheduleJustInTime(const TaskForest& forest, unsigned mixers) {
   Schedule s;
   s.mixerCount = mixers;
   s.scheme = "SRS";
-  s.assignments.assign(forest.taskCount(), Assignment{});
-  if (forest.taskCount() == 0) return s;
+  const std::size_t n = forest.taskCount();
+  s.reset(n);
+  if (n == 0) return s;
 
   // Storage shrinks when droplets are produced just before they are
   // consumed. SRS therefore schedules every mix-split as LATE as the mixer
@@ -219,14 +253,25 @@ Schedule scheduleJustInTime(const TaskForest& forest, unsigned mixers) {
   // whose stall is free (section 4.2.2) — end up deferred the most: they sit
   // at the reversed DAG's deepest positions. Mixers idle rather than dispense
   // early, the behaviour the paper attributes to SRS.
-  const std::size_t n = forest.taskCount();
+  struct Scratch {
+    std::vector<unsigned> revColevel;
+    std::vector<unsigned> pending;
+    std::vector<std::vector<TaskId>> arrivals;
+    std::vector<std::uint64_t> ready;
+    std::vector<unsigned> revCycle;
+    std::vector<unsigned> used;
+  };
+  static thread_local Scratch scratch;
+
+  const std::vector<TaskId>& depLeft = forest.depLefts();
+  const std::vector<TaskId>& depRight = forest.depRights();
 
   // Reverse chain length: longest path from a task back through its operand
   // producers (its successors in the reversed DAG).
-  std::vector<unsigned> revColevel(n, 1);
+  std::vector<unsigned>& revColevel = scratch.revColevel;
+  revColevel.assign(n, 1);
   for (TaskId id = 0; id < n; ++id) {
-    const Task& t = forest.task(id);
-    for (TaskId dep : {t.depLeft, t.depRight}) {
+    for (TaskId dep : {depLeft[id], depRight[id]}) {
       if (dep != kNoTask) {
         revColevel[id] = std::max(revColevel[id], revColevel[dep] + 1);
       }
@@ -235,45 +280,43 @@ Schedule scheduleJustInTime(const TaskForest& forest, unsigned mixers) {
 
   // Reverse readiness: a task is reverse-ready once every consumer of its
   // droplets is reverse-scheduled. Root instances (no consumers) seed it.
-  std::vector<unsigned> pending(n, 0);
-  for (TaskId id = 0; id < n; ++id) {
-    for (const auto& drop : forest.task(id).out) {
-      if (drop.fate == DropletFate::kConsumed) ++pending[id];
-    }
-  }
+  const std::vector<std::uint8_t>& consumedOuts = forest.consumedOutCounts();
+  std::vector<unsigned>& pending = scratch.pending;
+  pending.assign(consumedOuts.begin(), consumedOuts.end());
 
-  std::vector<std::vector<TaskId>> arrivals(2);
+  std::vector<std::vector<TaskId>>& arrivals = scratch.arrivals;
+  resetArrivals(arrivals);
   for (TaskId id = 0; id < n; ++id) {
     if (pending[id] == 0) arrivals[1].push_back(id);
   }
 
   // Priority: longest reverse chain first (Hu on the reversed DAG), breaking
   // ties in favour of Type-C nodes (defer them furthest in forward time),
-  // then by task id for determinism.
+  // then by task id. Packed as (revColevel desc, typeC-first bit, id).
   auto key = [&](TaskId id) {
     const bool typeC =
         forest.task(id).operandClass == OperandClass::kTypeC;
-    return std::tuple<int, int, TaskId>(-static_cast<int>(revColevel[id]),
-                                        typeC ? 0 : 1, id);
+    return ((0x7FFFFFFFull - revColevel[id]) << 33) |
+           (std::uint64_t{typeC ? 0u : 1u} << 32) | id;
   };
-  std::set<std::tuple<int, int, TaskId>> ready;
+  std::vector<std::uint64_t>& ready = scratch.ready;
+  ready.clear();
 
-  std::vector<unsigned> revCycle(n, 0);
+  std::vector<unsigned>& revCycle = scratch.revCycle;
+  revCycle.assign(n, 0);
   std::size_t remaining = n;
   unsigned span = 0;
   for (unsigned t = 1; remaining > 0; ++t) {
     if (t < arrivals.size()) {
-      for (TaskId id : arrivals[t]) ready.insert(key(id));
+      for (TaskId id : arrivals[t]) heapPush(ready, key(id));
       arrivals[t].clear();
     }
     for (unsigned k = 0; k < mixers && !ready.empty(); ++k) {
-      const TaskId id = std::get<2>(*ready.begin());
-      ready.erase(ready.begin());
+      const auto id = static_cast<TaskId>(heapPop(ready) & kIdMask);
       revCycle[id] = t;
       span = std::max(span, t);
       --remaining;
-      const Task& task = forest.task(id);
-      for (TaskId dep : {task.depLeft, task.depRight}) {
+      for (TaskId dep : {depLeft[id], depRight[id]}) {
         if (dep == kNoTask) continue;
         if (--pending[dep] == 0) {
           if (arrivals.size() <= t + 1) arrivals.resize(t + 2);
@@ -287,10 +330,11 @@ Schedule scheduleJustInTime(const TaskForest& forest, unsigned mixers) {
   }
 
   // Mirror into forward time and hand out mixer indices per cycle.
-  std::vector<unsigned> used(span + 2, 0);
+  std::vector<unsigned>& used = scratch.used;
+  used.assign(span + 2, 0);
   for (TaskId id = 0; id < n; ++id) {
     const unsigned cycle = span + 1 - revCycle[id];
-    s.assignments[id] = Assignment{cycle, used[cycle]++};
+    s.place(id, cycle, used[cycle]++);
   }
   s.completionTime = span;
   return s;
@@ -300,38 +344,52 @@ Schedule scheduleJustInTime(const TaskForest& forest, unsigned mixers) {
 
 namespace {
 
+/// Reusable workspace for tryStorageCapped: one SRS refinement scans dozens
+/// of (cap, window) attempts over the same forest, so every attempt bumps
+/// warm vectors instead of re-allocating its bookkeeping.
+struct CappedScratch {
+  std::vector<unsigned> pending;
+  std::vector<std::vector<TaskId>> arrivals;
+  std::vector<std::uint64_t> ready;       // sorted ascending by packed key
+  std::vector<std::uint64_t> arrivalKeys;
+  std::vector<std::uint64_t> merged;
+  std::vector<TaskId> batch;
+  Schedule out;  // the attempt's result; copied out on adoption
+};
+
+CappedScratch& cappedScratch() {
+  static thread_local CappedScratch scratch;
+  return scratch;
+}
+
 // One storage-capped attempt with a fixed production-lookahead window.
-// Returns a schedule respecting the cap, or nullopt when this window stalls.
-std::optional<Schedule> tryStorageCapped(const TaskForest& forest,
-                                         unsigned mixers, unsigned storageCap,
-                                         unsigned window,
-                                         const Schedule& jit) {
-  Schedule s;
+// Fills `scratch.out` with a schedule respecting the cap and returns true,
+// or returns false when this window stalls. `jitCycles` is the cycle array
+// of a just-in-time schedule supplying the service order.
+bool tryStorageCapped(const TaskForest& forest, unsigned mixers,
+                      unsigned storageCap, unsigned window,
+                      const std::vector<unsigned>& jitCycles,
+                      CappedScratch& scratch) {
+  Schedule& s = scratch.out;
   s.mixerCount = mixers;
   s.scheme = "capped";
-  s.assignments.assign(forest.taskCount(), Assignment{});
-  if (forest.taskCount() == 0) return s;
+  s.completionTime = 0;
   const std::size_t n = forest.taskCount();
+  s.reset(n);
+  if (n == 0) return true;
 
   // Per-task inventory delta: +1 for every output droplet that some other
-  // mix-split will consume, -1 for every operand taken out of storage.
-  auto consumableOuts = [&](TaskId id) {
-    unsigned c = 0;
-    for (const auto& drop : forest.task(id).out) {
-      c += drop.fate == DropletFate::kConsumed ? 1u : 0u;
-    }
-    return c;
-  };
-  auto storedOperands = [&](TaskId id) {
-    const Task& t = forest.task(id);
-    return (t.depLeft != kNoTask ? 1u : 0u) +
-           (t.depRight != kNoTask ? 1u : 0u);
-  };
+  // mix-split will consume (consumedOuts), -1 for every operand taken out of
+  // storage (storedOperands == the initial pending count).
+  const std::vector<std::uint8_t>& consumedOuts = forest.consumedOutCounts();
+  const std::vector<std::uint8_t>& storedOperands = forest.initialPending();
+  const std::vector<TaskId>& consumers = forest.outConsumers();
 
-  std::vector<unsigned> pending(n, 0);
-  for (TaskId id = 0; id < n; ++id) pending[id] = storedOperands(id);
+  std::vector<unsigned>& pending = scratch.pending;
+  pending.assign(storedOperands.begin(), storedOperands.end());
 
-  std::vector<std::vector<TaskId>> arrivals(2);
+  std::vector<std::vector<TaskId>>& arrivals = scratch.arrivals;
+  resetArrivals(arrivals);
   for (TaskId id = 0; id < n; ++id) {
     if (pending[id] == 0) arrivals[1].push_back(id);
   }
@@ -341,11 +399,17 @@ std::optional<Schedule> tryStorageCapped(const TaskForest& forest,
   // it under the cap keeps partner droplets adjacent. Producers must go in
   // strictly this order — letting a later dispense mix jump a stalled one
   // fills the storage with droplets whose partners can then never be made
-  // (the classic storage deadlock).
+  // (the classic storage deadlock). The queue is a flat vector sorted
+  // ascending by (jit cycle, id): arrivals merge in, and the two service
+  // passes below compact the survivors in place — iteration order matches
+  // the std::set this replaced, with zero node allocations.
   auto key = [&](TaskId id) {
-    return std::pair<unsigned, TaskId>(jit.assignments[id].cycle, id);
+    return (std::uint64_t{jitCycles[id]} << 32) | id;
   };
-  std::set<std::pair<unsigned, TaskId>> ready;
+  std::vector<std::uint64_t>& ready = scratch.ready;
+  ready.clear();
+  std::vector<std::uint64_t>& arrivalKeys = scratch.arrivalKeys;
+  std::vector<std::uint64_t>& merged = scratch.merged;
 
   // `carried` counts consumable droplets produced in earlier cycles and not
   // yet consumed. The droplets this cycle's batch does not consume are
@@ -364,11 +428,17 @@ std::optional<Schedule> tryStorageCapped(const TaskForest& forest,
   const std::int64_t budget =
       static_cast<std::int64_t>(storageCap) + window;
   std::size_t remaining = n;
-  std::vector<TaskId> batch;
+  std::vector<TaskId>& batch = scratch.batch;
   for (unsigned t = 1; remaining > 0; ++t) {
-    if (t < arrivals.size()) {
-      for (TaskId id : arrivals[t]) ready.insert(key(id));
+    if (t < arrivals.size() && !arrivals[t].empty()) {
+      arrivalKeys.clear();
+      for (TaskId id : arrivals[t]) arrivalKeys.push_back(key(id));
       arrivals[t].clear();
+      std::sort(arrivalKeys.begin(), arrivalKeys.end());
+      merged.clear();
+      std::merge(ready.begin(), ready.end(), arrivalKeys.begin(),
+                 arrivalKeys.end(), std::back_inserter(merged));
+      ready.swap(merged);
     }
 
     batch.clear();
@@ -376,44 +446,50 @@ std::optional<Schedule> tryStorageCapped(const TaskForest& forest,
     std::int64_t producedNow = 0;
     // Pass 1 — consumers of stored droplets (the Q_int of Algorithm 2), in
     // just-in-time order. Emptying storage takes precedence over everything.
-    for (auto it = ready.begin();
-         it != ready.end() && batch.size() < mixers;) {
-      const TaskId id = it->second;
-      const std::int64_t cons = storedOperands(id);
+    std::size_t w = 0;
+    std::size_t i = 0;
+    for (; i < ready.size(); ++i) {
+      if (batch.size() >= mixers) break;
+      const auto id = static_cast<TaskId>(ready[i] & kIdMask);
+      const std::int64_t cons = storedOperands[id];
       if (cons == 0) {
-        ++it;
+        ready[w++] = ready[i];
         continue;
       }
-      const std::int64_t prod = consumableOuts(id);
+      const std::int64_t prod = consumedOuts[id];
       if (prod > cons &&
           carried - consumedNow - cons + producedNow + prod > budget) {
-        ++it;  // net-producing consumer under pressure: stall it
+        ready[w++] = ready[i];  // net-producing consumer under pressure
         continue;
       }
       consumedNow += cons;
       producedNow += prod;
       batch.push_back(id);
-      it = ready.erase(it);
     }
+    for (; i < ready.size(); ++i) ready[w++] = ready[i];
+    ready.resize(w);
     // Pass 2 — fresh dispense mixes (Q_leaf), strictly in just-in-time
     // order: letting a later dispense mix jump a stalled one fills the
     // storage with droplets whose partners can then never be made (the
     // classic storage deadlock).
-    for (auto it = ready.begin();
-         it != ready.end() && batch.size() < mixers;) {
-      const TaskId id = it->second;
-      if (storedOperands(id) != 0) {
-        ++it;
+    w = 0;
+    i = 0;
+    for (; i < ready.size(); ++i) {
+      if (batch.size() >= mixers) break;
+      const auto id = static_cast<TaskId>(ready[i] & kIdMask);
+      if (storedOperands[id] != 0) {
+        ready[w++] = ready[i];
         continue;
       }
-      const std::int64_t prod = consumableOuts(id);
+      const std::int64_t prod = consumedOuts[id];
       if (carried - consumedNow + producedNow + prod > budget) {
         break;  // strict order among producers
       }
       producedNow += prod;
       batch.push_back(id);
-      it = ready.erase(it);
     }
+    for (; i < ready.size(); ++i) ready[w++] = ready[i];
+    ready.resize(w);
 
     if (consumedNow > carried) {
       // A cycle consumed more droplets than it carried in — the readiness
@@ -425,28 +501,46 @@ std::optional<Schedule> tryStorageCapped(const TaskForest& forest,
           ")");
     }
     if (carried - consumedNow > static_cast<std::int64_t>(storageCap)) {
-      return std::nullopt;
+      return false;
     }
 
     for (unsigned k = 0; k < batch.size(); ++k) {
       const TaskId id = batch[k];
-      s.assignments[id] = Assignment{t, k};
+      s.place(id, t, k);
       --remaining;
-      for (const auto& drop : forest.task(id).out) {
-        if (drop.fate != DropletFate::kConsumed) continue;
-        if (--pending[drop.consumer] == 0) {
+      for (unsigned slot = 0; slot < 2; ++slot) {
+        const TaskId consumer = consumers[2 * id + slot];
+        if (consumer == kNoTask) continue;
+        if (--pending[consumer] == 0) {
           if (arrivals.size() <= t + 1) arrivals.resize(t + 2);
-          arrivals[t + 1].push_back(drop.consumer);
+          arrivals[t + 1].push_back(consumer);
         }
       }
     }
     carried = carried - consumedNow + producedNow;
     s.completionTime = batch.empty() ? s.completionTime : t;
     if (batch.empty() && remaining > 0 && t >= arrivals.size()) {
-      return std::nullopt;
+      return false;
     }
   }
-  return s;
+  return true;
+}
+
+/// The production-lookahead window ladder. Small mixer banks make the ladder
+/// collide (e.g. mixers == 2 duplicates both 2 and 4); an identical window
+/// is an identical attempt, and adoption below is strictly-improving, so
+/// skipping duplicates cannot change which schedule wins — it only removes
+/// redundant work.
+template <typename Fn>
+void forEachWindow(unsigned mixers, Fn fn) {
+  const unsigned ladder[] = {0u, 1u, 2u, 3u, mixers, 2 * mixers};
+  for (std::size_t i = 0; i < std::size(ladder); ++i) {
+    bool seen = false;
+    for (std::size_t j = 0; j < i; ++j) {
+      seen = seen || ladder[j] == ladder[i];
+    }
+    if (!seen) fn(ladder[i]);
+  }
 }
 
 }  // namespace
@@ -467,16 +561,16 @@ Schedule scheduleStorageCapped(const TaskForest& forest, unsigned mixers,
   // utilization and no single value dominates, so a small deterministic
   // ladder is tried and the fastest completing schedule wins.
   const Schedule jit = scheduleJustInTime(forest, mixers);
+  CappedScratch& scratch = cappedScratch();
   std::optional<Schedule> best;
-  for (unsigned window : {0u, 1u, 2u, 3u, mixers, 2 * mixers}) {
-    std::optional<Schedule> attempt =
-        tryStorageCapped(forest, mixers, storageCap, window, jit);
-    if (attempt.has_value() &&
+  forEachWindow(mixers, [&](unsigned window) {
+    if (tryStorageCapped(forest, mixers, storageCap, window, jit.cycles,
+                         scratch) &&
         (!best.has_value() ||
-         attempt->completionTime < best->completionTime)) {
-      best = std::move(attempt);
+         scratch.out.completionTime < best->completionTime)) {
+      best = scratch.out;
     }
-  }
+  });
   if (!best.has_value()) {
     throw InfeasibleError(
         "scheduleStorageCapped: storage cap of " +
@@ -520,18 +614,19 @@ Schedule scheduleSRS(const TaskForest& forest, unsigned mixers) {
   // schedule's order, scanning every cap below it (feasibility is not
   // monotone in the cap, so no bisection).
   const unsigned budget = fastest + std::max(3u, fastest / 4);
-  const Schedule seed = best;
+  const std::vector<unsigned> seedCycles = best.cycles;
+  CappedScratch& scratch = cappedScratch();
   for (unsigned cap = bestStorage; cap-- > 0;) {
     std::optional<Schedule> candidate;
-    for (unsigned window : {0u, 1u, 2u, 3u, mixers, 2 * mixers}) {
-      std::optional<Schedule> attempt =
-          tryStorageCapped(forest, mixers, cap, window, seed);
-      if (attempt.has_value() && attempt->completionTime <= budget &&
+    forEachWindow(mixers, [&](unsigned window) {
+      if (tryStorageCapped(forest, mixers, cap, window, seedCycles,
+                           scratch) &&
+          scratch.out.completionTime <= budget &&
           (!candidate.has_value() ||
-           attempt->completionTime < candidate->completionTime)) {
-        candidate = std::move(attempt);
+           scratch.out.completionTime < candidate->completionTime)) {
+        candidate = scratch.out;
       }
-    }
+    });
     if (candidate.has_value()) {
       adopt(std::move(*candidate));
     }

@@ -1,0 +1,98 @@
+#include "runtime/arena.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace dmf::runtime {
+namespace {
+
+TEST(Arena, BumpAllocationIsContiguousAndAligned) {
+  Arena arena;
+  auto* a = arena.allocate<std::uint64_t>(4);
+  auto* b = arena.allocate<std::uint64_t>(4);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  // Same chunk: the second block starts right after the first.
+  EXPECT_EQ(b, a + 4);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(a) % alignof(std::uint64_t), 0u);
+  // A byte allocation followed by a uint64 allocation must re-align.
+  auto* c = arena.allocate<char>(3);
+  auto* d = arena.allocate<std::uint64_t>(1);
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(d) % alignof(std::uint64_t), 0u);
+}
+
+TEST(Arena, AllocationsAreWritable) {
+  Arena arena;
+  const std::size_t n = 1000;
+  auto* block = arena.allocate<std::uint32_t>(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    block[i] = static_cast<std::uint32_t>(i * 7);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(block[i], static_cast<std::uint32_t>(i * 7));
+  }
+}
+
+TEST(Arena, GrowsByAddingChunksAndResetKeepsThem) {
+  Arena arena(1024);
+  EXPECT_EQ(arena.chunkCount(), 0u);
+  (void)arena.allocate<std::byte>(512);
+  EXPECT_EQ(arena.chunkCount(), 1u);
+  // Oversized request forces a new chunk.
+  (void)arena.allocate<std::byte>(8 * 1024);
+  EXPECT_GE(arena.chunkCount(), 2u);
+  const std::size_t chunksBefore = arena.chunkCount();
+  const std::uint64_t allocationsBefore = arena.chunkAllocations();
+  arena.reset();
+  EXPECT_EQ(arena.chunkCount(), chunksBefore);  // memory retained
+  // A warm arena serves the same request pattern without new chunks.
+  (void)arena.allocate<std::byte>(512);
+  (void)arena.allocate<std::byte>(8 * 1024);
+  EXPECT_EQ(arena.chunkAllocations(), allocationsBefore);
+}
+
+TEST(Arena, MarkReleaseRewindsInStackOrder) {
+  Arena arena(256);
+  (void)arena.allocate<std::uint64_t>(4);
+  const Arena::Marker m = arena.mark();
+  auto* inner = arena.allocate<std::uint64_t>(4);
+  arena.release(m);
+  // Rewound: the next allocation reuses the released space.
+  auto* again = arena.allocate<std::uint64_t>(4);
+  EXPECT_EQ(again, inner);
+}
+
+TEST(Arena, ScopeReleasesOnDestruction) {
+  Arena arena(256);
+  auto* before = arena.allocate<std::uint32_t>(2);
+  std::uint32_t* inner = nullptr;
+  {
+    ArenaScope scope(arena);
+    inner = scope.arena().allocate<std::uint32_t>(8);
+    ASSERT_NE(inner, nullptr);
+  }
+  auto* after = arena.allocate<std::uint32_t>(8);
+  EXPECT_EQ(after, inner);  // scope rewound the bump pointer
+  (void)before;
+}
+
+TEST(Arena, ArenaVectorUsesArenaStorage) {
+  Arena arena(4096);
+  ArenaVector<int> v{ArenaAllocator<int>(arena)};
+  for (int i = 0; i < 100; ++i) v.push_back(i);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(v[static_cast<std::size_t>(i)], i);
+  EXPECT_GE(arena.chunkCount(), 1u);
+}
+
+TEST(Arena, ScratchArenaIsStablePerThread) {
+  Arena& a = scratchArena();
+  Arena& b = scratchArena();
+  EXPECT_EQ(&a, &b);
+}
+
+}  // namespace
+}  // namespace dmf::runtime

@@ -71,7 +71,7 @@ TEST(CheckOracles, ScheduleOracleRejectsPrecedenceViolation) {
   // Yank a dependent task back to cycle 1: its operands now arrive late.
   for (forest::TaskId id = 0; id < f.taskCount(); ++id) {
     if (f.task(id).depLeft != forest::kNoTask) {
-      s.assignments[id].cycle = 1;
+      s.cycles[id] = 1;
       break;
     }
   }
@@ -84,7 +84,9 @@ TEST(CheckOracles, ScheduleOracleRejectsDoubleBookedMixer) {
   const TaskForest f = makeForest(Algorithm::MM, 8);
   sched::Schedule s = sched::scheduleMMS(f, 2);
   ASSERT_GE(f.taskCount(), 2u);
-  s.assignments[1] = s.assignments[0];  // two tasks, one (cycle, mixer) slot
+  // Two tasks, one (cycle, mixer) slot.
+  s.cycles[1] = s.cycles[0];
+  s.mixers[1] = s.mixers[0];
   CheckResult out;
   check::checkScheduleValidity(f, s, out);
   EXPECT_FALSE(out.ok());

@@ -52,10 +52,10 @@ TEST(GaScheduler, DeterministicForSeed) {
   TaskForest f(g, 16);
   const Schedule a = scheduleGA(f, 3, quickOptions());
   const Schedule b = scheduleGA(f, 3, quickOptions());
-  ASSERT_EQ(a.assignments.size(), b.assignments.size());
-  for (std::size_t i = 0; i < a.assignments.size(); ++i) {
-    EXPECT_EQ(a.assignments[i].cycle, b.assignments[i].cycle);
-    EXPECT_EQ(a.assignments[i].mixer, b.assignments[i].mixer);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.cycles[i], b.cycles[i]);
+    EXPECT_EQ(a.mixers[i], b.mixers[i]);
   }
 }
 
@@ -67,12 +67,10 @@ TEST(GaScheduler, ByteIdenticalAcrossJobs) {
   TaskForest f(g, 24);
   const Schedule base = scheduleGA(f, 3, quickOptions());
   const auto expectSame = [&](const Schedule& s, const std::string& label) {
-    ASSERT_EQ(s.assignments.size(), base.assignments.size()) << label;
-    for (std::size_t i = 0; i < base.assignments.size(); ++i) {
-      EXPECT_EQ(s.assignments[i].cycle, base.assignments[i].cycle)
-          << label << " task " << i;
-      EXPECT_EQ(s.assignments[i].mixer, base.assignments[i].mixer)
-          << label << " task " << i;
+    ASSERT_EQ(s.size(), base.size()) << label;
+    for (std::size_t i = 0; i < base.size(); ++i) {
+      EXPECT_EQ(s.cycles[i], base.cycles[i]) << label << " task " << i;
+      EXPECT_EQ(s.mixers[i], base.mixers[i]) << label << " task " << i;
     }
     EXPECT_EQ(s.completionTime, base.completionTime) << label;
   };

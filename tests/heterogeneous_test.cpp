@@ -60,7 +60,7 @@ TEST(Heterogeneous, FastestMixerClaimedFirst) {
   const Schedule s = scheduleHeterogeneous(f, bank);
   validateHeterogeneous(f, s, bank);
   for (forest::TaskId id = 0; id < f.taskCount(); ++id) {
-    EXPECT_EQ(s.assignments[id].mixer, 1u);
+    EXPECT_EQ(s.mixers[id], 1u);
   }
 }
 
@@ -81,7 +81,7 @@ TEST(Heterogeneous, FinishCycleUsesAssignedMixerDuration) {
   TaskForest f(g, 2);
   const MixerBank bank{{4}};
   const Schedule s = scheduleHeterogeneous(f, bank);
-  EXPECT_EQ(s.assignments[0].cycle, 1u);
+  EXPECT_EQ(s.cycles[0], 1u);
   EXPECT_EQ(finishCycle(s, bank, 0), 4u);
   EXPECT_EQ(s.completionTime, 4u);
 }
@@ -92,7 +92,8 @@ TEST(Heterogeneous, ValidatorCatchesOverlaps) {
   const MixerBank bank = uniformBank(3, 2);
   Schedule s = scheduleHeterogeneous(f, bank);
   // Squeeze two mixes onto the same mixer in overlapping cycles.
-  s.assignments[1] = s.assignments[0];
+  s.cycles[1] = s.cycles[0];
+  s.mixers[1] = s.mixers[0];
   EXPECT_THROW(validateHeterogeneous(f, s, bank), std::logic_error);
 }
 

@@ -1,0 +1,144 @@
+#include "engine/pass_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "runtime/thread_pool.h"
+
+namespace dmf::engine {
+namespace {
+
+Ratio pcr() { return Ratio({2, 1, 1, 1, 1, 1, 9}); }
+
+std::vector<std::uint64_t> ladderTo(std::uint64_t top) {
+  std::vector<std::uint64_t> demands;
+  for (std::uint64_t d = 1; d <= top; ++d) demands.push_back(d);
+  return demands;
+}
+
+void expectSamePass(const StreamingPass& a, const StreamingPass& b,
+                    std::uint64_t demand) {
+  EXPECT_EQ(a.demand, b.demand) << "demand " << demand;
+  EXPECT_EQ(a.cycles, b.cycles) << "demand " << demand;
+  EXPECT_EQ(a.storageUnits, b.storageUnits) << "demand " << demand;
+  EXPECT_EQ(a.waste, b.waste) << "demand " << demand;
+  EXPECT_EQ(a.inputDroplets, b.inputDroplets) << "demand " << demand;
+  EXPECT_EQ(a.mixSplits, b.mixSplits) << "demand " << demand;
+}
+
+TEST(Ladder, BatchedMatchesScalar) {
+  const MdstEngine engine(pcr());
+  const std::vector<std::uint64_t> demands = ladderTo(32);
+  PassCache cache;
+  const std::vector<StreamingPass> batched = cache.evaluateLadder(
+      engine, mixgraph::Algorithm::MM, Scheme::kSRS, 3, demands);
+  ASSERT_EQ(batched.size(), demands.size());
+  for (std::size_t i = 0; i < demands.size(); ++i) {
+    const StreamingPass scalar = evaluatePass(
+        engine, mixgraph::Algorithm::MM, Scheme::kSRS, 3, demands[i]);
+    expectSamePass(batched[i], scalar, demands[i]);
+  }
+}
+
+TEST(Ladder, BatchedMatchesScalarWithPool) {
+  const MdstEngine engine(pcr());
+  const std::vector<std::uint64_t> demands = ladderTo(24);
+  runtime::ThreadPool pool(4);
+  PassCache pooled;
+  const std::vector<StreamingPass> batched = pooled.evaluateLadder(
+      engine, mixgraph::Algorithm::MM, Scheme::kSRS, 3, demands, &pool);
+  ASSERT_EQ(batched.size(), demands.size());
+  for (std::size_t i = 0; i < demands.size(); ++i) {
+    const StreamingPass scalar = evaluatePass(
+        engine, mixgraph::Algorithm::MM, Scheme::kSRS, 3, demands[i]);
+    expectSamePass(batched[i], scalar, demands[i]);
+  }
+}
+
+TEST(Ladder, HitsResolveFromCacheWithoutRecomputation) {
+  const MdstEngine engine(pcr());
+  PassCache cache;
+  // Pre-populate the odd demands through the scalar path.
+  for (std::uint64_t d = 1; d <= 16; d += 2) {
+    (void)cache.evaluate(engine, mixgraph::Algorithm::MM, Scheme::kSRS, 3, d);
+  }
+  const PassCacheStats before = cache.stats();
+  EXPECT_EQ(before.misses, 8u);
+  const std::vector<std::uint64_t> demands = ladderTo(16);
+  const std::vector<StreamingPass> batched = cache.evaluateLadder(
+      engine, mixgraph::Algorithm::MM, Scheme::kSRS, 3, demands);
+  const PassCacheStats after = cache.stats();
+  EXPECT_EQ(after.hits - before.hits, 8u);    // the pre-populated odds
+  EXPECT_EQ(after.misses - before.misses, 8u);  // the fresh evens
+  for (std::size_t i = 0; i < demands.size(); ++i) {
+    const StreamingPass scalar = evaluatePass(
+        engine, mixgraph::Algorithm::MM, Scheme::kSRS, 3, demands[i]);
+    expectSamePass(batched[i], scalar, demands[i]);
+  }
+  // A second sweep is all hits.
+  (void)cache.evaluateLadder(engine, mixgraph::Algorithm::MM, Scheme::kSRS, 3,
+                             demands);
+  EXPECT_EQ(cache.stats().misses, after.misses);
+}
+
+TEST(Ladder, EvaluatePassLadderWrapperDelegates) {
+  const MdstEngine engine(pcr());
+  PassCache cache;
+  const std::vector<std::uint64_t> demands = ladderTo(8);
+  const std::vector<StreamingPass> viaFree = evaluatePassLadder(
+      engine, mixgraph::Algorithm::MM, Scheme::kSRS, 3, demands, cache);
+  EXPECT_EQ(cache.size(), demands.size());
+  for (std::size_t i = 0; i < demands.size(); ++i) {
+    const auto hit =
+        cache.lookup({mixgraph::Algorithm::MM, Scheme::kSRS, 3, demands[i]});
+    ASSERT_TRUE(hit.has_value());
+    expectSamePass(viaFree[i], *hit, demands[i]);
+  }
+}
+
+TEST(Ladder, PassKeyHashDistinctOverSweepGrid) {
+  // The exact key grid a planner sweep touches: every (algorithm, scheme,
+  // mixers, demand) combination must hash distinctly — 64-bit collisions on
+  // a few thousand structured keys would mean the mix is broken.
+  constexpr mixgraph::Algorithm kAlgos[] = {
+      mixgraph::Algorithm::MM, mixgraph::Algorithm::RMA,
+      mixgraph::Algorithm::MTCS, mixgraph::Algorithm::RSM};
+  constexpr Scheme kSchemes[] = {Scheme::kMMS, Scheme::kSRS, Scheme::kOMS};
+  const PassKeyHash hash;
+  std::set<std::size_t> seen;
+  std::size_t keys = 0;
+  for (const mixgraph::Algorithm algorithm : kAlgos) {
+    for (const Scheme scheme : kSchemes) {
+      for (unsigned mixers = 1; mixers <= 4; ++mixers) {
+        for (std::uint64_t demand = 1; demand <= 64; ++demand) {
+          seen.insert(hash(PassKey{algorithm, scheme, mixers, demand}));
+          ++keys;
+        }
+      }
+    }
+  }
+  EXPECT_EQ(seen.size(), keys);
+}
+
+TEST(Ladder, PassKeyHashSpreadsConsecutiveDemands) {
+  // Demand sweeps insert consecutive integers — the access pattern that
+  // collided modulo small bucket counts before the per-field avalanche.
+  // A well-mixed hash fills ~63% of N buckets with N random keys; the old
+  // field-XOR hash landed consecutive demands in clustered buckets.
+  const PassKeyHash hash;
+  constexpr std::size_t kBuckets = 4096;
+  std::set<std::size_t> buckets;
+  for (std::uint64_t demand = 1; demand <= kBuckets; ++demand) {
+    buckets.insert(
+        hash(PassKey{mixgraph::Algorithm::MM, Scheme::kSRS, 4, demand}) %
+        kBuckets);
+  }
+  EXPECT_GE(buckets.size(), kBuckets * 55 / 100);
+  EXPECT_LE(buckets.size(), kBuckets * 72 / 100);
+}
+
+}  // namespace
+}  // namespace dmf::engine

@@ -173,7 +173,7 @@ TEST(Validate, DetectsPrecedenceViolation) {
   Schedule s = scheduleOMS(f, 3);
   // Move the root mix to cycle 1: its operands are no longer earlier.
   for (forest::TaskId id = 0; id < f.taskCount(); ++id) {
-    if (f.task(id).node == g.root()) s.assignments[id].cycle = 1;
+    if (f.task(id).node == g.root()) s.cycles[id] = 1;
   }
   EXPECT_THROW(validateOrThrow(f, s), std::logic_error);
 }
@@ -184,9 +184,9 @@ TEST(Validate, DetectsMixerOverlap) {
   Schedule s = scheduleOMS(f, 3);
   // Force every task onto mixer 0 — cycle/mixer collisions appear.
   bool collision = false;
-  for (auto& a : s.assignments) {
-    if (a.mixer != 0) {
-      a.mixer = 0;
+  for (auto& mixer : s.mixers) {
+    if (mixer != 0) {
+      mixer = 0;
       collision = true;
     }
   }

@@ -20,11 +20,16 @@
 // "below" gauges, lowers "above" gauges) before comparing — the self-test
 // hook proving the gate actually trips on a synthetic regression.
 // --refresh rewrites the baseline file's values from the measured gauges
-// (tolerances and directions are kept) — the documented workflow after an
-// intentional perf change; commit the diff.
+// (tolerances and directions are kept; gauges missing from the bench output
+// keep their old values) — the documented workflow after an intentional perf
+// change; commit the diff. Refreshed files are canonical: entries sorted by
+// gauge name, every field explicit, so two refreshes diff minimally.
+// --lint (baseline only, no --bench) asserts the file is already in that
+// canonical refreshed form; ctest runs it on every committed baseline.
 //
 // Exit codes follow the repo taxonomy: 0 within tolerance, 1 usage /
-// unreadable input, 4 regression findings.
+// unreadable input, 4 regression / lint findings.
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -44,11 +49,13 @@ struct Options {
   std::string baselinePath;
   double inflatePct = 0.0;
   bool refresh = false;
+  bool lint = false;
 };
 
 int usage() {
   std::cerr << "usage: perf_gate --bench BENCH.json --baseline BASELINE.json"
-               " [--inflate PCT] [--refresh]\n";
+               " [--inflate PCT] [--refresh]\n"
+               "       perf_gate --lint --baseline BASELINE.json\n";
   return 1;
 }
 
@@ -83,6 +90,34 @@ std::string formatRow(const std::string& gauge, double baseline,
   return line;
 }
 
+/// Canonical-form check: entries sorted by gauge name (strictly — duplicates
+/// are findings too) with every field explicit, exactly what --refresh
+/// writes. Returns the number of violations, printing each.
+unsigned lintBaseline(const Json& entries, const std::string& path) {
+  unsigned findings = 0;
+  std::string previous;
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const Json& entry = entries.at(i);
+    const std::string gauge =
+        entry.contains("gauge") ? entry.at("gauge").asString() : "";
+    for (const char* field : {"gauge", "baseline", "tolerance_pct",
+                              "direction"}) {
+      if (!entry.contains(field)) {
+        std::cout << path << ": entry " << i << " (" << gauge
+                  << "): missing field \"" << field << "\"\n";
+        ++findings;
+      }
+    }
+    if (i > 0 && !(previous < gauge)) {
+      std::cout << path << ": entry \"" << gauge << "\" breaks sorted order"
+                << " (after \"" << previous << "\"); re-run --refresh\n";
+      ++findings;
+    }
+    previous = gauge;
+  }
+  return findings;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -102,6 +137,8 @@ int main(int argc, char** argv) {
         options.inflatePct = std::stod(value());
       } else if (arg == "--refresh") {
         options.refresh = true;
+      } else if (arg == "--lint") {
+        options.lint = true;
       } else {
         std::cerr << "error: unknown argument '" << arg << "'\n";
         return usage();
@@ -111,22 +148,37 @@ int main(int argc, char** argv) {
       return usage();
     }
   }
-  if (options.benchPath.empty() || options.baselinePath.empty()) {
+  if (options.baselinePath.empty() ||
+      (options.benchPath.empty() && !options.lint)) {
     return usage();
   }
 
   try {
-    const Json bench = loadJson(options.benchPath);
     Json baseline = loadJson(options.baselinePath);
     if (!baseline.isObject() || !baseline.contains("entries") ||
         !baseline.at("entries").isArray()) {
       throw std::invalid_argument("baseline '" + options.baselinePath +
                                   "': expected {\"entries\": [...]}");
     }
-
     const Json& entries = baseline.at("entries");
+
+    if (options.lint) {
+      const unsigned findings = lintBaseline(entries, options.baselinePath);
+      if (findings > 0) {
+        std::cerr << findings << " lint finding(s); canonicalize with "
+                     "perf_gate --refresh\n";
+        return 4;
+      }
+      std::cout << "perf gate: " << options.baselinePath << " is canonical ("
+                << entries.size() << " entries, sorted)\n";
+      return 0;
+    }
+
+    const Json bench = loadJson(options.benchPath);
     unsigned failures = 0;
-    Json refreshed = Json::array();
+    // Refreshed entries carry a sort key so the emitted file is canonical
+    // (sorted by gauge) regardless of the input order.
+    std::vector<std::pair<std::string, Json>> refreshed;
     for (std::size_t i = 0; i < entries.size(); ++i) {
       const Json& entry = entries.at(i);
       const std::string gauge = entry.at("gauge").asString();
@@ -143,12 +195,14 @@ int main(int argc, char** argv) {
       }
 
       const auto found = lookup(bench, gauge);
-      if (!found.has_value()) {
+      if (!found.has_value() && !options.refresh) {
         std::cout << gauge << ": MISSING from " << options.benchPath << "\n";
         ++failures;
         continue;
       }
-      double measured = static_cast<double>(*found);
+      // In refresh mode a missing gauge keeps its old pin instead of being
+      // dropped from the file.
+      double measured = found.has_value() ? static_cast<double>(*found) : base;
       // The self-test hook: degrade in whichever direction is "worse".
       measured *= direction == "below" ? 1.0 + options.inflatePct / 100.0
                                        : 1.0 - options.inflatePct / 100.0;
@@ -159,7 +213,7 @@ int main(int argc, char** argv) {
             .set("baseline", static_cast<std::uint64_t>(measured))
             .set("tolerance_pct", tolerance)
             .set("direction", direction);
-        refreshed.push(std::move(updated));
+        refreshed.emplace_back(gauge, std::move(updated));
         continue;
       }
 
@@ -174,11 +228,19 @@ int main(int argc, char** argv) {
     }
 
     if (options.refresh) {
+      std::stable_sort(refreshed.begin(), refreshed.end(),
+                       [](const auto& a, const auto& b) {
+                         return a.first < b.first;
+                       });
+      Json sorted = Json::array();
+      for (auto& pair : refreshed) {
+        sorted.push(std::move(pair.second));
+      }
       Json out = Json::object();
       if (baseline.contains("bench")) {
         out.set("bench", baseline.at("bench").asString());
       }
-      out.set("entries", std::move(refreshed));
+      out.set("entries", std::move(sorted));
       std::ofstream file(options.baselinePath,
                          std::ios::binary | std::ios::trunc);
       file << out.dump(2) << "\n";
@@ -187,7 +249,8 @@ int main(int argc, char** argv) {
                                     "'");
       }
       std::cout << "baselines refreshed from " << options.benchPath
-                << " -> " << options.baselinePath << " (commit the diff)\n";
+                << " -> " << options.baselinePath
+                << " (sorted; commit the diff)\n";
       return 0;
     }
 
