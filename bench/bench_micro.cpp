@@ -5,8 +5,11 @@
 // (bench_obs.h), so speedups are diffable across commits.
 #include <benchmark/benchmark.h>
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <chrono>
+#include <filesystem>
 #include <string>
 #include <vector>
 
@@ -20,6 +23,7 @@
 #include "engine/pass_cache.h"
 #include "engine/streaming.h"
 #include "forest/task_forest.h"
+#include "journal/journal.h"
 #include "mixgraph/builders.h"
 #include "obs/log.h"
 #include "obs/scope.h"
@@ -269,6 +273,32 @@ void BM_CorpusGeneration(benchmark::State& state) {
 }
 BENCHMARK(BM_CorpusGeneration);
 
+// --- crash-recovery journal ------------------------------------------------
+// One journal append = frame (length + CRC32) + write + fsync; the fsync
+// dominates, so this measures the real durability tax a journaled stream
+// run pays per pass (DESIGN.md §16).
+
+void BM_JournalAppend(benchmark::State& state) {
+  namespace fs = std::filesystem;
+  const std::string dir =
+      (fs::temp_directory_path() /
+       ("dmf_bench_journal_" + std::to_string(::getpid())))
+          .string();
+  fs::create_directories(dir);
+  const std::string payload(256, 'p');  // a typical pass-record size
+  {
+    journal::RecordLog log(dir + "/log");
+    for (auto _ : state) {
+      log.append(payload);
+    }
+  }
+  std::error_code ec;
+  fs::remove_all(dir, ec);
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(payload.size()));
+}
+BENCHMARK(BM_JournalAppend);
+
 // --- observability overhead -----------------------------------------------
 // The disabled path must be near-free: each helper is one relaxed atomic
 // load plus a branch, so these two benchmarks should report low-nanosecond
@@ -488,6 +518,29 @@ void recordMeasuredSpeedups() {
       metrics->gauge("bench.arena.bytes_reserved")
           .set(runtime::scratchArena().bytesReserved());
     }
+  }
+
+  // Durable journal append (frame + write + fsync), per record — the
+  // per-pass overhead `stream --journal` adds to a run.
+  {
+    namespace fs = std::filesystem;
+    const std::string dir =
+        (fs::temp_directory_path() /
+         ("dmf_bench_journal_gauge_" + std::to_string(::getpid())))
+            .string();
+    fs::create_directories(dir);
+    const std::string payload(256, 'p');
+    constexpr std::uint64_t kAppends = 64;
+    {
+      journal::RecordLog log(dir + "/log");
+      log.append(payload);  // warm up: first append pays file creation
+      const auto start = clock::now();
+      for (std::uint64_t i = 0; i < kAppends; ++i) log.append(payload);
+      metrics->gauge("bench.journal.append_nanos")
+          .set(nanosSince(start) / kAppends);
+    }
+    std::error_code ec;
+    fs::remove_all(dir, ec);
   }
 
   // Per-phase router time, with and without the post-routing verification

@@ -1,7 +1,12 @@
 #include "check/fuzzer.h"
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <filesystem>
+#include <fstream>
 #include <numeric>
 #include <set>
 #include <stdexcept>
@@ -14,6 +19,8 @@
 #include "engine/serialize.h"
 #include "engine/streaming.h"
 #include "fault/fault_injector.h"
+#include "journal/journal.h"
+#include "journal/stream_runner.h"
 #include "obs/log.h"
 #include "obs/scope.h"
 #include "sched/ga_scheduler.h"
@@ -216,6 +223,79 @@ std::set<std::string> oracleNames(const std::vector<std::string>& failures) {
   return names;
 }
 
+// --- crash-scope machinery --------------------------------------------------
+
+/// Canonical byte image of a run's output: the plan dump plus every
+/// per-pass recovery dump. Two runs agree iff these strings are equal.
+std::string runBytes(const journal::StreamRunResult& result) {
+  std::string out = engine::toJson(result.plan).dump();
+  for (const engine::RecoveryReport& report : result.recovery) {
+    out += '\n';
+    out += engine::toJson(report).dump();
+  }
+  return out;
+}
+
+/// A per-case scratch journal directory; pid + counter keeps parallel fuzz
+/// processes (ctest -j) from colliding. Removed by DirCleanup below.
+std::string freshCrashDir() {
+  static std::atomic<std::uint64_t> counter{0};
+  return (std::filesystem::temp_directory_path() /
+          ("dmf_fuzz_crash_" + std::to_string(::getpid()) + "_" +
+           std::to_string(counter.fetch_add(1))))
+      .string();
+}
+
+struct DirCleanup {
+  std::string dir;
+  ~DirCleanup() {
+    std::error_code ec;
+    std::filesystem::remove_all(dir, ec);
+  }
+};
+
+void writeRaw(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+/// Every legal way a resume can end. Anything outside this taxonomy —
+/// a wrong answer, an untyped exception, a request-mismatch rejection of a
+/// journal the fuzzer itself wrote — is a finding.
+enum class ResumeOutcome {
+  kIdentical,  // resumed output byte-identical to the uninterrupted run
+  kDiverged,   // resumed but produced different bytes
+  kCorrupt,    // typed CorruptJournalError (clean detection)
+  kRejected,   // std::invalid_argument (fingerprint/usage rejection)
+  kError,      // any other exception
+};
+
+ResumeOutcome attemptResume(const engine::MdstEngine& engine,
+                            const journal::StreamRunRequest& request,
+                            const std::string& dir,
+                            const std::string& refBytes, std::string* detail) {
+  try {
+    engine::PassCache cache;
+    journal::StreamRunOptions options;
+    options.journalDir = dir;
+    options.resume = true;
+    const journal::StreamRunResult result =
+        journal::runStream(engine, request, cache, options);
+    if (runBytes(result) == refBytes) return ResumeOutcome::kIdentical;
+    *detail = "resumed output differs from the uninterrupted run";
+    return ResumeOutcome::kDiverged;
+  } catch (const journal::CorruptJournalError& e) {
+    *detail = e.what();
+    return ResumeOutcome::kCorrupt;
+  } catch (const std::invalid_argument& e) {
+    *detail = e.what();
+    return ResumeOutcome::kRejected;
+  } catch (const std::exception& e) {
+    *detail = e.what();
+    return ResumeOutcome::kError;
+  }
+}
+
 }  // namespace
 
 CheckResult Fuzzer::runCase(const FuzzCase& c) const {
@@ -346,6 +426,16 @@ CheckResult Fuzzer::runCase(const FuzzCase& c) const {
                    "planStreaming JSON differs between --jobs 1 and 4");
         }
         checkStreamingPlan(engine, request, serial, out);
+        // Round-trip: toJson -> dump -> parse -> fromJson -> toJson must
+        // reproduce the original bytes (journal resume depends on it).
+        ++out.checksRun;
+        const std::string dumped = engine::toJson(serial).dump();
+        if (engine::toJson(
+                engine::streamingPlanFromJson(report::Json::parse(dumped)))
+                .dump() != dumped) {
+          out.fail("serialize-roundtrip",
+                   "StreamingPlan JSON round-trip is not lossless");
+        }
         const engine::StreamingPlan optimized =
             engine::planStreamingOptimized(engine, request);
         checkStreamingPlan(engine, request, optimized, out);
@@ -415,6 +505,147 @@ CheckResult Fuzzer::runCase(const FuzzCase& c) const {
       // Infeasible either way is legal — the cap can be below any pass.
     }
 
+    if (inScope("crash") && c.storageCap > 0) {
+      // Differential: a journaled run killed at a pass boundary and resumed
+      // must be byte-identical to its uninterrupted twin; a journal the
+      // filesystem tore (truncation) silently repairs to the same bytes;
+      // a journal something *damaged* (bit flip inside a committed frame)
+      // is detected as a typed CorruptJournalError — never a wrong answer.
+      journal::StreamRunRequest run;
+      run.streaming.algorithm = c.algorithm;
+      run.streaming.scheme = c.scheme;
+      run.streaming.demand = c.demand;
+      run.streaming.storageCap = c.storageCap;
+      run.streaming.mixers = mixers;
+      run.streaming.jobs = 1;
+      run.inject = !c.faultSpec.empty();
+      if (run.inject) run.faults = fault::FaultSpec::parse(c.faultSpec);
+      run.faultSeed = c.faultSeed;
+      try {
+        engine::PassCache refCache;
+        const journal::StreamRunResult ref =
+            journal::runStream(engine, run, refCache);
+        const std::string refBytes = runBytes(ref);
+        const std::uint64_t passCount = ref.plan.passes.size();
+        if (passCount > 0) {
+          const std::string dir = freshCrashDir();
+          const DirCleanup cleanup{dir};
+          journal::StreamRunOptions crashOptions;
+          crashOptions.journalDir = dir;
+          crashOptions.snapshotEvery = 1 + static_cast<unsigned>(c.faultSeed % 3);
+          crashOptions.stopAfterPass = 1 + c.faultSeed % passCount;
+          engine::PassCache cache;
+          const journal::StreamRunResult crashed =
+              journal::runStream(engine, run, cache, crashOptions);
+          ++out.checksRun;
+          if (!crashed.partial) {
+            out.fail("crash-resume", "stopAfterPass " +
+                                         std::to_string(crashOptions.stopAfterPass) +
+                                         " did not cut the run short");
+          }
+          // Freeze the crashed on-disk image so every sweep below starts
+          // from the same wreckage.
+          const std::string snapPath = dir + "/snapshot.json";
+          const std::string logPath = dir + "/journal.log";
+          const std::string snapBytes =
+              journal::readFileIfExists(snapPath).value_or(std::string());
+          const std::string logBytes =
+              journal::readFileIfExists(logPath).value_or(std::string());
+          std::string detail;
+
+          ++out.checksRun;
+          if (attemptResume(engine, run, dir, refBytes, &detail) !=
+              ResumeOutcome::kIdentical) {
+            out.fail("crash-resume",
+                     "resume after crash at pass " +
+                         std::to_string(crashOptions.stopAfterPass) + "/" +
+                         std::to_string(passCount) + ": " + detail);
+          }
+
+          // Torn tails: any truncation of the log must silently repair and
+          // still reproduce the reference bytes (a truncated *snapshot*
+          // can only mean damage — publication is atomic — so that case
+          // lands in the corruption sweep below).
+          std::set<std::size_t> cuts;
+          if (!logBytes.empty()) {
+            cuts.insert(logBytes.size() - 1);
+            cuts.insert(logBytes.size() / 2);
+            cuts.insert(0);
+          }
+          for (const std::size_t cut : cuts) {
+            writeRaw(snapPath, snapBytes);
+            writeRaw(logPath, logBytes.substr(0, cut));
+            ++out.checksRun;
+            if (attemptResume(engine, run, dir, refBytes, &detail) !=
+                ResumeOutcome::kIdentical) {
+              out.fail("crash-truncate",
+                       "resume after log truncated to " + std::to_string(cut) +
+                           " of " + std::to_string(logBytes.size()) +
+                           " bytes: " + detail);
+            }
+          }
+
+          // Snapshot truncation = torn atomic publish = corruption.
+          for (const std::size_t cut :
+               {snapBytes.size() / 2, snapBytes.size() - 1}) {
+            writeRaw(snapPath, snapBytes.substr(0, cut));
+            writeRaw(logPath, logBytes);
+            ++out.checksRun;
+            if (attemptResume(engine, run, dir, refBytes, &detail) !=
+                ResumeOutcome::kCorrupt) {
+              out.fail("crash-corrupt-detect",
+                       "snapshot truncated to " + std::to_string(cut) +
+                           " bytes was not detected as corruption: " + detail);
+            }
+          }
+
+          // Bit flip inside the (single-frame) snapshot: the CRC must trip.
+          {
+            const std::size_t pos =
+                (c.faultSeed * 2654435761ull) % snapBytes.size();
+            std::string damaged = snapBytes;
+            damaged[pos] = static_cast<char>(
+                static_cast<unsigned char>(damaged[pos]) ^
+                (1u << (c.faultSeed % 8)));
+            writeRaw(snapPath, damaged);
+            writeRaw(logPath, logBytes);
+            ++out.checksRun;
+            if (attemptResume(engine, run, dir, refBytes, &detail) !=
+                ResumeOutcome::kCorrupt) {
+              out.fail("crash-corrupt-detect",
+                       "snapshot bit flip at byte " + std::to_string(pos) +
+                           " was not detected as corruption: " + detail);
+            }
+          }
+
+          // Bit flip in the log: either the CRC trips (corrupt) or the flip
+          // turned the final frame's length field into a longer promise —
+          // a torn tail, repaired away, passes redone, bytes identical.
+          if (!logBytes.empty()) {
+            const std::size_t pos =
+                (c.faultSeed * 2654435761ull + 7919) % logBytes.size();
+            std::string damaged = logBytes;
+            damaged[pos] = static_cast<char>(
+                static_cast<unsigned char>(damaged[pos]) ^
+                (1u << ((c.faultSeed + 3) % 8)));
+            writeRaw(snapPath, snapBytes);
+            writeRaw(logPath, damaged);
+            ++out.checksRun;
+            const ResumeOutcome outcome =
+                attemptResume(engine, run, dir, refBytes, &detail);
+            if (outcome != ResumeOutcome::kCorrupt &&
+                outcome != ResumeOutcome::kIdentical) {
+              out.fail("crash-corrupt-detect",
+                       "log bit flip at byte " + std::to_string(pos) +
+                           " was neither detected nor repaired: " + detail);
+            }
+          }
+        }
+      } catch (const InfeasibleError&) {
+        // Cap below any feasible pass: a legal outcome.
+      }
+    }
+
     if (inScope("fault")) {
       engine::RecoveryOptions options;
       options.seed = c.faultSeed;
@@ -433,6 +664,16 @@ CheckResult Fuzzer::runCase(const FuzzCase& c) const {
       if (first.roundsUsed != first.rounds.size() ||
           first.roundsUsed > first.retryBudget) {
         out.fail("recovery", "round accounting inconsistent");
+      }
+      // Round-trip: the recovery report must survive serialization exactly
+      // (the journal stores per-pass reports as JSON records).
+      ++out.checksRun;
+      const std::string dumpedReport = engine::toJson(first).dump();
+      if (engine::toJson(
+              engine::recoveryReportFromJson(report::Json::parse(dumpedReport)))
+              .dump() != dumpedReport) {
+        out.fail("serialize-roundtrip",
+                 "RecoveryReport JSON round-trip is not lossless");
       }
       if (c.faultSpec.empty()) {
         // Differential: a fault-free replay must reproduce the schedule
@@ -557,10 +798,11 @@ FuzzCase Fuzzer::shrink(
 
 FuzzReport Fuzzer::run() const {
   static const std::set<std::string> kScopes = {
-      "all", "forest", "sched", "stream", "fault", "server"};
+      "all", "forest", "sched", "stream", "fault", "server", "crash"};
   if (kScopes.find(options_.scope) == kScopes.end()) {
-    throw std::invalid_argument("Fuzzer: unknown scope \"" + options_.scope +
-                                "\" (all|forest|sched|stream|fault|server)");
+    throw std::invalid_argument(
+        "Fuzzer: unknown scope \"" + options_.scope +
+        "\" (all|forest|sched|stream|fault|server|crash)");
   }
   FuzzReport report;
   std::mt19937_64 rng(options_.seed);

@@ -13,7 +13,12 @@
 //  * a fault-free RecoveryEngine replay vs the original schedule: full
 //    delivery, no repair rounds, identical completion cycle;
 //  * a repeated faulty recovery run with one seed: byte-identical reports;
-//  * planStreamingOptimized vs planStreaming: never more total cycles.
+//  * planStreamingOptimized vs planStreaming: never more total cycles;
+//  * a journaled run killed at a fuzzer-chosen pass boundary, then resumed:
+//    byte-identical output vs the uninterrupted twin — and with the journal
+//    truncated (torn tail: silent repair, still byte-identical) or
+//    bit-flipped (CRC failure: a typed CorruptJournalError, never a wrong
+//    answer or UB).
 //
 // A failing case is shrunk to a minimal reproducer (greedy descent over
 // demand, mixers, cap, ratio, fault spec) and reported as a ready-to-paste
@@ -70,9 +75,11 @@ struct FuzzOptions {
   std::uint64_t iterations = 200;
   /// Wall-clock cutoff; 0 = run all iterations.
   double timeBudgetSeconds = 0.0;
-  /// "all", "forest", "sched", "stream", "fault", or "server" — which
-  /// pipeline stages the oracles cover ("server" cross-checks cached
-  /// vs fresh plans for byte-identity through the serving layer). Unknown
+  /// "all", "forest", "sched", "stream", "fault", "server", or "crash" —
+  /// which pipeline stages the oracles cover ("server" cross-checks cached
+  /// vs fresh plans for byte-identity through the serving layer; "crash"
+  /// kills journaled runs at pass boundaries and corrupts the journal on
+  /// disk, asserting byte-identical resume or clean detection). Unknown
   /// scopes throw std::invalid_argument at run().
   std::string scope = "all";
 };

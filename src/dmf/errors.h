@@ -8,6 +8,9 @@
 //    two-droplet pass (exit 2);
 //  * anything else (std::logic_error in particular) is an internal invariant
 //    violation — a bug, not a user error (exit 3).
+// Two further codes live outside this header: fuzz findings exit 4, and a
+// damaged crash-recovery journal (journal::CorruptJournalError,
+// src/journal/journal.h) exits 5.
 #pragma once
 
 #include <stdexcept>

@@ -184,4 +184,125 @@ Json toJson(const RecoveryReport& report) {
   return out;
 }
 
+namespace {
+
+/// at()-style access that reports *which* field is malformed — journal
+/// snapshots are hand-inspectable and a precise error beats out_of_range.
+const Json& require(const Json& json, const std::string& key) {
+  if (!json.isObject() || !json.contains(key)) {
+    throw std::invalid_argument("serialize: missing field '" + key + "'");
+  }
+  return json.at(key);
+}
+
+std::uint64_t requireUint(const Json& json, const std::string& key) {
+  const Json& value = require(json, key);
+  if (!value.isNumber()) {
+    throw std::invalid_argument("serialize: field '" + key +
+                                "' is not a number");
+  }
+  return value.asUint();
+}
+
+fault::FaultKind faultKindFromName(const std::string& name) {
+  if (name == "split") return fault::FaultKind::kSplitImbalance;
+  if (name == "loss") return fault::FaultKind::kDropletLoss;
+  if (name == "dispense") return fault::FaultKind::kDispenseFail;
+  if (name == "electrode") return fault::FaultKind::kElectrodeDead;
+  throw std::invalid_argument("serialize: unknown fault kind '" + name + "'");
+}
+
+}  // namespace
+
+StreamingPlan streamingPlanFromJson(const Json& json) {
+  StreamingPlan plan;
+  plan.perPassDemand = requireUint(json, "perPassDemand");
+  plan.totalCycles = requireUint(json, "totalCycles");
+  plan.totalWaste = requireUint(json, "totalWaste");
+  plan.totalInput = requireUint(json, "totalInput");
+  plan.storageUnits = static_cast<unsigned>(requireUint(json, "peakStorage"));
+  plan.mixers = static_cast<unsigned>(requireUint(json, "mixers"));
+  const Json& passes = require(json, "passes");
+  if (!passes.isArray()) {
+    throw std::invalid_argument("serialize: 'passes' is not an array");
+  }
+  plan.passes.reserve(passes.size());
+  for (std::size_t i = 0; i < passes.size(); ++i) {
+    const Json& p = passes.at(i);
+    StreamingPass pass;
+    pass.demand = requireUint(p, "demand");
+    pass.cycles = static_cast<unsigned>(requireUint(p, "cycles"));
+    pass.storageUnits = static_cast<unsigned>(requireUint(p, "storage"));
+    pass.waste = requireUint(p, "waste");
+    pass.inputDroplets = requireUint(p, "input");
+    pass.mixSplits = requireUint(p, "mixSplits");
+    plan.passes.push_back(pass);
+  }
+  return plan;
+}
+
+RecoveryReport recoveryReportFromJson(const Json& json) {
+  RecoveryReport report;
+  report.demand = requireUint(json, "demand");
+  report.delivered = requireUint(json, "delivered");
+  report.shortfall = requireUint(json, "shortfall");
+  report.escapedErrors = requireUint(json, "escapedErrors");
+  report.discarded = requireUint(json, "discarded");
+  report.baseCompletion =
+      static_cast<unsigned>(requireUint(json, "baseCompletion"));
+  report.completionCycle =
+      static_cast<unsigned>(requireUint(json, "completionCycle"));
+  report.retryBudget = static_cast<unsigned>(requireUint(json, "retryBudget"));
+  report.roundsUsed = static_cast<unsigned>(requireUint(json, "roundsUsed"));
+  report.extraMixSplits = requireUint(json, "extraMixSplits");
+  report.extraInputDroplets = requireUint(json, "extraInputDroplets");
+  report.extraActuations = requireUint(json, "extraActuations");
+  report.mixersLost = static_cast<unsigned>(requireUint(json, "mixersLost"));
+  report.storageLost = static_cast<unsigned>(requireUint(json, "storageLost"));
+  report.degraded = require(json, "degraded").asBool();
+  report.degradationReason = require(json, "degradationReason").asString();
+  const Json& faults = require(json, "faults");
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    const Json& f = faults.at(i);
+    fault::FaultEvent event;
+    event.kind = faultKindFromName(require(f, "kind").asString());
+    event.cycle = static_cast<unsigned>(requireUint(f, "cycle"));
+    event.detail = require(f, "detail").asString();
+    // "magnitude" is emitted only when positive; absence restores the 0.0
+    // default, so the omission round-trips too.
+    if (f.contains("magnitude")) event.magnitude = f.at("magnitude").asDouble();
+    report.faults.push_back(std::move(event));
+  }
+  const Json& rounds = require(json, "rounds");
+  for (std::size_t i = 0; i < rounds.size(); ++i) {
+    const Json& r = rounds.at(i);
+    RepairRound round;
+    round.cycle = static_cast<unsigned>(requireUint(r, "cycle"));
+    round.span = static_cast<unsigned>(requireUint(r, "span"));
+    round.mixSplits = requireUint(r, "mixSplits");
+    round.inputDroplets = requireUint(r, "inputDroplets");
+    round.actuations = requireUint(r, "actuations");
+    const Json& needs = require(r, "needs");
+    for (std::size_t j = 0; j < needs.size(); ++j) {
+      const Json& n = needs.at(j);
+      forest::NodeDemand need;
+      need.node = static_cast<mixgraph::NodeId>(requireUint(n, "node"));
+      need.count = requireUint(n, "count");
+      round.needs.push_back(need);
+    }
+    report.rounds.push_back(std::move(round));
+  }
+  const Json& dead = require(json, "deadCells");
+  for (std::size_t i = 0; i < dead.size(); ++i) {
+    const Json& cell = dead.at(i);
+    if (!cell.isArray() || cell.size() != 2) {
+      throw std::invalid_argument("serialize: malformed deadCells entry");
+    }
+    report.deadCells.push_back(
+        chip::Cell{static_cast<int>(cell.at(0).asUint()),
+                   static_cast<int>(cell.at(1).asUint())});
+  }
+  return report;
+}
+
 }  // namespace dmf::engine

@@ -36,4 +36,16 @@ namespace dmf::engine {
 /// Deterministic for a fixed seed/options, so safe in byte-stable outputs.
 [[nodiscard]] report::Json toJson(const RecoveryReport& report);
 
+/// Rebuilds a StreamingPlan from toJson(StreamingPlan) output. Lossless:
+/// toJson(streamingPlanFromJson(j)) dumps byte-identically to j for any j
+/// produced by toJson — the property the execution journal's resume path
+/// relies on. Throws std::invalid_argument on a malformed document.
+[[nodiscard]] StreamingPlan streamingPlanFromJson(const report::Json& json);
+
+/// Rebuilds a RecoveryReport from toJson(RecoveryReport) output. Lossless
+/// for every serialized field (FaultEvent::task is not serialized and
+/// restores to its sentinel; re-serialization is still byte-identical).
+/// Throws std::invalid_argument on a malformed document.
+[[nodiscard]] RecoveryReport recoveryReportFromJson(const report::Json& json);
+
 }  // namespace dmf::engine

@@ -1,0 +1,279 @@
+#include "journal/journal.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+
+#include "obs/scope.h"
+
+namespace dmf::journal {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr std::size_t kFrameHeaderBytes = 8;  // u32 length + u32 crc
+
+std::array<std::uint32_t, 256> makeCrcTable() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+void putU32(std::string& out, std::uint32_t value) {
+  out.push_back(static_cast<char>(value & 0xFF));
+  out.push_back(static_cast<char>((value >> 8) & 0xFF));
+  out.push_back(static_cast<char>((value >> 16) & 0xFF));
+  out.push_back(static_cast<char>((value >> 24) & 0xFF));
+}
+
+std::uint32_t getU32(const std::string& bytes, std::size_t at) {
+  return static_cast<std::uint32_t>(
+             static_cast<unsigned char>(bytes[at])) |
+         (static_cast<std::uint32_t>(
+              static_cast<unsigned char>(bytes[at + 1]))
+          << 8) |
+         (static_cast<std::uint32_t>(
+              static_cast<unsigned char>(bytes[at + 2]))
+          << 16) |
+         (static_cast<std::uint32_t>(
+              static_cast<unsigned char>(bytes[at + 3]))
+          << 24);
+}
+
+void throwErrno(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+/// Writes the whole buffer to fd, riding out EINTR and partial writes.
+void writeAllFd(int fd, const char* data, std::size_t size,
+                const std::string& path) {
+  std::size_t written = 0;
+  while (written < size) {
+    const ssize_t n = ::write(fd, data + written, size - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throwErrno("journal: write '" + path + "' failed");
+    }
+    written += static_cast<std::size_t>(n);
+  }
+}
+
+void fsyncFd(int fd, const std::string& path) {
+  if (::fsync(fd) != 0) throwErrno("journal: fsync '" + path + "' failed");
+}
+
+/// fsyncs the directory containing `path` so a rename into it is durable.
+/// Best-effort: some filesystems refuse O_RDONLY directory fsync — that
+/// only weakens power-loss durability, never crash-of-this-process safety.
+void fsyncParentDir(const std::string& path) {
+  const fs::path parent = fs::path(path).parent_path();
+  const std::string dir = parent.empty() ? "." : parent.string();
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return;
+  ::fsync(fd);
+  ::close(fd);
+}
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t size) {
+  static const std::array<std::uint32_t, 256> kTable = makeCrcTable();
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < size; ++i) {
+    crc = kTable[(crc ^ bytes[i]) & 0xFF] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+std::string frameRecord(const std::string& payload) {
+  std::string out;
+  out.reserve(kFrameHeaderBytes + payload.size());
+  putU32(out, static_cast<std::uint32_t>(payload.size()));
+  putU32(out, crc32(payload));
+  out += payload;
+  return out;
+}
+
+ReplayResult replayRecords(const std::string& bytes,
+                           const std::string& context) {
+  ReplayResult out;
+  std::size_t at = 0;
+  while (at < bytes.size()) {
+    if (bytes.size() - at < kFrameHeaderBytes) {
+      out.tornTail = true;  // header itself is incomplete
+      break;
+    }
+    const std::uint32_t length = getU32(bytes, at);
+    const std::uint32_t crc = getU32(bytes, at + 4);
+    if (bytes.size() - at - kFrameHeaderBytes < length) {
+      // The frame promises more payload than the file holds: the append
+      // was interrupted. Expected after a crash — truncate, don't throw.
+      out.tornTail = true;
+      break;
+    }
+    const char* payload = bytes.data() + at + kFrameHeaderBytes;
+    if (crc32(payload, length) != crc) {
+      // The frame is complete, so this is not an interrupted append: the
+      // committed region itself is damaged (bit rot, manual edit, a
+      // misbehaving tool). Detected, never repaired silently.
+      throw CorruptJournalError(
+          context + ": CRC mismatch in record " +
+          std::to_string(out.records.size()) + " at byte " +
+          std::to_string(at) + " (complete frame, damaged payload)");
+    }
+    out.records.emplace_back(payload, length);
+    at += kFrameHeaderBytes + length;
+  }
+  out.validBytes = at;
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// RecordLog
+
+RecordLog::RecordLog(std::string path) : path_(std::move(path)) { open(); }
+
+RecordLog::~RecordLog() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void RecordLog::open() {
+  fd_ = ::open(path_.c_str(), O_RDWR | O_CREAT | O_APPEND, 0644);
+  if (fd_ < 0) throwErrno("journal: cannot open log '" + path_ + "'");
+}
+
+void RecordLog::append(const std::string& payload) {
+  const std::string frame = frameRecord(payload);
+  writeAllFd(fd_, frame.data(), frame.size(), path_);
+  fsyncFd(fd_, path_);
+  obs::count("journal.append");
+  obs::count("journal.append_bytes", frame.size());
+}
+
+ReplayResult RecordLog::replayAndRepair() {
+  const obs::Span span("journal.replay", "journal");
+  std::string bytes;
+  {
+    const off_t size = ::lseek(fd_, 0, SEEK_END);
+    if (size < 0) throwErrno("journal: lseek '" + path_ + "' failed");
+    bytes.resize(static_cast<std::size_t>(size));
+    std::size_t got = 0;
+    while (got < bytes.size()) {
+      const ssize_t n = ::pread(fd_, bytes.data() + got, bytes.size() - got,
+                                static_cast<off_t>(got));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        throwErrno("journal: read '" + path_ + "' failed");
+      }
+      if (n == 0) break;  // shrank underneath us; replay what we have
+      got += static_cast<std::size_t>(n);
+    }
+    bytes.resize(got);
+  }
+  ReplayResult result = replayRecords(bytes, "journal '" + path_ + "'");
+  if (result.tornTail) {
+    // Drop the torn tail on disk too, so the next append extends the valid
+    // prefix instead of burying garbage mid-log.
+    if (::ftruncate(fd_, static_cast<off_t>(result.validBytes)) != 0) {
+      throwErrno("journal: truncate '" + path_ + "' failed");
+    }
+    fsyncFd(fd_, path_);
+    obs::count("journal.torn_tail");
+  }
+  obs::count("journal.replay.records", result.records.size());
+  return result;
+}
+
+void RecordLog::reset() {
+  if (::ftruncate(fd_, 0) != 0) {
+    throwErrno("journal: truncate '" + path_ + "' failed");
+  }
+  fsyncFd(fd_, path_);
+}
+
+// ---------------------------------------------------------------------------
+// Atomic snapshot I/O
+
+void writeFileAtomic(const std::string& path, const std::string& bytes) {
+  const obs::Span span("journal.snapshot.write", "journal");
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) throwErrno("journal: cannot create '" + tmp + "'");
+  try {
+    writeAllFd(fd, bytes.data(), bytes.size(), tmp);
+    // fsync BEFORE rename: rename is atomic, but renaming an unflushed
+    // file can publish an empty-but-named entry after a crash.
+    fsyncFd(fd, tmp);
+  } catch (...) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    throw;
+  }
+  ::close(fd);
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    const int err = errno;
+    ::unlink(tmp.c_str());
+    errno = err;
+    throwErrno("journal: rename '" + tmp + "' -> '" + path + "' failed");
+  }
+  fsyncParentDir(path);
+  obs::count("journal.snapshot");
+}
+
+std::optional<std::string> readFileIfExists(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) return std::nullopt;
+    throwErrno("journal: cannot read '" + path + "'");
+  }
+  std::string bytes;
+  char buffer[65536];
+  for (;;) {
+    const ssize_t n = ::read(fd, buffer, sizeof(buffer));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const int err = errno;
+      ::close(fd);
+      errno = err;
+      throwErrno("journal: read '" + path + "' failed");
+    }
+    if (n == 0) break;
+    bytes.append(buffer, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return bytes;
+}
+
+void ensureJournalDir(const std::string& dir) {
+  if (dir.empty()) {
+    throw std::invalid_argument("journal: empty journal directory");
+  }
+  const fs::path path(dir);
+  const fs::path parent = path.parent_path();
+  if (!parent.empty() && !fs::is_directory(parent)) {
+    throw std::invalid_argument("journal: parent directory '" +
+                                parent.string() + "' does not exist");
+  }
+  std::error_code ec;
+  fs::create_directories(path, ec);
+  if (ec || !fs::is_directory(path)) {
+    throw std::invalid_argument("journal: cannot create journal dir '" + dir +
+                                "'");
+  }
+}
+
+}  // namespace dmf::journal

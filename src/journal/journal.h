@@ -1,0 +1,118 @@
+// Deterministic execution journal (DESIGN.md §16): an append-only,
+// CRC32-framed, length-prefixed record log plus atomically-published
+// snapshots, modeled on the changelog+snapshot pattern of replicated state
+// machines. The whole pipeline is seeded-deterministic and byte-identical
+// across --jobs, so replaying "state at last snapshot + records since" and
+// re-executing the rest reproduces an uninterrupted run byte for byte.
+//
+// Framing: every record is [u32 payload length][u32 CRC32(payload)][payload]
+// with little-endian headers. Two failure classes are kept strictly apart:
+//
+//  * a TORN TAIL — the file ends before the final record's promised bytes —
+//    is the expected artifact of a crash mid-append. Replay stops at the
+//    last complete record and truncates the file there; nothing is lost
+//    because everything after the truncation point re-executes
+//    deterministically.
+//  * CORRUPTION — a complete frame whose payload fails its CRC, or an
+//    unreadable snapshot — is never silently repaired. It throws
+//    CorruptJournalError, which the CLI maps to its own exit code (5):
+//    detected, attributable, never undefined behaviour or a wrong answer.
+//
+// Snapshots are written to a temporary file, flushed, fsync'd, renamed over
+// the target, and the directory fsync'd — a crash can leave the old
+// snapshot or the new one, never a half-written or empty-but-renamed file.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace dmf::journal {
+
+/// A journal file whose *committed* region is damaged: a complete record
+/// frame failing its CRC, an unparseable snapshot, or replay state that
+/// contradicts itself. Distinct from a torn tail (silently truncated) and
+/// from a journal/request mismatch (std::invalid_argument). The CLI maps
+/// this to exit code 5.
+class CorruptJournalError : public std::runtime_error {
+ public:
+  explicit CorruptJournalError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) of a byte string —
+/// the per-record checksum of the framing format.
+[[nodiscard]] std::uint32_t crc32(const void* data, std::size_t size);
+[[nodiscard]] inline std::uint32_t crc32(const std::string& text) {
+  return crc32(text.data(), text.size());
+}
+
+/// Outcome of replaying one record log.
+struct ReplayResult {
+  /// The payloads of every complete, CRC-valid record, in append order.
+  std::vector<std::string> records;
+  /// Byte length of the valid prefix (the truncation point when torn).
+  std::uint64_t validBytes = 0;
+  /// True when a torn tail was dropped (expected after a crash).
+  bool tornTail = false;
+};
+
+/// Frames one payload as [u32 length][u32 crc][payload] (little-endian).
+[[nodiscard]] std::string frameRecord(const std::string& payload);
+
+/// Replays framed records from an in-memory image (exposed for tests and
+/// the fuzzer's corruption sweeps). A torn final frame truncates; a
+/// complete frame with a CRC mismatch throws CorruptJournalError.
+[[nodiscard]] ReplayResult replayRecords(const std::string& bytes,
+                                         const std::string& context);
+
+/// Append-only record log. Every append writes one framed record and
+/// flushes + fsyncs it before returning, so an acknowledged append survives
+/// a crash of this process (power loss is the disk's problem).
+class RecordLog {
+ public:
+  /// Opens (creating if absent) the log at `path` for appending.
+  /// Throws std::runtime_error when the file cannot be opened.
+  explicit RecordLog(std::string path);
+  ~RecordLog();
+
+  RecordLog(const RecordLog&) = delete;
+  RecordLog& operator=(const RecordLog&) = delete;
+
+  /// Appends one framed record, durably. Throws std::runtime_error on I/O
+  /// failure (a journaled run must not silently lose its journal).
+  void append(const std::string& payload);
+
+  /// Replays the log from disk: returns every valid record and physically
+  /// truncates a torn tail so subsequent appends extend the valid prefix.
+  /// Throws CorruptJournalError on mid-log corruption.
+  [[nodiscard]] ReplayResult replayAndRepair();
+
+  /// Truncates the log to empty (after a snapshot has captured its state).
+  void reset();
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  void open();
+
+  std::string path_;
+  int fd_ = -1;
+};
+
+/// Writes `bytes` to `path` atomically: tmp file + flush + fsync + rename +
+/// directory fsync. A crash leaves either the previous file or the new one.
+/// Throws std::runtime_error on I/O failure.
+void writeFileAtomic(const std::string& path, const std::string& bytes);
+
+/// The file's contents, or nullopt when it does not exist.
+[[nodiscard]] std::optional<std::string> readFileIfExists(
+    const std::string& path);
+
+/// Creates `dir` if needed (the parent must already exist, mirroring
+/// PlanCache's rule). Throws std::invalid_argument otherwise.
+void ensureJournalDir(const std::string& dir);
+
+}  // namespace dmf::journal

@@ -1,0 +1,84 @@
+#include "journal/server_journal.h"
+
+#include <map>
+
+#include "obs/scope.h"
+#include "report/json.h"
+
+namespace dmf::journal {
+
+namespace {
+
+std::string makeLogPath(const std::string& dir) {
+  ensureJournalDir(dir);
+  return dir + "/wal.log";
+}
+
+}  // namespace
+
+ServerJournal::ServerJournal(const std::string& dir) : log_(makeLogPath(dir)) {}
+
+std::uint64_t ServerJournal::logRequest(const std::string& requestLine) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const std::uint64_t id = nextId_++;
+  report::Json record = report::Json::object();
+  record.set("type", std::string("req"))
+      .set("id", id)
+      .set("line", requestLine);
+  log_.append(record.dump());
+  obs::count("journal.wal.logged");
+  return id;
+}
+
+void ServerJournal::ack(std::uint64_t id) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  report::Json record = report::Json::object();
+  record.set("type", std::string("ack")).set("id", id);
+  log_.append(record.dump());
+  obs::count("journal.wal.acked");
+}
+
+std::vector<std::string> ServerJournal::recoverPending() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const obs::Span span("journal.wal.recover", "journal");
+  const ReplayResult replay = log_.replayAndRepair();
+  // Admission order must survive the req/ack interleaving, so pending
+  // requests are keyed by their monotonically increasing ids.
+  std::map<std::uint64_t, std::string> pending;
+  const std::string context = "wal '" + log_.path() + "'";
+  for (const std::string& payload : replay.records) {
+    report::Json record = report::Json::object();
+    try {
+      record = report::Json::parse(payload);
+    } catch (const std::exception& e) {
+      throw CorruptJournalError(context + ": unparseable record: " + e.what());
+    }
+    try {
+      const std::string& type = record.at("type").asString();
+      const std::uint64_t id = record.at("id").asUint();
+      if (type == "req") {
+        pending[id] = record.at("line").asString();
+        if (id >= nextId_) nextId_ = id + 1;
+      } else if (type == "ack") {
+        pending.erase(id);
+      } else {
+        throw CorruptJournalError(context + ": unknown record type '" + type +
+                                  "'");
+      }
+    } catch (const CorruptJournalError&) {
+      throw;
+    } catch (const std::exception& e) {
+      throw CorruptJournalError(context + ": malformed record: " + e.what());
+    }
+  }
+  // Replayed requests go back through the normal admission path and
+  // re-journal themselves, so the recovered log starts empty.
+  log_.reset();
+  std::vector<std::string> lines;
+  lines.reserve(pending.size());
+  for (auto& [id, line] : pending) lines.push_back(std::move(line));
+  obs::count("journal.wal.replayed", lines.size());
+  return lines;
+}
+
+}  // namespace dmf::journal

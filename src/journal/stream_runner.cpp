@@ -1,0 +1,328 @@
+#include "journal/stream_runner.h"
+
+#include <memory>
+#include <sstream>
+
+#include "engine/mdst.h"
+#include "engine/pass_cache.h"
+#include "engine/serialize.h"
+#include "journal/journal.h"
+#include "obs/scope.h"
+#include "report/json.h"
+
+namespace dmf::journal {
+
+namespace {
+
+using report::Json;
+
+constexpr const char* kLogFile = "journal.log";
+constexpr const char* kSnapshotFile = "snapshot.json";
+
+/// Mutable resume state reconstructed from (snapshot, log) and advanced by
+/// the pass loop — the journal's "automaton" in changelog+snapshot terms.
+struct RunState {
+  engine::StreamingPlan plan;
+  bool havePlan = false;
+  std::vector<engine::RecoveryReport> recovery;
+  std::uint64_t passesDone = 0;
+  bool done = false;
+};
+
+std::string snapshotRecord(const std::string& fingerprint,
+                           const RunState& state, bool inject) {
+  Json snap = Json::object();
+  snap.set("v", std::uint64_t{1})
+      .set("fingerprint", fingerprint)
+      .set("passesDone", state.passesDone)
+      .set("done", Json::boolean(state.done));
+  if (state.havePlan) snap.set("plan", engine::toJson(state.plan));
+  if (inject) {
+    Json reports = Json::array();
+    for (const engine::RecoveryReport& r : state.recovery) {
+      reports.push(engine::toJson(r));
+    }
+    snap.set("recovery", std::move(reports));
+  }
+  return snap.dump();
+}
+
+void publishSnapshot(const std::string& path, const std::string& fingerprint,
+                     const RunState& state, bool inject, RecordLog& log) {
+  // The snapshot is itself one framed record, so a bit flip anywhere in the
+  // file fails the CRC — and since publication is atomic, a torn snapshot
+  // can only mean damage, never an interrupted write.
+  writeFileAtomic(path, frameRecord(snapshotRecord(fingerprint, state, inject)));
+  // Records up to passesDone are now captured; an empty log keeps replay
+  // O(snapshotEvery) instead of O(total passes).
+  log.reset();
+}
+
+/// Parses one journal JSON document, converting parse/shape failures into
+/// the corruption taxonomy (the framing CRC passed, so malformed JSON means
+/// the writer and reader disagree — a damaged or foreign journal).
+Json parseJournalJson(const std::string& text, const std::string& context) {
+  try {
+    return Json::parse(text);
+  } catch (const std::exception& e) {
+    throw CorruptJournalError(context + ": unparseable record: " + e.what());
+  }
+}
+
+RunState loadSnapshot(const std::string& path, const std::string& fingerprint,
+                      bool inject) {
+  const auto bytes = readFileIfExists(path);
+  if (!bytes.has_value()) {
+    throw std::invalid_argument(
+        "--resume: no snapshot at '" + path +
+        "' (nothing to resume; run once with --journal first)");
+  }
+  const ReplayResult framed = replayRecords(*bytes, "snapshot '" + path + "'");
+  if (framed.tornTail || framed.records.size() != 1) {
+    throw CorruptJournalError(
+        "snapshot '" + path +
+        "': expected exactly one complete record (snapshots are published "
+        "atomically, so a torn or multi-record snapshot is corruption)");
+  }
+  const Json snap = parseJournalJson(framed.records[0], "snapshot '" + path + "'");
+  try {
+    if (snap.at("v").asUint() != 1) {
+      throw CorruptJournalError("snapshot '" + path +
+                                "': unsupported version " +
+                                std::to_string(snap.at("v").asUint()));
+    }
+    // A fingerprint mismatch is a *request* mismatch (usage error, exit 1),
+    // not corruption — checked before any state is trusted.
+    if (snap.at("fingerprint").asString() != fingerprint) {
+      throw std::invalid_argument(
+          "--resume: journal at '" + path +
+          "' was written by a different request (fingerprint " +
+          snap.at("fingerprint").asString() + " != " + fingerprint + ")");
+    }
+    RunState state;
+    state.passesDone = snap.at("passesDone").asUint();
+    state.done = snap.at("done").asBool();
+    if (snap.contains("plan")) {
+      state.plan = engine::streamingPlanFromJson(snap.at("plan"));
+      state.havePlan = true;
+    }
+    if (inject && snap.contains("recovery")) {
+      const Json& reports = snap.at("recovery");
+      state.recovery.reserve(reports.size());
+      for (std::size_t i = 0; i < reports.size(); ++i) {
+        state.recovery.push_back(engine::recoveryReportFromJson(reports.at(i)));
+      }
+    }
+    if (state.passesDone > 0 && !state.havePlan) {
+      throw CorruptJournalError("snapshot '" + path +
+                                "': records completed passes but no plan");
+    }
+    if (inject && state.recovery.size() != state.passesDone) {
+      throw CorruptJournalError(
+          "snapshot '" + path + "': " + std::to_string(state.recovery.size()) +
+          " recovery reports for " + std::to_string(state.passesDone) +
+          " completed passes");
+    }
+    return state;
+  } catch (const CorruptJournalError&) {
+    throw;
+  } catch (const std::invalid_argument&) {
+    throw;
+  } catch (const std::exception& e) {
+    throw CorruptJournalError("snapshot '" + path + "': " + e.what());
+  }
+}
+
+/// Applies the post-snapshot log records to `state`. Records the snapshot
+/// already captured (an interrupted publishSnapshot leaves them behind) are
+/// skipped; a gap or regression in pass indices is corruption.
+void applyLog(RunState& state, const std::vector<std::string>& records,
+              const std::string& context, bool inject) {
+  for (const std::string& payload : records) {
+    const Json record = parseJournalJson(payload, context);
+    try {
+      const std::string& type = record.at("type").asString();
+      if (type == "plan") {
+        if (state.havePlan) continue;  // stale pre-snapshot record
+        state.plan = engine::streamingPlanFromJson(record.at("plan"));
+        state.havePlan = true;
+      } else if (type == "pass") {
+        const std::uint64_t index = record.at("index").asUint();
+        if (index < state.passesDone) continue;  // stale pre-snapshot record
+        if (index > state.passesDone) {
+          throw CorruptJournalError(
+              context + ": pass record " + std::to_string(index) +
+              " leaves a gap (next expected " +
+              std::to_string(state.passesDone) + ")");
+        }
+        if (!state.havePlan) {
+          throw CorruptJournalError(context +
+                                    ": pass record precedes the plan record");
+        }
+        if (inject) {
+          state.recovery.push_back(
+              engine::recoveryReportFromJson(record.at("recovery")));
+        }
+        ++state.passesDone;
+      } else {
+        throw CorruptJournalError(context + ": unknown record type '" + type +
+                                  "'");
+      }
+    } catch (const CorruptJournalError&) {
+      throw;
+    } catch (const std::exception& e) {
+      throw CorruptJournalError(context + ": malformed record: " + e.what());
+    }
+  }
+}
+
+Json passRecord(std::uint64_t index, const engine::RecoveryReport* recovery) {
+  Json record = Json::object();
+  record.set("type", std::string("pass")).set("index", index);
+  if (recovery != nullptr) record.set("recovery", engine::toJson(*recovery));
+  return record;
+}
+
+engine::RecoveryReport replayPass(const engine::MdstEngine& engine,
+                                  const StreamRunRequest& request,
+                                  const engine::StreamingPlan& plan,
+                                  std::uint64_t passIndex) {
+  const forest::TaskForest forest = engine.buildForest(
+      request.streaming.algorithm, plan.passes[passIndex].demand);
+  const sched::Schedule schedule =
+      engine::schedule(forest, request.streaming.scheme, plan.mixers);
+  engine::RecoveryOptions options;
+  options.faults = request.faults;
+  // Pass p draws from seed (faultSeed + p): each pass is independently
+  // seeded, which is exactly what lets a resumed run re-draw the same
+  // faults an uninterrupted run would have drawn.
+  options.seed = request.faultSeed + passIndex;
+  options.retryBudget = request.retryBudget;
+  options.checkpoint.everyLevels = request.checkpointEvery;
+  options.checkpoint.detectionLatency = request.detectLatency;
+  options.storageCap = request.streaming.storageCap;
+  return engine::RecoveryEngine{options}.run(forest, schedule);
+}
+
+}  // namespace
+
+std::string fingerprint(const Ratio& ratio, const StreamRunRequest& request) {
+  std::ostringstream out;
+  out << "v1|ratio=" << ratio.toString()
+      << "|algo=" << mixgraph::algorithmName(request.streaming.algorithm)
+      << "|scheme=" << engine::schemeName(request.streaming.scheme)
+      << "|demand=" << request.streaming.demand
+      << "|storage=" << request.streaming.storageCap
+      << "|mixers=" << request.streaming.mixers
+      << "|optimize=" << (request.optimize ? 1 : 0);
+  if (request.inject) {
+    out << "|inject=" << request.faults.toString()
+        << "|seed=" << request.faultSeed
+        << "|retry=" << request.retryBudget
+        << "|ckpt=" << request.checkpointEvery
+        << "|latency=" << request.detectLatency;
+  }
+  return out.str();
+}
+
+StreamRunResult runStream(const engine::MdstEngine& engine,
+                          const StreamRunRequest& request,
+                          engine::PassCache& cache,
+                          const StreamRunOptions& options) {
+  const bool journaled = !options.journalDir.empty();
+  if (options.resume && !journaled) {
+    throw std::invalid_argument("--resume requires --journal DIR");
+  }
+  if (options.stopAfterPass != 0 && !journaled) {
+    throw std::invalid_argument("--crash-after-pass requires --journal DIR");
+  }
+
+  const std::string print = fingerprint(engine.ratio(), request);
+  std::unique_ptr<RecordLog> log;
+  std::string snapshotPath;
+  RunState state;
+  StreamRunResult result;
+
+  if (journaled) {
+    ensureJournalDir(options.journalDir);
+    snapshotPath = options.journalDir + "/" + kSnapshotFile;
+    log = std::make_unique<RecordLog>(options.journalDir + "/" + kLogFile);
+    if (options.resume) {
+      const obs::Span span("journal.resume", "journal");
+      state = loadSnapshot(snapshotPath, print, request.inject);
+      applyLog(state, log->replayAndRepair().records,
+               "journal '" + log->path() + "'", request.inject);
+      result.resumed = true;
+      result.journaledPasses = state.passesDone;
+      obs::count("journal.resume.count");
+      obs::count("journal.resume.passes_restored", state.passesDone);
+    } else {
+      // A fresh --journal run owns the directory: any previous run's state
+      // is superseded by an empty snapshot before the first record lands.
+      log->reset();
+      publishSnapshot(snapshotPath, print, state, request.inject, *log);
+    }
+  }
+
+  if (!state.havePlan) {
+    state.plan = request.optimize
+                     ? planStreamingOptimized(engine, request.streaming, cache)
+                     : planStreaming(engine, request.streaming, cache);
+    state.havePlan = true;
+    if (journaled) {
+      Json record = Json::object();
+      record.set("type", std::string("plan"))
+          .set("plan", engine::toJson(state.plan));
+      log->append(record.dump());
+    }
+  }
+  if (state.passesDone > state.plan.passes.size()) {
+    throw CorruptJournalError(
+        "journal '" + options.journalDir + "': " +
+        std::to_string(state.passesDone) + " completed passes exceed the " +
+        std::to_string(state.plan.passes.size()) + "-pass plan");
+  }
+
+  // The pass loop runs when there is per-pass work to do: fault replay
+  // (--inject) or progress journaling. A plain un-journaled plan skips it.
+  if ((request.inject || journaled) && !state.done) {
+    for (std::uint64_t p = state.passesDone; p < state.plan.passes.size();
+         ++p) {
+      const engine::RecoveryReport* report = nullptr;
+      if (request.inject) {
+        state.recovery.push_back(replayPass(engine, request, state.plan, p));
+        report = &state.recovery.back();
+      }
+      state.passesDone = p + 1;
+      if (journaled) {
+        const obs::Span span("journal.pass", "journal");
+        log->append(passRecord(p, report).dump());
+        obs::count("journal.pass.journaled");
+        if (options.snapshotEvery != 0 &&
+            state.passesDone % options.snapshotEvery == 0) {
+          publishSnapshot(snapshotPath, print, state, request.inject, *log);
+        }
+        if (options.stopAfterPass != 0 &&
+            state.passesDone >= options.stopAfterPass) {
+          // Crash hook: leave the journal exactly as a kill here would.
+          result.partial = true;
+          result.plan = std::move(state.plan);
+          result.recovery = std::move(state.recovery);
+          return result;
+        }
+      }
+    }
+  }
+
+  if (journaled && !state.done) {
+    state.done = true;
+    publishSnapshot(snapshotPath, print, state, request.inject, *log);
+  }
+  state.done = true;
+
+  result.plan = std::move(state.plan);
+  result.recovery = std::move(state.recovery);
+  return result;
+}
+
+}  // namespace dmf::journal

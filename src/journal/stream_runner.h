@@ -1,0 +1,100 @@
+// Journaled execution of streaming-plan runs (DESIGN.md §16).
+//
+// runStream() is the one code path behind `dmfstream stream`: it plans,
+// optionally replays every pass against the fault model with demand-driven
+// recovery, and — when a journal directory is given — records progress so a
+// killed run resumes at the first unfinished pass instead of starting over.
+//
+// Journal layout under the directory:
+//
+//   snapshot.json  one CRC-framed record holding the full resume state
+//                  (fingerprint, plan, completed-pass recovery reports),
+//                  atomically republished every `snapshotEvery` passes
+//   journal.log    framed records appended since the last snapshot:
+//                  "plan" (the computed plan), "pass" (one completed pass
+//                  and its recovery splices), "done"
+//
+// Resume = load snapshot, apply the log's records on top, re-execute the
+// rest. Every pass p derives its fault seed as faultSeed + p, so the passes
+// a resume re-executes draw exactly what the uninterrupted run drew and the
+// final output is byte-identical — the property the `crash` fuzz scope
+// asserts. A journal written by a different request is rejected up front
+// (the fingerprint covers every output-shaping knob except --jobs, which is
+// byte-identical by construction).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "engine/recovery.h"
+#include "engine/streaming.h"
+
+namespace dmf::engine {
+class MdstEngine;
+class PassCache;
+}  // namespace dmf::engine
+
+namespace dmf::journal {
+
+/// Everything that shapes a journaled stream run's output.
+struct StreamRunRequest {
+  engine::StreamingRequest streaming;
+  /// Exhaustive per-pass-demand search (planStreamingOptimized).
+  bool optimize = false;
+  /// Replay each pass against the fault model (the --inject path).
+  bool inject = false;
+  fault::FaultSpec faults;
+  std::uint64_t faultSeed = 1;
+  unsigned retryBudget = 4;
+  unsigned checkpointEvery = 1;
+  unsigned detectLatency = 0;
+};
+
+/// Journal/resume knobs, all inactive by default (plain in-memory run).
+struct StreamRunOptions {
+  /// Journal directory; empty = no journaling.
+  std::string journalDir;
+  /// Resume from the journal instead of starting fresh. Requires
+  /// journalDir; throws std::invalid_argument when there is nothing to
+  /// resume or the journal belongs to a different request.
+  bool resume = false;
+  /// Republish the snapshot (and truncate the log) every N completed
+  /// passes; 0 disables periodic snapshots (final snapshot still written).
+  unsigned snapshotEvery = 8;
+  /// Crash hook for tests and the fuzzer: stop after journaling this many
+  /// passes (1-based count) and return with `partial = true`. 0 = run to
+  /// completion. Only meaningful with a journal.
+  std::uint64_t stopAfterPass = 0;
+};
+
+/// Outcome of a (possibly journaled, possibly resumed) stream run.
+struct StreamRunResult {
+  engine::StreamingPlan plan;
+  /// Per-pass recovery reports, in pass order (empty unless injecting).
+  std::vector<engine::RecoveryReport> recovery;
+  /// True when the run started from an existing journal.
+  bool resumed = false;
+  /// Passes restored from the journal rather than executed now.
+  std::uint64_t journaledPasses = 0;
+  /// True when stopAfterPass cut the run short (journal holds the state).
+  bool partial = false;
+};
+
+/// The request fingerprint stored in (and checked against) the journal.
+/// Covers the target ratio and every output-shaping request field; --jobs
+/// is deliberately excluded (results are byte-identical across job counts).
+[[nodiscard]] std::string fingerprint(const Ratio& ratio,
+                                      const StreamRunRequest& request);
+
+/// Runs a stream request, journaling and/or resuming per `options`.
+///
+/// Throws std::invalid_argument on bad options or a request/journal
+/// mismatch, CorruptJournalError on a damaged journal (CLI exit 5), and
+/// whatever planStreaming throws (InfeasibleError on an unsatisfiable cap).
+[[nodiscard]] StreamRunResult runStream(const engine::MdstEngine& engine,
+                                        const StreamRunRequest& request,
+                                        engine::PassCache& cache,
+                                        const StreamRunOptions& options = {});
+
+}  // namespace dmf::journal

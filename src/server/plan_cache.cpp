@@ -5,6 +5,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "journal/journal.h"
 #include "obs/scope.h"
 #include "report/json.h"
 
@@ -148,16 +149,15 @@ void PlanCache::storeToDisk(const std::string& key,
                             const std::string& plan) const {
   report::Json entry = report::Json::object();
   entry.set("key", key).set("plan", plan);
-  const std::string path = diskPath(key);
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    out << entry.dump();
-    if (!out) return;  // a failed write only loses persistence, not service
+  try {
+    // Durable publish (tmp + fsync + rename + dir fsync): the rename alone
+    // is atomic against concurrent readers, but without the fsyncs a crash
+    // could leave an empty-but-renamed entry — which the server WAL replay
+    // path counts on *not* happening when it treats acked plans as cached.
+    journal::writeFileAtomic(diskPath(key), entry.dump());
+  } catch (const std::exception&) {
+    // A failed write only loses persistence, not service.
   }
-  std::error_code ec;
-  fs::rename(tmp, path, ec);  // atomic publish on POSIX
-  if (ec) fs::remove(tmp, ec);
 }
 
 }  // namespace dmf::server

@@ -7,6 +7,7 @@
 #include "dmf/errors.h"
 #include "engine/serialize.h"
 #include "engine/streaming.h"
+#include "journal/server_journal.h"
 #include "obs/log.h"
 #include "obs/scope.h"
 #include "report/json.h"
@@ -64,10 +65,30 @@ void AdmissionQueue::drainLoop() {
 PlanService::PlanService(const ServiceOptions& options)
     : options_(options),
       cache_(PlanCache::Options{options.cacheSize, options.cacheDir}),
+      journal_(options.journalDir.empty()
+                   ? nullptr
+                   : std::make_unique<journal::ServerJournal>(
+                         options.journalDir)),
       pool_(runtime::ThreadPool::resolveJobs(options.jobs)),
       queue_(pool_) {}
 
 PlanService::~PlanService() = default;
+
+std::size_t PlanService::replayJournal() {
+  if (journal_ == nullptr) return 0;
+  const std::vector<std::string> pending = journal_->recoverPending();
+  for (const std::string& line : pending) {
+    // Replay through the front door: the request re-journals itself, and
+    // its result is discarded — the original client is gone; what matters
+    // is that the plan lands in the cache for their retry.
+    (void)handle(line);
+  }
+  if (!pending.empty()) {
+    obs::LogLine(obs::LogLevel::kInfo, "server.journal.replayed")
+        .num("requests", pending.size());
+  }
+  return pending.size();
+}
 
 std::string PlanService::handle(const std::string& line, bool* shutdown) {
   // The root span of this request's trace: everything downstream — cache
@@ -160,13 +181,14 @@ std::string PlanService::dispatch(const std::string& line, bool* shutdown,
     return out.dump();
   }
   if (op == "plan") {
-    return handlePlan(request, span);
+    return handlePlan(request, line, span);
   }
   return errorResponse("request", "unknown op \"" + op +
                                       "\" (plan|ping|stats|shutdown)");
 }
 
-std::string PlanService::handlePlan(const Json& request, obs::Span& span) {
+std::string PlanService::handlePlan(const Json& request,
+                                    const std::string& line, obs::Span& span) {
   PlanRequest parsed;
   try {
     parsed = PlanRequest::fromJson(request);
@@ -218,12 +240,18 @@ std::string PlanService::handlePlan(const Json& request, obs::Span& span) {
     return outcomeResponse("coalesced", key, future.get());
   }
 
+  // Write-ahead: the leader journals the admitted request *before* its
+  // computation is queued, so a daemon killed mid-compute finds the line
+  // unacknowledged on restart and replays it.
+  std::uint64_t walId = 0;
+  if (journal_ != nullptr) walId = journal_->logRequest(line);
+
   // The leader publishes through the cache *before* retiring the in-flight
   // entry, so a request arriving between the two sees one or the other,
   // never a re-plan.
   auto task = std::make_shared<std::promise<Outcome>>(std::move(promise));
   const obs::SpanContext requestContext = span.context();
-  queue_.submit([this, canonical, key, task, requestContext] {
+  queue_.submit([this, canonical, key, task, requestContext, walId] {
     // Adopt the leader request's context: the computation runs on a pool
     // worker, but its spans (engine, scheduler, router) splice into the
     // request's trace.
@@ -234,6 +262,18 @@ std::string PlanService::handlePlan(const Json& request, obs::Span& span) {
       outcome = compute(canonical);
     }
     if (outcome.ok) cache_.put(key, outcome.plan);
+    // Ack after the cache put (and even for failed outcomes — a replay
+    // would fail identically). Pool jobs must not throw, so a WAL I/O
+    // failure here degrades to a warning: the worst case is one spurious
+    // replay on the next restart.
+    if (walId != 0) {
+      try {
+        journal_->ack(walId);
+      } catch (const std::exception& e) {
+        obs::LogLine(obs::LogLevel::kWarn, "server.journal.ack_failed")
+            .str("error", e.what());
+      }
+    }
     {
       std::lock_guard<std::mutex> lock(inflightMutex_);
       inflight_.erase(key);

@@ -34,6 +34,10 @@
 #include "server/canonical.h"
 #include "server/plan_cache.h"
 
+namespace dmf::journal {
+class ServerJournal;
+}  // namespace dmf::journal
+
 namespace dmf::server {
 
 struct ServiceOptions {
@@ -41,6 +45,10 @@ struct ServiceOptions {
   std::size_t cacheSize = 256;
   /// Persistent cache tier directory; empty = memory only.
   std::string cacheDir;
+  /// Write-ahead-log directory: admitted plan requests are journaled before
+  /// computation and acknowledged once cached, so a killed daemon replays
+  /// the in-flight ones on restart. Empty = no WAL.
+  std::string journalDir;
   /// Admission-queue fan-out: plan computations for distinct requests run
   /// concurrently over this many workers (0 = hardware concurrency). Each
   /// computation is serial inside, so responses are byte-identical for
@@ -93,6 +101,18 @@ class PlanService {
   [[nodiscard]] std::string handle(const std::string& line,
                                    bool* shutdown = nullptr);
 
+  /// Replays write-ahead-logged requests left unacknowledged by a previous
+  /// daemon run (no-op without a journal). Each replayed line goes back
+  /// through handle(), so it re-journals itself and — because every
+  /// completed plan reached the disk cache tier before its ack — mostly
+  /// resolves as a cache hit. Returns the number of requests replayed.
+  /// Throws journal::CorruptJournalError on a damaged WAL.
+  std::size_t replayJournal();
+
+  /// Emits the structured `server.shutdown` summary (request/cache/uptime
+  /// counters). Called on the shutdown op and by graceful signal handling.
+  void logShutdown() const;
+
   [[nodiscard]] const PlanCache& cache() const { return cache_; }
   /// Requests handled (every line, including errors and control ops).
   [[nodiscard]] std::uint64_t requests() const {
@@ -132,9 +152,9 @@ class PlanService {
   [[nodiscard]] std::string dispatch(const std::string& line, bool* shutdown,
                                      obs::Span& span);
   [[nodiscard]] std::string handlePlan(const report::Json& request,
+                                       const std::string& line,
                                        obs::Span& span);
   [[nodiscard]] Outcome compute(const CanonicalRequest& request);
-  void logShutdown() const;
   [[nodiscard]] static std::string planResponse(const char* source,
                                                 const std::string& key,
                                                 const std::string& plan);
@@ -146,6 +166,9 @@ class PlanService {
 
   ServiceOptions options_;
   PlanCache cache_;
+  /// Null without options.journalDir; owned here so WAL appends can come
+  /// from any connection or pool thread for the service's whole lifetime.
+  std::unique_ptr<journal::ServerJournal> journal_;
   runtime::ThreadPool pool_;
   AdmissionQueue queue_;  // after pool_: drains onto it, destroyed first
 

@@ -1,0 +1,448 @@
+// Unit tests for the crash-recovery journal (DESIGN.md §16): CRC framing,
+// torn-tail repair, atomic snapshots, journaled stream runs that resume
+// byte-identically, and the server's request WAL.
+#include "journal/journal.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "engine/mdst.h"
+#include "engine/pass_cache.h"
+#include "engine/serialize.h"
+#include "fault/fault_injector.h"
+#include "journal/server_journal.h"
+#include "journal/stream_runner.h"
+#include "protocols/protocols.h"
+#include "report/json.h"
+
+namespace dmf::journal {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// A fresh per-test scratch directory under the system temp dir.
+class TempDir {
+ public:
+  explicit TempDir(const std::string& tag) {
+    path_ = (fs::temp_directory_path() /
+             ("dmf_journal_test_" + tag + "_" +
+              std::to_string(static_cast<unsigned long>(::getpid()))))
+                .string();
+    fs::remove_all(path_);
+    fs::create_directories(path_);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path_, ec);
+  }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+std::string readAll(const std::string& path) {
+  return readFileIfExists(path).value_or(std::string());
+}
+
+void writeRaw(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+// --------------------------------------------------------------------------
+// CRC32 and record framing.
+
+TEST(JournalCrc, MatchesIeeeReferenceVectors) {
+  // CRC-32/ISO-HDLC check values (the classic zlib polynomial).
+  EXPECT_EQ(crc32("", 0), 0x00000000u);
+  EXPECT_EQ(crc32(std::string("123456789")), 0xCBF43926u);
+  EXPECT_EQ(crc32(std::string("a")), 0xE8B7BE43u);
+}
+
+TEST(JournalFraming, RoundTripsRecords) {
+  const std::string bytes = frameRecord("alpha") + frameRecord("") +
+                            frameRecord(std::string("\x00\xff\n", 3));
+  const ReplayResult replay = replayRecords(bytes, "test");
+  EXPECT_FALSE(replay.tornTail);
+  EXPECT_EQ(replay.validBytes, bytes.size());
+  ASSERT_EQ(replay.records.size(), 3u);
+  EXPECT_EQ(replay.records[0], "alpha");
+  EXPECT_EQ(replay.records[1], "");
+  EXPECT_EQ(replay.records[2], std::string("\x00\xff\n", 3));
+}
+
+TEST(JournalFraming, EveryTruncationIsATornTailNeverAnError) {
+  const std::string bytes = frameRecord("one") + frameRecord("twotwo");
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    const ReplayResult replay = replayRecords(bytes.substr(0, cut), "test");
+    // A prefix either ends exactly on a frame boundary (no tail) or mid
+    // frame (torn tail) — and only whole frames are ever returned.
+    const std::size_t frameOne = frameRecord("one").size();
+    if (cut == 0) {
+      EXPECT_FALSE(replay.tornTail);
+      EXPECT_TRUE(replay.records.empty());
+    } else if (cut < frameOne) {
+      EXPECT_TRUE(replay.tornTail);
+      EXPECT_TRUE(replay.records.empty());
+    } else if (cut == frameOne) {
+      EXPECT_FALSE(replay.tornTail);
+      EXPECT_EQ(replay.records.size(), 1u);
+    } else {
+      EXPECT_TRUE(replay.tornTail);
+      EXPECT_EQ(replay.records.size(), 1u);
+      EXPECT_EQ(replay.validBytes, frameOne);
+    }
+  }
+}
+
+TEST(JournalFraming, CompleteFrameWithBadCrcThrowsTyped) {
+  std::string bytes = frameRecord("payload");
+  bytes[bytes.size() - 2] ^= 0x10;  // damage the payload, length intact
+  EXPECT_THROW(replayRecords(bytes, "test"), CorruptJournalError);
+  try {
+    (void)replayRecords(bytes, "unit");
+    FAIL() << "expected CorruptJournalError";
+  } catch (const CorruptJournalError& e) {
+    EXPECT_NE(std::string(e.what()).find("CRC mismatch"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("unit"), std::string::npos);
+  }
+}
+
+// --------------------------------------------------------------------------
+// RecordLog durability.
+
+TEST(JournalRecordLog, AppendsSurviveReopen) {
+  TempDir dir("log_reopen");
+  const std::string path = dir.path() + "/log";
+  {
+    RecordLog log(path);
+    log.append("r1");
+    log.append("r2");
+  }
+  RecordLog reborn(path);
+  const ReplayResult replay = reborn.replayAndRepair();
+  ASSERT_EQ(replay.records.size(), 2u);
+  EXPECT_EQ(replay.records[0], "r1");
+  EXPECT_EQ(replay.records[1], "r2");
+}
+
+TEST(JournalRecordLog, TornTailIsPhysicallyTruncated) {
+  TempDir dir("log_torn");
+  const std::string path = dir.path() + "/log";
+  {
+    RecordLog log(path);
+    log.append("keep");
+    log.append("casualty");
+  }
+  const std::string bytes = readAll(path);
+  writeRaw(path, bytes.substr(0, bytes.size() - 3));  // tear the last frame
+  RecordLog reborn(path);
+  const ReplayResult replay = reborn.replayAndRepair();
+  EXPECT_TRUE(replay.tornTail);
+  ASSERT_EQ(replay.records.size(), 1u);
+  EXPECT_EQ(replay.records[0], "keep");
+  // The tail is gone on disk too: the next append extends the valid prefix.
+  reborn.append("next");
+  const ReplayResult after = reborn.replayAndRepair();
+  EXPECT_FALSE(after.tornTail);
+  ASSERT_EQ(after.records.size(), 2u);
+  EXPECT_EQ(after.records[1], "next");
+}
+
+TEST(JournalRecordLog, ResetEmptiesTheLog) {
+  TempDir dir("log_reset");
+  RecordLog log(dir.path() + "/log");
+  log.append("gone");
+  log.reset();
+  EXPECT_TRUE(log.replayAndRepair().records.empty());
+  EXPECT_EQ(fs::file_size(dir.path() + "/log"), 0u);
+}
+
+// --------------------------------------------------------------------------
+// Atomic snapshot I/O.
+
+TEST(JournalAtomicWrite, PublishesContentAndLeavesNoTmp) {
+  TempDir dir("atomic");
+  const std::string path = dir.path() + "/snap";
+  writeFileAtomic(path, "first");
+  EXPECT_EQ(readAll(path), "first");
+  writeFileAtomic(path, "second");
+  EXPECT_EQ(readAll(path), "second");
+  EXPECT_FALSE(fs::exists(path + ".tmp"));
+}
+
+TEST(JournalAtomicWrite, ReadFileIfExistsDistinguishesMissing) {
+  TempDir dir("read_missing");
+  EXPECT_FALSE(readFileIfExists(dir.path() + "/absent").has_value());
+}
+
+TEST(JournalDir, RequiresAnExistingParent) {
+  TempDir dir("ensure");
+  ensureJournalDir(dir.path() + "/sub");  // one new level is fine
+  EXPECT_TRUE(fs::is_directory(dir.path() + "/sub"));
+  EXPECT_THROW(ensureJournalDir(dir.path() + "/no/such/parent"),
+               std::invalid_argument);
+  EXPECT_THROW(ensureJournalDir(""), std::invalid_argument);
+}
+
+// --------------------------------------------------------------------------
+// Journaled stream runs.
+
+StreamRunRequest faultyRequest() {
+  StreamRunRequest run;
+  run.streaming.demand = 32;
+  run.streaming.storageCap = 3;
+  run.streaming.mixers = 2;
+  run.inject = true;
+  run.faults = fault::FaultSpec::parse("loss=0.2");
+  run.faultSeed = 3;
+  return run;
+}
+
+std::string outputBytes(const StreamRunResult& result) {
+  std::string out = engine::toJson(result.plan).dump();
+  for (const engine::RecoveryReport& report : result.recovery) {
+    out += '\n';
+    out += engine::toJson(report).dump();
+  }
+  return out;
+}
+
+TEST(JournalStream, CrashThenResumeIsByteIdentical) {
+  const engine::MdstEngine engine(protocols::pcrMasterMixRatio());
+  const StreamRunRequest run = faultyRequest();
+  engine::PassCache refCache;
+  const std::string reference =
+      outputBytes(runStream(engine, run, refCache));
+
+  TempDir dir("crash_resume");
+  StreamRunOptions crashOptions;
+  crashOptions.journalDir = dir.path() + "/j";
+  crashOptions.snapshotEvery = 2;
+  crashOptions.stopAfterPass = 3;
+  engine::PassCache cache;
+  const StreamRunResult crashed = runStream(engine, run, cache, crashOptions);
+  EXPECT_TRUE(crashed.partial);
+
+  StreamRunOptions resumeOptions;
+  resumeOptions.journalDir = crashOptions.journalDir;
+  resumeOptions.resume = true;
+  engine::PassCache resumeCache;
+  const StreamRunResult resumed =
+      runStream(engine, run, resumeCache, resumeOptions);
+  EXPECT_TRUE(resumed.resumed);
+  EXPECT_EQ(resumed.journaledPasses, 3u);
+  EXPECT_EQ(outputBytes(resumed), reference);
+  // The finished journal holds a done snapshot and an empty log.
+  EXPECT_EQ(fs::file_size(crashOptions.journalDir + "/journal.log"), 0u);
+}
+
+TEST(JournalStream, ResumingAFinishedRunReturnsTheSameBytes) {
+  const engine::MdstEngine engine(protocols::pcrMasterMixRatio());
+  const StreamRunRequest run = faultyRequest();
+  TempDir dir("resume_done");
+  StreamRunOptions options;
+  options.journalDir = dir.path() + "/j";
+  engine::PassCache cache;
+  const std::string reference =
+      outputBytes(runStream(engine, run, cache, options));
+  StreamRunOptions resumeOptions = options;
+  resumeOptions.resume = true;
+  engine::PassCache resumeCache;
+  const StreamRunResult again =
+      runStream(engine, run, resumeCache, resumeOptions);
+  EXPECT_EQ(outputBytes(again), reference);
+}
+
+TEST(JournalStream, ResumeWithoutAJournalIsAUsageError) {
+  const engine::MdstEngine engine(protocols::pcrMasterMixRatio());
+  const StreamRunRequest run = faultyRequest();
+  engine::PassCache cache;
+  StreamRunOptions options;
+  options.resume = true;
+  EXPECT_THROW((void)runStream(engine, run, cache, options),
+               std::invalid_argument);
+  TempDir dir("resume_empty");
+  options.journalDir = dir.path() + "/never_written";
+  EXPECT_THROW((void)runStream(engine, run, cache, options),
+               std::invalid_argument);
+}
+
+TEST(JournalStream, FingerprintMismatchIsRejectedNotResumed) {
+  const engine::MdstEngine engine(protocols::pcrMasterMixRatio());
+  StreamRunRequest run = faultyRequest();
+  TempDir dir("fingerprint");
+  StreamRunOptions crashOptions;
+  crashOptions.journalDir = dir.path() + "/j";
+  crashOptions.stopAfterPass = 1;
+  engine::PassCache cache;
+  (void)runStream(engine, run, cache, crashOptions);
+  run.streaming.demand = 64;  // a different request
+  StreamRunOptions resumeOptions;
+  resumeOptions.journalDir = crashOptions.journalDir;
+  resumeOptions.resume = true;
+  try {
+    (void)runStream(engine, run, cache, resumeOptions);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("different request"),
+              std::string::npos);
+  }
+}
+
+TEST(JournalStream, FingerprintCoversOutputsButNotJobs) {
+  const Ratio ratio = protocols::pcrMasterMixRatio();
+  StreamRunRequest a = faultyRequest();
+  StreamRunRequest b = a;
+  b.streaming.jobs = 8;
+  EXPECT_EQ(fingerprint(ratio, a), fingerprint(ratio, b));
+  b.streaming.jobs = a.streaming.jobs;
+  b.faultSeed = a.faultSeed + 1;
+  EXPECT_NE(fingerprint(ratio, a), fingerprint(ratio, b));
+  b = a;
+  b.streaming.storageCap = a.streaming.storageCap + 1;
+  EXPECT_NE(fingerprint(ratio, a), fingerprint(ratio, b));
+}
+
+TEST(JournalStream, BitFlippedSnapshotIsDetectedAsCorruption) {
+  const engine::MdstEngine engine(protocols::pcrMasterMixRatio());
+  const StreamRunRequest run = faultyRequest();
+  TempDir dir("bitflip");
+  StreamRunOptions crashOptions;
+  crashOptions.journalDir = dir.path() + "/j";
+  crashOptions.stopAfterPass = 2;
+  engine::PassCache cache;
+  (void)runStream(engine, run, cache, crashOptions);
+  const std::string snapPath = crashOptions.journalDir + "/snapshot.json";
+  std::string snap = readAll(snapPath);
+  snap[snap.size() / 2] ^= 0x01;
+  writeRaw(snapPath, snap);
+  StreamRunOptions resumeOptions;
+  resumeOptions.journalDir = crashOptions.journalDir;
+  resumeOptions.resume = true;
+  EXPECT_THROW((void)runStream(engine, run, cache, resumeOptions),
+               CorruptJournalError);
+}
+
+TEST(JournalStream, TornLogTailIsRepairedAndResumeStaysIdentical) {
+  const engine::MdstEngine engine(protocols::pcrMasterMixRatio());
+  const StreamRunRequest run = faultyRequest();
+  engine::PassCache refCache;
+  const std::string reference =
+      outputBytes(runStream(engine, run, refCache));
+  TempDir dir("torn_resume");
+  StreamRunOptions crashOptions;
+  crashOptions.journalDir = dir.path() + "/j";
+  crashOptions.snapshotEvery = 100;  // keep every pass record in the log
+  crashOptions.stopAfterPass = 3;
+  engine::PassCache cache;
+  (void)runStream(engine, run, cache, crashOptions);
+  const std::string logPath = crashOptions.journalDir + "/journal.log";
+  const std::string log = readAll(logPath);
+  ASSERT_GT(log.size(), 4u);
+  writeRaw(logPath, log.substr(0, log.size() - 4));
+  StreamRunOptions resumeOptions;
+  resumeOptions.journalDir = crashOptions.journalDir;
+  resumeOptions.resume = true;
+  engine::PassCache resumeCache;
+  const StreamRunResult resumed =
+      runStream(engine, run, resumeCache, resumeOptions);
+  EXPECT_EQ(outputBytes(resumed), reference);
+  EXPECT_EQ(resumed.journaledPasses, 2u);  // the torn third pass was redone
+}
+
+TEST(JournalStream, FreshJournalRunSupersedesAPreviousOne) {
+  const engine::MdstEngine engine(protocols::pcrMasterMixRatio());
+  const StreamRunRequest run = faultyRequest();
+  TempDir dir("supersede");
+  StreamRunOptions options;
+  options.journalDir = dir.path() + "/j";
+  options.stopAfterPass = 1;
+  engine::PassCache cache;
+  (void)runStream(engine, run, cache, options);  // crashed run #1
+  options.stopAfterPass = 0;
+  const std::string reference =
+      outputBytes(runStream(engine, run, cache, options));  // fresh run #2
+  StreamRunOptions resumeOptions;
+  resumeOptions.journalDir = options.journalDir;
+  resumeOptions.resume = true;
+  EXPECT_EQ(outputBytes(runStream(engine, run, cache, resumeOptions)),
+            reference);
+}
+
+// --------------------------------------------------------------------------
+// Server request WAL.
+
+TEST(JournalWal, UnackedRequestsReplayInAdmissionOrder) {
+  TempDir dir("wal_order");
+  std::vector<std::string> pending;
+  {
+    ServerJournal wal(dir.path() + "/j");
+    const std::uint64_t a = wal.logRequest("req-a");
+    (void)wal.logRequest("req-b");
+    const std::uint64_t c = wal.logRequest("req-c");
+    wal.ack(a);
+    wal.ack(c);
+  }
+  ServerJournal reborn(dir.path() + "/j");
+  pending = reborn.recoverPending();
+  ASSERT_EQ(pending.size(), 1u);
+  EXPECT_EQ(pending[0], "req-b");
+  // Recovery truncates the log; a second recovery finds nothing.
+  EXPECT_TRUE(reborn.recoverPending().empty());
+}
+
+TEST(JournalWal, IdsStayMonotonicAcrossRecovery) {
+  TempDir dir("wal_ids");
+  {
+    ServerJournal wal(dir.path() + "/j");
+    (void)wal.logRequest("one");
+    (void)wal.logRequest("two");
+  }
+  ServerJournal reborn(dir.path() + "/j");
+  (void)reborn.recoverPending();
+  // New ids must not collide with replayed ones, or a stale ack could
+  // retire the wrong request.
+  EXPECT_GE(reborn.logRequest("three"), 2u);
+}
+
+TEST(JournalWal, TornTailDropsOnlyTheInterruptedRecord) {
+  TempDir dir("wal_torn");
+  {
+    ServerJournal wal(dir.path() + "/j");
+    (void)wal.logRequest("committed");
+    (void)wal.logRequest("interrupted");
+  }
+  const std::string logPath = dir.path() + "/j/wal.log";
+  const std::string bytes = readAll(logPath);
+  writeRaw(logPath, bytes.substr(0, bytes.size() - 2));
+  ServerJournal reborn(dir.path() + "/j");
+  const std::vector<std::string> pending = reborn.recoverPending();
+  ASSERT_EQ(pending.size(), 1u);
+  EXPECT_EQ(pending[0], "committed");
+}
+
+TEST(JournalWal, DamagedRecordIsDetectedAsCorruption) {
+  TempDir dir("wal_corrupt");
+  {
+    ServerJournal wal(dir.path() + "/j");
+    (void)wal.logRequest("victim");
+    (void)wal.logRequest("padding");  // keep the damaged frame complete
+  }
+  const std::string logPath = dir.path() + "/j/wal.log";
+  std::string bytes = readAll(logPath);
+  bytes[10] ^= 0x20;  // inside the first record's payload
+  writeRaw(logPath, bytes);
+  ServerJournal reborn(dir.path() + "/j");
+  EXPECT_THROW((void)reborn.recoverPending(), CorruptJournalError);
+}
+
+}  // namespace
+}  // namespace dmf::journal

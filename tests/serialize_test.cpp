@@ -208,5 +208,143 @@ TEST(Serialize, StreamingPlanRoundTrips) {
   EXPECT_NE(json.find("\"peakStorage\": 3"), std::string::npos);
 }
 
+// --------------------------------------------------------------------------
+// Lossless fromJson round trips (the journal's resume path depends on
+// toJson(fromJson(j)) dumping byte-identically to j).
+
+TEST(Serialize, StreamingPlanGoldenRoundTripsPinned) {
+  engine::StreamingPass pass;
+  pass.demand = 4;
+  pass.cycles = 7;
+  pass.storageUnits = 3;
+  pass.waste = 1;
+  pass.inputDroplets = 6;
+  pass.mixSplits = 7;
+  engine::StreamingPlan plan;
+  plan.perPassDemand = 4;
+  plan.passes = {pass, pass};
+  plan.totalCycles = 14;
+  plan.totalWaste = 2;
+  plan.totalInput = 12;
+  plan.storageUnits = 3;
+  plan.mixers = 2;
+  const std::string kGolden =
+      "{\"perPassDemand\":4,\"totalCycles\":14,\"totalWaste\":2,"
+      "\"totalInput\":12,\"peakStorage\":3,\"mixers\":2,\"passes\":["
+      "{\"demand\":4,\"cycles\":7,\"storage\":3,\"waste\":1,\"input\":6,"
+      "\"mixSplits\":7},"
+      "{\"demand\":4,\"cycles\":7,\"storage\":3,\"waste\":1,\"input\":6,"
+      "\"mixSplits\":7}]}";
+  EXPECT_EQ(engine::toJson(plan).dump(), kGolden);
+  const engine::StreamingPlan rebuilt =
+      engine::streamingPlanFromJson(Json::parse(kGolden));
+  EXPECT_EQ(engine::toJson(rebuilt).dump(), kGolden);
+  EXPECT_EQ(rebuilt.perPassDemand, 4u);
+  ASSERT_EQ(rebuilt.passes.size(), 2u);
+  EXPECT_EQ(rebuilt.passes[1].inputDroplets, 6u);
+}
+
+TEST(Serialize, StreamingPlanFromRealPlannerIsLossless) {
+  engine::MdstEngine engine(protocols::pcrMasterMixRatio());
+  engine::StreamingRequest request;
+  request.demand = 32;
+  request.storageCap = 3;
+  request.mixers = 3;
+  const engine::StreamingPlan plan = planStreaming(engine, request);
+  const std::string dumped = engine::toJson(plan).dump();
+  EXPECT_EQ(
+      engine::toJson(engine::streamingPlanFromJson(Json::parse(dumped))).dump(),
+      dumped);
+}
+
+TEST(Serialize, StreamingPlanFromJsonRejectsMalformedDocs) {
+  EXPECT_THROW(engine::streamingPlanFromJson(Json::parse("[]")),
+               std::invalid_argument);
+  EXPECT_THROW(engine::streamingPlanFromJson(Json::parse("{}")),
+               std::invalid_argument);
+  EXPECT_THROW(engine::streamingPlanFromJson(Json::parse(
+                   "{\"perPassDemand\":true}")),
+               std::invalid_argument);
+}
+
+TEST(Serialize, RecoveryReportGoldenRoundTripsPinned) {
+  engine::RecoveryReport report;
+  report.demand = 8;
+  report.delivered = 7;
+  report.shortfall = 1;
+  report.escapedErrors = 0;
+  report.discarded = 2;
+  fault::FaultEvent event;
+  event.kind = fault::FaultKind::kSplitImbalance;
+  event.cycle = 5;
+  event.magnitude = 0.041;
+  event.detail = "m3.2 split err 0.041";
+  report.faults = {event};
+  report.baseCompletion = 9;
+  report.completionCycle = 12;
+  report.retryBudget = 4;
+  report.roundsUsed = 1;
+  engine::RepairRound round;
+  round.cycle = 6;
+  round.span = 3;
+  round.needs = {forest::NodeDemand{2, 1}};
+  round.mixSplits = 3;
+  round.inputDroplets = 2;
+  round.actuations = 0;
+  report.rounds = {round};
+  report.extraMixSplits = 3;
+  report.extraInputDroplets = 2;
+  report.extraActuations = 0;
+  report.mixersLost = 0;
+  report.storageLost = 1;
+  report.degraded = true;
+  report.degradationReason = "storage exhausted";
+  report.deadCells = {chip::Cell{4, 7}};
+  const std::string kGolden =
+      "{\"demand\":8,\"delivered\":7,\"shortfall\":1,\"escapedErrors\":0,"
+      "\"discarded\":2,\"faultsInjected\":1,\"baseCompletion\":9,"
+      "\"completionCycle\":12,\"retryBudget\":4,\"roundsUsed\":1,"
+      "\"extraMixSplits\":3,\"extraInputDroplets\":2,\"extraActuations\":0,"
+      "\"mixersLost\":0,\"storageLost\":1,\"degraded\":true,"
+      "\"degradationReason\":\"storage exhausted\",\"faults\":["
+      "{\"kind\":\"split\",\"cycle\":5,\"detail\":\"m3.2 split err 0.041\","
+      "\"magnitude\":0.041}],\"rounds\":[{\"cycle\":6,\"span\":3,"
+      "\"mixSplits\":3,\"inputDroplets\":2,\"actuations\":0,\"needs\":["
+      "{\"node\":2,\"count\":1}]}],\"deadCells\":[[4,7]]}";
+  EXPECT_EQ(engine::toJson(report).dump(), kGolden);
+  const engine::RecoveryReport rebuilt =
+      engine::recoveryReportFromJson(Json::parse(kGolden));
+  EXPECT_EQ(engine::toJson(rebuilt).dump(), kGolden);
+  ASSERT_EQ(rebuilt.faults.size(), 1u);
+  EXPECT_EQ(rebuilt.faults[0].kind, fault::FaultKind::kSplitImbalance);
+  EXPECT_DOUBLE_EQ(rebuilt.faults[0].magnitude, 0.041);
+  ASSERT_EQ(rebuilt.deadCells.size(), 1u);
+  EXPECT_EQ(rebuilt.deadCells[0].x, 4);
+  EXPECT_EQ(rebuilt.deadCells[0].y, 7);
+}
+
+TEST(Serialize, RecoveryReportFromRealRunIsLossless) {
+  engine::MdstEngine engine(protocols::pcrMasterMixRatio());
+  const forest::TaskForest forest = engine.buildForest(
+      mixgraph::Algorithm::MM, 16);
+  const sched::Schedule schedule = sched::scheduleSRS(forest, 2);
+  engine::RecoveryOptions options;
+  options.seed = 11;
+  options.faults = fault::FaultSpec::parse("split=0.05,loss=0.03");
+  const engine::RecoveryReport report =
+      engine::RecoveryEngine{options}.run(forest, schedule);
+  const std::string dumped = engine::toJson(report).dump();
+  EXPECT_EQ(engine::toJson(engine::recoveryReportFromJson(Json::parse(dumped)))
+                .dump(),
+            dumped);
+}
+
+TEST(Serialize, RecoveryReportFromJsonRejectsMalformedDocs) {
+  EXPECT_THROW(engine::recoveryReportFromJson(Json::parse("7")),
+               std::invalid_argument);
+  EXPECT_THROW(engine::recoveryReportFromJson(Json::parse("{\"demand\":1}")),
+               std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace dmf

@@ -22,6 +22,7 @@
 #include "engine/serialize.h"
 #include "engine/streaming.h"
 #include "obs/scope.h"
+#include "journal/server_journal.h"
 #include "report/json.h"
 #include "server/canonical.h"
 #include "server/plan_cache.h"
@@ -196,6 +197,32 @@ TEST(PlanCache, CorruptDiskEntryDegradesToMiss) {
   EXPECT_EQ(reborn.stats().misses, 1u);
 }
 
+TEST(PlanCache, TornDiskWriteDegradesToMiss) {
+  // Entries are published atomically (tmp + fsync + rename), so a torn
+  // entry should never exist — but if one does (pre-durability file, disk
+  // damage), it must read as a miss, never as a half-parsed plan.
+  TempDir dir("cache_torn");
+  {
+    PlanCache cache(PlanCache::Options{4, dir.path()});
+    cache.put("key-1", "{\"totalCycles\":7,\"passes\":[1,2,3]}");
+  }
+  for (const auto& entry : fs::directory_iterator(dir.path())) {
+    std::ifstream in(entry.path(), std::ios::binary);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    const std::string bytes = buffer.str();
+    std::ofstream out(entry.path(), std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size() / 2));
+  }
+  PlanCache reborn(PlanCache::Options{4, dir.path()});
+  EXPECT_FALSE(reborn.get("key-1").has_value());
+  EXPECT_EQ(reborn.stats().misses, 1u);
+  // And no .tmp intermediates were ever left behind by the atomic writes.
+  for (const auto& entry : fs::directory_iterator(dir.path())) {
+    EXPECT_EQ(entry.path().extension(), ".json");
+  }
+}
+
 TEST(PlanCache, DiskEntryForDifferentKeyIsNotServed) {
   // The file name is a hash; the key inside is the identity. Swap the key
   // field and the entry must degrade to a miss, not serve the wrong plan.
@@ -351,6 +378,45 @@ TEST(ServerService, PersistentTierAnswersAfterRestartWithoutReplanning) {
   EXPECT_EQ(sourceOf(warm), "cache");
   EXPECT_EQ(planBytes(warm), planBytes(cold));
   EXPECT_EQ(reborn.planned(), 0u);  // nothing recomputed across the restart
+}
+
+TEST(ServerService, JournalReplaysUnackedRequestsIntoTheCache) {
+  TempDir dir("service_wal");
+  const std::string line = planLine("1:3", 8, 3);
+  {
+    // Simulate a daemon killed mid-compute: the request was journaled on
+    // admission but the ack (written after the cache put) never landed.
+    journal::ServerJournal wal(dir.path());
+    (void)wal.logRequest(line);
+  }
+  ServiceOptions options;
+  options.journalDir = dir.path();
+  PlanService service(options);
+  EXPECT_EQ(service.replayJournal(), 1u);
+  // The replayed computation went through the normal path and is cached:
+  // the client's retry is answered without replanning.
+  EXPECT_EQ(sourceOf(service.handle(line)), "cache");
+}
+
+TEST(ServerService, AckedRequestsAreNotReplayed) {
+  TempDir dir("service_wal_acked");
+  const std::string line = planLine("1:3", 8, 3);
+  {
+    ServiceOptions options;
+    options.journalDir = dir.path();
+    PlanService service(options);
+    EXPECT_EQ(sourceOf(service.handle(line)), "planned");  // logged + acked
+  }
+  ServiceOptions options;
+  options.journalDir = dir.path();
+  PlanService reborn(options);
+  EXPECT_EQ(reborn.replayJournal(), 0u);
+  EXPECT_EQ(reborn.planned(), 0u);
+}
+
+TEST(ServerService, ReplayJournalIsANoOpWithoutAJournal) {
+  PlanService service{ServiceOptions{}};
+  EXPECT_EQ(service.replayJournal(), 0u);
 }
 
 TEST(ServerService, OpsPingStatsShutdown) {

@@ -1,0 +1,106 @@
+# ctest helper: end-to-end crash recovery through the CLI (DESIGN.md §16).
+# Kills a journaled stream run at a pass boundary via the --crash-after-pass
+# hook (hard exit 86, no destructors — only the fsync'd journal survives),
+# resumes it, and pins the resumed JSON byte-identical to an uninterrupted
+# run. Then damages the snapshot and pins the exit-5 corruption path, and
+# resumes with a different request to pin the exit-1 fingerprint rejection.
+# Run as
+#   cmake -DDMFSTREAM=<path-to-binary> -DWORKDIR=<scratch dir> -P check_crash_resume.cmake
+if(NOT DEFINED DMFSTREAM)
+  message(FATAL_ERROR "pass -DDMFSTREAM=<path to dmfstream>")
+endif()
+if(NOT DEFINED WORKDIR)
+  message(FATAL_ERROR "pass -DWORKDIR=<scratch directory>")
+endif()
+
+file(REMOVE_RECURSE ${WORKDIR})
+file(MAKE_DIRECTORY ${WORKDIR})
+set(journal ${WORKDIR}/journal)
+set(request --ratio 2:1:1:1:1:1:9 --demand 32 --storage 3
+    --inject loss=0.2 --fault-seed 3 --json)
+
+# 1. The uninterrupted twin: reference bytes.
+execute_process(
+  COMMAND ${DMFSTREAM} stream ${request}
+  OUTPUT_VARIABLE reference
+  RESULT_VARIABLE status)
+if(NOT status EQUAL 0)
+  message(FATAL_ERROR "reference run failed with ${status}")
+endif()
+
+# 2. Crash after two journaled passes: the hook hard-exits with 86.
+execute_process(
+  COMMAND ${DMFSTREAM} stream ${request}
+          --journal ${journal} --snapshot-every 2 --crash-after-pass 2
+  OUTPUT_VARIABLE crash_out
+  ERROR_VARIABLE crash_err
+  RESULT_VARIABLE status)
+if(NOT status EQUAL 86)
+  message(FATAL_ERROR "crash hook exited with ${status}, expected 86: ${crash_err}")
+endif()
+if(NOT crash_err MATCHES "crash hook")
+  message(FATAL_ERROR "crash hook did not announce itself on stderr")
+endif()
+if(NOT EXISTS ${journal}/snapshot.json)
+  message(FATAL_ERROR "crashed run left no snapshot behind")
+endif()
+
+# 3. Resume: byte-identical to the uninterrupted run.
+execute_process(
+  COMMAND ${DMFSTREAM} stream ${request} --journal ${journal} --resume
+  OUTPUT_VARIABLE resumed
+  ERROR_VARIABLE resume_err
+  RESULT_VARIABLE status)
+if(NOT status EQUAL 0)
+  message(FATAL_ERROR "resume failed with ${status}: ${resume_err}")
+endif()
+if(NOT resumed STREQUAL reference)
+  message(FATAL_ERROR "resumed output is not byte-identical to the uninterrupted run")
+endif()
+
+# 4. Corruption: a snapshot that is not one intact CRC-framed record must be
+# rejected with the dedicated exit code 5, never half-trusted.
+execute_process(
+  COMMAND ${DMFSTREAM} stream ${request}
+          --journal ${journal} --snapshot-every 2 --crash-after-pass 2
+  OUTPUT_QUIET ERROR_QUIET RESULT_VARIABLE status)
+if(NOT status EQUAL 86)
+  message(FATAL_ERROR "second crash run exited with ${status}, expected 86")
+endif()
+file(WRITE ${journal}/snapshot.json "damaged bytes, not a framed record")
+execute_process(
+  COMMAND ${DMFSTREAM} stream ${request} --journal ${journal} --resume
+  OUTPUT_QUIET
+  ERROR_VARIABLE corrupt_err
+  RESULT_VARIABLE status)
+if(NOT status EQUAL 5)
+  message(FATAL_ERROR "corrupt snapshot exited with ${status}, expected 5")
+endif()
+if(NOT corrupt_err MATCHES "corrupt journal")
+  message(FATAL_ERROR "corruption message missing: ${corrupt_err}")
+endif()
+
+# 5. Fingerprint: a journal written by a different request is a usage error
+# (exit 1), not corruption and not a silent wrong answer.
+execute_process(
+  COMMAND ${DMFSTREAM} stream ${request}
+          --journal ${journal} --crash-after-pass 1
+  OUTPUT_QUIET ERROR_QUIET RESULT_VARIABLE status)
+if(NOT status EQUAL 86)
+  message(FATAL_ERROR "third crash run exited with ${status}, expected 86")
+endif()
+execute_process(
+  COMMAND ${DMFSTREAM} stream --ratio 2:1:1:1:1:1:9 --demand 64 --storage 3
+          --inject loss=0.2 --fault-seed 3 --json
+          --journal ${journal} --resume
+  OUTPUT_QUIET
+  ERROR_VARIABLE mismatch_err
+  RESULT_VARIABLE status)
+if(NOT status EQUAL 1)
+  message(FATAL_ERROR "fingerprint mismatch exited with ${status}, expected 1")
+endif()
+if(NOT mismatch_err MATCHES "different request")
+  message(FATAL_ERROR "fingerprint message missing: ${mismatch_err}")
+endif()
+
+message(STATUS "crash/resume: byte-identical resume, exit-5 corruption, exit-1 mismatch all pinned")

@@ -6,15 +6,16 @@
 //                    [--gantt] [--csv]
 //   dmfstream stream --ratio R --demand D --storage Q [--mixers N] [--algo A]
 //                    [--inject SPEC --fault-seed N --retry-budget K]
+//                    [--journal DIR [--resume]]
 //   dmfstream dilute --sample a/2^d --demand D [--mixers N]
 //   dmfstream chip   --ratio R --demand D [--mixers N] [--simulate] [--pins]
 //                    [--wear] [--anneal]
 //   dmfstream corpus [--sum L] [--min-fluids N] [--max-fluids N]
 //   dmfstream fuzz   [--iters N] [--seed S] [--time-budget SECONDS]
-//                    [--scope all|forest|sched|stream|fault|server]
+//                    [--scope all|forest|sched|stream|fault|server|crash]
 //                    [--replay JSON]
 //   dmfstream serve  [--port P] [--cache-size N] [--cache-dir DIR]
-//                    [--jobs N] [--drive FILE]
+//                    [--journal DIR] [--jobs N] [--drive FILE]
 //   dmfstream stats  (--from FILE | --port P) [--format prometheus|json]
 //
 // Any command also accepts --trace FILE (Chrome trace-event JSON, loadable
@@ -25,9 +26,17 @@
 //
 // Exit codes: 0 success, 1 usage error, 2 infeasible request
 // (dmf::InfeasibleError — e.g. a storage cap too tight for any pass),
-// 3 internal error (an invariant the library itself broke), 4 fuzz findings.
+// 3 internal error (an invariant the library itself broke), 4 fuzz findings,
+// 5 corrupt journal (a --journal/--resume or serve --journal directory whose
+// committed records fail their CRC — detected, never silently repaired).
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
 #include <charconv>
 #include <chrono>
+#include <csignal>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -57,6 +66,8 @@
 #include "engine/recovery.h"
 #include "engine/serialize.h"
 #include "engine/streaming.h"
+#include "journal/journal.h"
+#include "journal/stream_runner.h"
 #include "mixgraph/builders.h"
 #include "obs/log.h"
 #include "obs/prometheus.h"
@@ -148,6 +159,13 @@ commands:
           [--fault-seed N (default 1; pass p uses seed N+p)]
           [--retry-budget K (repair rounds per pass, default 4)]
           [--checkpoint-every L] [--detect-latency L]
+          crash-restart journal (DESIGN.md §16):
+          [--journal DIR]  (journal plan + completed passes to DIR)
+          [--resume]       (continue from DIR's journal; the finished
+          output is byte-identical to an uninterrupted run)
+          [--snapshot-every N (snapshot cadence in passes, default 8)]
+          [--crash-after-pass N (test hook: hard-exit 86 after pass N
+          is journaled, leaving the journal as a kill would)]
   multi   shared multi-target preparation
           --targets R1;R2;... --demands D1,D2,... [--mixers N] [--jobs N]
           [--json]      (machine-readable shared-vs-separate comparison)
@@ -161,7 +179,7 @@ commands:
   fuzz    differential-oracle fuzzing of the whole pipeline
           [--iters N (default 200)] [--seed S (default 1; deterministic)]
           [--time-budget SECONDS (0 = run all iterations)]
-          [--scope all|forest|sched|stream|fault|server]
+          [--scope all|forest|sched|stream|fault|server|crash]
           [--replay JSON]  (re-run one shrunken reproducer seed)
           exit 0 when every invariant held, 4 with findings (each printed
           as a ready-to-paste --replay invocation plus its JSON seed)
@@ -170,6 +188,9 @@ commands:
           [--port P (default 0 = ephemeral; bound port goes to stderr)]
           [--cache-size N (in-memory plans kept, default 256)]
           [--cache-dir DIR (persistent cache tier; survives restarts)]
+          [--journal DIR (write-ahead log of admitted plan requests;
+          unacknowledged ones replay on restart — pair with --cache-dir
+          so replays resolve from the disk tier)]
           [--jobs N (concurrent plan computations; 0 = all cores;
           responses are byte-identical for every N)]
           [--drive FILE (send FILE's request lines, print responses to
@@ -310,44 +331,50 @@ int cmdPlan(const Args& args, const Ratio& ratio) {
 
 int cmdStream(const Args& args, const Ratio& ratio) {
   engine::MdstEngine engine(ratio);
-  engine::StreamingRequest request;
-  request.algorithm = parseAlgo(args);
-  request.demand = args.getU64("demand", 2);
-  request.storageCap = static_cast<unsigned>(args.getU64("storage", 5));
-  request.mixers = static_cast<unsigned>(args.getU64("mixers", 0));
-  request.jobs = static_cast<unsigned>(args.getU64("jobs", 1));
-
-  engine::PassCache cache;
-  const engine::StreamingPlan plan =
-      args.has("optimize") ? planStreamingOptimized(engine, request, cache)
-                           : planStreaming(engine, request, cache);
+  journal::StreamRunRequest run;
+  run.streaming.algorithm = parseAlgo(args);
+  run.streaming.demand = args.getU64("demand", 2);
+  run.streaming.storageCap = static_cast<unsigned>(args.getU64("storage", 5));
+  run.streaming.mixers = static_cast<unsigned>(args.getU64("mixers", 0));
+  run.streaming.jobs = static_cast<unsigned>(args.getU64("jobs", 1));
+  run.optimize = args.has("optimize");
 
   // --inject replays every pass against the seeded fault model with
   // demand-driven repair. Pass p uses seed (--fault-seed + p); the whole
-  // replay is serial, so the output is identical for every --jobs value.
-  std::vector<engine::RecoveryReport> recovery;
+  // replay is serial, so the output is identical for every --jobs value —
+  // and, because every pass is independently seeded, identical whether the
+  // run was interrupted and resumed or ran straight through.
   if (args.get("inject").has_value()) {
-    engine::RecoveryOptions ropts;
-    ropts.faults = fault::FaultSpec::parse(*args.get("inject"));
-    ropts.seed = args.getU64("fault-seed", 1);
-    ropts.retryBudget =
-        static_cast<unsigned>(args.getU64("retry-budget", ropts.retryBudget));
-    ropts.checkpoint.everyLevels =
+    run.inject = true;
+    run.faults = fault::FaultSpec::parse(*args.get("inject"));
+    run.faultSeed = args.getU64("fault-seed", 1);
+    run.retryBudget =
+        static_cast<unsigned>(args.getU64("retry-budget", run.retryBudget));
+    run.checkpointEvery =
         static_cast<unsigned>(args.getU64("checkpoint-every", 1));
-    ropts.checkpoint.detectionLatency =
+    run.detectLatency =
         static_cast<unsigned>(args.getU64("detect-latency", 0));
-    ropts.storageCap = request.storageCap;
-    recovery.reserve(plan.passes.size());
-    for (std::size_t p = 0; p < plan.passes.size(); ++p) {
-      const forest::TaskForest forest =
-          engine.buildForest(request.algorithm, plan.passes[p].demand);
-      const sched::Schedule schedule =
-          engine::schedule(forest, request.scheme, plan.mixers);
-      engine::RecoveryOptions passOpts = ropts;
-      passOpts.seed = ropts.seed + p;
-      recovery.push_back(engine::RecoveryEngine{passOpts}.run(forest, schedule));
-    }
   }
+
+  journal::StreamRunOptions journalOptions;
+  journalOptions.journalDir = args.get("journal").value_or("");
+  journalOptions.resume = args.has("resume");
+  journalOptions.snapshotEvery = static_cast<unsigned>(
+      args.getU64("snapshot-every", journalOptions.snapshotEvery));
+  journalOptions.stopAfterPass = args.getU64("crash-after-pass", 0);
+
+  engine::PassCache cache;
+  const journal::StreamRunResult result =
+      journal::runStream(engine, run, cache, journalOptions);
+  if (result.partial) {
+    // The crash hook simulates a hard kill: no flushes, no destructors —
+    // only what the journal already fsync'd survives, which is the point.
+    std::cerr << "crash hook: exiting after " << journalOptions.stopAfterPass
+              << " journaled pass(es)\n";
+    std::_Exit(86);
+  }
+  const engine::StreamingPlan& plan = result.plan;
+  const std::vector<engine::RecoveryReport>& recovery = result.recovery;
 
   if (args.has("json")) {
     report::Json out = engine::toJson(plan);
@@ -381,7 +408,7 @@ int cmdStream(const Args& args, const Ratio& ratio) {
   std::cout << table.render() << "total: " << plan.passes.size()
             << " passes, " << plan.totalCycles << " cycles, "
             << plan.totalWaste << " waste, " << plan.totalInput
-            << " input droplets (storage cap " << request.storageCap
+            << " input droplets (storage cap " << run.streaming.storageCap
             << ", peak " << plan.storageUnits << ")\n";
   if (!recovery.empty()) {
     report::Table faultTable({"pass", "delivered", "shortfall", "faults",
@@ -655,6 +682,18 @@ int cmdFuzz(const Args& args) {
   return report.ok() ? 0 : 4;
 }
 
+// Self-pipe for SIGINT/SIGTERM: the handler only writes the signal number
+// to a pipe; a watcher thread does the actual (non-async-signal-safe)
+// graceful shutdown. File-scope because signal handlers take no closure.
+int g_signalPipe[2] = {-1, -1};
+
+extern "C" void onServeSignal(int signo) {
+  const char byte = static_cast<char>(signo);
+  // A full pipe or closed read end just drops the wakeup; the first byte
+  // through is what triggers the drain.
+  (void)!::write(g_signalPipe[1], &byte, 1);
+}
+
 int cmdServe(const Args& args) {
   const std::uint64_t port = args.getU64("port", 0);
   if (port > 65535) {
@@ -675,8 +714,12 @@ int cmdServe(const Args& args) {
   server::ServiceOptions options;
   options.cacheSize = static_cast<std::size_t>(args.getU64("cache-size", 256));
   options.cacheDir = args.get("cache-dir").value_or("");
+  options.journalDir = args.get("journal").value_or("");
   options.jobs = static_cast<unsigned>(args.getU64("jobs", 1));
   server::PlanService service(options);
+  // Requests a previous daemon admitted but never finished replay before
+  // the socket opens, so their plans are cached before any client retries.
+  (void)service.replayJournal();
   server::SocketServer socket(
       service, server::SocketServerOptions{static_cast<unsigned short>(port)});
   // The bound port goes to stderr: ephemeral ports differ run to run, and
@@ -698,7 +741,48 @@ int cmdServe(const Args& args) {
     }
     return 0;
   }
-  socket.run();  // blocks until a {"op":"shutdown"} request (or a signal)
+  // Graceful SIGINT/SIGTERM: stop accepting, drain in-flight connections
+  // (SocketServer::run joins them), then emit the shutdown summary. The
+  // handler itself only pokes the self-pipe; the watcher thread runs the
+  // shutdown, keeping the handler async-signal-safe.
+  if (::pipe(g_signalPipe) != 0) {
+    throw std::runtime_error("serve: cannot create signal pipe");
+  }
+  struct sigaction action {};
+  action.sa_handler = onServeSignal;
+  sigemptyset(&action.sa_mask);
+  struct sigaction oldInt {}, oldTerm {};
+  sigaction(SIGINT, &action, &oldInt);
+  sigaction(SIGTERM, &action, &oldTerm);
+
+  std::atomic<int> caughtSignal{0};
+  std::thread watcher([&socket, &caughtSignal] {
+    char byte = 0;
+    while (::read(g_signalPipe[0], &byte, 1) < 0 && errno == EINTR) {
+    }
+    if (byte != 0) {  // 0 is the internal wakeup after a clean shutdown op
+      caughtSignal.store(byte, std::memory_order_relaxed);
+      socket.stop();
+    }
+  });
+
+  socket.run();  // blocks until stop(), a {"op":"shutdown"} request, or a signal
+
+  const char wake = 0;
+  (void)!::write(g_signalPipe[1], &wake, 1);
+  watcher.join();
+  sigaction(SIGINT, &oldInt, nullptr);
+  sigaction(SIGTERM, &oldTerm, nullptr);
+  ::close(g_signalPipe[0]);
+  ::close(g_signalPipe[1]);
+
+  if (const int signo = caughtSignal.load(std::memory_order_relaxed)) {
+    // The shutdown *op* logs its own summary in the service; the signal
+    // path owns it here, after the drain, so the counters are final.
+    obs::LogLine(obs::LogLevel::kInfo, "server.signal")
+        .str("signal", signo == SIGTERM ? "SIGTERM" : "SIGINT");
+    service.logShutdown();
+  }
   return 0;
 }
 
@@ -873,6 +957,12 @@ int main(int argc, char** argv) {
     // documented "try different parameters" outcome (exit 2).
     std::cerr << "infeasible: " << e.what() << "\n";
     return 2;
+  } catch (const dmf::journal::CorruptJournalError& e) {
+    // A journal whose *committed* records are damaged (CRC mismatch, bad
+    // snapshot). Distinct from a torn tail, which is repaired silently —
+    // this one needs a human (or a fresh --journal run without --resume).
+    std::cerr << "corrupt journal: " << e.what() << "\n";
+    return 5;
   } catch (const std::exception& e) {
     // Anything else (logic_error and friends) is a bug in the library, not
     // in the request; keep it distinguishable for scripts and CI.
