@@ -19,6 +19,7 @@
 #include "engine/serialize.h"
 #include "engine/streaming.h"
 #include "fault/fault_injector.h"
+#include "fleet/dispatcher.h"
 #include "journal/journal.h"
 #include "journal/stream_runner.h"
 #include "obs/log.h"
@@ -646,6 +647,120 @@ CheckResult Fuzzer::runCase(const FuzzCase& c) const {
       }
     }
 
+    if (inScope("fleet") && c.storageCap > 0) {
+      // Fleet oracles: placement is deterministic under --jobs, every
+      // admitted pass executes exactly once, chip busy time partitions into
+      // user service, and a mid-run chip kill never changes the plans —
+      // only the placement log.
+      fleet::UserStream primary;
+      primary.ratio = ratio;
+      primary.request.algorithm = c.algorithm;
+      primary.request.scheme = c.scheme;
+      primary.request.demand = std::min<std::uint64_t>(c.demand, 12);
+      primary.request.storageCap = c.storageCap;
+      primary.request.mixers = mixers;
+      primary.weight = 2.0;
+      fleet::UserStream light = primary;
+      light.ratio = Ratio(std::vector<std::uint64_t>{1, 3});
+      light.request.demand = 1 + c.demand % 8;
+      light.weight = 1.0;
+      fleet::UserStream tail = light;
+      tail.request.demand = 1 + c.faultSeed % 6;
+      const std::vector<fleet::UserStream> users{primary, light, tail};
+
+      fleet::DispatcherOptions options;
+      // Every chip can host every user (effective mixers >= the request's,
+      // storage >= the cap that bounds any plan), so a single kill degrades
+      // nothing — migration is the only legal response.
+      options.chips = {{mixers, c.storageCap, 0},
+                       {mixers + 1, c.storageCap + 2, 1},
+                       {mixers + 2, c.storageCap + 1, 0}};
+      static const char* kPolicies[] = {"fifo", "rr", "wfq"};
+      options.policy = kPolicies[c.demand % 3];
+      options.weights = {2.0, 1.0, 1.0};
+      options.quantum = (c.faultSeed % 2 == 0) ? 0.0 : 16.0;
+      options.jobs = 1;
+      try {
+        const fleet::FleetResult serial = fleet::dispatchFleet(users, options);
+        fleet::DispatcherOptions threadedOptions = options;
+        threadedOptions.jobs = 2;
+        const fleet::FleetResult threaded =
+            fleet::dispatchFleet(users, threadedOptions);
+        ++out.checksRun;
+        if (serial.toJson(true).dump() != threaded.toJson(true).dump()) {
+          out.fail("fleet-jobs-identical",
+                   "fleet dispatch JSON differs between --jobs 1 and 2");
+        }
+        // Exactly-once: each (user, passIndex) completes once, and the
+        // completed count matches the plans' pass counts.
+        std::set<std::pair<unsigned, std::uint64_t>> completed;
+        std::uint64_t expectedPasses = 0;
+        for (const fleet::UserReport& user : serial.users) {
+          expectedPasses += user.plan.passes.size();
+        }
+        ++out.checksRun;
+        bool duplicated = false;
+        for (const fleet::PassRecord& record : serial.log) {
+          if (!record.completed) continue;
+          if (!completed.insert({record.user, record.passIndex}).second) {
+            out.fail("fleet-exactly-once",
+                     "pass (" + std::to_string(record.user) + ", " +
+                         std::to_string(record.passIndex) +
+                         ") completed more than once");
+            duplicated = true;
+            break;
+          }
+        }
+        if (!duplicated && completed.size() != expectedPasses) {
+          out.fail("fleet-exactly-once",
+                   std::to_string(completed.size()) + " of " +
+                       std::to_string(expectedPasses) +
+                       " admitted passes completed");
+        }
+        // Conservation: completed chip time is exactly delivered service.
+        std::uint64_t busy = 0;
+        std::uint64_t service = 0;
+        for (const fleet::ChipReport& chip : serial.chips) {
+          busy += chip.busyCycles;
+        }
+        for (const fleet::UserReport& user : serial.users) {
+          service += user.serviceCycles;
+        }
+        ++out.checksRun;
+        if (busy != service) {
+          out.fail("fleet-conservation",
+                   "chip busy cycles (" + std::to_string(busy) +
+                       ") != user service cycles (" +
+                       std::to_string(service) + ")");
+        }
+        // Kill-invariance: fail one chip mid-run; the migrated run must be
+        // clean (no degradation, at least one migration when the kill cuts
+        // a busy chip) and its plans byte-identical to the no-kill run.
+        if (serial.makespan >= 2) {
+          fleet::DispatcherOptions killOptions = options;
+          killOptions.kill.active = true;
+          killOptions.kill.chip = static_cast<unsigned>(c.faultSeed % 3);
+          killOptions.kill.cycle = serial.makespan / 2;
+          const fleet::FleetResult killed =
+              fleet::dispatchFleet(users, killOptions);
+          ++out.checksRun;
+          if (killed.degraded) {
+            out.fail("fleet-migrate",
+                     "kill of one chip in a fully-capable fleet degraded "
+                     "the run: " +
+                         killed.degradationReason);
+          }
+          ++out.checksRun;
+          if (serial.plansJson().dump() != killed.plansJson().dump()) {
+            out.fail("fleet-kill-invariant",
+                     "per-user plans changed under a mid-run chip kill");
+          }
+        }
+      } catch (const InfeasibleError&) {
+        // Cap below any feasible pass: a legal outcome.
+      }
+    }
+
     if (inScope("fault")) {
       engine::RecoveryOptions options;
       options.seed = c.faultSeed;
@@ -798,11 +913,12 @@ FuzzCase Fuzzer::shrink(
 
 FuzzReport Fuzzer::run() const {
   static const std::set<std::string> kScopes = {
-      "all", "forest", "sched", "stream", "fault", "server", "crash"};
+      "all", "forest", "sched", "stream", "fault", "server", "crash",
+      "fleet"};
   if (kScopes.find(options_.scope) == kScopes.end()) {
     throw std::invalid_argument(
         "Fuzzer: unknown scope \"" + options_.scope +
-        "\" (all|forest|sched|stream|fault|server|crash)");
+        "\" (all|forest|sched|stream|fault|server|crash|fleet)");
   }
   FuzzReport report;
   std::mt19937_64 rng(options_.seed);

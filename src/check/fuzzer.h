@@ -75,12 +75,15 @@ struct FuzzOptions {
   std::uint64_t iterations = 200;
   /// Wall-clock cutoff; 0 = run all iterations.
   double timeBudgetSeconds = 0.0;
-  /// "all", "forest", "sched", "stream", "fault", "server", or "crash" —
-  /// which pipeline stages the oracles cover ("server" cross-checks cached
-  /// vs fresh plans for byte-identity through the serving layer; "crash"
-  /// kills journaled runs at pass boundaries and corrupts the journal on
-  /// disk, asserting byte-identical resume or clean detection). Unknown
-  /// scopes throw std::invalid_argument at run().
+  /// "all", "forest", "sched", "stream", "fault", "server", "crash", or
+  /// "fleet" — which pipeline stages the oracles cover ("server"
+  /// cross-checks cached vs fresh plans for byte-identity through the
+  /// serving layer; "crash" kills journaled runs at pass boundaries and
+  /// corrupts the journal on disk, asserting byte-identical resume or
+  /// clean detection; "fleet" dispatches a three-user fleet and asserts
+  /// exactly-once execution, --jobs determinism, busy/service
+  /// conservation, and kill-invariant plans). Unknown scopes throw
+  /// std::invalid_argument at run().
   std::string scope = "all";
 };
 

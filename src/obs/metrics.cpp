@@ -36,6 +36,13 @@ double histogramQuantile(const std::vector<std::uint64_t>& bounds,
   std::uint64_t total = 0;
   for (const std::uint64_t c : counts) total += c;
   if (total == 0) return 0.0;
+  if (bounds.empty()) {
+    // Degenerate shape (snapshot JSON can carry it even though the
+    // Histogram class forbids it): every sample lives in the sole overflow
+    // bucket and there is no finite bound to clamp to. Without this guard
+    // both bounds.back() calls below would be undefined behaviour.
+    return 0.0;
+  }
   q = std::min(1.0, std::max(0.0, q));
   // The rank of the q-quantile observation, 1-based: the nearest-rank
   // definition, so q=0.5 of {1..4} targets rank 2.

@@ -19,8 +19,20 @@ using report::Json;
 // ---------------------------------------------------------------------------
 // AdmissionQueue
 
-AdmissionQueue::AdmissionQueue(runtime::ThreadPool& pool)
-    : pool_(pool), dispatcher_([this] { drainLoop(); }) {}
+AdmissionQueue::AdmissionQueue(runtime::ThreadPool& pool,
+                               FleetArbitration fleet)
+    : pool_(pool), fleet_(std::move(fleet)) {
+  if (fleet_.lanes > 0) {
+    if (fleet_.weights.empty()) fleet_.weights.assign(16, 1.0);
+    policy_ = dmf::fleet::makePolicy(fleet_.policy);
+    policy_->setUsers(static_cast<unsigned>(fleet_.weights.size()));
+    policy_->setWeights(fleet_.weights);
+    policy_->setQuantum(fleet_.quantum);
+    userService_.assign(fleet_.weights.size(), 0);
+    laneBusy_.assign(fleet_.lanes, 0);
+  }
+  dispatcher_ = std::thread([this] { drainLoop(); });
+}
 
 AdmissionQueue::~AdmissionQueue() {
   {
@@ -31,18 +43,104 @@ AdmissionQueue::~AdmissionQueue() {
   dispatcher_.join();
 }
 
-void AdmissionQueue::submit(std::function<void()> job) {
+void AdmissionQueue::submit(unsigned user, std::uint64_t cost,
+                            std::function<void()> job) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    pending_.push_back(std::move(job));
+    pending_.push_back(
+        PendingJob{user, std::max<std::uint64_t>(1, cost), std::move(job)});
     obs::gaugeMax("server.queue.depth", pending_.size());
   }
   wake_.notify_one();
 }
 
+FleetQueueStats AdmissionQueue::fleetStats() const {
+  FleetQueueStats stats;
+  stats.lanes = fleet_.lanes;
+  stats.policy = fleet_.policy;
+  std::lock_guard<std::mutex> lock(mutex_);
+  stats.userService = userService_;
+  stats.laneBusy = laneBusy_;
+  if (fleet_.lanes > 0) {
+    double sum = 0.0;
+    double sumSquares = 0.0;
+    for (std::size_t u = 0; u < userService_.size(); ++u) {
+      const double x =
+          static_cast<double>(userService_[u]) / fleet_.weights[u];
+      sum += x;
+      sumSquares += x * x;
+    }
+    if (sumSquares > 0.0) {
+      stats.jainPermille = static_cast<std::uint64_t>(
+          (sum * sum) /
+              (static_cast<double>(userService_.size()) * sumSquares) *
+              1000.0 +
+          0.5);
+    }
+  }
+  return stats;
+}
+
+std::vector<AdmissionQueue::PendingJob> AdmissionQueue::arbitrate(
+    std::vector<PendingJob> batch) {
+  // Policy-order the batch. The policy instance lives across batches, so
+  // wfq virtual time and round-robin cursors carry over — arbitration is
+  // about the stream of admissions, not any one batch.
+  const auto slots = static_cast<unsigned>(fleet_.weights.size());
+  for (const PendingJob& pending : batch) {
+    dmf::fleet::WorkItem item;
+    item.user = pending.user % slots;
+    item.admission = admission_++;
+    item.cost = pending.cost;
+    policy_->enqueue(item);
+  }
+  std::vector<PendingJob> ordered;
+  ordered.reserve(batch.size());
+  std::vector<std::uint64_t> laneBusy;
+  std::vector<std::uint64_t> userService;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    laneBusy = laneBusy_;
+    userService = userService_;
+  }
+  while (!policy_->empty()) {
+    const std::optional<unsigned> user = policy_->pickUser(0.0);
+    if (!user.has_value()) break;
+    const std::optional<dmf::fleet::WorkItem> item = policy_->pop(*user);
+    if (!item.has_value()) continue;
+    // admission numbers are batch-local positions, so this maps back to
+    // the submitted job; the ordered list is the policy's service order.
+    const std::uint64_t index =
+        item->admission - (admission_ - batch.size());
+    ordered.push_back(std::move(batch[index]));
+    userService[*user] += item->cost;
+    // Virtual lane placement: least-loaded lane first (ties to the lowest
+    // lane id) — the utilization picture a real fleet of chips would show.
+    std::size_t lane = 0;
+    for (std::size_t l = 1; l < laneBusy.size(); ++l) {
+      if (laneBusy[l] < laneBusy[lane]) lane = l;
+    }
+    laneBusy[lane] += item->cost;
+    obs::count("server.fleet.dispatched");
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    laneBusy_ = laneBusy;
+    userService_ = userService;
+  }
+  if (obs::MetricsRegistry* m = obs::metrics()) {
+    for (std::size_t l = 0; l < laneBusy.size(); ++l) {
+      m->gauge("server.fleet.lane." + std::to_string(l) + ".busy_cost")
+          .set(laneBusy[l]);
+    }
+  }
+  obs::gaugeSet("server.fleet.jain_permille", fleetStats().jainPermille);
+  return ordered;
+}
+
 void AdmissionQueue::drainLoop() {
   for (;;) {
-    std::vector<std::function<void()>> batch;
+    std::vector<PendingJob> batch;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       wake_.wait(lock, [this] { return stopping_ || !pending_.empty(); });
@@ -52,10 +150,11 @@ void AdmissionQueue::drainLoop() {
     obs::count("server.queue.batches");
     obs::LogLine(obs::LogLevel::kDebug, "server.admission.batch")
         .num("jobs", batch.size());
+    if (policy_ != nullptr) batch = arbitrate(std::move(batch));
     // One batch = one forEach over the shared pool: everything admitted
     // together fans out together; arrivals during the batch form the next.
     pool_.forEach(batch.size(),
-                  [&batch](std::uint64_t i) { batch[i](); });
+                  [&batch](std::uint64_t i) { batch[i].job(); });
   }
 }
 
@@ -70,7 +169,9 @@ PlanService::PlanService(const ServiceOptions& options)
                    : std::make_unique<journal::ServerJournal>(
                          options.journalDir)),
       pool_(runtime::ThreadPool::resolveJobs(options.jobs)),
-      queue_(pool_) {}
+      queue_(pool_,
+             FleetArbitration{options.fleet, options.fleetPolicy,
+                              options.fleetWeights, options.fleetQuantum}) {}
 
 PlanService::~PlanService() = default;
 
@@ -90,7 +191,8 @@ std::size_t PlanService::replayJournal() {
   return pending.size();
 }
 
-std::string PlanService::handle(const std::string& line, bool* shutdown) {
+std::string PlanService::handle(const std::string& line, bool* shutdown,
+                                unsigned user) {
   // The root span of this request's trace: everything downstream — cache
   // probe, coalesce wait, the queued computation (via ContextGuard), engine
   // and pool-worker spans — shares its trace id.
@@ -99,7 +201,7 @@ std::string PlanService::handle(const std::string& line, bool* shutdown) {
   const auto start = std::chrono::steady_clock::now();
   std::string response;
   try {
-    response = dispatch(line, shutdown, span);
+    response = dispatch(line, shutdown, span, user);
   } catch (const std::exception& e) {
     // dispatch() already maps every expected failure; this is the backstop
     // that keeps the socket loop alive no matter what.
@@ -129,7 +231,7 @@ std::string PlanService::handle(const std::string& line, bool* shutdown) {
 }
 
 std::string PlanService::dispatch(const std::string& line, bool* shutdown,
-                                  obs::Span& span) {
+                                  obs::Span& span, unsigned user) {
   Json request = Json::object();
   try {
     request = Json::parse(line);
@@ -175,25 +277,57 @@ std::string PlanService::dispatch(const std::string& line, bool* shutdown,
     // With an observability session installed the full instrument snapshot
     // rides along, so `dmfstream stats --port P` can render Prometheus text
     // from a live daemon.
+    // Fleet arbitration accounting, when enabled: per-user-slot service,
+    // lane utilization and the Jain fairness index the obs gauges track.
+    const FleetQueueStats fleet = queue_.fleetStats();
+    if (fleet.lanes > 0) {
+      Json fleetJson = Json::object();
+      fleetJson.set("lanes", std::uint64_t{fleet.lanes})
+          .set("policy", fleet.policy)
+          .set("jainPermille", fleet.jainPermille);
+      Json service = Json::array();
+      for (const std::uint64_t cost : fleet.userService) {
+        service.push(Json::number(cost));
+      }
+      fleetJson.set("userService", std::move(service));
+      Json lanes = Json::array();
+      for (const std::uint64_t busy : fleet.laneBusy) {
+        lanes.push(Json::number(busy));
+      }
+      fleetJson.set("laneBusy", std::move(lanes));
+      out.set("fleet", std::move(fleetJson));
+    }
     if (obs::MetricsRegistry* m = obs::metrics()) {
       out.set("metrics", m->snapshot());
     }
     return out.dump();
   }
   if (op == "plan") {
-    return handlePlan(request, line, span);
+    return handlePlan(request, line, span, user);
   }
   return errorResponse("request", "unknown op \"" + op +
                                       "\" (plan|ping|stats|shutdown)");
 }
 
 std::string PlanService::handlePlan(const Json& request,
-                                    const std::string& line, obs::Span& span) {
+                                    const std::string& line, obs::Span& span,
+                                    unsigned user) {
   PlanRequest parsed;
   try {
     parsed = PlanRequest::fromJson(request);
   } catch (const std::invalid_argument& e) {
     return errorResponse("request", e.what());
+  }
+  // An explicit "user" field overrides the connection identity (scripted
+  // multi-tenant tests drive several users over one connection). It never
+  // reaches the canonical key: user identity must not fragment the cache.
+  if (request.contains("user")) {
+    try {
+      user = static_cast<unsigned>(request.at("user").asUint());
+    } catch (const std::logic_error&) {
+      return errorResponse("request",
+                           "request field \"user\" must be a number");
+    }
   }
   const CanonicalRequest canonical = canonicalize(parsed);
   const std::string key = canonical.key();
@@ -251,7 +385,10 @@ std::string PlanService::handlePlan(const Json& request,
   // never a re-plan.
   auto task = std::make_shared<std::promise<Outcome>>(std::move(promise));
   const obs::SpanContext requestContext = span.context();
-  queue_.submit([this, canonical, key, task, requestContext, walId] {
+  // The policy arbitrates on the request demand — the best cost proxy
+  // available before the plan is computed.
+  queue_.submit(user, canonical.demand, [this, canonical, key, task,
+                                         requestContext, walId] {
     // Adopt the leader request's context: the computation runs on a pool
     // worker, but its spans (engine, scheduler, router) splice into the
     // request's trace.
@@ -274,13 +411,25 @@ std::string PlanService::handlePlan(const Json& request,
             .str("error", e.what());
       }
     }
-    {
-      std::lock_guard<std::mutex> lock(inflightMutex_);
-      inflight_.erase(key);
-    }
+    // Fulfil the shared future *before* the in-flight entry is retired.
+    // With the old order (erase, then set_value) a request arriving in
+    // between saw neither the in-flight entry nor — when a concurrent put
+    // had already evicted this key from a small cache — the cached bytes,
+    // and became a duplicate leader: a second compute and a second WAL
+    // append for one logical request. With this order every arrival finds
+    // the cache entry, a pending future, or a ready future.
     task->set_value(std::move(outcome));
   });
-  return outcomeResponse("planned", key, future.get());
+  const std::string response = outcomeResponse("planned", key, future.get());
+  // The *leader* retires its entry, strictly after set_value and after the
+  // cache put: a failed (uncacheable) outcome must not linger as a ready
+  // future once the leader has answered — the next request for the key is
+  // a fresh leader that recomputes (InfeasibleOutcomesAreNotCached).
+  {
+    std::lock_guard<std::mutex> lock(inflightMutex_);
+    inflight_.erase(key);
+  }
+  return response;
 }
 
 PlanService::Outcome PlanService::compute(const CanonicalRequest& request) {

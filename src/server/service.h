@@ -29,6 +29,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "fleet/policy.h"
 #include "obs/scope.h"
 #include "runtime/thread_pool.h"
 #include "server/canonical.h"
@@ -57,30 +58,96 @@ struct ServiceOptions {
   /// Test-only: stretch every cold computation by this many nanoseconds to
   /// make coalescing windows deterministic. 0 in production.
   std::uint64_t computeDelayNanosForTest = 0;
+  /// Fleet arbitration (DESIGN.md §17): when > 0, admission batches drain
+  /// in fleet::ArbitrationPolicy order over this many virtual lanes, with
+  /// per-connection user identity feeding fairness accounting. 0 keeps the
+  /// plain admission-order drain.
+  unsigned fleet = 0;
+  /// "fifo" | "rr" | "wfq" (makePolicy names).
+  std::string fleetPolicy = "fifo";
+  /// Weights for the user slots; its size bounds the number of slots a
+  /// connection id folds into (empty = 16 equal-weight slots).
+  std::vector<double> fleetWeights;
+  /// wfq service quantum (in demand units); 0 disables batching.
+  double fleetQuantum = 0.0;
+};
+
+/// Fleet-arbitration configuration of the admission queue (off by default).
+struct FleetArbitration {
+  /// Virtual lanes batches place over (0 = arbitration off).
+  unsigned lanes = 0;
+  std::string policy = "fifo";
+  /// User-slot weights; size bounds the slots connection ids fold into
+  /// (empty = 16 equal-weight slots).
+  std::vector<double> weights;
+  double quantum = 0.0;
+};
+
+/// Per-user-slot service accounting of a fleet-arbitrated queue.
+struct FleetQueueStats {
+  unsigned lanes = 0;
+  std::string policy;
+  /// Dispatched service cost (demand units) per user slot.
+  std::vector<std::uint64_t> userService;
+  /// Accumulated cost placed on each virtual lane.
+  std::vector<std::uint64_t> laneBusy;
+  /// Jain's fairness index over weight-normalized user service, in
+  /// permille (1000 = perfectly weight-proportional).
+  std::uint64_t jainPermille = 1000;
 };
 
 /// Batches submitted jobs and drains each batch over the shared pool. The
 /// dispatcher thread is the only pool caller, so jobs themselves may not
 /// touch the pool (nested same-pool use is rejected by ThreadPool anyway).
+///
+/// With fleet arbitration enabled each batch is reordered by the
+/// arbitration policy before it fans out: the policy state (e.g. wfq
+/// virtual time) persists across batches, so a heavy user's backlog cannot
+/// starve light users within any drain.
 class AdmissionQueue {
  public:
-  explicit AdmissionQueue(runtime::ThreadPool& pool);
+  explicit AdmissionQueue(runtime::ThreadPool& pool,
+                          FleetArbitration fleet = {});
   ~AdmissionQueue();
 
   AdmissionQueue(const AdmissionQueue&) = delete;
   AdmissionQueue& operator=(const AdmissionQueue&) = delete;
 
-  /// Enqueues a job; it runs on a pool worker in admission order. Jobs must
-  /// not throw (they fulfill promises instead).
-  void submit(std::function<void()> job);
+  /// Enqueues a job; it runs on a pool worker in admission order (policy
+  /// order under fleet arbitration). Jobs must not throw (they fulfill
+  /// promises instead). `user` is the submitting user's identity (folded
+  /// into a user slot); `cost` is the service-cost proxy the policy
+  /// arbitrates on (e.g. the request demand; clamped to >= 1).
+  void submit(unsigned user, std::uint64_t cost, std::function<void()> job);
+  void submit(std::function<void()> job) { submit(0, 1, std::move(job)); }
+
+  /// Snapshot of the fleet accounting (zero-lane stats when arbitration is
+  /// off). Thread-safe.
+  [[nodiscard]] FleetQueueStats fleetStats() const;
 
  private:
+  struct PendingJob {
+    unsigned user = 0;
+    std::uint64_t cost = 1;
+    std::function<void()> job;
+  };
+
   void drainLoop();
+  /// Policy-orders one batch and updates the fleet accounting.
+  [[nodiscard]] std::vector<PendingJob> arbitrate(
+      std::vector<PendingJob> batch);
 
   runtime::ThreadPool& pool_;
-  std::mutex mutex_;
+  FleetArbitration fleet_;
+  /// Touched only by the dispatcher thread.
+  std::unique_ptr<fleet::ArbitrationPolicy> policy_;
+  std::uint64_t admission_ = 0;
+  mutable std::mutex mutex_;
   std::condition_variable wake_;
-  std::vector<std::function<void()>> pending_;
+  std::vector<PendingJob> pending_;
+  /// Fleet accounting (guarded by mutex_ — stats() reads cross-thread).
+  std::vector<std::uint64_t> userService_;
+  std::vector<std::uint64_t> laneBusy_;
   bool stopping_ = false;
   std::thread dispatcher_;
 };
@@ -97,9 +164,19 @@ class PlanService {
 
   /// Handles one request line and returns one response line (no trailing
   /// newline). Never throws. Sets *shutdown when the request was a
-  /// {"op":"shutdown"} — the caller owns what that means.
+  /// {"op":"shutdown"} — the caller owns what that means. `user` is the
+  /// caller's identity for fleet arbitration (the socket server passes the
+  /// connection index; an optional "user" field in the request overrides
+  /// it). The user NEVER enters the canonical cache key — identical plans
+  /// from different users share one entry.
   [[nodiscard]] std::string handle(const std::string& line,
-                                   bool* shutdown = nullptr);
+                                   bool* shutdown = nullptr,
+                                   unsigned user = 0);
+
+  /// The admission queue's fleet accounting (zero-lane when off).
+  [[nodiscard]] FleetQueueStats fleetStats() const {
+    return queue_.fleetStats();
+  }
 
   /// Replays write-ahead-logged requests left unacknowledged by a previous
   /// daemon run (no-op without a journal). Each replayed line goes back
@@ -150,10 +227,10 @@ class PlanService {
   };
 
   [[nodiscard]] std::string dispatch(const std::string& line, bool* shutdown,
-                                     obs::Span& span);
+                                     obs::Span& span, unsigned user);
   [[nodiscard]] std::string handlePlan(const report::Json& request,
                                        const std::string& line,
-                                       obs::Span& span);
+                                       obs::Span& span, unsigned user);
   [[nodiscard]] Outcome compute(const CanonicalRequest& request);
   [[nodiscard]] static std::string planResponse(const char* source,
                                                 const std::string& key,

@@ -106,7 +106,8 @@ void SocketServer::run() {
     obs::LogLine(obs::LogLevel::kDebug, "server.connection.accept")
         .num("fd", static_cast<std::uint64_t>(fd));
     std::lock_guard<std::mutex> lock(threadsMutex_);
-    threads_.emplace_back([this, fd] { serveConnection(fd); });
+    const unsigned user = nextUser_.fetch_add(1, std::memory_order_relaxed);
+    threads_.emplace_back([this, fd, user] { serveConnection(fd, user); });
   }
   // Join what is there; late connection threads are joined by ~SocketServer.
   std::vector<std::thread> threads;
@@ -126,7 +127,7 @@ void SocketServer::stop() {
   if (listenFd_ >= 0) ::shutdown(listenFd_, SHUT_RDWR);
 }
 
-void SocketServer::serveConnection(int fd) {
+void SocketServer::serveConnection(int fd, unsigned user) {
   std::string pending;
   char buffer[4096];
   bool shutdownRequested = false;
@@ -141,7 +142,8 @@ void SocketServer::serveConnection(int fd) {
       pending.erase(0, newline + 1);
       if (!line.empty() && line.back() == '\r') line.pop_back();
       if (line.empty()) continue;  // blank lines are keepalive noise
-      const std::string response = service_.handle(line, &shutdownRequested);
+      const std::string response =
+          service_.handle(line, &shutdownRequested, user);
       if (!writeAll(fd, response.data(), response.size()) ||
           !writeAll(fd, "\n", 1)) {
         closeFd(fd);

@@ -47,11 +47,14 @@ class SocketServer {
   void stop();
 
  private:
-  void serveConnection(int fd);
+  /// `user` is the connection's identity for fleet arbitration: the accept
+  /// order index, stable for a connection's whole lifetime.
+  void serveConnection(int fd, unsigned user);
 
   PlanService& service_;
   int listenFd_ = -1;
   unsigned short port_ = 0;
+  std::atomic<unsigned> nextUser_{0};
   std::atomic<bool> stopping_{false};
   std::mutex threadsMutex_;
   std::vector<std::thread> threads_;

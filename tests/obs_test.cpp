@@ -159,6 +159,42 @@ TEST(ObsMetricsTest, QuantileEdgeCases) {
   EXPECT_DOUBLE_EQ(h.quantile(0.5), 5.0);  // member delegates to the free fn
 }
 
+// Regression: the free function also serves snapshot JSON, which can carry
+// histogram shapes the Histogram constructor forbids. An empty bounds list
+// (every sample in the sole overflow bucket) used to read bounds.back() of
+// an empty vector — undefined behaviour — for any non-zero count.
+TEST(ObsMetricsTest, QuantileSurvivesEmptyBounds) {
+  const std::vector<std::uint64_t> none;
+  EXPECT_DOUBLE_EQ(histogramQuantile(none, {0}, 0.5), 0.0);  // and empty
+  EXPECT_DOUBLE_EQ(histogramQuantile(none, {7}, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(histogramQuantile(none, {7}, 1.0), 0.0);
+}
+
+TEST(ObsMetricsTest, QuantileSingleSampleStaysWithinItsBucket) {
+  const std::vector<std::uint64_t> bounds{10, 20};
+  // One observation in (0, 10]: every quantile is that observation's
+  // bucket, interpolated to its upper edge at most — never past it, and
+  // never a division by the empty buckets around it.
+  const std::vector<std::uint64_t> counts{1, 0, 0};
+  EXPECT_DOUBLE_EQ(histogramQuantile(bounds, counts, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(histogramQuantile(bounds, counts, 0.5), 10.0);
+  EXPECT_DOUBLE_EQ(histogramQuantile(bounds, counts, 1.0), 10.0);
+  // One observation in the overflow bucket clamps to the last bound.
+  const std::vector<std::uint64_t> overflow{0, 0, 1};
+  EXPECT_DOUBLE_EQ(histogramQuantile(bounds, overflow, 0.5), 20.0);
+}
+
+TEST(ObsMetricsTest, QuantileClampsOutOfRangeQ) {
+  const std::vector<std::uint64_t> bounds{100};
+  const std::vector<std::uint64_t> counts{4, 0};
+  EXPECT_DOUBLE_EQ(histogramQuantile(bounds, counts, -0.5),
+                   histogramQuantile(bounds, counts, 0.0));
+  EXPECT_DOUBLE_EQ(histogramQuantile(bounds, counts, 2.0),
+                   histogramQuantile(bounds, counts, 1.0));
+  // q = 1 interpolates to exactly the populated bucket's upper edge.
+  EXPECT_DOUBLE_EQ(histogramQuantile(bounds, counts, 1.0), 100.0);
+}
+
 // Golden rendering: exposition-format text is an external contract (scrape
 // configs and dashboards parse it), so pin the exact bytes.
 TEST(ObsPrometheusTest, RendersSnapshotAsExpositionText) {

@@ -170,6 +170,53 @@ TEST(Recovery, RetryBudgetZeroDegradesGracefully) {
   EXPECT_NE(r.degradationReason.find("retry budget"), std::string::npos);
 }
 
+TEST(Recovery, RetryBudgetBoundaryIsNotOffByOne) {
+  const MixingGraph g = buildMM(pcr());
+  const TaskForest f(g, 8);
+  const sched::Schedule s = sched::scheduleSRS(f, 3);
+  // Reference run with the maximum budget: find how many repair rounds
+  // this fault pattern actually needs.
+  RecoveryOptions opts;
+  opts.faults = fault::FaultSpec::parse("loss=0.3");
+  opts.seed = 7;
+  opts.retryBudget = 64;
+  const RecoveryReport reference = RecoveryEngine{opts}.run(f, s);
+  checkInvariants(reference);
+  ASSERT_GE(reference.roundsUsed, 2u)
+      << "fault pattern too mild to exercise the boundary";
+  ASSERT_FALSE(reference.degraded);
+  const unsigned needed = reference.roundsUsed;
+
+  // Budget == rounds needed: the last permitted round is the one that
+  // finishes the repair — no spurious budget degradation.
+  opts.retryBudget = needed;
+  const RecoveryReport exact = RecoveryEngine{opts}.run(f, s);
+  checkInvariants(exact);
+  EXPECT_EQ(exact.roundsUsed, needed);
+  EXPECT_FALSE(exact.degraded);
+  EXPECT_EQ(exact.delivered, exact.demand);
+
+  // One round short: the run degrades with the budget named, and never
+  // splices a round past the budget.
+  opts.retryBudget = needed - 1;
+  const RecoveryReport short1 = RecoveryEngine{opts}.run(f, s);
+  checkInvariants(short1);
+  EXPECT_TRUE(short1.degraded);
+  EXPECT_LE(short1.roundsUsed, needed - 1);
+  EXPECT_NE(short1.degradationReason.find("retry budget exhausted (" +
+                                          std::to_string(needed - 1) +
+                                          " rounds)"),
+            std::string::npos);
+}
+
+TEST(Recovery, RetryBudgetCtorBoundary) {
+  RecoveryOptions opts;
+  opts.retryBudget = 64;  // the documented maximum
+  EXPECT_NO_THROW(RecoveryEngine{opts});
+  opts.retryBudget = 65;
+  EXPECT_THROW(RecoveryEngine{opts}, std::invalid_argument);
+}
+
 TEST(Recovery, InputBudgetExhaustionDegrades) {
   const MixingGraph g = buildMM(pcr());
   const TaskForest f(g, 8);

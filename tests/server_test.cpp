@@ -360,6 +360,116 @@ TEST(ServerService, CoalescesConcurrentIdenticalRequests) {
   }
 }
 
+TEST(ServerService, FleetArbitrationAccountsPerUserService) {
+  ServiceOptions options;
+  options.fleet = 2;
+  options.fleetPolicy = "wfq";
+  options.fleetWeights = {8.0, 1.0, 1.0};
+  PlanService service(options);
+  // Distinct plans from distinct users; the demand is the service cost the
+  // policy accounts.
+  (void)service.handle(planLine("2:1:1:1:1:1:9", 32, 3), nullptr, 0);
+  (void)service.handle(planLine("3:1", 8, 3), nullptr, 1);
+  (void)service.handle(planLine("1:2:1", 6, 4), nullptr, 5);  // folds to slot 2
+  const FleetQueueStats stats = service.fleetStats();
+  EXPECT_EQ(stats.lanes, 2u);
+  EXPECT_EQ(stats.policy, "wfq");
+  ASSERT_EQ(stats.userService.size(), 3u);
+  EXPECT_EQ(stats.userService[0], 32u);
+  EXPECT_EQ(stats.userService[1], 8u);
+  EXPECT_EQ(stats.userService[2], 6u);
+  ASSERT_EQ(stats.laneBusy.size(), 2u);
+  EXPECT_EQ(stats.laneBusy[0] + stats.laneBusy[1], 32u + 8u + 6u);
+  EXPECT_GT(stats.jainPermille, 0u);
+  EXPECT_LE(stats.jainPermille, 1000u);
+
+  // The stats op surfaces the same accounting for `dmfstream stats`.
+  const report::Json statsJson =
+      report::Json::parse(service.handle("{\"op\":\"stats\"}"));
+  ASSERT_TRUE(statsJson.contains("fleet"));
+  EXPECT_EQ(statsJson.at("fleet").at("policy").asString(), "wfq");
+  EXPECT_EQ(statsJson.at("fleet").at("lanes").asUint(), 2u);
+}
+
+TEST(ServerService, UserFieldOverridesConnectionIdentityButNotTheKey) {
+  ServiceOptions options;
+  options.fleet = 1;
+  options.fleetWeights = {1.0, 1.0};
+  PlanService service(options);
+  const std::string base = planLine("2:1:1:1:1:1:9", 16, 3);
+  // Same plan, explicit "user":1 in the request body (connection user 0).
+  std::string tagged = base;
+  tagged.insert(tagged.size() - 1, ",\"user\":1");
+  const std::string cold = service.handle(tagged, nullptr, 0);
+  const std::string warm = service.handle(base, nullptr, 0);
+  // Identity never enters the canonical key: the second request (different
+  // user, same plan) is a cache hit on the first's entry.
+  EXPECT_EQ(sourceOf(cold), "planned");
+  EXPECT_EQ(sourceOf(warm), "cache");
+  EXPECT_EQ(planBytes(cold), planBytes(warm));
+  // But the service cost was accounted to the tagged user slot.
+  const FleetQueueStats stats = service.fleetStats();
+  ASSERT_EQ(stats.userService.size(), 2u);
+  EXPECT_EQ(stats.userService[1], 16u);
+  // A mistyped user field is a request error, not a crash.
+  std::string bad = base;
+  bad.insert(bad.size() - 1, ",\"user\":\"alice\"");
+  const report::Json rejected = report::Json::parse(service.handle(bad));
+  EXPECT_FALSE(rejected.at("ok").asBool());
+  EXPECT_EQ(rejected.at("kind").asString(), "request");
+}
+
+// Regression: the leader used to drop its in-flight entry *before*
+// publishing the outcome to its shared future. A follower arriving in that
+// window missed the coalescing map, and — when LRU pressure had already
+// evicted the freshly-put entry — missed the cache too, electing itself a
+// duplicate leader: one request computed (and WAL-appended) twice. The fix
+// publishes first, so a capacity-1 cache under concurrent eviction must
+// still compute each distinct request exactly once per burst.
+TEST(PlanCache, ForcedEvictionUnderCoalescingKeepsOneLeaderPerKey) {
+  const std::string lineA = planLine("2:1:1:1:1:1:9", 16, 3);
+  const std::string lineB = planLine("3:1", 8, 3);
+  const std::string lineC = planLine("1:2:1", 6, 4);
+  for (int iteration = 0; iteration < 15; ++iteration) {
+    ServiceOptions options;
+    options.cacheSize = 1;  // every distinct put evicts the previous entry
+    options.jobs = 4;
+    // Stretch computations so every client of lineA lands inside the
+    // leader's in-flight window while lineB/lineC evict underneath it.
+    options.computeDelayNanosForTest = 10'000'000;  // 10 ms
+    PlanService service(options);
+    constexpr int kClientsA = 6;
+    std::vector<std::string> responsesA(kClientsA);
+    std::string responseB;
+    std::string responseC;
+    {
+      std::vector<std::thread> clients;
+      clients.reserve(kClientsA + 2);
+      for (int i = 0; i < kClientsA; ++i) {
+        clients.emplace_back([&service, &responsesA, &lineA, i] {
+          responsesA[static_cast<std::size_t>(i)] = service.handle(lineA);
+        });
+      }
+      clients.emplace_back(
+          [&service, &responseB, &lineB] { responseB = service.handle(lineB); });
+      clients.emplace_back(
+          [&service, &responseC, &lineC] { responseC = service.handle(lineC); });
+      for (std::thread& t : clients) t.join();
+    }
+    // Exactly one computation per distinct request, despite the eviction
+    // churn racing the leader's publication.
+    EXPECT_EQ(service.planned(), 3u) << "iteration " << iteration;
+    EXPECT_GE(service.cache().stats().evictions, 1u)
+        << "capacity-1 cache saw no eviction pressure — the regression "
+           "scenario was not exercised";
+    for (const std::string& response : responsesA) {
+      EXPECT_EQ(planBytes(response), planBytes(responsesA[0]));
+    }
+    EXPECT_FALSE(planBytes(responseB).empty());
+    EXPECT_FALSE(planBytes(responseC).empty());
+  }
+}
+
 TEST(ServerService, PersistentTierAnswersAfterRestartWithoutReplanning) {
   TempDir dir("service_restart");
   const std::string line = planLine("2:1:1:1:1:1:9", 32, 3);

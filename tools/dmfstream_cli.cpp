@@ -12,10 +12,16 @@
 //                    [--wear] [--anneal]
 //   dmfstream corpus [--sum L] [--min-fluids N] [--max-fluids N]
 //   dmfstream fuzz   [--iters N] [--seed S] [--time-budget SECONDS]
-//                    [--scope all|forest|sched|stream|fault|server|crash]
+//                    [--scope all|forest|sched|stream|fault|server|crash|fleet]
 //                    [--replay JSON]
+//   dmfstream fleet  --users "ratio=R,demand=D,storage=Q[,weight=W];..."
+//                    [--fleet N | --chips "mixers=M,storage=Q[,dead=D];..."]
+//                    [--policy fifo|rr|wfq] [--weights W1,W2,...]
+//                    [--quantum Q] [--jobs N] [--kill chip=C,cycle=X]
+//                    [--journal DIR] [--json [--placement] | --plans-only]
 //   dmfstream serve  [--port P] [--cache-size N] [--cache-dir DIR]
 //                    [--journal DIR] [--jobs N] [--drive FILE]
+//                    [--fleet N --policy P --weights W1,... --quantum Q]
 //   dmfstream stats  (--from FILE | --port P) [--format prometheus|json]
 //
 // Any command also accepts --trace FILE (Chrome trace-event JSON, loadable
@@ -35,6 +41,7 @@
 #include <cerrno>
 #include <charconv>
 #include <chrono>
+#include <cmath>
 #include <csignal>
 #include <cstdlib>
 #include <filesystem>
@@ -66,6 +73,8 @@
 #include "engine/recovery.h"
 #include "engine/serialize.h"
 #include "engine/streaming.h"
+#include "fleet/dispatcher.h"
+#include "fleet/policy.h"
 #include "journal/journal.h"
 #include "journal/stream_runner.h"
 #include "mixgraph/builders.h"
@@ -179,10 +188,26 @@ commands:
   fuzz    differential-oracle fuzzing of the whole pipeline
           [--iters N (default 200)] [--seed S (default 1; deterministic)]
           [--time-budget SECONDS (0 = run all iterations)]
-          [--scope all|forest|sched|stream|fault|server|crash]
+          [--scope all|forest|sched|stream|fault|server|crash|fleet]
           [--replay JSON]  (re-run one shrunken reproducer seed)
           exit 0 when every invariant held, 4 with findings (each printed
           as a ready-to-paste --replay invocation plus its JSON seed)
+  fleet   multi-tenant dispatch of several users' streams over a fleet of
+          simulated chips (DESIGN.md §17)
+          --users "ratio=R,demand=D,storage=Q[,weight=W][,mixers=N]
+                   [,algo=A][,scheme=S][,optimize];..."  (one entry per user)
+          [--fleet N (default 4: deterministic heterogeneous chips)]
+          [--chips "mixers=M,storage=Q[,dead=D];..." (explicit fleet)]
+          [--policy fifo|rr|wfq (default fifo)]
+          [--weights W1,W2,... (override per-user weights)]
+          [--quantum Q (wfq service quantum in cycles)]
+          [--jobs N (planning fan-out; output identical for every N)]
+          [--kill chip=C,cycle=X (fail chip C mid-run; aborted passes
+          migrate via journal-checkpoint replay)]
+          [--journal DIR (durable per-user pass journals)]
+          [--json (full result) --placement (include the placement log)]
+          [--plans-only (just the per-user plans — byte-identical with
+          and without --kill)]
   serve   plan-as-a-service daemon: line-delimited JSON over a local
           TCP socket (127.0.0.1), with a canonical plan cache
           [--port P (default 0 = ephemeral; bound port goes to stderr)]
@@ -195,6 +220,9 @@ commands:
           responses are byte-identical for every N)]
           [--drive FILE (send FILE's request lines, print responses to
           stdout, then exit — for tests and scripting)]
+          [--fleet N (policy-ordered admission over N virtual lanes with
+          per-connection user identity) --policy fifo|rr|wfq
+          --weights W1,... (user-slot weights) --quantum Q]
           requests: {"op":"plan","ratio":"2:1:1:1:1:1:9","demand":20,
           "storage":4} plus optional algo/scheme/mixers/optimize; other
           ops: ping, stats, shutdown
@@ -682,6 +710,80 @@ int cmdFuzz(const Args& args) {
   return report.ok() ? 0 : 4;
 }
 
+// Multi-tenant fleet dispatch (DESIGN.md §17): plan every user's stream,
+// then shard the passes across N simulated chips under an arbitration
+// policy. Output is byte-identical for every --jobs value; the per-user
+// plans (--plans-only) are additionally byte-identical across a --kill.
+int cmdFleet(const Args& args) {
+  const auto usersSpec = args.get("users");
+  if (!usersSpec.has_value()) {
+    throw std::invalid_argument(
+        "fleet needs --users \"ratio=...,demand=...,storage=...;...\"");
+  }
+  std::vector<fleet::UserStream> users = fleet::parseUsers(*usersSpec);
+
+  fleet::DispatcherOptions options;
+  if (const auto chips = args.get("chips"); chips.has_value()) {
+    options.chips = fleet::parseChips(*chips);
+  } else {
+    options.chips =
+        fleet::defaultFleet(static_cast<unsigned>(args.getU64("fleet", 4)));
+  }
+  options.policy = args.get("policy").value_or("fifo");
+  if (const auto weights = args.get("weights"); weights.has_value()) {
+    options.weights = fleet::parseWeights(*weights);
+  }
+  options.quantum = args.getDouble("quantum", 0.0);
+  options.jobs = static_cast<unsigned>(args.getU64("jobs", 1));
+  options.journalDir = args.get("journal").value_or("");
+  if (const auto kill = args.get("kill"); kill.has_value()) {
+    options.kill = fleet::parseKill(*kill);
+  }
+
+  const fleet::FleetResult result = fleet::dispatchFleet(users, options);
+
+  if (args.has("plans-only")) {
+    std::cout << result.plansJson().dump(2) << "\n";
+    return 0;
+  }
+  if (args.has("json")) {
+    std::cout << result.toJson(args.has("placement")).dump(2) << "\n";
+    return 0;
+  }
+
+  report::Table userTable(
+      {"user", "weight", "passes", "service cycles", "migrated", "unplaced"});
+  for (std::size_t u = 0; u < result.users.size(); ++u) {
+    const fleet::UserReport& user = result.users[u];
+    std::ostringstream weight;
+    weight << user.weight;
+    userTable.addRow({std::to_string(u), weight.str(),
+                      std::to_string(user.passesExecuted),
+                      std::to_string(user.serviceCycles),
+                      std::to_string(user.migratedPasses),
+                      std::to_string(user.unplacedPasses)});
+  }
+  report::Table chipTable(
+      {"chip", "mixers", "storage", "busy cycles", "passes", "state"});
+  for (std::size_t c = 0; c < result.chips.size(); ++c) {
+    const fleet::ChipReport& chip = result.chips[c];
+    chipTable.addRow(
+        {std::to_string(c), std::to_string(chip.spec.effectiveMixers()),
+         std::to_string(chip.spec.storageCap),
+         std::to_string(chip.busyCycles), std::to_string(chip.passesCompleted),
+         chip.failed ? "failed@" + std::to_string(chip.failedAtCycle) : "ok"});
+  }
+  std::cout << userTable.render() << "\n"
+            << chipTable.render() << "\npolicy " << result.policy
+            << ", makespan " << result.makespan << " cycles, migrations "
+            << result.migrations << ", Jain index "
+            << std::llround(result.jainIndex() * 1000.0) << "/1000\n";
+  if (result.degraded) {
+    std::cout << "degraded: " << result.degradationReason << "\n";
+  }
+  return 0;
+}
+
 // Self-pipe for SIGINT/SIGTERM: the handler only writes the signal number
 // to a pipe; a watcher thread does the actual (non-async-signal-safe)
 // graceful shutdown. File-scope because signal handlers take no closure.
@@ -716,6 +818,14 @@ int cmdServe(const Args& args) {
   options.cacheDir = args.get("cache-dir").value_or("");
   options.journalDir = args.get("journal").value_or("");
   options.jobs = static_cast<unsigned>(args.getU64("jobs", 1));
+  // Fleet arbitration: --fleet N turns on policy-ordered admission over N
+  // virtual lanes, with per-connection user identity (DESIGN.md §17).
+  options.fleet = static_cast<unsigned>(args.getU64("fleet", 0));
+  options.fleetPolicy = args.get("policy").value_or("fifo");
+  if (const auto weights = args.get("weights"); weights.has_value()) {
+    options.fleetWeights = fleet::parseWeights(*weights);
+  }
+  options.fleetQuantum = args.getDouble("quantum", 0.0);
   server::PlanService service(options);
   // Requests a previous daemon admitted but never finished replay before
   // the socket opens, so their plans are cached before any client retries.
@@ -889,6 +999,7 @@ int dispatch(const Args& args) {
   if (args.command == "chip") return cmdChip(args, requireRatio(args));
   if (args.command == "corpus") return cmdCorpus(args);
   if (args.command == "fuzz") return cmdFuzz(args);
+  if (args.command == "fleet") return cmdFleet(args);
   if (args.command == "serve") return cmdServe(args);
   if (args.command == "stats") return cmdStats(args);
   return usage();
